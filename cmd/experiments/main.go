@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments [-fig fig05,fig11] [-full] [-mixes N] [-measure N] [-warmup N] [-seed N]
+//
+// Without -fig it runs every experiment in paper order. -full switches
+// to the larger paper-scale windows (slower). Results print as aligned
+// text tables with shape notes; EXPERIMENTS.md records paper-vs-
+// measured values for a committed run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		figs    = flag.String("fig", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(experiments.IDs(), ",")+")")
+		full    = flag.Bool("full", false, "paper-scale instruction windows (slower)")
+		mixes   = flag.Int("mixes", 0, "override number of multi-programmed mixes")
+		warmup  = flag.Uint64("warmup", 0, "override single-core warmup instructions")
+		measure = flag.Uint64("measure", 0, "override single-core measured instructions")
+		seed    = flag.Uint64("seed", 0, "override workload seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	p := experiments.DefaultParams()
+	if *full {
+		p = experiments.FullParams()
+	}
+	if *mixes > 0 {
+		p.Mixes = *mixes
+	}
+	if *warmup > 0 {
+		p.Warmup = *warmup
+	}
+	if *measure > 0 {
+		p.Measure = *measure
+	}
+	if *seed > 0 {
+		p.Seed = *seed
+	}
+
+	var selected []experiments.Experiment
+	if *figs == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*figs, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: %s\n", id, strings.Join(experiments.IDs(), ", "))
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	runner := experiments.NewRunner(p)
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		fmt.Printf("running %s (%s)...\n", e.ID, e.Short)
+		table := e.Run(runner)
+		table.Fprint(os.Stdout)
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, e.ID, table); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
+	}
+	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+}
+
+func writeCSV(dir, id string, t *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(dir, id+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return t.WriteCSV(f)
+}

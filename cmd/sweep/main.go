@@ -1,0 +1,119 @@
+// Command sweep explores the design space beyond the paper's fixed
+// points: metadata store size x prefetch degree x LLC capacity x
+// replacement policy, on any benchmark, emitting CSV for plotting.
+//
+// Usage:
+//
+//	sweep -bench mcf -sizes 128,256,512,1024 -degrees 1,2,4 [-llc 1,2,4] [-repl lru,hawkeye]
+//
+// Each configuration is simulated against its own no-prefetch baseline
+// at the same LLC size, so the speedup isolates the prefetcher.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad list element %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		sizes   = flag.String("sizes", "128,256,512,1024", "metadata store sizes in KB")
+		degrees = flag.String("degrees", "1", "prefetch degrees")
+		llcs    = flag.String("llc", "2", "LLC sizes in MB")
+		repls   = flag.String("repl", "hawkeye", "metadata replacement: lru,hawkeye")
+		warmup  = flag.Uint64("warmup", 3_000_000, "warmup instructions")
+		measure = flag.Uint64("measure", 2_000_000, "measured instructions")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q\n", *bench)
+		os.Exit(2)
+	}
+	sizeList, err := parseInts(*sizes)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	degreeList, err := parseInts(*degrees)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	llcList, err := parseInts(*llcs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	run := func(llcMB int, pf prefetch.Prefetcher) sim.Result {
+		m := config.Default(1)
+		m.LLCBytesPerCore = llcMB << 20
+		machine, err := sim.New(sim.Options{
+			Machine:             m,
+			Workloads:           []trace.Reader{spec.New(*seed, 0)},
+			Prefetchers:         []prefetch.Prefetcher{pf},
+			WarmupInstructions:  *warmup,
+			MeasureInstructions: *measure,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return machine.Run()
+	}
+
+	fmt.Println("bench,llc_mb,store_kb,degree,replacement,speedup,coverage,accuracy,traffic_overhead_pct")
+	for _, llcMB := range llcList {
+		base := run(llcMB, nil)
+		for _, sizeKB := range sizeList {
+			for _, d := range degreeList {
+				for _, repl := range strings.Split(*repls, ",") {
+					r := core.Hawkeye
+					if strings.TrimSpace(repl) == "lru" {
+						r = core.LRU
+					}
+					m := config.Default(1)
+					tri := core.New(core.Config{
+						Mode:            core.Static,
+						StaticBytes:     sizeKB << 10,
+						Degree:          d,
+						Replacement:     r,
+						LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
+					})
+					res := run(llcMB, tri)
+					fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.4f,%.4f,%.1f\n",
+						*bench, llcMB, sizeKB, d, strings.TrimSpace(repl),
+						res.SpeedupOver(base), res.CoverageOver(base),
+						res.Accuracy(), res.TrafficOverheadPct(base))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("128, 256,512")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{128, 256, 512}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("element %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if _, err := parseInts("12,abc"); err == nil {
+		t.Error("bad list accepted")
+	}
+	if _, err := parseInts(""); err == nil {
+		t.Error("empty list accepted")
+	}
+}

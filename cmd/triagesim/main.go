@@ -1,0 +1,177 @@
+// Command triagesim runs one benchmark under one prefetcher
+// configuration and prints detailed statistics — the workhorse for
+// exploring the simulator outside the canned experiments.
+//
+// Usage:
+//
+//	triagesim -bench mcf -pf triage-dyn [-cores 1] [-warmup N] [-measure N] [-degree D]
+//
+// Prefetchers: none, stride-only, nextline, ghb, markov, bo, sms,
+// stms, domino, isb, misb, triage-512k, triage-1m, triage-dyn,
+// triage-dynutil, triage-unlimited, and '+'-joined hybrids such as
+// triage+bo. Use -list to see benchmarks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/bo"
+	"repro/internal/prefetch/domino"
+	"repro/internal/prefetch/ghb"
+	"repro/internal/prefetch/hybrid"
+	"repro/internal/prefetch/isb"
+	"repro/internal/prefetch/markov"
+	"repro/internal/prefetch/misb"
+	"repro/internal/prefetch/nextline"
+	"repro/internal/prefetch/sms"
+	"repro/internal/prefetch/stms"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func buildPF(name string, m config.Machine, degree int) (prefetch.Prefetcher, error) {
+	llcTicks := uint64(m.LLCLatency+m.LLCExtraLatency) * dram.TicksPerCycle
+	mk := func(n string) (prefetch.Prefetcher, error) {
+		switch n {
+		case "none", "stride-only":
+			return nil, nil
+		case "bo":
+			return bo.New(), nil
+		case "sms":
+			return sms.New(), nil
+		case "stms":
+			return stms.New(), nil
+		case "domino":
+			return domino.New(), nil
+		case "misb":
+			return misb.New(), nil
+		case "isb":
+			return isb.New(), nil
+		case "markov":
+			return markov.New(1 << 20), nil
+		case "ghb":
+			return ghb.New(512), nil
+		case "nextline":
+			return nextline.New(1), nil
+		case "triage-512k":
+			return core.New(core.Config{Mode: core.Static, StaticBytes: 512 << 10, LLCLatencyTicks: llcTicks}), nil
+		case "triage-1m":
+			return core.New(core.Config{Mode: core.Static, StaticBytes: 1 << 20, LLCLatencyTicks: llcTicks}), nil
+		case "triage-dyn":
+			return core.New(core.Config{Mode: core.Dynamic, LLCLatencyTicks: llcTicks}), nil
+		case "triage-dynutil":
+			return core.New(core.Config{Mode: core.DynamicUtility, LLCLatencyTicks: llcTicks}), nil
+		case "triage-unlimited":
+			return core.New(core.Config{Mode: core.Unlimited, LLCLatencyTicks: llcTicks}), nil
+		default:
+			return nil, fmt.Errorf("unknown prefetcher %q", n)
+		}
+	}
+	if strings.Contains(name, "+") {
+		parts := strings.Split(name, "+")
+		var ps []prefetch.Prefetcher
+		for _, part := range parts {
+			if part == "triage" {
+				part = "triage-dyn"
+			}
+			p, err := mk(part)
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("cannot compose %q", part)
+			}
+			ps = append(ps, p)
+		}
+		return hybrid.New(ps...), nil
+	}
+	p, err := mk(name)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil && degree > 1 {
+		if ds, ok := p.(prefetch.DegreeSetter); ok {
+			ds.SetDegree(degree)
+		}
+	}
+	return p, nil
+}
+
+func main() {
+	var (
+		bench   = flag.String("bench", "mcf", "benchmark name")
+		pfName  = flag.String("pf", "none", "prefetcher configuration")
+		cores   = flag.Int("cores", 1, "number of cores (rate mode: N copies)")
+		warmup  = flag.Uint64("warmup", 3_000_000, "warmup instructions per core")
+		measure = flag.Uint64("measure", 2_000_000, "measured instructions per core")
+		degree  = flag.Int("degree", 1, "prefetch degree")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range workload.Names() {
+			fmt.Println(n)
+		}
+		return
+	}
+	spec, ok := workload.ByName(*bench)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+		os.Exit(2)
+	}
+	m := config.Default(*cores)
+	ws := make([]trace.Reader, *cores)
+	pfs := make([]prefetch.Prefetcher, *cores)
+	for c := 0; c < *cores; c++ {
+		ws[c] = spec.New(*seed+uint64(c)*104729, mem.Addr(c+1)<<40)
+		p, err := buildPF(*pfName, m, *degree)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		pfs[c] = p
+	}
+	machine, err := sim.New(sim.Options{
+		Machine:             m,
+		Workloads:           ws,
+		Prefetchers:         pfs,
+		WarmupInstructions:  *warmup,
+		MeasureInstructions: *measure,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res := machine.Run()
+
+	fmt.Printf("benchmark    : %s (x%d cores)\n", spec.Name, *cores)
+	fmt.Printf("prefetcher   : %s (degree %d)\n", *pfName, *degree)
+	for c, cr := range res.Cores {
+		fmt.Printf("core %-2d      : IPC %.4f  (%d instr, %d cycles, %d loads, %d L2 misses, %.2f meta ways)\n",
+			c, cr.IPC(), cr.Instructions, cr.Cycles, cr.Loads, cr.L2DemandMisses, cr.AvgMetadataWays)
+		fmt.Printf("  avg load lat: %.1f cycles\n", cr.AvgLoadCycles)
+	}
+	fmt.Printf("mean IPC     : %.4f\n", res.IPC())
+	fmt.Printf("accuracy     : %.1f%%\n", res.Accuracy()*100)
+	fmt.Printf("prefetches   : issued %d, useful %d, redundant-dropped %d\n",
+		res.PrefetchesIssued, res.PrefetchesUseful, res.PrefetchesRedundant)
+	d := res.DRAM
+	fmt.Printf("DRAM         : demand %d, prefetch %d, writeback %d, metadata r/w %d/%d (total %d lines, %.1f MB)\n",
+		d.Transfers[dram.DemandRead], d.Transfers[dram.PrefetchRead], d.Transfers[dram.Writeback],
+		d.Transfers[dram.MetadataRead], d.Transfers[dram.MetadataWrite],
+		d.Total(), float64(d.Bytes())/(1<<20))
+	fmt.Printf("LLC          : %d/%d hits (data ways end state reflect partition)\n", res.LLC.Hits, res.LLC.Accesses)
+	fmt.Printf("meta accesses: triage-LLC %d, misb-offchip %d\n",
+		res.TriageLLCMetadataAccesses, res.MISBOffChipMetadataAccesses)
+}

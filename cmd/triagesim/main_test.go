@@ -1,0 +1,74 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/hybrid"
+)
+
+func TestBuildPFKnownNames(t *testing.T) {
+	m := config.Default(1)
+	names := []string{
+		"bo", "sms", "stms", "domino", "misb", "isb", "markov", "ghb",
+		"nextline", "triage-512k", "triage-1m", "triage-dyn",
+		"triage-dynutil", "triage-unlimited",
+	}
+	for _, n := range names {
+		p, err := buildPF(n, m, 1)
+		if err != nil {
+			t.Errorf("%s: %v", n, err)
+			continue
+		}
+		if p == nil {
+			t.Errorf("%s: nil prefetcher", n)
+		}
+	}
+}
+
+func TestBuildPFNone(t *testing.T) {
+	m := config.Default(1)
+	for _, n := range []string{"none", "stride-only"} {
+		p, err := buildPF(n, m, 1)
+		if err != nil || p != nil {
+			t.Errorf("%s: p=%v err=%v, want nil,nil", n, p, err)
+		}
+	}
+}
+
+func TestBuildPFUnknown(t *testing.T) {
+	m := config.Default(1)
+	if _, err := buildPF("bogus", m, 1); err == nil {
+		t.Error("unknown prefetcher accepted")
+	}
+}
+
+func TestBuildPFHybrid(t *testing.T) {
+	m := config.Default(1)
+	p, err := buildPF("triage+bo", m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ok := p.(*hybrid.Prefetcher)
+	if !ok {
+		t.Fatalf("got %T, want hybrid", p)
+	}
+	if len(h.Parts()) != 2 {
+		t.Errorf("hybrid has %d parts", len(h.Parts()))
+	}
+	if _, err := buildPF("bo+none", m, 1); err == nil {
+		t.Error("hybrid with non-composable part accepted")
+	}
+}
+
+func TestBuildPFDegree(t *testing.T) {
+	m := config.Default(1)
+	p, err := buildPF("bo", m, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(prefetch.DegreeSetter); !ok {
+		t.Error("bo does not expose DegreeSetter")
+	}
+}

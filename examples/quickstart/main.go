@@ -1,0 +1,60 @@
+// Quickstart: simulate one irregular benchmark on the paper's Table 1
+// machine, first without an L2 prefetcher and then with Triage, and
+// print the speedup, coverage and accuracy.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	machine := config.Default(1) // Table 1: 4-wide OoO, 2MB LLC, 32GB/s
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		log.Fatal("benchmark not found")
+	}
+
+	run := func(pf prefetch.Prefetcher) sim.Result {
+		m, err := sim.New(sim.Options{
+			Machine:             machine,
+			Workloads:           []trace.Reader{spec.New(1, 0)},
+			Prefetchers:         []prefetch.Prefetcher{pf},
+			WarmupInstructions:  3_000_000,
+			MeasureInstructions: 2_000_000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return m.Run()
+	}
+
+	fmt.Println("simulating mcf-like pointer chase, 5M instructions ...")
+	base := run(nil)
+
+	triage := core.New(core.Config{
+		Mode:            core.Dynamic, // 0/512KB/1MB chosen per epoch
+		LLCLatencyTicks: uint64(machine.LLCLatency) * dram.TicksPerCycle,
+	})
+	with := run(triage)
+
+	fmt.Printf("baseline IPC     : %.4f\n", base.IPC())
+	fmt.Printf("with Triage IPC  : %.4f\n", with.IPC())
+	fmt.Printf("speedup          : %.3f\n", with.SpeedupOver(base))
+	fmt.Printf("coverage         : %.1f%% of baseline L2 misses eliminated\n", with.CoverageOver(base)*100)
+	fmt.Printf("accuracy         : %.1f%% of prefetches used\n", with.Accuracy()*100)
+	fmt.Printf("traffic overhead : %+.1f%% off-chip lines vs baseline\n", with.TrafficOverheadPct(base))
+	fmt.Printf("metadata store   : %d bytes of LLC requested at end of run\n", triage.DesiredMetadataBytes())
+}

@@ -1,0 +1,295 @@
+// Package cache implements the set-associative caches of the simulated
+// hierarchy. A Cache tracks residency, dirtiness, prefetch provenance,
+// and fill-completion times (for prefetch timeliness), and supports
+// dynamic way partitioning so that Triage can carve LLC ways out for its
+// metadata store (paper §3).
+//
+// Timing model: the hierarchy updates cache *state* eagerly at access
+// time and carries latency in "ready ticks" on each line. A demand
+// access that finds an in-flight fill (ReadyTick in the future) pays the
+// residual latency — this models MSHR merging and late prefetches
+// without an event queue.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/replacement"
+)
+
+// Line holds the per-line state of one cache way.
+type Line struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+	// Prefetched is set when the line was installed by a prefetcher and
+	// has not yet been demanded.
+	Prefetched bool
+	// PrefetchPC is the trigger PC recorded at prefetch-fill time so the
+	// prefetcher can be credited/debited on use or eviction.
+	PrefetchPC uint64
+	// ReadyTick is when the fill completes (simulator ticks); a demand
+	// access before then pays the residual latency.
+	ReadyTick uint64
+	// Core is the id of the core that installed the line (multi-core
+	// stats and per-core partitioning).
+	Core int
+}
+
+// Stats aggregates cache-level event counts.
+type Stats struct {
+	Accesses       uint64
+	Hits           uint64
+	Misses         uint64
+	PrefetchFills  uint64
+	PrefetchUsed   uint64 // demand hit on a prefetched line
+	PrefetchUnused uint64 // prefetched line evicted without use
+	LatePrefetches uint64 // demand hit before the prefetch completed
+	Writebacks     uint64
+	Evictions      uint64
+}
+
+// Eviction describes a line displaced by a fill or invalidation.
+type Eviction struct {
+	Line     mem.Line
+	Dirty    bool
+	Valid    bool // false when no line was displaced
+	Prefetch bool // line was an unused prefetch
+	Core     int
+}
+
+// Cache is one level of the hierarchy.
+type Cache struct {
+	name     string
+	sets     int
+	ways     int
+	dataWays int // ways usable for data; rest reserved (metadata)
+	lines    [][]Line
+	policy   replacement.Policy
+	stats    Stats
+}
+
+// New returns a cache with the given geometry and replacement policy.
+func New(name string, sets, ways int, policy replacement.Policy) *Cache {
+	if !mem.IsPow2(sets) {
+		panic(fmt.Sprintf("cache %s: sets=%d not a power of two", name, sets))
+	}
+	if ways < 1 {
+		panic(fmt.Sprintf("cache %s: ways=%d", name, ways))
+	}
+	ls := make([][]Line, sets)
+	for i := range ls {
+		ls[i] = make([]Line, ways)
+	}
+	return &Cache{name: name, sets: sets, ways: ways, dataWays: ways, lines: ls, policy: policy}
+}
+
+// Name returns the cache's name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the total associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// DataWays returns the ways currently available to data.
+func (c *Cache) DataWays() int { return c.dataWays }
+
+// Stats returns a copy of the accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics (used after warmup).
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+func (c *Cache) set(l mem.Line) int    { return mem.SetIndex(l, c.sets) }
+func (c *Cache) tag(l mem.Line) uint64 { return mem.TagOf(l, c.sets) }
+
+// Probe reports whether l is resident without touching any state.
+func (c *Cache) Probe(l mem.Line) bool {
+	s, t := c.set(l), c.tag(l)
+	for w := 0; w < c.dataWays; w++ {
+		ln := &c.lines[s][w]
+		if ln.Valid && ln.Tag == t {
+			return true
+		}
+	}
+	return false
+}
+
+// LookupResult describes the outcome of a demand or prefetch lookup.
+type LookupResult struct {
+	Hit bool
+	// ReadyTick is the fill-completion tick of the hit line (0 if the
+	// line has long been resident).
+	ReadyTick uint64
+	// WasPrefetch is true if this demand was the first use of a
+	// prefetched line.
+	WasPrefetch bool
+	// PrefetchPC is the trigger PC recorded at prefetch time, valid
+	// when WasPrefetch.
+	PrefetchPC uint64
+	// Late is true if the hit line's fill had not completed at `now`.
+	Late bool
+}
+
+// Access performs a demand access for line l at tick now. On a hit the
+// line is promoted (policy Hit) and prefetch provenance is consumed.
+func (c *Cache) Access(l mem.Line, a replacement.Access, now uint64) LookupResult {
+	c.stats.Accesses++
+	s, t := c.set(l), c.tag(l)
+	for w := 0; w < c.dataWays; w++ {
+		ln := &c.lines[s][w]
+		if !ln.Valid || ln.Tag != t {
+			continue
+		}
+		c.stats.Hits++
+		res := LookupResult{Hit: true, ReadyTick: ln.ReadyTick}
+		if ln.Prefetched {
+			res.WasPrefetch = true
+			res.PrefetchPC = ln.PrefetchPC
+			ln.Prefetched = false
+			c.stats.PrefetchUsed++
+			if ln.ReadyTick > now {
+				res.Late = true
+				c.stats.LatePrefetches++
+			}
+		}
+		if a.Prefetch && ln.ReadyTick > now {
+			res.Late = true
+		}
+		c.policy.Hit(s, w, a)
+		return res
+	}
+	c.stats.Misses++
+	return LookupResult{}
+}
+
+// Fill installs line l, selecting a victim among the data ways. The
+// displaced line (if any) is returned so the caller can issue a
+// writeback. readyTick is when the fill data arrives.
+func (c *Cache) Fill(l mem.Line, a replacement.Access, dirty bool, readyTick uint64) Eviction {
+	s, t := c.set(l), c.tag(l)
+	// Refill of an already-resident line (e.g. a prefetch racing a
+	// demand fill): just update state.
+	for w := 0; w < c.dataWays; w++ {
+		ln := &c.lines[s][w]
+		if ln.Valid && ln.Tag == t {
+			if dirty {
+				ln.Dirty = true
+			}
+			if ln.ReadyTick > readyTick {
+				ln.ReadyTick = readyTick
+			}
+			return Eviction{}
+		}
+	}
+	valid := make([]bool, c.dataWays)
+	for w := 0; w < c.dataWays; w++ {
+		valid[w] = c.lines[s][w].Valid
+	}
+	w := c.policy.Victim(s, a, valid)
+	if w < 0 || w >= c.dataWays {
+		panic(fmt.Sprintf("cache %s: policy %s returned way %d of %d", c.name, c.policy.Name(), w, c.dataWays))
+	}
+	ev := c.evict(s, w)
+	c.lines[s][w] = Line{
+		Tag:        t,
+		Valid:      true,
+		Dirty:      dirty,
+		Prefetched: a.Prefetch,
+		PrefetchPC: a.PC,
+		ReadyTick:  readyTick,
+		Core:       a.Core,
+	}
+	if a.Prefetch {
+		c.stats.PrefetchFills++
+	}
+	c.policy.Fill(s, w, a)
+	return ev
+}
+
+// evict clears (s, w) and returns what was there.
+func (c *Cache) evict(s, w int) Eviction {
+	ln := &c.lines[s][w]
+	if !ln.Valid {
+		return Eviction{}
+	}
+	ev := Eviction{
+		Line:     mem.Line(ln.Tag*uint64(c.sets) + uint64(s)),
+		Dirty:    ln.Dirty,
+		Valid:    true,
+		Prefetch: ln.Prefetched,
+		Core:     ln.Core,
+	}
+	c.stats.Evictions++
+	if ln.Dirty {
+		c.stats.Writebacks++
+	}
+	if ln.Prefetched {
+		c.stats.PrefetchUnused++
+	}
+	ln.Valid = false
+	return ev
+}
+
+// MarkDirty sets the dirty bit of a resident line (store hit).
+func (c *Cache) MarkDirty(l mem.Line) {
+	s, t := c.set(l), c.tag(l)
+	for w := 0; w < c.dataWays; w++ {
+		ln := &c.lines[s][w]
+		if ln.Valid && ln.Tag == t {
+			ln.Dirty = true
+			return
+		}
+	}
+}
+
+// Invalidate removes line l if resident, returning its eviction record.
+func (c *Cache) Invalidate(l mem.Line) Eviction {
+	s, t := c.set(l), c.tag(l)
+	for w := 0; w < c.ways; w++ {
+		ln := &c.lines[s][w]
+		if ln.Valid && ln.Tag == t {
+			return c.evict(s, w)
+		}
+	}
+	return Eviction{}
+}
+
+// SetDataWays changes the number of ways available to data, evicting
+// lines resident in removed ways. The returned slice contains the
+// displaced lines (the hierarchy turns dirty ones into writebacks). Per
+// the paper, shrinking the data partition flushes dirty lines and marks
+// the ways invalid immediately.
+func (c *Cache) SetDataWays(n int) []Eviction {
+	if n < 1 || n > c.ways {
+		panic(fmt.Sprintf("cache %s: SetDataWays(%d) with %d total ways", c.name, n, c.ways))
+	}
+	var evs []Eviction
+	if n < c.dataWays {
+		for s := 0; s < c.sets; s++ {
+			for w := n; w < c.dataWays; w++ {
+				if ev := c.evict(s, w); ev.Valid {
+					evs = append(evs, ev)
+				}
+			}
+		}
+	}
+	c.dataWays = n
+	return evs
+}
+
+// Occupancy returns the number of valid data lines (tests, debugging).
+func (c *Cache) Occupancy() int {
+	n := 0
+	for s := range c.lines {
+		for w := 0; w < c.dataWays; w++ {
+			if c.lines[s][w].Valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,185 @@
+// Package config defines the simulated machine configuration. The
+// defaults reproduce Table 1 of the paper: a 4-wide out-of-order core at
+// 2GHz with a 128-entry ROB, 64KB L1s, a private 512KB L2, a shared
+// 2MB-per-core 16-way LLC, and DRAM with 85ns latency and 32GB/s of
+// bandwidth.
+package config
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// Machine describes one simulated machine. All latencies are in core
+// cycles unless noted otherwise.
+type Machine struct {
+	// Cores is the number of cores sharing the LLC and DRAM.
+	Cores int
+	// FetchWidth is the fetch/decode/dispatch width (Table 1: 4).
+	FetchWidth int
+	// ROBEntries is the reorder-buffer size (Table 1: 128).
+	ROBEntries int
+	// ClockGHz is the core clock in GHz (Table 1: 2GHz).
+	ClockGHz float64
+
+	// L1Bytes, L1Ways, L1Latency describe the L1 data cache
+	// (Table 1: 64KB, 4-way, 3-cycle).
+	L1Bytes   int
+	L1Ways    int
+	L1Latency int
+
+	// L2Bytes, L2Ways, L2Latency describe the private L2
+	// (Table 1: 512KB, 8-way, 11-cycle load-to-use).
+	L2Bytes   int
+	L2Ways    int
+	L2Latency int
+
+	// LLCBytesPerCore, LLCWays, LLCLatency describe the shared LLC
+	// (Table 1: 2MB/core, 16-way, 20-cycle load-to-use).
+	LLCBytesPerCore int
+	LLCWays         int
+	LLCLatency      int
+	// LLCExtraLatency models the §4.6 sensitivity study that penalizes
+	// all LLC accesses by up to 6 extra cycles for the finer-grained
+	// metadata indexing logic.
+	LLCExtraLatency int
+
+	// DRAMLatencyNS is the idle DRAM load-to-use latency in nanoseconds
+	// (Table 1: 85ns).
+	DRAMLatencyNS float64
+	// DRAMBandwidthGBs is the total off-chip bandwidth in GB/s
+	// (Table 1: 32GB/s).
+	DRAMBandwidthGBs float64
+	// DRAMChannels, DRAMBanksPerChannel configure the contention model
+	// used for multi-core runs (Table 1: 2 channels, 8 banks).
+	DRAMChannels        int
+	DRAMBanksPerChannel int
+	// DRAMBankCycles is the bank-busy time per access in core cycles,
+	// derived from tRP+tRCD+tCAS at the 800MHz DRAM clock.
+	DRAMBankCycles int
+
+	// L1MSHRs and L2MSHRs bound outstanding demand misses per core at
+	// each level; PrefetchQueue bounds in-flight prefetches per core
+	// (ChampSim-style FIFO prefetch queues, §4.1). These limits are what
+	// make memory-level parallelism finite and prefetching valuable for
+	// regular streams.
+	L1MSHRs       int
+	L2MSHRs       int
+	PrefetchQueue int
+
+	// L1StridePrefetcher enables the baseline L1 stride prefetcher
+	// that Table 1 attaches to the L1D.
+	L1StridePrefetcher bool
+}
+
+// Default returns the Table 1 configuration for the given core count.
+func Default(cores int) Machine {
+	return Machine{
+		Cores:               cores,
+		FetchWidth:          4,
+		ROBEntries:          128,
+		ClockGHz:            2.0,
+		L1Bytes:             64 << 10,
+		L1Ways:              4,
+		L1Latency:           3,
+		L2Bytes:             512 << 10,
+		L2Ways:              8,
+		L2Latency:           11,
+		LLCBytesPerCore:     2 << 20,
+		LLCWays:             16,
+		LLCLatency:          20,
+		DRAMLatencyNS:       85,
+		DRAMBandwidthGBs:    32,
+		DRAMChannels:        2,
+		DRAMBanksPerChannel: 8,
+		// tCAS=tRP=tRCD=20 DRAM cycles at 800MHz = 25ns each. A closed-
+		// page access holds its bank ~tRP+tRCD = 100 core cycles, but
+		// row-buffer locality lets real schedulers do much better; 50
+		// cycles keeps the 16 banks above the 32GB/s channel limit so
+		// the channels, not the banks, set peak bandwidth.
+		DRAMBankCycles:     50,
+		L1MSHRs:            8,
+		L2MSHRs:            16,
+		PrefetchQueue:      32,
+		L1StridePrefetcher: true,
+	}
+}
+
+// LLCBytes returns the total shared LLC capacity.
+func (m Machine) LLCBytes() int { return m.LLCBytesPerCore * m.Cores }
+
+// LLCSets returns the number of LLC sets.
+func (m Machine) LLCSets() int { return m.LLCBytes() / (mem.LineSize * m.LLCWays) }
+
+// L1Sets returns the number of L1D sets.
+func (m Machine) L1Sets() int { return m.L1Bytes / (mem.LineSize * m.L1Ways) }
+
+// L2Sets returns the number of L2 sets.
+func (m Machine) L2Sets() int { return m.L2Bytes / (mem.LineSize * m.L2Ways) }
+
+// DRAMLatencyCycles returns the idle DRAM latency in core cycles.
+func (m Machine) DRAMLatencyCycles() int {
+	return int(m.DRAMLatencyNS * m.ClockGHz)
+}
+
+// DRAMTransferCycles returns how many core cycles one 64B line occupies
+// the off-chip pipe: 64B / (GB/s) converted to cycles at ClockGHz.
+func (m Machine) DRAMTransferCycles() int {
+	ns := float64(mem.LineSize) / m.DRAMBandwidthGBs // GB/s == B/ns
+	c := int(ns*m.ClockGHz + 0.5)
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Validate checks structural invariants; it returns an error describing
+// the first violated constraint.
+func (m Machine) Validate() error {
+	if m.Cores < 1 {
+		return fmt.Errorf("config: Cores = %d, want >= 1", m.Cores)
+	}
+	if m.FetchWidth < 1 {
+		return fmt.Errorf("config: FetchWidth = %d, want >= 1", m.FetchWidth)
+	}
+	if m.ROBEntries < m.FetchWidth {
+		return fmt.Errorf("config: ROBEntries = %d < FetchWidth %d", m.ROBEntries, m.FetchWidth)
+	}
+	if m.ClockGHz <= 0 {
+		return fmt.Errorf("config: ClockGHz = %g, want > 0", m.ClockGHz)
+	}
+	for _, c := range []struct {
+		name        string
+		bytes, ways int
+	}{
+		{"L1", m.L1Bytes, m.L1Ways},
+		{"L2", m.L2Bytes, m.L2Ways},
+		{"LLC", m.LLCBytes(), m.LLCWays},
+	} {
+		if c.bytes <= 0 || c.ways <= 0 {
+			return fmt.Errorf("config: %s size/ways must be positive", c.name)
+		}
+		sets := c.bytes / (mem.LineSize * c.ways)
+		if sets <= 0 || !mem.IsPow2(sets) {
+			return fmt.Errorf("config: %s sets = %d, want power of two", c.name, sets)
+		}
+	}
+	if m.L1Latency <= 0 || m.L2Latency <= m.L1Latency || m.LLCLatency <= m.L2Latency {
+		return fmt.Errorf("config: latencies must increase down the hierarchy (L1=%d, L2=%d, LLC=%d)",
+			m.L1Latency, m.L2Latency, m.LLCLatency)
+	}
+	if m.LLCExtraLatency < 0 {
+		return fmt.Errorf("config: LLCExtraLatency = %d, want >= 0", m.LLCExtraLatency)
+	}
+	if m.DRAMLatencyNS <= 0 || m.DRAMBandwidthGBs <= 0 {
+		return fmt.Errorf("config: DRAM latency/bandwidth must be positive")
+	}
+	if m.DRAMChannels < 1 || m.DRAMBanksPerChannel < 1 {
+		return fmt.Errorf("config: DRAM channels/banks must be >= 1")
+	}
+	if m.L1MSHRs < 1 || m.L2MSHRs < 1 || m.PrefetchQueue < 1 {
+		return fmt.Errorf("config: MSHR/prefetch-queue sizes must be >= 1")
+	}
+	return nil
+}

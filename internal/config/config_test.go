@@ -1,0 +1,87 @@
+package config
+
+import "testing"
+
+func TestDefaultMatchesTable1(t *testing.T) {
+	m := Default(1)
+	if m.FetchWidth != 4 {
+		t.Errorf("FetchWidth = %d, want 4", m.FetchWidth)
+	}
+	if m.ROBEntries != 128 {
+		t.Errorf("ROBEntries = %d, want 128", m.ROBEntries)
+	}
+	if m.ClockGHz != 2.0 {
+		t.Errorf("ClockGHz = %g, want 2.0", m.ClockGHz)
+	}
+	if m.L1Bytes != 64<<10 || m.L1Ways != 4 || m.L1Latency != 3 {
+		t.Errorf("L1 = %d/%d-way/%dcyc, want 64KB/4-way/3cyc", m.L1Bytes, m.L1Ways, m.L1Latency)
+	}
+	if m.L2Bytes != 512<<10 || m.L2Ways != 8 || m.L2Latency != 11 {
+		t.Errorf("L2 = %d/%d-way/%dcyc, want 512KB/8-way/11cyc", m.L2Bytes, m.L2Ways, m.L2Latency)
+	}
+	if m.LLCBytesPerCore != 2<<20 || m.LLCWays != 16 || m.LLCLatency != 20 {
+		t.Errorf("LLC = %d/%d-way/%dcyc, want 2MB/16-way/20cyc", m.LLCBytesPerCore, m.LLCWays, m.LLCLatency)
+	}
+	if m.DRAMLatencyNS != 85 || m.DRAMBandwidthGBs != 32 {
+		t.Errorf("DRAM = %gns/%gGBs, want 85ns/32GB/s", m.DRAMLatencyNS, m.DRAMBandwidthGBs)
+	}
+	if !m.L1StridePrefetcher {
+		t.Error("L1 stride prefetcher should be on by default (Table 1)")
+	}
+}
+
+func TestDerivedGeometry(t *testing.T) {
+	m := Default(1)
+	if got := m.LLCSets(); got != 2048 {
+		t.Errorf("LLCSets = %d, want 2048 (2MB/16-way/64B)", got)
+	}
+	if got := m.L1Sets(); got != 256 {
+		t.Errorf("L1Sets = %d, want 256", got)
+	}
+	if got := m.L2Sets(); got != 1024 {
+		t.Errorf("L2Sets = %d, want 1024", got)
+	}
+	if got := m.DRAMLatencyCycles(); got != 170 {
+		t.Errorf("DRAMLatencyCycles = %d, want 170 (85ns at 2GHz)", got)
+	}
+	if got := m.DRAMTransferCycles(); got != 4 {
+		t.Errorf("DRAMTransferCycles = %d, want 4 (64B at 32GB/s, 2GHz)", got)
+	}
+}
+
+func TestMultiCoreLLCScaling(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8, 16} {
+		m := Default(cores)
+		if got := m.LLCBytes(); got != cores*(2<<20) {
+			t.Errorf("cores=%d: LLCBytes = %d, want %d", cores, got, cores*(2<<20))
+		}
+		if err := m.Validate(); err != nil {
+			t.Errorf("cores=%d: Validate: %v", cores, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadConfigs(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Machine)
+	}{
+		{"zero cores", func(m *Machine) { m.Cores = 0 }},
+		{"zero width", func(m *Machine) { m.FetchWidth = 0 }},
+		{"rob < width", func(m *Machine) { m.ROBEntries = 2 }},
+		{"zero clock", func(m *Machine) { m.ClockGHz = 0 }},
+		{"bad L1", func(m *Machine) { m.L1Bytes = 0 }},
+		{"non-pow2 sets", func(m *Machine) { m.L2Bytes = 3 << 10 }},
+		{"inverted latency", func(m *Machine) { m.LLCLatency = 5 }},
+		{"negative extra latency", func(m *Machine) { m.LLCExtraLatency = -1 }},
+		{"zero bandwidth", func(m *Machine) { m.DRAMBandwidthGBs = 0 }},
+		{"zero channels", func(m *Machine) { m.DRAMChannels = 0 }},
+	}
+	for _, mu := range mutations {
+		m := Default(1)
+		mu.mut(&m)
+		if err := m.Validate(); err == nil {
+			t.Errorf("%s: Validate returned nil, want error", mu.name)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/replacement"
+)
+
+// sizer implements Triage's dynamic metadata-store provisioning (§3,
+// "Adjusting the Size of the Metadata Store"). Two OPTgen sandboxes
+// model the *optimal* metadata hit rate at the two candidate sizes
+// (512KB and 1MB); the optimal hit rate scales roughly linearly with
+// capacity, so two points suffice. Every epoch (50K metadata accesses)
+// the partition is re-evaluated:
+//
+//   - growing pays off if it raises the optimal hit rate by > 5%
+//   - shrinking is safe if it lowers the optimal hit rate by < 5%
+//
+// The sandboxes observe the *hypothetical* metadata access stream, so
+// they keep learning even while the real store is sized to zero.
+type sizer struct {
+	sampleMask int
+	small      map[int]*replacement.OPTgen    // sampled set -> OPTgen @512KB assoc
+	large      map[int]*replacement.OPTgen    // sampled set -> OPTgen @1MB assoc
+	last       map[int]map[mem.Line]lastTouch // sampled set -> trigger -> last access
+	lastCap    int
+
+	smallAssoc int
+	largeAssoc int
+
+	epochLen  int
+	accesses  int
+	hitsSmall uint64
+	hitsLarge uint64
+	total     uint64
+
+	threshold float64 // 5%
+
+	current int // current choice in bytes
+
+	smallBytes int
+	largeBytes int
+
+	// utility, when non-nil, switches partition decisions to the
+	// utility-aware extension (see utility.go): net benefit =
+	// metadata hit rate - data hit rate destroyed.
+	utility *dataUtility
+
+	// pinned freezes current (Static mode reuses the sizer purely as a
+	// Hawkeye-OPTgen trainer; its size must never re-decide).
+	pinned bool
+}
+
+// lastTouch records when and from which PC a sampled trigger was last
+// accessed; the PC is the training target for Hawkeye's predictor.
+type lastTouch struct {
+	time uint64
+	pc   uint64
+}
+
+func newSizer(smallBytes, largeBytes, epochLen int) *sizer {
+	return &sizer{
+		sampleMask: 63, // sample every 64th metadata set
+		small:      make(map[int]*replacement.OPTgen),
+		large:      make(map[int]*replacement.OPTgen),
+		last:       make(map[int]map[mem.Line]lastTouch),
+		lastCap:    2048,
+		smallAssoc: smallBytes / bytesPerEntry / metadataSets,
+		largeAssoc: largeBytes / bytesPerEntry / metadataSets,
+		epochLen:   epochLen,
+		threshold:  0.05,
+		smallBytes: smallBytes,
+		largeBytes: largeBytes,
+	}
+}
+
+// trainHint is the deferred predictor-training decision produced by an
+// OPTgen observation: whether OPT at the current size would have hit,
+// and which PC to credit/blame. The paper delays applying it until the
+// prefetch outcome is known; redundant prefetches drop it.
+type trainHint struct {
+	valid  bool
+	optHit bool
+	pc     uint64
+}
+
+// apply trains the predictor from the hint.
+func (h trainHint) apply(pred *replacement.Predictor) {
+	if !h.valid || pred == nil {
+		return
+	}
+	if h.optHit {
+		pred.TrainPositive(h.pc)
+	} else {
+		pred.TrainNegative(h.pc)
+	}
+}
+
+// observe feeds one metadata access (for trigger line l) into the
+// sandboxes and, at epoch boundaries, recomputes the partition choice.
+// Every access is counted (the sizing OPTgens see the full metadata
+// stream); the returned trainHint carries the *deferred* predictor
+// update, which the caller applies immediately for metadata misses and
+// only on useful outcomes for prefetch-generating hits.
+func (z *sizer) observe(l mem.Line, pc uint64) (trainHint, bool) {
+	set := storeSet(l)
+	if set&z.sampleMask != 0 {
+		z.accesses++
+		return trainHint{}, z.maybeEndEpoch()
+	}
+	so, ok := z.small[set]
+	if !ok {
+		so = replacement.NewOPTgen(z.smallAssoc)
+		z.small[set] = so
+		z.large[set] = replacement.NewOPTgen(z.largeAssoc)
+		z.last[set] = make(map[mem.Line]lastTouch)
+	}
+	lo := z.large[set]
+	lastTimes := z.last[set]
+	prev, seen := lastTimes[l]
+	hitSmall := so.Access(prev.time, seen)
+	hitLarge := lo.Access(prev.time, seen)
+	if hitSmall {
+		z.hitsSmall++
+	}
+	if hitLarge {
+		z.hitsLarge++
+	}
+	z.total++
+	var hint trainHint
+	if seen {
+		// Train against the sandbox matching the current provisioning
+		// (the small sandbox when the store is off, so the predictor is
+		// warm when the partition turns on).
+		hit := hitSmall
+		if z.current == z.largeBytes {
+			hit = hitLarge
+		}
+		hint = trainHint{valid: true, optHit: hit, pc: prev.pc}
+	}
+	if len(lastTimes) >= z.lastCap {
+		// Bound sampler state: drop the stalest tracked trigger.
+		var oldest mem.Line
+		oldestT := ^uint64(0)
+		for line, t := range lastTimes {
+			if t.time < oldestT {
+				oldestT, oldest = t.time, line
+			}
+		}
+		delete(lastTimes, oldest)
+	}
+	lastTimes[l] = lastTouch{time: so.Now() - 1, pc: pc}
+	z.accesses++
+	return hint, z.maybeEndEpoch()
+}
+
+func (z *sizer) maybeEndEpoch() bool {
+	if z.accesses < z.epochLen {
+		return false
+	}
+	switch {
+	case z.pinned:
+		// Static trainer: keep the configured size.
+	case z.utility != nil:
+		z.recomputeUtility(z.utility)
+		z.utility.resetEpoch()
+	default:
+		z.recompute()
+	}
+	z.accesses = 0
+	z.hitsSmall, z.hitsLarge, z.total = 0, 0, 0
+	return true
+}
+
+// recompute applies the paper's asymmetric rules: grow when the larger
+// configuration improves the optimal hit rate by more than the
+// threshold; shrink only when the smaller configuration loses clearly
+// less than the threshold. The deadband between the two prevents
+// flapping (every shrink discards live metadata).
+func (z *sizer) recompute() {
+	if z.total == 0 {
+		z.current = 0
+		return
+	}
+	hrSmall := float64(z.hitsSmall) / float64(z.total)
+	hrLarge := float64(z.hitsLarge) / float64(z.total)
+	deltaLarge := hrLarge - hrSmall
+	shrinkBand := z.threshold * 0.6
+	switch z.current {
+	case z.largeBytes:
+		if deltaLarge < shrinkBand {
+			if hrSmall > z.threshold {
+				z.current = z.smallBytes
+			} else if hrSmall < shrinkBand {
+				z.current = 0
+			}
+		}
+	case z.smallBytes:
+		if deltaLarge > z.threshold {
+			z.current = z.largeBytes
+		} else if hrSmall < shrinkBand {
+			z.current = 0
+		}
+	default: // off
+		if deltaLarge > z.threshold {
+			z.current = z.largeBytes
+		} else if hrSmall > z.threshold {
+			z.current = z.smallBytes
+		}
+	}
+}
+
+// desiredBytes returns the current partition choice.
+func (z *sizer) desiredBytes() int { return z.current }

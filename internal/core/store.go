@@ -1,0 +1,272 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/replacement"
+)
+
+// metadataSets is the number of sets in Triage's metadata store. The
+// paper indexes metadata by the trigger address's 11-bit set_id
+// (§3.2), i.e. 2048 sets; entries within a set are packed 16-per-LLC-
+// line and matched by compressed sub-tags.
+const metadataSets = 2048
+
+// bytesPerEntry is the paper's 4-byte metadata entry: compressed
+// trigger tag (10b) + successor set_id (11b) + successor compressed tag
+// (10b) + 1-bit confidence.
+const bytesPerEntry = 4
+
+// entry is one correlation record: trigger -> successor.
+type entry struct {
+	valid bool
+	// trigTag is the compressed tag of the trigger line.
+	trigTag uint32
+	// nextSet and nextTag encode the successor line (set_id plus
+	// compressed tag); decompression can fail if the tag table recycled
+	// the id, modeling the information loss of a real 10-bit tag.
+	nextSet uint32
+	nextTag uint32
+	// conf is the paper's 1-bit confidence counter: the successor is
+	// replaced only after two consecutive disagreements.
+	conf bool
+	// rrpv and pc are the Hawkeye replacement state.
+	rrpv uint8
+	pc   uint64
+	// stamp is the LRU timestamp (used when the store runs LRU).
+	stamp uint64
+}
+
+const storeMaxRRPV = 7
+
+// store is Triage's on-chip metadata table. Capacity is expressed in
+// entries per set; the sets mirror the LLC's set decomposition so that
+// each set maps onto metadata ways of the corresponding LLC sets.
+type store struct {
+	sets         [][]entry
+	assoc        int // current entries per set
+	maxAssoc     int
+	useHawkeye   bool
+	pred         *replacement.Predictor
+	trigComp     *mem.TagCompressor
+	nextComp     *mem.TagCompressor
+	clock        uint64
+	reuse        map[mem.Line]uint64 // per-trigger reuse counts (Fig 1)
+	trackReuse   bool
+	insertions   uint64
+	replacements uint64
+}
+
+func newStore(maxAssoc int, useHawkeye bool, pred *replacement.Predictor) *store {
+	s := &store{
+		sets:       make([][]entry, metadataSets),
+		assoc:      maxAssoc,
+		maxAssoc:   maxAssoc,
+		useHawkeye: useHawkeye,
+		pred:       pred,
+		trigComp:   mem.NewTagCompressor(10),
+		nextComp:   mem.NewTagCompressor(10),
+	}
+	for i := range s.sets {
+		s.sets[i] = make([]entry, maxAssoc)
+	}
+	return s
+}
+
+func storeSet(l mem.Line) int      { return int(uint64(l) & (metadataSets - 1)) }
+func storeTagOf(l mem.Line) uint64 { return uint64(l) >> 11 }
+
+// resize changes the per-set associativity; shrinking invalidates
+// entries in the removed ways (the paper marks them invalid
+// immediately).
+func (s *store) resize(assoc int) {
+	if assoc > s.maxAssoc {
+		assoc = s.maxAssoc
+	}
+	if assoc < 0 {
+		assoc = 0
+	}
+	if assoc < s.assoc {
+		for i := range s.sets {
+			for w := assoc; w < s.assoc; w++ {
+				s.sets[i][w].valid = false
+			}
+		}
+	}
+	s.assoc = assoc
+}
+
+// capacityBytes returns the store's current capacity.
+func (s *store) capacityBytes() int { return s.assoc * metadataSets * bytesPerEntry }
+
+// lookup finds the successor of trigger line l. It returns the
+// successor and the way index; ok is false on a metadata miss (or if
+// the compressed successor tag was recycled).
+func (s *store) lookup(l mem.Line) (next mem.Line, way int, ok bool) {
+	if s.assoc == 0 {
+		return 0, -1, false
+	}
+	tag, okTag := s.trigComp.Lookup(storeTagOf(l))
+	if !okTag {
+		return 0, -1, false
+	}
+	set := s.sets[storeSet(l)]
+	for w := 0; w < s.assoc; w++ {
+		e := &set[w]
+		if !e.valid || e.trigTag != tag {
+			continue
+		}
+		full, okNext := s.nextComp.Decompress(e.nextTag)
+		if !okNext {
+			// Successor tag recycled: the entry is stale.
+			e.valid = false
+			return 0, -1, false
+		}
+		if s.trackReuse {
+			s.reuse[l]++
+		}
+		return mem.Line(full<<11 | uint64(e.nextSet)), w, true
+	}
+	return 0, -1, false
+}
+
+// promote updates replacement state for a useful access to (setIdx, way).
+func (s *store) promote(l mem.Line, way int, pc uint64) {
+	if way < 0 || way >= s.assoc {
+		return
+	}
+	e := &s.sets[storeSet(l)][way]
+	s.clock++
+	e.stamp = s.clock
+	e.pc = pc
+	if s.useHawkeye {
+		if s.pred.Friendly(pc) {
+			e.rrpv = 0
+		} else {
+			e.rrpv = storeMaxRRPV
+		}
+	}
+}
+
+// insert records the correlation l -> next under the 1-bit confidence
+// policy: an existing entry's successor changes only after two
+// consecutive disagreements. It reports whether an update occurred and
+// whether an existing entry was replaced (capacity eviction).
+func (s *store) insert(l, next mem.Line, pc uint64) {
+	if s.assoc == 0 {
+		return
+	}
+	setIdx := storeSet(l)
+	set := s.sets[setIdx]
+	trigTag := s.trigComp.Compress(storeTagOf(l))
+	nextTag := s.nextComp.Compress(storeTagOf(next))
+	nextSet := uint32(storeSet(next))
+
+	for w := 0; w < s.assoc; w++ {
+		e := &set[w]
+		if !e.valid || e.trigTag != trigTag {
+			continue
+		}
+		if e.nextTag == nextTag && e.nextSet == nextSet {
+			e.conf = true
+		} else if e.conf {
+			e.conf = false
+		} else {
+			e.nextTag, e.nextSet = nextTag, nextSet
+			e.conf = true
+		}
+		s.touchOnInsert(e, pc)
+		return
+	}
+
+	// Miss: allocate a way.
+	w := s.victim(setIdx, pc)
+	e := &set[w]
+	if e.valid {
+		s.replacements++
+		if s.useHawkeye && e.rrpv < storeMaxRRPV {
+			// Evicting a metadata entry predicted useful detrains the
+			// PC that last touched it (Hawkeye's eviction feedback).
+			s.pred.TrainNegative(e.pc)
+		}
+	}
+	s.insertions++
+	*e = entry{valid: true, trigTag: trigTag, nextSet: nextSet, nextTag: nextTag, conf: true}
+	s.touchOnInsert(e, pc)
+	if s.trackReuse && s.reuse != nil {
+		if _, seen := s.reuse[l]; !seen {
+			s.reuse[l] = 0
+		}
+	}
+}
+
+func (s *store) touchOnInsert(e *entry, pc uint64) {
+	s.clock++
+	e.stamp = s.clock
+	e.pc = pc
+	if s.useHawkeye {
+		if s.pred.Friendly(pc) {
+			e.rrpv = 0
+		} else {
+			e.rrpv = storeMaxRRPV
+		}
+	}
+}
+
+// victim picks a way to replace in setIdx.
+func (s *store) victim(setIdx int, _ uint64) int {
+	set := s.sets[setIdx]
+	for w := 0; w < s.assoc; w++ {
+		if !set[w].valid {
+			return w
+		}
+	}
+	if !s.useHawkeye {
+		// LRU
+		victim, oldest := 0, ^uint64(0)
+		for w := 0; w < s.assoc; w++ {
+			if set[w].stamp < oldest {
+				oldest, victim = set[w].stamp, w
+			}
+		}
+		return victim
+	}
+	// Hawkeye: evict an averse entry (RRPV==max), else the oldest
+	// friendly one.
+	for w := 0; w < s.assoc; w++ {
+		if set[w].rrpv == storeMaxRRPV {
+			return w
+		}
+	}
+	victim, maxRRPV := 0, -1
+	for w := 0; w < s.assoc; w++ {
+		if int(set[w].rrpv) > maxRRPV {
+			maxRRPV, victim = int(set[w].rrpv), w
+		}
+	}
+	// Age friendly entries so they form an insertion order.
+	for w := 0; w < s.assoc; w++ {
+		if w != victim && set[w].rrpv < storeMaxRRPV-1 {
+			set[w].rrpv++
+		}
+	}
+	return victim
+}
+
+// enableReuseTracking turns on per-trigger reuse counting (Fig 1).
+func (s *store) enableReuseTracking() {
+	s.trackReuse = true
+	s.reuse = make(map[mem.Line]uint64)
+}
+
+// occupancy counts valid entries (tests).
+func (s *store) occupancy() int {
+	n := 0
+	for i := range s.sets {
+		for w := 0; w < s.assoc; w++ {
+			if s.sets[i][w].valid {
+				n++
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/replacement"
+)
+
+// timeShareSizer implements the paper's §3 extension sketch: "our
+// scheme can be extended to any number of partitioning configurations
+// by time-sharing the OPTgen copies to evaluate different metadata
+// store sizes." Two physical OPTgen sandboxes rotate through a ladder
+// of candidate sizes: each epoch they model one adjacent pair
+// (ladder[i], ladder[i+1]); the decision walks the ladder using the
+// same 5% marginal-gain rule, one rung per epoch.
+//
+// Hardware cost stays the paper's 2x1KB; convergence takes O(len
+// ladder) epochs instead of one — exactly the trade the paper implies.
+// A second cost of time-sharing: sandbox state is discarded when the
+// window moves (rearm), so reuse intervals longer than one epoch are
+// invisible to the estimator. Epochs must comfortably exceed the
+// workload's metadata reuse distance.
+type timeShareSizer struct {
+	ladder []int // candidate sizes in bytes, ascending, ladder[0] >= 8KB
+	pair   int   // index i: currently modeling ladder[i] vs ladder[i+1]
+
+	sampleMask int
+	small      map[int]*replacement.OPTgen
+	large      map[int]*replacement.OPTgen
+	last       map[int]map[mem.Line]uint64
+	lastCap    int
+
+	epochLen  int
+	accesses  int
+	hitsSmall uint64
+	hitsLarge uint64
+	total     uint64
+
+	threshold float64
+	current   int // chosen size in bytes (one of ladder or 0)
+}
+
+// newTimeShareSizer returns a sizer over the given ascending ladder of
+// candidate store sizes.
+func newTimeShareSizer(ladder []int, epochLen int) *timeShareSizer {
+	if len(ladder) < 2 {
+		panic("triage: time-share ladder needs >= 2 sizes")
+	}
+	for i := 1; i < len(ladder); i++ {
+		if ladder[i] <= ladder[i-1] {
+			panic("triage: time-share ladder must be ascending")
+		}
+	}
+	return &timeShareSizer{
+		ladder:     ladder,
+		sampleMask: 63,
+		epochLen:   epochLen,
+		threshold:  0.05,
+		lastCap:    2048,
+	}
+}
+
+func (z *timeShareSizer) assocOf(bytes int) int {
+	a := bytes / bytesPerEntry / metadataSets
+	if a < 1 {
+		a = 1
+	}
+	return a
+}
+
+// rearm points the sandboxes at the current ladder pair, discarding the
+// previous pair's occupancy state (the cost of time-sharing).
+func (z *timeShareSizer) rearm() {
+	z.small = make(map[int]*replacement.OPTgen)
+	z.large = make(map[int]*replacement.OPTgen)
+	z.last = make(map[int]map[mem.Line]uint64)
+	z.hitsSmall, z.hitsLarge, z.total = 0, 0, 0
+}
+
+// observe feeds one metadata access; at epoch boundaries it walks the
+// ladder one rung and re-arms. It reports whether the choice changed.
+func (z *timeShareSizer) observe(l mem.Line) bool {
+	if z.small == nil {
+		z.rearm()
+	}
+	set := storeSet(l)
+	if set&z.sampleMask == 0 {
+		so, ok := z.small[set]
+		if !ok {
+			so = replacement.NewOPTgen(z.assocOf(z.ladder[z.pair]))
+			z.small[set] = so
+			z.large[set] = replacement.NewOPTgen(z.assocOf(z.ladder[z.pair+1]))
+			z.last[set] = make(map[mem.Line]uint64)
+		}
+		lastTimes := z.last[set]
+		prev, seen := lastTimes[l]
+		if so.Access(prev, seen) {
+			z.hitsSmall++
+		}
+		if z.large[set].Access(prev, seen) {
+			z.hitsLarge++
+		}
+		z.total++
+		if len(lastTimes) >= z.lastCap {
+			var oldest mem.Line
+			oldestT := ^uint64(0)
+			for line, t := range lastTimes {
+				if t < oldestT {
+					oldestT, oldest = t, line
+				}
+			}
+			delete(lastTimes, oldest)
+		}
+		lastTimes[l] = so.Now() - 1
+	}
+	z.accesses++
+	if z.accesses < z.epochLen {
+		return false
+	}
+	z.accesses = 0
+	return z.step()
+}
+
+// step applies the marginal-gain rule to the modeled pair and moves the
+// evaluation window along the ladder.
+func (z *timeShareSizer) step() bool {
+	prev := z.current
+	if z.total > 0 {
+		hrSmall := float64(z.hitsSmall) / float64(z.total)
+		hrLarge := float64(z.hitsLarge) / float64(z.total)
+		lo, hi := z.ladder[z.pair], z.ladder[z.pair+1]
+		switch {
+		case hrLarge-hrSmall > z.threshold:
+			// The larger of the modeled pair pays: adopt it and move the
+			// window up to probe even larger sizes next.
+			z.current = hi
+			if z.pair < len(z.ladder)-2 {
+				z.pair++
+			}
+		case hrSmall > z.threshold:
+			// The smaller size suffices: adopt it and probe downward.
+			z.current = lo
+			if z.pair > 0 {
+				z.pair--
+			}
+		default:
+			// Not even the smaller size earns its keep at this rung:
+			// turn the store off and fall to the bottom of the ladder.
+			z.current = 0
+			z.pair = 0
+		}
+	}
+	z.rearm()
+	return z.current != prev
+}
+
+// desiredBytes returns the current choice.
+func (z *timeShareSizer) desiredBytes() int { return z.current }

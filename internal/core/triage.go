@@ -1,0 +1,476 @@
+// Package core implements the paper's contribution: the Triage
+// prefetcher — a PC-localized temporal data prefetcher whose metadata
+// lives entirely on chip, in a dynamically provisioned way-partition of
+// the LLC (Wu et al., MICRO'19).
+//
+// Triage has four pieces, each mapping to a section of the paper:
+//
+//   - a Training Unit holding the last address touched by each load PC;
+//     consecutive addresses from the same PC form a correlated pair (§3.1)
+//   - a table-based metadata store: 4-byte entries with compressed tags,
+//     16 entries per 64B LLC line, indexed by the trigger's set_id (§3.2)
+//   - a modified Hawkeye replacement policy for metadata entries that is
+//     trained positively only by prefetches that miss in the cache (§3)
+//   - an OPTgen-sandbox partitioner that re-evaluates the metadata
+//     store size (0, 512KB, or 1MB per core) every 50K metadata
+//     accesses (§3)
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/replacement"
+)
+
+// Mode selects how the metadata store is provisioned.
+type Mode int
+
+// Provisioning modes.
+const (
+	// Static uses a fixed metadata store size (Triage-Static).
+	Static Mode = iota
+	// Dynamic provisions 0/512KB/1MB per epoch (Triage-Dynamic).
+	Dynamic
+	// Unlimited models the idealized PC-localized temporal prefetcher
+	// with unbounded metadata (the "Perfect" line of Fig. 9); it claims
+	// no LLC capacity.
+	Unlimited
+	// DynamicUtility extends Dynamic with the paper's named future work
+	// (§4.2): the partitioner also estimates the LLC data hit rate it
+	// would destroy at each candidate size and provisions a store only
+	// when the metadata gain exceeds the data loss. It repairs the
+	// bzip2-style pathology where metadata reuse exists but the
+	// prefetches it yields are redundant.
+	DynamicUtility
+	// DynamicLadder implements the paper's §3 sketch for supporting any
+	// number of partition sizes: the two OPTgen copies are time-shared
+	// across an ascending ladder of candidate sizes, walking one rung
+	// per epoch (see timeshare.go).
+	DynamicLadder
+)
+
+// Replacement selects the metadata replacement policy (Fig. 9 compares
+// LRU against Hawkeye).
+type Replacement int
+
+// Metadata replacement policies.
+const (
+	Hawkeye Replacement = iota
+	LRU
+)
+
+// Config parameterizes a Triage instance.
+type Config struct {
+	// Mode selects Static, Dynamic or Unlimited provisioning.
+	Mode Mode
+	// StaticBytes is the metadata store size in Static mode
+	// (the paper's best static size for a 2MB LLC is 1MB).
+	StaticBytes int
+	// SmallBytes/LargeBytes are the Dynamic mode candidates
+	// (paper: 512KB and 1MB).
+	SmallBytes int
+	LargeBytes int
+	// Replacement picks Hawkeye (default) or LRU for metadata entries.
+	Replacement Replacement
+	// Degree is the prefetch degree (default 1). Each additional degree
+	// chains another metadata lookup, paying LLCLatencyTicks again.
+	Degree int
+	// LLCLatencyTicks is the cost of one LLC-resident metadata lookup,
+	// charged as issue delay on prefetch requests (~20 cycles, §3).
+	LLCLatencyTicks uint64
+	// TrainingUnitSize bounds the PC-indexed last-address table.
+	TrainingUnitSize int
+	// EpochAccesses is the partition re-evaluation period in metadata
+	// accesses (paper: 50,000).
+	EpochAccesses int
+	// Ladder lists the candidate store sizes for DynamicLadder mode,
+	// ascending (default 256KB, 512KB, 1MB, 2MB).
+	Ladder []int
+	// PredictorBits sizes the Hawkeye PC predictor (default 13 = 8K).
+	PredictorBits uint
+}
+
+func (c *Config) applyDefaults() {
+	if c.StaticBytes == 0 {
+		c.StaticBytes = 1 << 20
+	}
+	if c.SmallBytes == 0 {
+		c.SmallBytes = 512 << 10
+	}
+	if c.LargeBytes == 0 {
+		c.LargeBytes = 1 << 20
+	}
+	if c.Degree == 0 {
+		c.Degree = 1
+	}
+	if c.TrainingUnitSize == 0 {
+		c.TrainingUnitSize = 256
+	}
+	if c.EpochAccesses == 0 {
+		c.EpochAccesses = 50000
+	}
+	if c.PredictorBits == 0 {
+		c.PredictorBits = 13
+	}
+}
+
+func (c *Config) validate() error {
+	for _, v := range []struct {
+		name  string
+		bytes int
+	}{{"StaticBytes", c.StaticBytes}, {"SmallBytes", c.SmallBytes}, {"LargeBytes", c.LargeBytes}} {
+		if v.bytes%(metadataSets*bytesPerEntry) != 0 {
+			return fmt.Errorf("triage: %s = %d is not a multiple of %d (sets x entry size)",
+				v.name, v.bytes, metadataSets*bytesPerEntry)
+		}
+	}
+	if c.SmallBytes >= c.LargeBytes {
+		return fmt.Errorf("triage: SmallBytes %d must be < LargeBytes %d", c.SmallBytes, c.LargeBytes)
+	}
+	return nil
+}
+
+// pendingObs is a deferred Hawkeye predictor update awaiting the
+// prefetch outcome (the paper delays training until the prefetch is
+// known to miss in the cache; redundant prefetches drop it).
+type pendingObs struct {
+	hint trainHint
+}
+
+// Triage is the prefetcher. It implements prefetch.Prefetcher,
+// prefetch.DegreeSetter, prefetch.EnvUser and prefetch.OutcomeObserver.
+type Triage struct {
+	cfg  Config
+	env  prefetch.Env
+	pred *replacement.Predictor
+
+	tu      map[uint64]mem.Line // training unit: PC -> last line
+	tuOrder []uint64            // FIFO of PCs for bounded eviction
+
+	store       *store
+	sizer       *sizer
+	ladder      *timeShareSizer
+	staticSizer *sizer // pinned OPTgen trainer (Static/Ladder Hawkeye)
+
+	// Unlimited-mode table.
+	unl     map[mem.Line]unlEntry
+	pending map[mem.Line]pendingObs
+
+	metadataAccesses uint64 // LLC accesses for metadata (energy, Fig 13)
+	lookups          uint64
+	lookupHits       uint64
+	issued           uint64
+	usefulFeedback   uint64
+	redundant        uint64
+}
+
+type unlEntry struct {
+	next mem.Line
+	conf bool
+	uses uint64
+}
+
+// New returns a Triage instance. It panics on invalid configuration
+// (sizes must pack into the 2048-set, 4-byte-entry layout).
+func New(cfg Config) *Triage {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	t := &Triage{
+		cfg:     cfg,
+		env:     prefetch.NopEnv{},
+		pred:    replacement.NewPredictor(cfg.PredictorBits),
+		tu:      make(map[uint64]mem.Line),
+		pending: make(map[mem.Line]pendingObs),
+	}
+	switch cfg.Mode {
+	case Unlimited:
+		t.unl = make(map[mem.Line]unlEntry)
+	case Static:
+		assoc := cfg.StaticBytes / bytesPerEntry / metadataSets
+		t.store = newStore(assoc, cfg.Replacement == Hawkeye, t.pred)
+	case Dynamic, DynamicUtility:
+		assoc := cfg.LargeBytes / bytesPerEntry / metadataSets
+		t.store = newStore(assoc, cfg.Replacement == Hawkeye, t.pred)
+		t.store.resize(0) // start with no partition until proven useful
+		t.sizer = newSizer(cfg.SmallBytes, cfg.LargeBytes, cfg.EpochAccesses)
+		if cfg.Mode == DynamicUtility {
+			// Way costs on the per-core 2MB/16-way LLC view.
+			bytesPerWay := metadataSets * mem.LineSize
+			t.sizer.utility = newDataUtility(16,
+				(cfg.SmallBytes+bytesPerWay/2)/bytesPerWay,
+				(cfg.LargeBytes+bytesPerWay/2)/bytesPerWay)
+		}
+	case DynamicLadder:
+		ladder := cfg.Ladder
+		if len(ladder) == 0 {
+			ladder = []int{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+		}
+		assoc := ladder[len(ladder)-1] / bytesPerEntry / metadataSets
+		t.store = newStore(assoc, cfg.Replacement == Hawkeye, t.pred)
+		t.store.resize(0)
+		t.ladder = newTimeShareSizer(ladder, cfg.EpochAccesses)
+	}
+	return t
+}
+
+// Name implements prefetch.Prefetcher.
+func (t *Triage) Name() string {
+	switch t.cfg.Mode {
+	case Dynamic:
+		return "triage-dynamic"
+	case DynamicUtility:
+		return "triage-dynutil"
+	case DynamicLadder:
+		return "triage-ladder"
+	case Unlimited:
+		return "triage-unlimited"
+	default:
+		return fmt.Sprintf("triage-%dKB", t.cfg.StaticBytes>>10)
+	}
+}
+
+// SetDegree implements prefetch.DegreeSetter.
+func (t *Triage) SetDegree(d int) {
+	if d >= 1 {
+		t.cfg.Degree = d
+	}
+}
+
+// Bind implements prefetch.EnvUser.
+func (t *Triage) Bind(env prefetch.Env) { t.env = env }
+
+// DesiredMetadataBytes reports how much LLC capacity Triage wants for
+// metadata right now; the simulator carves the corresponding ways out
+// of the LLC (0 in Unlimited mode — that configuration models a free
+// side table).
+func (t *Triage) DesiredMetadataBytes() int {
+	switch t.cfg.Mode {
+	case Static:
+		return t.cfg.StaticBytes
+	case Dynamic, DynamicUtility:
+		return t.sizer.desiredBytes()
+	case DynamicLadder:
+		return t.ladder.desiredBytes()
+	default:
+		return 0
+	}
+}
+
+// MetadataAccesses returns the number of LLC accesses made on behalf of
+// metadata (1 energy unit each in Fig. 13's model).
+func (t *Triage) MetadataAccesses() uint64 { return t.metadataAccesses }
+
+// LookupHitRate returns the metadata store hit rate (tests, reports).
+func (t *Triage) LookupHitRate() float64 {
+	if t.lookups == 0 {
+		return 0
+	}
+	return float64(t.lookupHits) / float64(t.lookups)
+}
+
+// EnableReuseTracking records per-trigger reuse counts for the Fig. 1
+// style histogram. Only meaningful before the first Train call.
+func (t *Triage) EnableReuseTracking() {
+	if t.store != nil {
+		t.store.enableReuseTracking()
+	}
+}
+
+// ReuseCounts returns per-trigger metadata reuse counts (Fig. 1). In
+// Unlimited mode every entry is tracked; otherwise tracking must be
+// enabled first.
+func (t *Triage) ReuseCounts() []uint64 {
+	if t.cfg.Mode == Unlimited {
+		out := make([]uint64, 0, len(t.unl))
+		for _, e := range t.unl {
+			out = append(out, e.uses)
+		}
+		return out
+	}
+	if t.store == nil || t.store.reuse == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(t.store.reuse))
+	for _, n := range t.store.reuse {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Train implements prefetch.Prefetcher. Per Fig. 4, Triage observes L2
+// misses and prefetch hits: it probes the metadata store with the
+// incoming address to generate prefetch candidates, then updates the
+// Training Unit and the metadata store with the newly observed pair.
+func (t *Triage) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	reqs := t.predict(ev)
+	t.learn(ev)
+	return reqs
+}
+
+// predict chains metadata lookups from ev.Line, one per degree step.
+func (t *Triage) predict(ev prefetch.Event) []prefetch.Request {
+	var reqs []prefetch.Request
+	cur := ev.Line
+	delay := t.cfg.LLCLatencyTicks
+	for i := 0; i < t.cfg.Degree; i++ {
+		next, hint, ok := t.lookupOnce(cur, ev.PC)
+		if !ok {
+			break
+		}
+		req := prefetch.Request{Line: next, PC: ev.PC, IssueDelay: delay}
+		reqs = append(reqs, req)
+		// Defer the Hawkeye predictor update until the outcome of this
+		// prefetch is known (§3: train only on useful prefetches).
+		t.pending[next] = pendingObs{hint: hint}
+		t.issued++
+		cur = next
+		delay += t.cfg.LLCLatencyTicks
+	}
+	return reqs
+}
+
+// lookupOnce performs one metadata lookup, charging one LLC metadata
+// access, and returns the successor if present plus the deferred
+// predictor-training hint for the access.
+func (t *Triage) lookupOnce(l mem.Line, pc uint64) (mem.Line, trainHint, bool) {
+	t.lookups++
+	if t.cfg.Mode == Unlimited {
+		e, ok := t.unl[l]
+		if ok {
+			e.uses++
+			t.unl[l] = e
+			t.lookupHits++
+			return e.next, trainHint{}, true
+		}
+		return 0, trainHint{}, false
+	}
+	t.metadataAccesses++
+	t.env.LLCMetadataAccess(1)
+	hint := t.observe(l, pc)
+	next, way, ok := t.store.lookup(l)
+	if !ok {
+		// Metadata miss: its predictor update applies immediately (a
+		// miss cannot be a redundant prefetch).
+		hint.apply(t.pred)
+		return 0, trainHint{}, false
+	}
+	t.lookupHits++
+	t.store.promote(l, way, pc)
+	return next, hint, true
+}
+
+// learn records the PC-localized pair (lastAddr[PC] -> ev.Line).
+func (t *Triage) learn(ev prefetch.Event) {
+	prev, had := t.tu[ev.PC]
+	if !had {
+		if len(t.tu) >= t.cfg.TrainingUnitSize {
+			oldest := t.tuOrder[0]
+			t.tuOrder = t.tuOrder[1:]
+			delete(t.tu, oldest)
+		}
+		t.tuOrder = append(t.tuOrder, ev.PC)
+	}
+	t.tu[ev.PC] = ev.Line
+	if !had || prev == ev.Line {
+		return
+	}
+	if t.cfg.Mode == Unlimited {
+		e, ok := t.unl[prev]
+		switch {
+		case !ok:
+			t.unl[prev] = unlEntry{next: ev.Line, conf: true}
+		case e.next == ev.Line:
+			e.conf = true
+			t.unl[prev] = e
+		case e.conf:
+			e.conf = false
+			t.unl[prev] = e
+		default:
+			t.unl[prev] = unlEntry{next: ev.Line, conf: true, uses: e.uses}
+		}
+		return
+	}
+	t.metadataAccesses++
+	t.env.LLCMetadataAccess(1)
+	t.store.insert(prev, ev.Line, ev.PC)
+}
+
+// observe feeds a metadata access into the sizing sandboxes (which see
+// every access) and returns the deferred predictor-training hint. In
+// Dynamic mode an epoch boundary also re-applies the store size.
+func (t *Triage) observe(l mem.Line, pc uint64) trainHint {
+	if t.ladder != nil {
+		if t.ladder.observe(l) {
+			t.store.resize(t.ladder.desiredBytes() / bytesPerEntry / metadataSets)
+		}
+	}
+	z := t.activeSizer()
+	if z == nil {
+		return trainHint{}
+	}
+	if z.utility != nil {
+		// The same event is an LLC data access: feed the utility model.
+		z.utility.observe(l)
+	}
+	hint, epochEnd := z.observe(l, pc)
+	if epochEnd && t.sizer != nil {
+		t.store.resize(t.sizer.desiredBytes() / bytesPerEntry / metadataSets)
+	}
+	if t.cfg.Replacement != Hawkeye {
+		return trainHint{} // LRU metadata replacement needs no predictor
+	}
+	return hint
+}
+
+// activeSizer returns the Dynamic-mode sizer, or a lazily created
+// pinned OPTgen trainer (Static and Ladder modes need Hawkeye hints but
+// make their size decisions elsewhere).
+func (t *Triage) activeSizer() *sizer {
+	if t.sizer != nil {
+		return t.sizer
+	}
+	if t.cfg.Replacement != Hawkeye {
+		return nil
+	}
+	if t.cfg.Mode != Static && t.cfg.Mode != DynamicLadder {
+		return nil
+	}
+	if t.staticSizer == nil {
+		size := t.cfg.StaticBytes
+		if t.cfg.Mode == DynamicLadder {
+			size = t.ladder.ladder[len(t.ladder.ladder)-1]
+		}
+		small := size / 2
+		if small < metadataSets*bytesPerEntry {
+			small = metadataSets * bytesPerEntry
+		}
+		t.staticSizer = newSizer(small, size, t.cfg.EpochAccesses)
+		t.staticSizer.current = size // train at the real size
+		t.staticSizer.pinned = true  // never re-decide
+	}
+	return t.staticSizer
+}
+
+// PrefetchOutcome implements prefetch.OutcomeObserver: the deferred
+// predictor update fires only if the prefetch was useful (missed in
+// cache); redundant prefetch reuse never trains the predictor (§3).
+func (t *Triage) PrefetchOutcome(req prefetch.Request, missedCache bool) {
+	p, ok := t.pending[req.Line]
+	if !ok {
+		return
+	}
+	delete(t.pending, req.Line)
+	if !missedCache {
+		t.redundant++
+		return
+	}
+	t.usefulFeedback++
+	p.hint.apply(t.pred)
+}

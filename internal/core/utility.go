@@ -1,0 +1,168 @@
+package core
+
+import (
+	"repro/internal/mem"
+	"repro/internal/replacement"
+)
+
+// dataUtility implements the paper's named future-work extension
+// ("more sophisticated partitioning schemes that account for cache
+// utility more accurately", §4.2 discussion of bzip2): alongside the
+// metadata sandboxes, it runs OPTgen sandboxes over the *data* stream
+// (the L2 misses that access the LLC) at three data capacities — the
+// full LLC, the LLC minus the small store, and the LLC minus the large
+// store — so the partitioner can weigh metadata hit-rate gains against
+// the data hit-rate the partition destroys.
+//
+// Both streams are the same events (every Triage training event is an
+// L2 miss that both probes the metadata store and accesses the LLC),
+// so the two hit rates are directly comparable: one metadata hit is one
+// covered miss, one lost data hit is one new miss.
+type dataUtility struct {
+	sampleMask int
+	full       map[int]*replacement.OPTgen // LLC ways
+	minusSmall map[int]*replacement.OPTgen // LLC ways - small partition
+	minusLarge map[int]*replacement.OPTgen // LLC ways - large partition
+	last       map[int]map[mem.Line]uint64
+	lastCap    int
+
+	fullWays, smallWays, largeWays int
+
+	hitsFull, hitsMinusSmall, hitsMinusLarge uint64
+	total                                    uint64
+}
+
+// llcUtilSets mirrors the LLC's per-core set view (2MB/16-way/64B).
+const llcUtilSets = 2048
+
+// newDataUtility returns a utility estimator for an LLC with fullWays
+// per-core ways, of which the small/large metadata stores would claim
+// smallWays/largeWays.
+func newDataUtility(fullWays, smallWays, largeWays int) *dataUtility {
+	if fullWays-largeWays < 1 {
+		largeWays = fullWays - 1
+	}
+	if fullWays-smallWays < 1 {
+		smallWays = fullWays - 1
+	}
+	return &dataUtility{
+		sampleMask: 63,
+		full:       make(map[int]*replacement.OPTgen),
+		minusSmall: make(map[int]*replacement.OPTgen),
+		minusLarge: make(map[int]*replacement.OPTgen),
+		last:       make(map[int]map[mem.Line]uint64),
+		lastCap:    2048,
+		fullWays:   fullWays,
+		smallWays:  smallWays,
+		largeWays:  largeWays,
+	}
+}
+
+// observe feeds one LLC access (an L2-miss line).
+func (u *dataUtility) observe(l mem.Line) {
+	set := int(uint64(l) & (llcUtilSets - 1))
+	if set&u.sampleMask != 0 {
+		return
+	}
+	f, ok := u.full[set]
+	if !ok {
+		f = replacement.NewOPTgen(u.fullWays)
+		u.full[set] = f
+		u.minusSmall[set] = replacement.NewOPTgen(u.fullWays - u.smallWays)
+		u.minusLarge[set] = replacement.NewOPTgen(u.fullWays - u.largeWays)
+		u.last[set] = make(map[mem.Line]uint64)
+	}
+	lastTimes := u.last[set]
+	prev, seen := lastTimes[l]
+	if f.Access(prev, seen) {
+		u.hitsFull++
+	}
+	if u.minusSmall[set].Access(prev, seen) {
+		u.hitsMinusSmall++
+	}
+	if u.minusLarge[set].Access(prev, seen) {
+		u.hitsMinusLarge++
+	}
+	u.total++
+	if len(lastTimes) >= u.lastCap {
+		var oldest mem.Line
+		oldestT := ^uint64(0)
+		for line, t := range lastTimes {
+			if t < oldestT {
+				oldestT, oldest = t, line
+			}
+		}
+		delete(lastTimes, oldest)
+	}
+	lastTimes[l] = f.Now() - 1
+}
+
+// lossAt returns the estimated data hit-rate loss of carving the
+// small or large partition out of the LLC.
+func (u *dataUtility) lossAt(large bool) float64 {
+	if u.total == 0 {
+		return 0
+	}
+	reduced := u.hitsMinusSmall
+	if large {
+		reduced = u.hitsMinusLarge
+	}
+	loss := float64(u.hitsFull) - float64(reduced)
+	if loss < 0 {
+		loss = 0
+	}
+	return loss / float64(u.total)
+}
+
+// missRateAt returns the estimated data miss rate of the LLC with the
+// small or large partition carved out — the fraction of accesses whose
+// prefetch would actually be useful rather than redundant.
+func (u *dataUtility) missRateAt(large bool) float64 {
+	if u.total == 0 {
+		return 1
+	}
+	reduced := u.hitsMinusSmall
+	if large {
+		reduced = u.hitsMinusLarge
+	}
+	return 1 - float64(reduced)/float64(u.total)
+}
+
+// resetEpoch clears per-epoch counters.
+func (u *dataUtility) resetEpoch() {
+	u.hitsFull, u.hitsMinusSmall, u.hitsMinusLarge = 0, 0, 0
+	u.total = 0
+}
+
+// recomputeUtility picks the partition maximizing net benefit. A
+// metadata hit only helps when the demanded line would have missed the
+// (reduced) LLC — prefetches for LLC-resident lines are redundant — so
+// the usable benefit at a size is capped by the data miss rate at that
+// size. The cost is the data hit rate the partition destroys. Both are
+// rates over the same event stream, so they subtract directly.
+func (z *sizer) recomputeUtility(u *dataUtility) {
+	if z.total == 0 {
+		z.current = 0
+		return
+	}
+	hrSmall := float64(z.hitsSmall) / float64(z.total)
+	hrLarge := float64(z.hitsLarge) / float64(z.total)
+	benefitSmall := hrSmall
+	if mr := u.missRateAt(false); mr < benefitSmall {
+		benefitSmall = mr
+	}
+	benefitLarge := hrLarge
+	if mr := u.missRateAt(true); mr < benefitLarge {
+		benefitLarge = mr
+	}
+	netSmall := benefitSmall - u.lossAt(false)
+	netLarge := benefitLarge - u.lossAt(true)
+	best, bestNet := 0, 0.0
+	if netSmall > bestNet+z.threshold {
+		best, bestNet = z.smallBytes, netSmall
+	}
+	if netLarge > bestNet+z.threshold {
+		best = z.largeBytes
+	}
+	z.current = best
+}

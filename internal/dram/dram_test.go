@@ -1,0 +1,145 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+func TestIdleLatency(t *testing.T) {
+	m := config.Default(1)
+	d := New(m, false)
+	done := d.Access(0, 0, DemandRead)
+	want := uint64(170 * TicksPerCycle) // 85ns at 2GHz
+	if done != want {
+		t.Errorf("idle read done at %d ticks, want %d", done, want)
+	}
+}
+
+func TestBandwidthSerialization(t *testing.T) {
+	m := config.Default(1)
+	d := New(m, false)
+	// Issue 10 simultaneous reads: each occupies the pipe for
+	// transferTicks, so completion times step by that amount.
+	var prev uint64
+	for i := 0; i < 10; i++ {
+		done := d.Access(0, mem.Line(i), DemandRead)
+		if i > 0 {
+			step := done - prev
+			if step != uint64(m.DRAMTransferCycles())*TicksPerCycle {
+				t.Errorf("read %d: step %d ticks, want %d", i, step,
+					m.DRAMTransferCycles()*TicksPerCycle)
+			}
+		}
+		prev = done
+	}
+}
+
+func TestWritesArePosted(t *testing.T) {
+	m := config.Default(1)
+	d := New(m, false)
+	done := d.Access(0, 0, Writeback)
+	// A posted write completes after its transfer, not the full latency.
+	if done >= uint64(m.DRAMLatencyCycles())*TicksPerCycle {
+		t.Errorf("writeback done at %d, want transfer-only latency", done)
+	}
+	// But it still delays a following read.
+	read := d.Access(0, 1, DemandRead)
+	idle := uint64(m.DRAMLatencyCycles()) * TicksPerCycle
+	if read <= idle {
+		t.Errorf("read after write done at %d, want > idle %d", read, idle)
+	}
+}
+
+func TestDetailedBankContention(t *testing.T) {
+	m := config.Default(4)
+	d := New(m, true)
+	// Two reads to the same bank: second must wait for bank busy time.
+	l := mem.Line(0)
+	first := d.Access(0, l, DemandRead)
+	// Same channel+bank: line + channels*banks keeps both mappings.
+	same := l + mem.Line(m.DRAMChannels*m.DRAMBanksPerChannel)
+	second := d.Access(0, same, DemandRead)
+	if second <= first {
+		t.Errorf("same-bank reads: second done %d <= first %d", second, first)
+	}
+	// A read to a different channel at the same time is unaffected.
+	other := d.Access(0, l+1, DemandRead)
+	if other != first {
+		t.Errorf("different-channel read done %d, want %d", other, first)
+	}
+}
+
+func TestDetailedThroughputLimit(t *testing.T) {
+	m := config.Default(16)
+	d := New(m, true)
+	// Saturate: 1000 reads at t=0 across all banks. Completion of the
+	// last read reflects the aggregate bandwidth, not the idle latency.
+	var last uint64
+	for i := 0; i < 1000; i++ {
+		last = d.Access(0, mem.Line(i), DemandRead)
+	}
+	idle := uint64(m.DRAMLatencyCycles()) * TicksPerCycle
+	if last <= idle*2 {
+		t.Errorf("1000 concurrent reads finished at %d ticks; contention not modeled", last)
+	}
+}
+
+func TestStatsByKind(t *testing.T) {
+	m := config.Default(1)
+	d := New(m, false)
+	d.Access(0, 0, DemandRead)
+	d.Access(0, 1, PrefetchRead)
+	d.Access(0, 2, PrefetchRead)
+	d.Access(0, 3, Writeback)
+	d.Access(0, 4, MetadataRead)
+	d.Access(0, 5, MetadataWrite)
+	s := d.Stats()
+	if s.Transfers[DemandRead] != 1 || s.Transfers[PrefetchRead] != 2 ||
+		s.Transfers[Writeback] != 1 || s.Transfers[MetadataRead] != 1 ||
+		s.Transfers[MetadataWrite] != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.Total() != 6 {
+		t.Errorf("Total = %d, want 6", s.Total())
+	}
+	if s.Bytes() != 6*64 {
+		t.Errorf("Bytes = %d, want %d", s.Bytes(), 6*64)
+	}
+	if s.Metadata() != 2 {
+		t.Errorf("Metadata = %d, want 2", s.Metadata())
+	}
+	d.ResetStats()
+	if d.Stats().Total() != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		DemandRead:    "demand-read",
+		PrefetchRead:  "prefetch-read",
+		Writeback:     "writeback",
+		MetadataRead:  "metadata-read",
+		MetadataWrite: "metadata-write",
+		Kind(99):      "unknown",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestLaterArrivalNotDelayedByIdlePipe(t *testing.T) {
+	m := config.Default(1)
+	d := New(m, false)
+	d.Access(0, 0, DemandRead)
+	// Arrive long after the pipe drained: full idle latency again.
+	now := uint64(1_000_000)
+	done := d.Access(now, 1, DemandRead)
+	if done != now+uint64(m.DRAMLatencyCycles())*TicksPerCycle {
+		t.Errorf("late read done at %d, want idle latency from arrival", done)
+	}
+}

@@ -1,0 +1,83 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/mem"
+)
+
+// TestDetailedOutOfOrderArrivalsDoNotPoison is the regression test for
+// the timestamp-poisoning bug the utilization-window model fixes: a
+// request stamped far in the future must not delay an unrelated
+// earlier-stamped request.
+func TestDetailedOutOfOrderArrivalsDoNotPoison(t *testing.T) {
+	m := config.Default(4)
+	d := New(m, true)
+	idle := uint64(m.DRAMLatencyCycles()) * TicksPerCycle
+
+	// A burst of future-stamped requests (e.g. a deep pointer chain's
+	// prefetches) on channel 0 banks.
+	for i := 0; i < 32; i++ {
+		d.Access(1_000_000, mem.Line(i*2), DemandRead) // channel 0
+	}
+	// An earlier-stamped request must still see ~idle latency (small
+	// bank/channel waits at most), not a 1M-tick stall.
+	done := d.Access(1000, mem.Line(0), DemandRead)
+	if done > 1000+idle*2 {
+		t.Errorf("early request done at %d (latency %d); future-stamped burst poisoned the channel",
+			done, done-1000)
+	}
+}
+
+// TestWindowDecay: after a long idle gap the utilization resets and
+// waits return to zero.
+func TestWindowDecay(t *testing.T) {
+	m := config.Default(2)
+	d := New(m, true)
+	idle := uint64(m.DRAMLatencyCycles()) * TicksPerCycle
+	// Saturate the window.
+	for i := 0; i < 2000; i++ {
+		d.Access(0, mem.Line(i), DemandRead)
+	}
+	// Long after the window has decayed, latency is idle again.
+	late := uint64(10 * windowTicks)
+	done := d.Access(late, mem.Line(12345), DemandRead)
+	// A couple of residual ticks of bank wait are fine; the point is no
+	// inherited saturation.
+	if done > late+idle+4 {
+		t.Errorf("post-decay latency = %d ticks, want ~idle %d", done-late, idle)
+	}
+}
+
+// TestSaturationRaisesWaits: sustained over-demand produces growing
+// per-request waits (the throttling mechanism behind Fig. 17).
+func TestSaturationRaisesWaits(t *testing.T) {
+	m := config.Default(16)
+	d := New(m, true)
+	idle := uint64(m.DRAMLatencyCycles()) * TicksPerCycle
+	// Demand far above the channel capacity within one window.
+	var last uint64
+	for i := 0; i < 4000; i++ {
+		now := uint64(i) // ~1 request/tick: far beyond 1 line/16 ticks
+		last = d.Access(now, mem.Line(i), DemandRead) - now
+	}
+	if last <= idle {
+		t.Errorf("saturated per-request latency %d <= idle %d; no throttling", last, idle)
+	}
+}
+
+func TestWindowWaitMonotoneInLoad(t *testing.T) {
+	w := &window{}
+	prev := uint64(0)
+	for i := 0; i < 2000; i++ {
+		wt := w.wait(0, 16) // all at the same instant: load only grows
+		if wt < prev {
+			t.Fatalf("wait decreased under growing load: %d -> %d", prev, wt)
+		}
+		prev = wt
+	}
+	if prev == 0 {
+		t.Error("wait never grew under saturation")
+	}
+}

@@ -1,0 +1,463 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Runner executes figures, caching single-core runs so that baselines
+// shared between figures (e.g. the no-prefetch runs used by Figs. 5, 6,
+// 7, 10, 11, 12) are simulated once.
+type Runner struct {
+	P     Params
+	cache map[string]sim.Result
+}
+
+// NewRunner returns a Runner with the given parameters.
+func NewRunner(p Params) *Runner {
+	return &Runner{P: p, cache: make(map[string]sim.Result)}
+}
+
+// namedPF pairs a display name with a prefetcher factory.
+type namedPF struct {
+	name string
+	f    pfFactory
+}
+
+// single runs (and caches) one benchmark x prefetcher configuration.
+func (r *Runner) single(spec workload.Spec, cfg namedPF) sim.Result {
+	key := spec.Name + "/" + cfg.name
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	res := runSingle(r.P, spec, cfg.f, nil)
+	r.cache[key] = res
+	return res
+}
+
+var (
+	cfgNone      = namedPF{"NoL2PF", pfNone}
+	cfgBO        = namedPF{"BO", pfBO}
+	cfgSMS       = namedPF{"SMS", pfSMS}
+	cfgT512      = namedPF{"Triage_512KB", pfTriageStatic(512 << 10)}
+	cfgT1M       = namedPF{"Triage_1MB", pfTriageStatic(1 << 20)}
+	cfgTDyn      = namedPF{"Triage_Dynamic", pfTriageDyn}
+	cfgSTMS      = namedPF{"STMS", pfSTMS}
+	cfgDomino    = namedPF{"Domino", pfDomino}
+	cfgMISB      = namedPF{"MISB_48KB", pfMISB}
+	cfgBOTDyn    = namedPF{"BO+Triage_Dyn", pfHybrid(pfTriageDyn, pfBO)} // accurate component first: its requests win queue slots
+	cfgBOSMS     = namedPF{"BO+SMS", pfHybrid(pfBO, pfSMS)}
+	cfgTUnl      = namedPF{"Triage_Unlimited", pfTriageUnlimited}
+	cfgBOTStatic = namedPF{"BO+Triage_Static", pfHybrid(pfTriageStatic(1<<20), pfBO)}
+)
+
+// Fig01 reproduces the metadata reuse distribution (Fig. 1): an
+// unlimited-metadata Triage on the mcf-like workload, reporting the
+// reuse-count distribution over metadata entries.
+func (r *Runner) Fig01() *Table {
+	spec, _ := workload.ByName("mcf")
+	var captured *core.Triage
+	factory := func(m config.Machine) prefetch.Prefetcher {
+		captured = core.New(core.Config{Mode: core.Unlimited, LLCLatencyTicks: llcTicks(m)})
+		return captured
+	}
+	runSingle(r.P, spec, factory, nil)
+	counts := captured.ReuseCounts()
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+
+	t := &Table{
+		ID:     "fig01",
+		Title:  "Metadata reuse distribution (mcf): reuse count by entry-rank percentile",
+		Header: []string{"entry percentile", "reuse count"},
+	}
+	if len(counts) == 0 {
+		t.Note("no metadata entries recorded")
+		return t
+	}
+	for _, pct := range []int{0, 1, 2, 5, 10, 15, 25, 50, 75, 90, 100} {
+		idx := pct * (len(counts) - 1) / 100
+		t.AddRow(fmt.Sprintf("top %d%%", pct), fmt.Sprintf("%d", counts[idx]))
+	}
+	over15 := 0
+	for _, c := range counts {
+		if c > 15 {
+			over15++
+		}
+	}
+	frac := float64(over15) / float64(len(counts))
+	t.AddRow("entries", fmt.Sprintf("%d total", len(counts)))
+	t.Note("%.1f%% of %d entries are reused more than 15 times (paper: ~15%% of 60K)",
+		frac*100, len(counts))
+	t.Note("shape target: reuse is heavily skewed toward a small fraction of entries")
+	return t
+}
+
+// speedupTable runs suite x configs and reports per-benchmark speedups
+// over the no-prefetch baseline, with a geometric-mean summary row.
+func (r *Runner) speedupTable(id, title string, suite []workload.Spec, configs []namedPF) *Table {
+	t := &Table{ID: id, Title: title}
+	t.Header = append([]string{"benchmark"}, names(configs)...)
+	means := make([][]float64, len(configs))
+	for _, spec := range suite {
+		base := r.single(spec, cfgNone)
+		row := []string{spec.Name}
+		for i, cfg := range configs {
+			res := r.single(spec, cfg)
+			sp := res.SpeedupOver(base)
+			means[i] = append(means[i], sp)
+			row = append(row, fmtSpeedup(sp))
+		}
+		t.AddRow(row...)
+	}
+	sumRow := []string{"geomean"}
+	for i := range configs {
+		sumRow = append(sumRow, fmtSpeedup(geomean(means[i])))
+	}
+	t.AddRow(sumRow...)
+	return t
+}
+
+func names(cfgs []namedPF) []string {
+	out := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		out[i] = c.name
+	}
+	return out
+}
+
+// Fig05 compares Triage against the on-chip prefetchers BO and SMS on
+// the irregular SPEC subset (paper: 23.5% vs 5.8% vs 2.2%).
+func (r *Runner) Fig05() *Table {
+	t := r.speedupTable("fig05",
+		"Speedup over NoL2PF, irregular SPEC (Triage vs on-chip prefetchers)",
+		workload.IrregularSuite(),
+		[]namedPF{cfgBO, cfgSMS, cfgT512, cfgT1M, cfgTDyn})
+	t.Note("shape target: Triage variants >> BO > SMS; Triage_Dynamic >= Triage_1MB")
+	return t
+}
+
+// Fig06 reports prefetcher coverage and accuracy on the irregular
+// subset (paper: Triage 42.0%/77.2%, BO 13.0%/43.3%, SMS 4.6%/39.6%).
+func (r *Runner) Fig06() *Table {
+	configs := []namedPF{cfgBO, cfgSMS, cfgT512, cfgT1M, cfgTDyn}
+	t := &Table{ID: "fig06", Title: "Prefetcher coverage / accuracy, irregular SPEC"}
+	t.Header = append([]string{"benchmark"}, names(configs)...)
+	covSums := make([][]float64, len(configs))
+	accSums := make([][]float64, len(configs))
+	for _, spec := range workload.IrregularSuite() {
+		base := r.single(spec, cfgNone)
+		row := []string{spec.Name}
+		for i, cfg := range configs {
+			res := r.single(spec, cfg)
+			cov, acc := res.CoverageOver(base), res.Accuracy()
+			covSums[i] = append(covSums[i], cov)
+			accSums[i] = append(accSums[i], acc)
+			row = append(row, fmt.Sprintf("%.0f%%/%.0f%%", cov*100, acc*100))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"average"}
+	for i := range configs {
+		row = append(row, fmt.Sprintf("%.0f%%/%.0f%%", mean(covSums[i])*100, mean(accSums[i])*100))
+	}
+	t.AddRow(row...)
+	t.Note("cells are coverage/accuracy; shape target: Triage highest on both")
+	return t
+}
+
+func mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}
+
+// Fig07 breaks down Triage's gain vs the LLC capacity it consumes:
+// an optimistic Triage with a free 1MB store, a 1MB-LLC machine with no
+// prefetching, and real Triage (1MB LLC data + 1MB metadata).
+func (r *Runner) Fig07() *Table {
+	t := &Table{
+		ID:     "fig07",
+		Title:  "Breakdown of Triage's improvement vs capacity loss (speedup over 2MB LLC, NoL2PF)",
+		Header: []string{"benchmark", "2MB LLC + 1MB Triage (free)", "1MB LLC, NoL2PF", "1MB LLC + 1MB Triage"},
+	}
+	var free, shrunk, real []float64
+	for _, spec := range workload.IrregularSuite() {
+		base := r.single(spec, cfgNone)
+		// Optimistic: metadata store does not consume LLC capacity.
+		optRes := runSingle(r.P, spec, pfTriageStatic(1<<20), func(o *sim.Options) {
+			o.NoCapacityLoss = true
+		})
+		// Capacity loss alone: half-size LLC, no prefetching.
+		smallRes := runSingle(r.P, spec, pfNone, func(o *sim.Options) {
+			o.Machine.LLCBytesPerCore = 1 << 20
+		})
+		// Real Triage on the normal machine.
+		realRes := r.single(spec, cfgT1M)
+		f := optRes.SpeedupOver(base)
+		s := smallRes.SpeedupOver(base)
+		re := realRes.SpeedupOver(base)
+		free = append(free, f)
+		shrunk = append(shrunk, s)
+		real = append(real, re)
+		t.AddRow(spec.Name, fmtSpeedup(f), fmtSpeedup(s), fmtSpeedup(re))
+	}
+	t.AddRow("geomean", fmtSpeedup(geomean(free)), fmtSpeedup(geomean(shrunk)), fmtSpeedup(geomean(real)))
+	t.Note("paper: +31.2%% free-store gain, -7.4%% capacity loss, +23.4%% net")
+	t.Note("shape target: prefetching gain far exceeds the capacity penalty")
+	return t
+}
+
+// Fig08 runs the regular SPEC subset (paper: BO wins, Triage-Dynamic
+// avoids harm except slight loss on bzip2-like capacity-bound loops).
+func (r *Runner) Fig08() *Table {
+	t := r.speedupTable("fig08",
+		"Speedup over NoL2PF, regular SPEC subset",
+		workload.RegularSuite(),
+		[]namedPF{cfgBO, cfgSMS, cfgT512, cfgT1M, cfgTDyn})
+	t.Note("shape target: BO >= Triage on regular codes; Triage_Dynamic ~1.0 (no harm)")
+	return t
+}
+
+// Fig09 sweeps the metadata store size and replacement policy assuming
+// no LLC capacity loss (paper Fig. 9: Hawkeye >> LRU at small sizes;
+// both approach the unlimited 'Perfect' prefetcher by 1MB).
+func (r *Runner) Fig09() *Table {
+	sizes := []int{128 << 10, 256 << 10, 512 << 10, 1 << 20}
+	t := &Table{ID: "fig09", Title: "Sensitivity to metadata store size (no LLC capacity loss)"}
+	t.Header = []string{"store size", "LRU", "Hawkeye"}
+	suite := workload.IrregularSuite()
+	baseOf := func(spec workload.Spec) sim.Result { return r.single(spec, cfgNone) }
+	for _, size := range sizes {
+		var lru, hawk []float64
+		for _, spec := range suite {
+			base := baseOf(spec)
+			for _, pol := range []core.Replacement{core.LRU, core.Hawkeye} {
+				pol := pol
+				res := runSingle(r.P, spec, func(m config.Machine) prefetch.Prefetcher {
+					return core.New(core.Config{
+						Mode: core.Static, StaticBytes: size,
+						Replacement: pol, LLCLatencyTicks: llcTicks(m),
+					})
+				}, func(o *sim.Options) { o.NoCapacityLoss = true })
+				if pol == core.LRU {
+					lru = append(lru, res.SpeedupOver(base))
+				} else {
+					hawk = append(hawk, res.SpeedupOver(base))
+				}
+			}
+		}
+		t.AddRow(fmt.Sprintf("%dKB", size>>10), fmtSpeedup(geomean(lru)), fmtSpeedup(geomean(hawk)))
+	}
+	var perfect []float64
+	for _, spec := range suite {
+		res := r.single(spec, cfgTUnl)
+		perfect = append(perfect, res.SpeedupOver(baseOf(spec)))
+	}
+	t.AddRow("unlimited (Perfect)", "-", fmtSpeedup(geomean(perfect)))
+	t.Note("paper: 256KB LRU 7.7%% vs Hawkeye 13.7%%; gap shrinks at 1MB; 1MB ~ 75%% of Perfect")
+	return t
+}
+
+// Fig10 evaluates the BO+Triage hybrid on the irregular subset
+// (paper: 24.8% for BO+Triage vs 5.8% for BO alone).
+func (r *Runner) Fig10() *Table {
+	t := r.speedupTable("fig10",
+		"Hybrid prefetching, irregular SPEC",
+		workload.IrregularSuite(),
+		[]namedPF{cfgBO, cfgTDyn, cfgBOTDyn})
+	t.Note("shape target: BO+Triage >= max(BO, Triage) per benchmark")
+	return t
+}
+
+// Fig11 compares Triage with the off-chip temporal prefetchers: speedup
+// (top of Fig. 11) and off-chip traffic relative to NoL2PF (bottom).
+func (r *Runner) Fig11() *Table {
+	configs := []namedPF{cfgSTMS, cfgDomino, cfgMISB, cfgT1M}
+	t := &Table{ID: "fig11", Title: "Off-chip temporal prefetchers: speedup and relative traffic"}
+	t.Header = []string{"benchmark"}
+	for _, c := range configs {
+		t.Header = append(t.Header, c.name+" spd", c.name+" traf")
+	}
+	spSums := make([][]float64, len(configs))
+	trSums := make([][]float64, len(configs))
+	for _, spec := range workload.IrregularSuite() {
+		base := r.single(spec, cfgNone)
+		row := []string{spec.Name}
+		for i, cfg := range configs {
+			res := r.single(spec, cfg)
+			sp := res.SpeedupOver(base)
+			tr := 1.0
+			if bt := base.TotalTraffic(); bt > 0 {
+				tr = float64(res.TotalTraffic()+res.EstimatedMetadataTransfers) / float64(bt)
+			}
+			spSums[i] = append(spSums[i], sp)
+			trSums[i] = append(trSums[i], tr)
+			row = append(row, fmtSpeedup(sp), fmtF(tr))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for i := range configs {
+		row = append(row, fmtSpeedup(geomean(spSums[i])), fmtF(geomean(trSums[i])))
+	}
+	t.AddRow(row...)
+	t.Note("traffic is relative to NoL2PF (1.00 = no overhead); paper overheads: STMS 4.8x, Domino 4.8x, MISB 2.6x, Triage 1.6x")
+	t.Note("shape target: MISB > Triage > STMS~Domino on speedup; Triage lowest traffic")
+	return t
+}
+
+// Fig12 summarizes the design space: average speedup vs average traffic
+// overhead per prefetcher (the scatter of Fig. 12).
+func (r *Runner) Fig12() *Table {
+	configs := []namedPF{cfgBO, cfgSTMS, cfgDomino, cfgMISB, cfgT1M, cfgTDyn}
+	t := &Table{
+		ID:     "fig12",
+		Title:  "Design space: speedup vs off-chip traffic overhead (irregular SPEC averages)",
+		Header: []string{"prefetcher", "speedup", "traffic overhead"},
+	}
+	for _, cfg := range configs {
+		var sps, trs []float64
+		for _, spec := range workload.IrregularSuite() {
+			base := r.single(spec, cfgNone)
+			res := r.single(spec, cfg)
+			sps = append(sps, res.SpeedupOver(base))
+			bt := float64(base.TotalTraffic())
+			over := 0.0
+			if bt > 0 {
+				over = 100 * (float64(res.TotalTraffic()+res.EstimatedMetadataTransfers) - bt) / bt
+			}
+			trs = append(trs, over)
+		}
+		t.AddRow(cfg.name, fmtSpeedup(geomean(sps)), fmtPct(mean(trs)))
+	}
+	t.Note("shape target: Triage dominates STMS/Domino; MISB fastest but with much higher traffic")
+	return t
+}
+
+// Fig13 estimates metadata-access energy: Triage pays 1 unit per LLC
+// metadata access; MISB pays 25 [10, 50] units per off-chip metadata
+// access (paper's model).
+func (r *Runner) Fig13() *Table {
+	t := &Table{
+		ID:     "fig13",
+		Title:  "Energy overhead of MISB's metadata accesses over Triage (x)",
+		Header: []string{"benchmark", "Triage accesses", "MISB accesses", "ratio @10", "ratio @25", "ratio @50"},
+	}
+	var ratios []float64
+	for _, spec := range workload.IrregularSuite() {
+		tri := r.single(spec, cfgT1M)
+		mi := r.single(spec, cfgMISB)
+		te := float64(tri.TriageLLCMetadataAccesses)
+		me := float64(mi.MISBOffChipMetadataAccesses)
+		if te == 0 {
+			te = 1
+		}
+		r10, r25, r50 := me*10/te, me*25/te, me*50/te
+		ratios = append(ratios, r25)
+		t.AddRow(spec.Name,
+			fmt.Sprintf("%.0f", te), fmt.Sprintf("%.0f", me),
+			fmtF(r10), fmtF(r25), fmtF(r50))
+	}
+	t.AddRow("geomean", "", "", "", fmtF(geomean(ratios)), "")
+	t.Note("paper: Triage's metadata accesses are 4-22x more energy efficient than MISB's")
+	return t
+}
+
+// Fig20 sweeps the prefetch degree (paper Fig. 20: Triage grows to
+// ~36% at degree 8 then saturates; BO's accuracy collapses).
+func (r *Runner) Fig20() *Table {
+	degrees := []int{1, 2, 4, 8, 16}
+	t := &Table{ID: "fig20", Title: "Sensitivity to prefetch degree (irregular SPEC averages)"}
+	t.Header = []string{"degree", "BO spd", "SMS spd", "Triage spd", "BO acc", "SMS acc", "Triage acc"}
+	for _, d := range degrees {
+		d := d
+		mk := func(base pfFactory) pfFactory {
+			return func(m config.Machine) prefetch.Prefetcher {
+				p := base(m)
+				if ds, ok := p.(prefetch.DegreeSetter); ok {
+					ds.SetDegree(d)
+				}
+				return p
+			}
+		}
+		configs := []namedPF{
+			{fmt.Sprintf("BO-d%d", d), mk(pfBO)},
+			{fmt.Sprintf("SMS-d%d", d), mk(pfSMS)},
+			{fmt.Sprintf("Triage-d%d", d), mk(pfTriageStatic(1 << 20))},
+		}
+		var sp [3][]float64
+		var acc [3][]float64
+		for _, spec := range workload.IrregularSuite() {
+			base := r.single(spec, cfgNone)
+			for i, cfg := range configs {
+				res := r.single(spec, cfg)
+				sp[i] = append(sp[i], res.SpeedupOver(base))
+				acc[i] = append(acc[i], res.Accuracy())
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", d),
+			fmtSpeedup(geomean(sp[0])), fmtSpeedup(geomean(sp[1])), fmtSpeedup(geomean(sp[2])),
+			fmtPct(mean(acc[0])*100), fmtPct(mean(acc[1])*100), fmtPct(mean(acc[2])*100))
+	}
+	t.Note("shape target: Triage speedup grows with degree and saturates ~8; Triage accuracy stays well above BO")
+	return t
+}
+
+// SensEpoch varies the partition re-evaluation period (paper §4.6:
+// performance is insensitive to epochs below 50K metadata accesses).
+func (r *Runner) SensEpoch() *Table {
+	epochs := []int{10_000, 25_000, 50_000, 100_000, 200_000}
+	t := &Table{ID: "sens-epoch", Title: "Sensitivity to partition epoch length (Triage-Dynamic)"}
+	t.Header = []string{"epoch (metadata accesses)", "speedup"}
+	for _, e := range epochs {
+		e := e
+		var sps []float64
+		for _, spec := range workload.IrregularSuite() {
+			base := r.single(spec, cfgNone)
+			res := r.single(spec, namedPF{
+				fmt.Sprintf("TriageDyn-e%d", e),
+				func(m config.Machine) prefetch.Prefetcher {
+					return core.New(core.Config{
+						Mode: core.Dynamic, EpochAccesses: e, LLCLatencyTicks: llcTicks(m),
+					})
+				},
+			})
+			sps = append(sps, res.SpeedupOver(base))
+		}
+		t.AddRow(fmt.Sprintf("%d", e), fmtSpeedup(geomean(sps)))
+	}
+	t.Note("shape target: flat across epoch lengths")
+	return t
+}
+
+// SensLatency penalizes LLC latency by up to 6 extra cycles for both
+// data and metadata (paper §4.6: ~1% performance loss at +6 cycles).
+func (r *Runner) SensLatency() *Table {
+	t := &Table{ID: "sens-latency", Title: "Sensitivity to extra LLC latency (Triage_1MB)"}
+	t.Header = []string{"extra cycles", "speedup over unpenalized NoL2PF"}
+	for _, extra := range []int{0, 2, 4, 6} {
+		extra := extra
+		var sps []float64
+		for _, spec := range workload.IrregularSuite() {
+			base := r.single(spec, cfgNone) // unpenalized baseline
+			res := runSingle(r.P, spec, pfTriageStatic(1<<20), func(o *sim.Options) {
+				o.Machine.LLCExtraLatency = extra
+			})
+			sps = append(sps, res.SpeedupOver(base))
+		}
+		t.AddRow(fmt.Sprintf("+%d", extra), fmtSpeedup(geomean(sps)))
+	}
+	t.Note("shape target: small monotone loss, ~1%% at +6 cycles")
+	return t
+}

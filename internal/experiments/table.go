@@ -1,0 +1,97 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§4). Each FigNN function runs the required simulations
+// and returns a Table whose rows mirror the corresponding plot's
+// series; cmd/experiments prints them all and EXPERIMENTS.md records
+// paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	// ID is the paper artifact ("fig05"), Title its caption.
+	ID    string
+	Title string
+	// Header names the columns; Rows hold the cells.
+	Header []string
+	Rows   [][]string
+	// Notes carry shape assertions and caveats, printed under the table.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Note appends a note line.
+func (t *Table) Note(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			w := len(c)
+			if i < len(widths) {
+				w = widths[i]
+			}
+			parts[i] = fmt.Sprintf("%-*s", w, c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// fmtPct renders a ratio as a percentage string ("23.5%").
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", v) }
+
+// fmtSpeedup renders a speedup factor ("1.235").
+func fmtSpeedup(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// fmtF renders a float with 2 decimals.
+func fmtF(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// geomean returns the geometric mean of vs (1.0 for empty).
+func geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	prod := 1.0
+	for _, v := range vs {
+		if v <= 0 {
+			return 0
+		}
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}

@@ -1,0 +1,75 @@
+// Package mem provides the address arithmetic shared by every component
+// of the simulator: byte addresses, cache-line addresses, set/tag
+// decomposition, and the compressed-tag lookup table used by Triage's
+// on-chip metadata entries (paper §3.2).
+//
+// Throughout the simulator a "line address" is a byte address shifted
+// right by LineShift; caches, prefetchers, and DRAM all operate on line
+// addresses so that the 64-byte granularity is established exactly once.
+package mem
+
+import "fmt"
+
+const (
+	// LineShift is log2 of the cache-line size.
+	LineShift = 6
+	// LineSize is the cache-line size in bytes (Table 1: 64B lines).
+	LineSize = 1 << LineShift
+	// LineMask masks the offset bits within a line.
+	LineMask = LineSize - 1
+)
+
+// Addr is a physical byte address.
+type Addr uint64
+
+// Line is a cache-line address (byte address >> LineShift).
+type Line uint64
+
+// LineOf returns the cache line containing the byte address.
+func LineOf(a Addr) Line { return Line(a >> LineShift) }
+
+// AddrOf returns the first byte address of the line.
+func AddrOf(l Line) Addr { return Addr(l << LineShift) }
+
+// Offset returns the byte offset of a within its cache line.
+func Offset(a Addr) uint64 { return uint64(a) & LineMask }
+
+// SetIndex returns the set index of line l in a cache with numSets sets.
+// numSets must be a power of two.
+func SetIndex(l Line, numSets int) int {
+	return int(uint64(l) & uint64(numSets-1))
+}
+
+// TagOf returns the tag of line l in a cache with numSets sets.
+func TagOf(l Line, numSets int) uint64 {
+	return uint64(l) / uint64(numSets)
+}
+
+// IsPow2 reports whether v is a positive power of two.
+func IsPow2(v int) bool { return v > 0 && v&(v-1) == 0 }
+
+// Log2 returns log2 of a power-of-two v; it panics otherwise, because a
+// non-power-of-two geometry is a programming error, not an input error.
+func Log2(v int) uint {
+	if !IsPow2(v) {
+		panic(fmt.Sprintf("mem: Log2 of non-power-of-two %d", v))
+	}
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// RegionOf returns the region number of line l for a spatial region of
+// regionLines cache lines (used by SMS-style spatial prefetchers).
+// regionLines must be a power of two.
+func RegionOf(l Line, regionLines int) uint64 {
+	return uint64(l) / uint64(regionLines)
+}
+
+// RegionOffset returns l's offset, in lines, within its region.
+func RegionOffset(l Line, regionLines int) int {
+	return int(uint64(l) & uint64(regionLines-1))
+}

@@ -1,0 +1,128 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineOf(t *testing.T) {
+	cases := []struct {
+		addr Addr
+		want Line
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 1},
+		{65, 1},
+		{128, 2},
+		{0xFFFF_FFFF_FFFF_FFFF, Line(0xFFFF_FFFF_FFFF_FFFF >> 6)},
+	}
+	for _, c := range cases {
+		if got := LineOf(c.addr); got != c.want {
+			t.Errorf("LineOf(%#x) = %#x, want %#x", c.addr, got, c.want)
+		}
+	}
+}
+
+func TestAddrOfRoundTrip(t *testing.T) {
+	f := func(l uint64) bool {
+		l &= (1 << 58) - 1 // keep within shiftable range
+		return LineOf(AddrOf(Line(l))) == Line(l)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffset(t *testing.T) {
+	if got := Offset(0x1234); got != 0x34 {
+		t.Errorf("Offset(0x1234) = %#x, want 0x34", got)
+	}
+	if got := Offset(64); got != 0 {
+		t.Errorf("Offset(64) = %d, want 0", got)
+	}
+}
+
+func TestSetIndexAndTag(t *testing.T) {
+	const sets = 2048
+	l := Line(0x123456)
+	set := SetIndex(l, sets)
+	tag := TagOf(l, sets)
+	if set != int(uint64(l)%sets) {
+		t.Errorf("SetIndex = %d, want %d", set, uint64(l)%sets)
+	}
+	if tag != uint64(l)/sets {
+		t.Errorf("TagOf = %d, want %d", tag, uint64(l)/sets)
+	}
+	// Reconstruction: tag*sets + set == line.
+	if rec := Line(tag*uint64(sets) + uint64(set)); rec != l {
+		t.Errorf("reconstructed %#x, want %#x", rec, l)
+	}
+}
+
+func TestSetTagReconstructionProperty(t *testing.T) {
+	f := func(l uint64, setsExp uint8) bool {
+		sets := 1 << (setsExp%12 + 1) // 2..4096 sets
+		line := Line(l)
+		set := SetIndex(line, sets)
+		tag := TagOf(line, sets)
+		return Line(tag*uint64(sets)+uint64(set)) == line
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 1024, 1 << 20} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []int{0, -1, 3, 6, 1023} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 30; i++ {
+		if got := Log2(1 << i); got != i {
+			t.Errorf("Log2(%d) = %d, want %d", 1<<i, got, i)
+		}
+	}
+}
+
+func TestLog2PanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Log2(3) did not panic")
+		}
+	}()
+	Log2(3)
+}
+
+func TestRegion(t *testing.T) {
+	const regionLines = 32 // 2KB regions of 64B lines
+	l := Line(100)
+	if got := RegionOf(l, regionLines); got != 3 {
+		t.Errorf("RegionOf(100, 32) = %d, want 3", got)
+	}
+	if got := RegionOffset(l, regionLines); got != 4 {
+		t.Errorf("RegionOffset(100, 32) = %d, want 4", got)
+	}
+}
+
+func TestRegionProperty(t *testing.T) {
+	f := func(l uint64) bool {
+		line := Line(l)
+		r := RegionOf(line, 32)
+		off := RegionOffset(line, 32)
+		return r*32+uint64(off) == uint64(line) && off >= 0 && off < 32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

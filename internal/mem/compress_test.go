@@ -1,0 +1,131 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTagCompressorRoundTrip(t *testing.T) {
+	c := NewTagCompressor(10)
+	tags := []uint64{0, 1, 42, 0xDEADBEEF, 1 << 40}
+	ids := make([]uint32, len(tags))
+	for i, tag := range tags {
+		ids[i] = c.Compress(tag)
+	}
+	for i, tag := range tags {
+		got, ok := c.Decompress(ids[i])
+		if !ok || got != tag {
+			t.Errorf("Decompress(%d) = %#x,%v want %#x,true", ids[i], got, ok, tag)
+		}
+	}
+}
+
+func TestTagCompressorStableIDs(t *testing.T) {
+	c := NewTagCompressor(8)
+	id1 := c.Compress(777)
+	id2 := c.Compress(777)
+	if id1 != id2 {
+		t.Errorf("same tag got different ids: %d vs %d", id1, id2)
+	}
+}
+
+func TestTagCompressorLookupDoesNotAllocate(t *testing.T) {
+	c := NewTagCompressor(4)
+	if _, ok := c.Lookup(123); ok {
+		t.Error("Lookup of unknown tag returned ok")
+	}
+	id := c.Compress(123)
+	got, ok := c.Lookup(123)
+	if !ok || got != id {
+		t.Errorf("Lookup(123) = %d,%v want %d,true", got, ok, id)
+	}
+}
+
+func TestTagCompressorRecycling(t *testing.T) {
+	c := NewTagCompressor(3) // 8 slots
+	for tag := uint64(0); tag < 8; tag++ {
+		c.Compress(tag)
+	}
+	if c.Recycled() != 0 {
+		t.Fatalf("recycled %d before overflow", c.Recycled())
+	}
+	// Touch tags 1..7 so that tag 0 is LRU, then overflow.
+	for tag := uint64(1); tag < 8; tag++ {
+		c.Compress(tag)
+	}
+	id0, _ := c.Lookup(0)
+	// Touch 0 via Lookup updated its stamp, so make 1 the LRU instead.
+	for tag := uint64(2); tag < 8; tag++ {
+		c.Compress(tag)
+	}
+	c.Compress(0)
+	newID := c.Compress(999) // must recycle LRU (tag 1)
+	if c.Recycled() != 1 {
+		t.Errorf("recycled = %d, want 1", c.Recycled())
+	}
+	if _, ok := c.Lookup(1); ok {
+		t.Error("tag 1 should have been recycled")
+	}
+	// The stale id now decompresses to the new tag or fails for tag 1.
+	if tag, ok := c.Decompress(newID); !ok || tag != 999 {
+		t.Errorf("Decompress(recycled id) = %#x,%v want 999,true", tag, ok)
+	}
+	_ = id0
+}
+
+func TestTagCompressorCapacity(t *testing.T) {
+	c := NewTagCompressor(10)
+	if c.Capacity() != 1024 {
+		t.Errorf("Capacity = %d, want 1024", c.Capacity())
+	}
+	if c.Bits() != 10 {
+		t.Errorf("Bits = %d, want 10", c.Bits())
+	}
+}
+
+func TestTagCompressorDecompressUnknown(t *testing.T) {
+	c := NewTagCompressor(4)
+	if _, ok := c.Decompress(3); ok {
+		t.Error("Decompress of unmapped id returned ok")
+	}
+	if _, ok := c.Decompress(1 << 20); ok {
+		t.Error("Decompress of out-of-range id returned ok")
+	}
+}
+
+// Property: within capacity, compress/decompress is a bijection.
+func TestTagCompressorBijectionProperty(t *testing.T) {
+	f := func(seed [16]uint16) bool {
+		c := NewTagCompressor(8) // 256 slots, 16 distinct tags fit easily
+		seen := map[uint64]uint32{}
+		for _, s := range seed {
+			tag := uint64(s)
+			id := c.Compress(tag)
+			if prev, ok := seen[tag]; ok && prev != id {
+				return false
+			}
+			seen[tag] = id
+			back, ok := c.Decompress(id)
+			if !ok || back != tag {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTagCompressorWidthValidation(t *testing.T) {
+	for _, bits := range []uint{0, 32, 64} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTagCompressor(%d) did not panic", bits)
+				}
+			}()
+			NewTagCompressor(bits)
+		}()
+	}
+}

@@ -1,0 +1,210 @@
+// Package bo implements the Best-Offset prefetcher (Michaud, HPCA'16),
+// winner of the 2nd Data Prefetching Championship and the paper's
+// strongest on-chip regular-prefetching baseline.
+//
+// BO learns a single best offset D by scoring candidate offsets against
+// a recent-requests (RR) table: offset d scores a point when a
+// triggering access X finds X-d in the RR table, meaning a prefetch of
+// X issued at the time X-d was filled would have been timely. The
+// highest-scoring offset at the end of a learning round becomes the
+// prefetch offset.
+package bo
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Default parameters from the HPCA'16 paper.
+const (
+	scoreMax  = 31
+	roundMax  = 100
+	badScore  = 10
+	rrEntries = 256
+	maxOffset = 256
+)
+
+// Prefetcher is a Best-Offset prefetcher.
+type Prefetcher struct {
+	offsets []int64
+	scores  []int
+	current int // index of offset being tested next
+
+	round      int
+	bestOffset int64
+	bestScore  int
+	active     bool // prefetching on (best score above badScore)
+
+	rr [rrEntries]mem.Line
+
+	// pending holds RR insertions until their fill completes: an offset
+	// may only score if the corresponding prefetch would have been
+	// timely, which is the essence of Best-Offset learning.
+	pending []pendingFill
+
+	// own tracks BO's recently issued prefetch targets so that fills
+	// requested by a co-running prefetcher (hybrid configurations) are
+	// not mistaken for BO's own and credited with phantom offsets.
+	own     map[mem.Line]struct{}
+	ownRing [rrEntries]mem.Line
+	ownHead int
+
+	degree int
+}
+
+type pendingFill struct {
+	base  mem.Line
+	ready uint64
+}
+
+// New returns a BO prefetcher with the standard offset list
+// (numbers <= maxOffset whose factorization uses only 2, 3, 5).
+func New() *Prefetcher {
+	p := &Prefetcher{degree: 1, bestOffset: 1, active: true, own: make(map[mem.Line]struct{}, rrEntries)}
+	for i := int64(1); i <= maxOffset; i++ {
+		if smooth235(i) {
+			p.offsets = append(p.offsets, i)
+		}
+	}
+	p.scores = make([]int, len(p.offsets))
+	return p
+}
+
+// smooth235 reports whether v has no prime factor other than 2, 3, 5.
+func smooth235(v int64) bool {
+	for _, f := range []int64{2, 3, 5} {
+		for v%f == 0 {
+			v /= f
+		}
+	}
+	return v == 1
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "bo" }
+
+// SetDegree implements prefetch.DegreeSetter. At degree k, BO issues
+// X+D, X+2D, ..., X+kD.
+func (p *Prefetcher) SetDegree(d int) { p.degree = d }
+
+// BestOffset exposes the currently learned offset (tests, reports).
+func (p *Prefetcher) BestOffset() int64 { return p.bestOffset }
+
+func rrIndex(l mem.Line) int {
+	h := uint64(l) * 0x9E3779B97F4A7C15
+	return int(h >> 56 & (rrEntries - 1))
+}
+
+func (p *Prefetcher) rrInsert(l mem.Line) { p.rr[rrIndex(l)] = l }
+
+func (p *Prefetcher) rrTest(l mem.Line) bool { return p.rr[rrIndex(l)] == l }
+
+// ObserveFill implements prefetch.FillObserver: when a line's fill
+// completes at the L2 (tick = ready time), its base address enters the
+// RR table. For prefetched lines the base is line-bestOffset (the
+// address that triggered it); for demand fills it is the line itself.
+// Insertion is deferred until the fill's ready tick so that offsets
+// score only when the prefetch would have been timely.
+func (p *Prefetcher) ObserveFill(line mem.Line, prefetched bool, ready uint64) {
+	base := int64(line)
+	if prefetched {
+		if _, mine := p.own[line]; !mine {
+			// Another prefetcher's fill: it carries no offset evidence.
+			return
+		}
+		base -= p.bestOffset
+	}
+	if base < 0 {
+		return
+	}
+	if len(p.pending) > 4*rrEntries {
+		p.pending = p.pending[len(p.pending)-2*rrEntries:]
+	}
+	p.pending = append(p.pending, pendingFill{base: mem.Line(base), ready: ready})
+}
+
+// drainPending moves completed fills into the RR table.
+func (p *Prefetcher) drainPending(now uint64) {
+	kept := p.pending[:0]
+	for _, f := range p.pending {
+		if f.ready <= now {
+			p.rrInsert(f.base)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	p.pending = kept
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	p.drainPending(ev.Tick)
+	p.learn(ev.Line)
+	if !p.active {
+		return nil
+	}
+	reqs := make([]prefetch.Request, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		target := int64(ev.Line) + p.bestOffset*int64(i)
+		if target < 0 {
+			break
+		}
+		reqs = append(reqs, prefetch.Request{Line: mem.Line(target), PC: ev.PC})
+		p.recordOwn(mem.Line(target))
+	}
+	return reqs
+}
+
+// recordOwn remembers a just-issued prefetch target (bounded FIFO).
+func (p *Prefetcher) recordOwn(l mem.Line) {
+	if old := p.ownRing[p.ownHead]; old != 0 {
+		delete(p.own, old)
+	}
+	p.ownRing[p.ownHead] = l
+	p.ownHead = (p.ownHead + 1) % rrEntries
+	p.own[l] = struct{}{}
+}
+
+// learn runs one scoring step and ends the round when every offset has
+// been tested roundMax times or some offset saturates.
+func (p *Prefetcher) learn(line mem.Line) {
+	d := p.offsets[p.current]
+	if base := int64(line) - d; base >= 0 && p.rrTest(mem.Line(base)) {
+		p.scores[p.current]++
+		if p.scores[p.current] >= scoreMax {
+			p.finishRound()
+			return
+		}
+	}
+	p.current++
+	if p.current == len(p.offsets) {
+		p.current = 0
+		p.round++
+		if p.round >= roundMax {
+			p.finishRound()
+		}
+	}
+}
+
+// finishRound adopts the best-scoring offset and resets learning state.
+func (p *Prefetcher) finishRound() {
+	best, bestScore := int64(1), -1
+	for i, s := range p.scores {
+		if s > bestScore {
+			bestScore, best = s, p.offsets[i]
+		}
+	}
+	p.bestOffset = best
+	p.bestScore = bestScore
+	// Below badScore the prefetcher turns itself off for the next round
+	// (Michaud's "no prefetching" mode).
+	p.active = bestScore > badScore
+	for i := range p.scores {
+		p.scores[i] = 0
+	}
+	p.current = 0
+	p.round = 0
+}

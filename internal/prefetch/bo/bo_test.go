@@ -1,0 +1,137 @@
+package bo
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func TestOffsetListIs235Smooth(t *testing.T) {
+	p := New()
+	if len(p.offsets) == 0 {
+		t.Fatal("empty offset list")
+	}
+	for _, d := range p.offsets {
+		if !smooth235(d) {
+			t.Errorf("offset %d is not 2-3-5 smooth", d)
+		}
+		if d < 1 || d > maxOffset {
+			t.Errorf("offset %d out of range", d)
+		}
+	}
+	// The DPC-2 list has 52 offsets for max 256.
+	if len(p.offsets) != 52 {
+		t.Errorf("offset list has %d entries, want 52", len(p.offsets))
+	}
+}
+
+// drive streams a miss sequence with fills, letting BO learn.
+func drive(p *Prefetcher, lines []mem.Line) []prefetch.Request {
+	var last []prefetch.Request
+	for _, l := range lines {
+		last = p.Train(prefetch.Event{PC: 1, Line: l, Miss: true})
+		p.ObserveFill(l, false, 0)
+	}
+	return last
+}
+
+func TestLearnsStrideOffset(t *testing.T) {
+	p := New()
+	var stream []mem.Line
+	for i := 0; i < 20000; i++ {
+		stream = append(stream, mem.Line(i*4))
+	}
+	drive(p, stream)
+	if p.BestOffset()%4 != 0 {
+		t.Errorf("learned offset %d, want a multiple of the stride 4", p.BestOffset())
+	}
+	// Prefetches fire from the learned offset.
+	reqs := p.Train(prefetch.Event{PC: 1, Line: 4 * 30000, Miss: true})
+	if len(reqs) != 1 {
+		t.Fatalf("got %d requests, want 1", len(reqs))
+	}
+	if reqs[0].Line != mem.Line(4*30000)+mem.Line(p.BestOffset()) {
+		t.Errorf("prefetch target %d, want trigger+%d", reqs[0].Line, p.BestOffset())
+	}
+}
+
+func TestCannotLearnNonSmoothStride(t *testing.T) {
+	// Stride 7 has no 2-3-5-smooth multiple <= 256, so BO's offset list
+	// cannot express it: the prefetcher must shut itself off rather than
+	// issue garbage. (This is faithful to the HPCA'16 design.)
+	p := New()
+	var stream []mem.Line
+	for i := 0; i < 20000; i++ {
+		stream = append(stream, mem.Line(i*7))
+	}
+	drive(p, stream)
+	if p.active {
+		t.Errorf("BO stayed active on stride 7 with best score %d", p.bestScore)
+	}
+}
+
+func TestSequentialStream(t *testing.T) {
+	p := New()
+	var stream []mem.Line
+	for i := 0; i < 20000; i++ {
+		stream = append(stream, mem.Line(i))
+	}
+	drive(p, stream)
+	if p.BestOffset() < 1 {
+		t.Errorf("learned offset %d on sequential stream", p.BestOffset())
+	}
+}
+
+func TestTurnsOffOnRandomStream(t *testing.T) {
+	p := New()
+	state := uint64(7)
+	var stream []mem.Line
+	for i := 0; i < 300000; i++ {
+		state = state*6364136223846793005 + 1442695040888963407
+		stream = append(stream, mem.Line(state>>20))
+	}
+	drive(p, stream)
+	reqs := p.Train(prefetch.Event{PC: 1, Line: 123456, Miss: true})
+	if p.active && len(reqs) > 0 {
+		t.Logf("note: BO stayed active on random stream (score %d)", p.bestScore)
+	}
+	// At minimum the best score must be tiny on random data.
+	if p.bestScore > 5 {
+		t.Errorf("best score %d on random stream, want <= 5", p.bestScore)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	p := New()
+	p.SetDegree(4)
+	var stream []mem.Line
+	for i := 0; i < 20000; i++ {
+		stream = append(stream, mem.Line(i))
+	}
+	drive(p, stream)
+	reqs := p.Train(prefetch.Event{PC: 1, Line: 50000, Miss: true})
+	if len(reqs) != 4 {
+		t.Fatalf("degree 4: got %d requests", len(reqs))
+	}
+	d := p.BestOffset()
+	for k, r := range reqs {
+		want := mem.Line(50000 + d*int64(k+1))
+		if r.Line != want {
+			t.Errorf("request %d: %d, want %d", k, r.Line, want)
+		}
+	}
+}
+
+func TestIgnoresPlainHits(t *testing.T) {
+	p := New()
+	if reqs := p.Train(prefetch.Event{PC: 1, Line: 5}); reqs != nil {
+		t.Error("train on non-miss produced requests")
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+	_ prefetch.FillObserver = (*Prefetcher)(nil)
+)

@@ -1,0 +1,96 @@
+// Package domino implements an idealized Domino temporal prefetcher
+// (Bakhshalipour et al., HPCA'18). Domino improves on STMS by indexing
+// the history buffer with the last *two* misses, which disambiguates
+// addresses that appear in multiple temporal streams; it falls back to
+// a single-miss index when the pair has not been seen.
+//
+// Like STMS, it is modeled idealized per the paper (§4.1): off-chip
+// metadata lookups are free and instantaneous.
+package domino
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+type pairKey struct {
+	a, b mem.Line
+}
+
+// Prefetcher is an idealized Domino.
+type Prefetcher struct {
+	history   []mem.Line
+	pairIndex map[pairKey]int
+	oneIndex  map[mem.Line]int
+	prev      mem.Line
+	hasPrev   bool
+	degree    int
+	maxHist   int
+	estMeta   uint64 // see stms.EstimatedMetadataTransfers
+}
+
+// New returns an idealized Domino prefetcher.
+func New() *Prefetcher {
+	return &Prefetcher{
+		pairIndex: make(map[pairKey]int),
+		oneIndex:  make(map[mem.Line]int),
+		degree:    1,
+		maxHist:   64 << 20,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "domino" }
+
+// SetDegree implements prefetch.DegreeSetter.
+func (p *Prefetcher) SetDegree(d int) { p.degree = d }
+
+// EstimatedMetadataTransfers returns the off-chip metadata line
+// transfers a realistic implementation would have made.
+func (p *Prefetcher) EstimatedMetadataTransfers() uint64 { return p.estMeta / 2 }
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	// Domino probes two index tables (pair + single) and appends to
+	// both, like STMS with an extra index.
+	p.estMeta += 3 // halves: 1.5 line transfers per event
+	var reqs []prefetch.Request
+	pos, ok := -1, false
+	if p.hasPrev {
+		pos, ok = lookup(p.pairIndex, pairKey{p.prev, ev.Line})
+	}
+	if !ok {
+		pos, ok = lookupOne(p.oneIndex, ev.Line)
+	}
+	if ok {
+		for i := 1; i <= p.degree; i++ {
+			if pos+i >= len(p.history) {
+				break
+			}
+			reqs = append(reqs, prefetch.Request{Line: p.history[pos+i], PC: ev.PC})
+		}
+	}
+	if len(p.history) < p.maxHist {
+		at := len(p.history)
+		p.oneIndex[ev.Line] = at
+		if p.hasPrev {
+			p.pairIndex[pairKey{p.prev, ev.Line}] = at
+		}
+		p.history = append(p.history, ev.Line)
+	}
+	p.prev, p.hasPrev = ev.Line, true
+	return reqs
+}
+
+func lookup(m map[pairKey]int, k pairKey) (int, bool) {
+	v, ok := m[k]
+	return v, ok
+}
+
+func lookupOne(m map[mem.Line]int, k mem.Line) (int, bool) {
+	v, ok := m[k]
+	return v, ok
+}

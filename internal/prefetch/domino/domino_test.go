@@ -1,0 +1,75 @@
+package domino
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func miss(line mem.Line) prefetch.Event {
+	return prefetch.Event{PC: 1, Line: line, Miss: true}
+}
+
+func feed(p *Prefetcher, seq []mem.Line) {
+	for _, l := range seq {
+		p.Train(miss(l))
+	}
+}
+
+func TestPairIndexDisambiguates(t *testing.T) {
+	p := New()
+	// Two streams share the address 5 but with different contexts:
+	// (1,5) -> 6 and (2,5) -> 7.
+	feed(p, []mem.Line{1, 5, 6})
+	feed(p, []mem.Line{2, 5, 7})
+	// Replaying context (1,5) must predict 6, not 7 — the pair index is
+	// what separates Domino from STMS.
+	p.Train(miss(1))
+	reqs := p.Train(miss(5))
+	if len(reqs) != 1 || reqs[0].Line != 6 {
+		t.Errorf("context (1,5): got %v, want 6", reqs)
+	}
+	p.Train(miss(2))
+	reqs = p.Train(miss(5))
+	if len(reqs) != 1 || reqs[0].Line != 7 {
+		t.Errorf("context (2,5): got %v, want 7", reqs)
+	}
+}
+
+func TestFallsBackToSingleIndex(t *testing.T) {
+	p := New()
+	feed(p, []mem.Line{10, 20, 30})
+	// Unseen context (99, 20): the pair misses, but the single-address
+	// index for 20 predicts 30.
+	p.Train(miss(99))
+	reqs := p.Train(miss(20))
+	if len(reqs) != 1 || reqs[0].Line != 30 {
+		t.Errorf("fallback: got %v, want 30", reqs)
+	}
+}
+
+func TestDegree(t *testing.T) {
+	p := New()
+	p.SetDegree(2)
+	feed(p, []mem.Line{1, 2, 3, 4})
+	p.Train(miss(1))
+	reqs := p.Train(miss(2))
+	if len(reqs) != 2 || reqs[0].Line != 3 || reqs[1].Line != 4 {
+		t.Errorf("degree 2: got %v, want [3 4]", reqs)
+	}
+}
+
+func TestColdStreamSilent(t *testing.T) {
+	p := New()
+	for i := 0; i < 100; i++ {
+		if reqs := p.Train(miss(mem.Line(i * 17))); len(reqs) != 0 {
+			t.Fatalf("cold stream prefetched %v", reqs)
+		}
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+)

@@ -1,0 +1,91 @@
+// Package hybrid composes prefetchers. The paper evaluates BO+Triage
+// (Figs. 10, 14, 16, 18) and BO+SMS (Fig. 14): each component trains on
+// the same L2 stream and their requests are merged with duplicates
+// removed, first-come-first-kept.
+package hybrid
+
+import (
+	"strings"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Prefetcher runs several component prefetchers side by side.
+type Prefetcher struct {
+	parts []prefetch.Prefetcher
+	name  string
+}
+
+// New composes the given prefetchers. Request order follows argument
+// order, so put the more accurate component first.
+func New(parts ...prefetch.Prefetcher) *Prefetcher {
+	if len(parts) == 0 {
+		panic("hybrid: need at least one component")
+	}
+	names := make([]string, len(parts))
+	for i, p := range parts {
+		names[i] = p.Name()
+	}
+	return &Prefetcher{parts: parts, name: strings.Join(names, "+")}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return p.name }
+
+// Parts exposes the components (tests, stats).
+func (p *Prefetcher) Parts() []prefetch.Prefetcher { return p.parts }
+
+// SetDegree implements prefetch.DegreeSetter, fanning out to components
+// that support it.
+func (p *Prefetcher) SetDegree(d int) {
+	for _, part := range p.parts {
+		if ds, ok := part.(prefetch.DegreeSetter); ok {
+			ds.SetDegree(d)
+		}
+	}
+}
+
+// Bind implements prefetch.EnvUser.
+func (p *Prefetcher) Bind(env prefetch.Env) {
+	for _, part := range p.parts {
+		if eu, ok := part.(prefetch.EnvUser); ok {
+			eu.Bind(env)
+		}
+	}
+}
+
+// ObserveFill implements prefetch.FillObserver.
+func (p *Prefetcher) ObserveFill(line mem.Line, prefetched bool, tick uint64) {
+	for _, part := range p.parts {
+		if fo, ok := part.(prefetch.FillObserver); ok {
+			fo.ObserveFill(line, prefetched, tick)
+		}
+	}
+}
+
+// PrefetchOutcome implements prefetch.OutcomeObserver.
+func (p *Prefetcher) PrefetchOutcome(req prefetch.Request, missed bool) {
+	for _, part := range p.parts {
+		if oo, ok := part.(prefetch.OutcomeObserver); ok {
+			oo.PrefetchOutcome(req, missed)
+		}
+	}
+}
+
+// Train implements prefetch.Prefetcher: requests from all components,
+// deduplicated by line.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	var out []prefetch.Request
+	seen := map[mem.Line]bool{}
+	for _, part := range p.parts {
+		for _, r := range part.Train(ev) {
+			if seen[r.Line] {
+				continue
+			}
+			seen[r.Line] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// fake is a scriptable prefetcher recording calls.
+type fake struct {
+	name     string
+	reqs     []prefetch.Request
+	degree   int
+	fills    int
+	outcomes int
+	bound    bool
+}
+
+func (f *fake) Name() string                            { return f.name }
+func (f *fake) Train(prefetch.Event) []prefetch.Request { return f.reqs }
+func (f *fake) SetDegree(d int)                         { f.degree = d }
+func (f *fake) ObserveFill(mem.Line, bool, uint64)      { f.fills++ }
+func (f *fake) PrefetchOutcome(prefetch.Request, bool)  { f.outcomes++ }
+func (f *fake) Bind(prefetch.Env)                       { f.bound = true }
+
+func TestNameComposition(t *testing.T) {
+	h := New(&fake{name: "bo"}, &fake{name: "triage"})
+	if h.Name() != "bo+triage" {
+		t.Errorf("Name = %q, want bo+triage", h.Name())
+	}
+}
+
+func TestMergesAndDeduplicates(t *testing.T) {
+	a := &fake{name: "a", reqs: []prefetch.Request{{Line: 1}, {Line: 2}}}
+	b := &fake{name: "b", reqs: []prefetch.Request{{Line: 2}, {Line: 3}}}
+	h := New(a, b)
+	got := h.Train(prefetch.Event{})
+	if len(got) != 3 {
+		t.Fatalf("got %d requests, want 3 (deduplicated)", len(got))
+	}
+	wantOrder := []mem.Line{1, 2, 3}
+	for i, r := range got {
+		if r.Line != wantOrder[i] {
+			t.Errorf("request %d = %d, want %d", i, r.Line, wantOrder[i])
+		}
+	}
+}
+
+func TestFanOut(t *testing.T) {
+	a, b := &fake{name: "a"}, &fake{name: "b"}
+	h := New(a, b)
+	h.SetDegree(5)
+	h.ObserveFill(1, false, 0)
+	h.PrefetchOutcome(prefetch.Request{}, true)
+	h.Bind(prefetch.NopEnv{})
+	for _, f := range []*fake{a, b} {
+		if f.degree != 5 || f.fills != 1 || f.outcomes != 1 || !f.bound {
+			t.Errorf("%s: degree=%d fills=%d outcomes=%d bound=%v", f.name, f.degree, f.fills, f.outcomes, f.bound)
+		}
+	}
+}
+
+func TestEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New() did not panic")
+		}
+	}()
+	New()
+}
+
+func TestParts(t *testing.T) {
+	a, b := &fake{name: "a"}, &fake{name: "b"}
+	h := New(a, b)
+	if len(h.Parts()) != 2 {
+		t.Errorf("Parts len = %d, want 2", len(h.Parts()))
+	}
+}
+
+var (
+	_ prefetch.Prefetcher      = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter    = (*Prefetcher)(nil)
+	_ prefetch.FillObserver    = (*Prefetcher)(nil)
+	_ prefetch.OutcomeObserver = (*Prefetcher)(nil)
+	_ prefetch.EnvUser         = (*Prefetcher)(nil)
+)

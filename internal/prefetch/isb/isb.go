@@ -1,0 +1,251 @@
+// Package isb implements the Irregular Stream Buffer (Jain & Lin,
+// MICRO'13), the paper's direct ancestor: the first prefetcher to
+// combine address correlation with PC localization, via the structural
+// address space that MISB later refined.
+//
+// ISB's defining metadata-management idea — and its weakness, which the
+// paper quantifies as 200-400% traffic overhead — is that the on-chip
+// metadata cache is synchronized with the TLB: on a (simulated) TLB
+// eviction, all metadata for that page is written back off chip; on a
+// TLB fill, it is fetched back in. Caching is therefore page-granular
+// even though metadata reuse is fine-grained, so utilization is poor.
+// MISB (package misb) replaces this with fine-grained caching plus a
+// metadata prefetcher; Triage (internal/core) removes the off-chip
+// store entirely.
+package isb
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// linesPerPage is a 4KB page in 64B lines.
+const linesPerPage = 64
+
+// streamGap spaces structural streams (virtual, indexes off-chip maps).
+const streamGap = 1 << 20
+
+// tlbEntries models the 1024-entry L2 TLB of Table 1; ISB's on-chip
+// metadata mirrors exactly the pages the TLB holds.
+const tlbEntries = 1024
+
+// Prefetcher is the ISB model.
+type Prefetcher struct {
+	env prefetch.Env
+
+	// Off-chip metadata: PS/SP maps with per-slot confidence, as in
+	// package misb (the structural space is the common substrate).
+	ps     map[mem.Line]uint64
+	sp     map[uint64]mem.Line
+	spConf map[uint64]bool
+
+	lastAddr   map[uint64]mem.Line
+	nextStream uint64
+
+	// TLB-synchronized metadata residency: the set of pages whose
+	// metadata is currently on chip, LRU-ordered.
+	tlb    map[uint64]*pageNode
+	head   *pageNode
+	tail   *pageNode
+	degree int
+
+	offchipReads  uint64
+	offchipWrites uint64
+}
+
+type pageNode struct {
+	page       uint64
+	dirtyLines int // metadata updates since fetched (write-back volume)
+	prev, next *pageNode
+}
+
+// New returns an ISB prefetcher.
+func New() *Prefetcher {
+	return &Prefetcher{
+		env:      prefetch.NopEnv{},
+		ps:       make(map[mem.Line]uint64),
+		sp:       make(map[uint64]mem.Line),
+		spConf:   make(map[uint64]bool),
+		lastAddr: make(map[uint64]mem.Line),
+		tlb:      make(map[uint64]*pageNode),
+		degree:   1,
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "isb" }
+
+// SetDegree implements prefetch.DegreeSetter.
+func (p *Prefetcher) SetDegree(d int) {
+	if d >= 1 {
+		p.degree = d
+	}
+}
+
+// Bind implements prefetch.EnvUser.
+func (p *Prefetcher) Bind(env prefetch.Env) { p.env = env }
+
+// OffChipMetadataAccesses returns total off-chip metadata transfers.
+func (p *Prefetcher) OffChipMetadataAccesses() uint64 {
+	return p.offchipReads + p.offchipWrites
+}
+
+func pageOf(l mem.Line) uint64 { return uint64(l) / linesPerPage }
+
+// touchPage simulates the TLB access for line l: a hit keeps the page's
+// metadata resident; a miss evicts the LRU page (writing back its
+// metadata) and fetches the new page's metadata. Page-granular
+// transfers are ISB's traffic problem: the whole page's PS mappings
+// (up to 64 lines x 8B = 8 metadata blocks) move on every TLB miss.
+func (p *Prefetcher) touchPage(l mem.Line, now uint64) (latency uint64) {
+	page := pageOf(l)
+	if n, ok := p.tlb[page]; ok {
+		p.moveToFront(n)
+		return 0
+	}
+	if len(p.tlb) >= tlbEntries {
+		victim := p.tail
+		p.unlink(victim)
+		delete(p.tlb, victim.page)
+		// Write back the victim page's metadata (amortized: one block
+		// per 8 dirty mappings, at least one block if any).
+		blocks := (victim.dirtyLines + 7) / 8
+		if blocks == 0 {
+			blocks = 1
+		}
+		for i := 0; i < blocks; i++ {
+			p.offchipWrites++
+			p.env.MetadataWrite(now)
+		}
+	}
+	n := &pageNode{page: page}
+	p.tlb[page] = n
+	p.pushFront(n)
+	// Fetch the page's metadata: ISB hides this under the TLB-miss
+	// page walk, so the prefetcher itself pays no issue latency, but
+	// the traffic is real. Count populated mappings on the page.
+	populated := 0
+	base := mem.Line(page * linesPerPage)
+	for i := mem.Line(0); i < linesPerPage; i++ {
+		if _, ok := p.ps[base+i]; ok {
+			populated++
+		}
+	}
+	blocks := (populated + 7) / 8
+	if blocks == 0 {
+		blocks = 1
+	}
+	for i := 0; i < blocks; i++ {
+		p.offchipReads++
+		p.env.MetadataRead(now)
+	}
+	return 0
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	p.touchPage(ev.Line, ev.Tick)
+	reqs := p.predict(ev)
+	p.learn(ev)
+	return reqs
+}
+
+// predict walks the structural space (metadata for TLB-resident pages
+// is on chip, so lookups are free once the page is touched).
+func (p *Prefetcher) predict(ev prefetch.Event) []prefetch.Request {
+	s, ok := p.ps[ev.Line]
+	if !ok {
+		return nil
+	}
+	var reqs []prefetch.Request
+	for i := 1; i <= p.degree; i++ {
+		line, ok := p.sp[s+uint64(i)]
+		if !ok {
+			break
+		}
+		reqs = append(reqs, prefetch.Request{Line: line, PC: ev.PC})
+	}
+	return reqs
+}
+
+// learn updates the structural mapping (same redundant-SP scheme as
+// MISB; see internal/prefetch/misb).
+func (p *Prefetcher) learn(ev prefetch.Event) {
+	prev, had := p.lastAddr[ev.PC]
+	p.lastAddr[ev.PC] = ev.Line
+	if !had || prev == ev.Line {
+		return
+	}
+	sPrev, ok := p.ps[prev]
+	if !ok {
+		sPrev = p.nextStream * streamGap
+		p.nextStream++
+		p.ps[prev] = sPrev
+		p.sp[sPrev] = prev
+		p.markDirty(prev)
+	}
+	desired := sPrev + 1
+	if old, ok := p.sp[desired]; ok {
+		if old == ev.Line {
+			p.spConf[desired] = true
+			return
+		}
+		if p.spConf[desired] {
+			p.spConf[desired] = false
+			return
+		}
+	}
+	p.sp[desired] = ev.Line
+	p.spConf[desired] = true
+	if _, ok := p.ps[ev.Line]; !ok {
+		p.ps[ev.Line] = desired
+	}
+	p.markDirty(ev.Line)
+}
+
+// markDirty records a metadata update against the line's page (charged
+// at the page's next TLB eviction).
+func (p *Prefetcher) markDirty(l mem.Line) {
+	if n, ok := p.tlb[pageOf(l)]; ok {
+		n.dirtyLines++
+	}
+}
+
+// --- intrusive LRU list ---
+
+func (p *Prefetcher) moveToFront(n *pageNode) {
+	if p.head == n {
+		return
+	}
+	p.unlink(n)
+	p.pushFront(n)
+}
+
+func (p *Prefetcher) pushFront(n *pageNode) {
+	n.prev = nil
+	n.next = p.head
+	if p.head != nil {
+		p.head.prev = n
+	}
+	p.head = n
+	if p.tail == nil {
+		p.tail = n
+	}
+}
+
+func (p *Prefetcher) unlink(n *pageNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		p.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		p.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

@@ -1,0 +1,112 @@
+package isb
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func miss(pc uint64, line mem.Line) prefetch.Event {
+	return prefetch.Event{PC: pc, Line: line, Miss: true}
+}
+
+func feed(p *Prefetcher, pc uint64, seq []mem.Line) {
+	for _, l := range seq {
+		p.Train(miss(pc, l))
+	}
+}
+
+func TestLearnsTemporalStream(t *testing.T) {
+	p := New()
+	seq := []mem.Line{100, 70000, 9, 123456}
+	feed(p, 1, seq)
+	for i := 0; i < len(seq)-1; i++ {
+		reqs := p.Train(miss(1, seq[i]))
+		if len(reqs) != 1 || reqs[0].Line != seq[i+1] {
+			t.Errorf("trigger %d: got %v, want %d", seq[i], reqs, seq[i+1])
+		}
+	}
+}
+
+func TestPCLocalization(t *testing.T) {
+	p := New()
+	for i := 0; i < 4; i++ {
+		p.Train(miss(0xA, mem.Line(100+i)))
+		p.Train(miss(0xB, mem.Line(90000+i)))
+	}
+	reqs := p.Train(miss(0xA, 100))
+	if len(reqs) != 1 || reqs[0].Line != 101 {
+		t.Errorf("PC A successor = %v, want 101", reqs)
+	}
+}
+
+// countingEnv counts metadata transfers.
+type countingEnv struct{ reads, writes int }
+
+func (e *countingEnv) MetadataRead(now uint64) uint64 { e.reads++; return now }
+func (e *countingEnv) MetadataWrite(uint64)           { e.writes++ }
+func (e *countingEnv) LLCMetadataAccess(int)          {}
+
+func TestTLBSyncTrafficOnPageChurn(t *testing.T) {
+	env := &countingEnv{}
+	p := New()
+	p.Bind(env)
+	// Touch more pages than the TLB holds: every new page fetches
+	// metadata, every eviction writes it back. This page-granular churn
+	// is ISB's 200-400% overhead (paper §2.1).
+	for i := 0; i < 3*tlbEntries; i++ {
+		p.Train(miss(1, mem.Line(i*linesPerPage))) // one line per page
+	}
+	if env.reads == 0 || env.writes == 0 {
+		t.Fatalf("no TLB-sync metadata traffic: reads=%d writes=%d", env.reads, env.writes)
+	}
+	if p.OffChipMetadataAccesses() == 0 {
+		t.Error("OffChipMetadataAccesses = 0")
+	}
+}
+
+func TestTLBResidentPagesAreFree(t *testing.T) {
+	env := &countingEnv{}
+	p := New()
+	p.Bind(env)
+	// A working set of few pages: after the first touches, no traffic.
+	seq := make([]mem.Line, 0, 32)
+	for i := 0; i < 32; i++ {
+		seq = append(seq, mem.Line(i%4*linesPerPage+i)) // 4 pages
+	}
+	feed(p, 1, seq)
+	warm := env.reads + env.writes
+	for round := 0; round < 10; round++ {
+		feed(p, 1, seq)
+	}
+	if got := env.reads + env.writes; got != warm {
+		t.Errorf("TLB-resident metadata caused traffic: %d -> %d", warm, got)
+	}
+}
+
+func TestDegreeWalk(t *testing.T) {
+	p := New()
+	p.SetDegree(3)
+	feed(p, 1, []mem.Line{1, 2, 3, 4, 5})
+	reqs := p.Train(miss(1, 1))
+	if len(reqs) != 3 {
+		t.Fatalf("degree 3: got %v", reqs)
+	}
+}
+
+func TestConfidenceOnSuccessorChange(t *testing.T) {
+	p := New()
+	feed(p, 1, []mem.Line{10, 20})
+	feed(p, 1, []mem.Line{10, 99}) // first disagreement forgiven
+	reqs := p.Train(miss(1, 10))
+	if len(reqs) != 1 || reqs[0].Line != 20 {
+		t.Errorf("after one disagreement: %v, want 20", reqs)
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+	_ prefetch.EnvUser      = (*Prefetcher)(nil)
+)

@@ -1,0 +1,181 @@
+// Package markov implements a bounded, on-chip Markov prefetcher
+// (Joseph & Grunwald, ISCA'97) — the original table-based temporal
+// prefetcher the paper's §2.1 starts from. Each table entry records up
+// to K successor candidates for a trigger line with saturating
+// confidence counters; prediction prefetches the highest-confidence
+// successors.
+//
+// The paper's argument against Markov tables as an on-chip design is
+// their redundancy: tracking multiple successors per trigger multiplies
+// entry size by K (2-4x vs Triage's single-successor 4-byte entries).
+// This implementation is the ablation comparator for that claim
+// (BenchmarkAblationMarkov): at equal silicon, a Markov table holds
+// K-fold fewer triggers.
+package markov
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// successorsPerEntry is K, the number of successor slots per trigger
+// (Joseph & Grunwald evaluate 1-4; 2 is their sweet spot).
+const successorsPerEntry = 2
+
+// entryBytes models the hardware cost of one Markov entry: a compressed
+// trigger tag plus K (successor, 2-bit confidence) pairs — twice
+// Triage's 4-byte entry at K=2.
+const entryBytes = 4 * successorsPerEntry
+
+type successor struct {
+	line mem.Line
+	conf uint8 // 2-bit saturating
+}
+
+type entry struct {
+	valid bool
+	tag   uint64
+	succ  [successorsPerEntry]successor
+	stamp uint64
+}
+
+// Prefetcher is the bounded Markov table.
+type Prefetcher struct {
+	sets    [][]entry
+	nsets   int
+	assoc   int
+	clock   uint64
+	last    mem.Line // global last line (no PC localization, per the original)
+	hasLast bool
+	degree  int
+}
+
+// New returns a Markov prefetcher with the given on-chip budget.
+func New(budgetBytes int) *Prefetcher {
+	const nsets = 2048
+	assoc := budgetBytes / entryBytes / nsets
+	if assoc < 1 {
+		assoc = 1
+	}
+	sets := make([][]entry, nsets)
+	for i := range sets {
+		sets[i] = make([]entry, assoc)
+	}
+	return &Prefetcher{sets: sets, nsets: nsets, assoc: assoc, degree: 1}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "markov" }
+
+// SetDegree implements prefetch.DegreeSetter: degree caps how many
+// successor candidates are prefetched per trigger.
+func (p *Prefetcher) SetDegree(d int) { p.degree = d }
+
+// Capacity returns the number of trigger entries the table holds.
+func (p *Prefetcher) Capacity() int { return p.nsets * p.assoc }
+
+func (p *Prefetcher) setOf(l mem.Line) int    { return int(uint64(l) % uint64(p.nsets)) }
+func (p *Prefetcher) tagOf(l mem.Line) uint64 { return uint64(l) / uint64(p.nsets) }
+
+func (p *Prefetcher) find(l mem.Line) *entry {
+	set := p.sets[p.setOf(l)]
+	tag := p.tagOf(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Train implements prefetch.Prefetcher: it records the global-stream
+// successor (the original Markov design is not PC-localized) and
+// predicts from the trigger's successor list.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	p.clock++
+	var reqs []prefetch.Request
+	if e := p.find(ev.Line); e != nil {
+		e.stamp = p.clock
+		n := p.degree
+		if n > successorsPerEntry {
+			n = successorsPerEntry
+		}
+		// Highest-confidence successors first.
+		order := make([]int, 0, successorsPerEntry)
+		for i := 0; i < successorsPerEntry; i++ {
+			order = append(order, i)
+		}
+		for i := 0; i < len(order); i++ {
+			for j := i + 1; j < len(order); j++ {
+				if e.succ[order[j]].conf > e.succ[order[i]].conf {
+					order[i], order[j] = order[j], order[i]
+				}
+			}
+		}
+		for _, i := range order[:n] {
+			if e.succ[i].conf > 0 {
+				reqs = append(reqs, prefetch.Request{Line: e.succ[i].line, PC: ev.PC})
+			}
+		}
+	}
+	p.learn(ev.Line)
+	return reqs
+}
+
+// learn updates the last-line's successor list with ev's line.
+func (p *Prefetcher) learn(cur mem.Line) {
+	prev := p.last
+	had := p.hasLast
+	p.last, p.hasLast = cur, true
+	if !had || prev == cur {
+		return
+	}
+	e := p.find(prev)
+	if e == nil {
+		e = p.allocate(prev)
+	}
+	e.stamp = p.clock
+	// Existing candidate: bump its confidence, decay the others.
+	for i := range e.succ {
+		if e.succ[i].conf > 0 && e.succ[i].line == cur {
+			if e.succ[i].conf < 3 {
+				e.succ[i].conf++
+			}
+			return
+		}
+	}
+	// Replace the weakest candidate.
+	weakest := 0
+	for i := range e.succ {
+		if e.succ[i].conf < e.succ[weakest].conf {
+			weakest = i
+		}
+	}
+	if e.succ[weakest].conf > 0 {
+		e.succ[weakest].conf--
+		if e.succ[weakest].conf > 0 {
+			return // not yet displaced
+		}
+	}
+	e.succ[weakest] = successor{line: cur, conf: 1}
+}
+
+// allocate installs a new trigger entry, evicting LRU.
+func (p *Prefetcher) allocate(l mem.Line) *entry {
+	set := p.sets[p.setOf(l)]
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].stamp < set[victim].stamp {
+			victim = i
+		}
+	}
+	set[victim] = entry{valid: true, tag: p.tagOf(l), stamp: p.clock}
+	return &set[victim]
+}

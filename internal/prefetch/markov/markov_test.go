@@ -1,0 +1,107 @@
+package markov
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func miss(line mem.Line) prefetch.Event {
+	return prefetch.Event{PC: 1, Line: line, Miss: true}
+}
+
+func feed(p *Prefetcher, seq []mem.Line) {
+	for _, l := range seq {
+		p.Train(miss(l))
+	}
+}
+
+func TestLearnsSuccessor(t *testing.T) {
+	p := New(1 << 20)
+	feed(p, []mem.Line{10, 20, 10, 20}) // conf builds to 2
+	reqs := p.Train(miss(10))
+	if len(reqs) != 1 || reqs[0].Line != 20 {
+		t.Fatalf("got %v, want [20]", reqs)
+	}
+}
+
+func TestTracksTwoSuccessors(t *testing.T) {
+	p := New(1 << 20)
+	p.SetDegree(2)
+	// Alternate successors: 10 -> 20 and 10 -> 30, both reinforced.
+	feed(p, []mem.Line{10, 20, 10, 30, 10, 20, 10, 30})
+	reqs := p.Train(miss(10))
+	if len(reqs) != 2 {
+		t.Fatalf("got %d requests (%v), want both successors", len(reqs), reqs)
+	}
+	seen := map[mem.Line]bool{}
+	for _, r := range reqs {
+		seen[r.Line] = true
+	}
+	if !seen[20] || !seen[30] {
+		t.Errorf("successors %v, want {20, 30}", reqs)
+	}
+}
+
+func TestDegreeOnePicksHighestConfidence(t *testing.T) {
+	p := New(1 << 20)
+	// 10->20 reinforced three times, 10->30 once.
+	feed(p, []mem.Line{10, 20, 10, 20, 10, 20, 10, 30})
+	reqs := p.Train(miss(10))
+	if len(reqs) != 1 || reqs[0].Line != 20 {
+		t.Errorf("got %v, want the dominant successor 20", reqs)
+	}
+}
+
+func TestNoPCLocalization(t *testing.T) {
+	// The original Markov table correlates the global stream; two
+	// interleaved PC streams pollute each other.
+	p := New(1 << 20)
+	for i := 0; i < 4; i++ {
+		p.Train(prefetch.Event{PC: 0xA, Line: mem.Line(100 + i), Miss: true})
+		p.Train(prefetch.Event{PC: 0xB, Line: mem.Line(200 + i), Miss: true})
+	}
+	reqs := p.Train(prefetch.Event{PC: 0xA, Line: 100, Miss: true})
+	// Global successor of 100 is 200 (stream B), not 101.
+	if len(reqs) == 1 && reqs[0].Line == 101 {
+		t.Error("Markov behaved PC-localized; it must use the global stream")
+	}
+}
+
+func TestCapacityScalesWithBudgetAndEntryWidth(t *testing.T) {
+	small := New(64 << 10)
+	big := New(1 << 20)
+	if small.Capacity() >= big.Capacity() {
+		t.Errorf("capacity did not scale: %d vs %d", small.Capacity(), big.Capacity())
+	}
+	// K=2 successors at 4B each: a 1MB Markov table holds half the
+	// triggers of a 1MB Triage table (the paper's 2x redundancy claim).
+	if got, want := big.Capacity(), (1<<20)/8; got != want {
+		t.Errorf("1MB capacity = %d entries, want %d (8B entries)", got, want)
+	}
+}
+
+func TestBoundedEviction(t *testing.T) {
+	p := New(16 << 10) // 2048 entries, 1 per set
+	// Fill far beyond capacity.
+	for i := 0; i < 3*2048; i++ {
+		feed(p, []mem.Line{mem.Line(i * 3), mem.Line(i*3 + 100000)})
+	}
+	n := 0
+	for _, set := range p.sets {
+		for _, e := range set {
+			if e.valid {
+				n++
+			}
+		}
+	}
+	if n > p.Capacity() {
+		t.Errorf("table holds %d entries, capacity %d", n, p.Capacity())
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+)

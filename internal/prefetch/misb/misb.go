@@ -1,0 +1,341 @@
+// Package misb implements MISB (Wu et al., ISCA'19), the state-of-the-
+// art off-chip temporal prefetcher the paper compares against. MISB
+// maps PC-localized correlated addresses into a *structural address
+// space*: physically arbitrary but temporally consecutive addresses get
+// consecutive structural addresses, so that (1) prediction is a +1 walk
+// in structural space, and (2) metadata acquires spatial locality that
+// an on-chip metadata cache and a metadata prefetcher can exploit.
+//
+// Unlike the idealized STMS/Domino models, MISB's metadata traffic and
+// latency are modeled faithfully per the paper (§4.1): every on-chip
+// metadata-cache miss costs an off-chip metadata read, dirty metadata
+// evictions cost writes, and the structural-space metadata prefetcher
+// hides latency by fetching ahead along the stream.
+package misb
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// blockEntries is how many 8-byte mappings one 64B metadata block
+// holds; the metadata cache transfers whole blocks.
+const blockEntries = 8
+
+// streamGap spaces structural streams so chains can grow long without
+// colliding with a neighboring stream's slots. Structural space is
+// virtual (it indexes off-chip metadata), so generous spacing costs
+// nothing.
+const streamGap = 1 << 20
+
+type blockKind uint8
+
+const (
+	psKind blockKind = iota // physical -> structural blocks
+	spKind                  // structural -> physical blocks
+)
+
+type blockKey struct {
+	kind blockKind
+	id   uint64
+}
+
+// Prefetcher is the MISB model.
+type Prefetcher struct {
+	env prefetch.Env
+
+	// Off-chip metadata (backed by host memory = simulated DRAM).
+	// Each correlation is tracked twice (PS and SP entries) — the 2x
+	// metadata redundancy the paper attributes to MISB (§2.1).
+	ps     map[mem.Line]uint64
+	sp     map[uint64]mem.Line
+	spConf map[uint64]bool // 1-bit successor confidence per SP slot
+
+	lastAddr map[uint64]mem.Line // training unit: PC -> last line
+
+	nextStream uint64
+
+	cache  *blockCache
+	degree int
+
+	// Stats
+	offchipReads  uint64
+	offchipWrites uint64
+	cacheHits     uint64
+	cacheMisses   uint64
+
+	dbgRebinds, dbgDisplace, dbgForgiven, dbgConsistent uint64
+}
+
+// Option configures MISB.
+type Option func(*Prefetcher)
+
+// WithCacheBytes sets the on-chip metadata cache size (default 48KB,
+// the "MISB_48KB" configuration of Fig. 11).
+func WithCacheBytes(b int) Option {
+	return func(p *Prefetcher) { p.cache = newBlockCache(b / mem.LineSize) }
+}
+
+// New returns a MISB prefetcher.
+func New(opts ...Option) *Prefetcher {
+	p := &Prefetcher{
+		env:      prefetch.NopEnv{},
+		ps:       make(map[mem.Line]uint64),
+		sp:       make(map[uint64]mem.Line),
+		spConf:   make(map[uint64]bool),
+		lastAddr: make(map[uint64]mem.Line),
+		cache:    newBlockCache(48 << 10 / mem.LineSize),
+		degree:   1,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "misb" }
+
+// SetDegree implements prefetch.DegreeSetter.
+func (p *Prefetcher) SetDegree(d int) { p.degree = d }
+
+// Bind implements prefetch.EnvUser.
+func (p *Prefetcher) Bind(env prefetch.Env) { p.env = env }
+
+// OffChipMetadataAccesses returns total off-chip metadata transfers
+// (the energy model of Fig. 13 charges these at DRAM cost).
+func (p *Prefetcher) OffChipMetadataAccesses() uint64 {
+	return p.offchipReads + p.offchipWrites
+}
+
+// CacheHitRate returns the on-chip metadata cache hit rate.
+func (p *Prefetcher) CacheHitRate() float64 {
+	t := p.cacheHits + p.cacheMisses
+	if t == 0 {
+		return 0
+	}
+	return float64(p.cacheHits) / float64(t)
+}
+
+func psBlock(l mem.Line) blockKey { return blockKey{psKind, uint64(l) / blockEntries} }
+func spBlock(s uint64) blockKey   { return blockKey{spKind, s / blockEntries} }
+
+// touch runs one metadata-cache access for an operation that began at
+// tick eventTick; on a miss it pays an off-chip read and installs the
+// block. It returns the read latency in ticks (0 on a hit). DRAM
+// bandwidth is always charged at eventTick — chained lookups pipeline
+// on the channel even though their latencies add up serially.
+func (p *Prefetcher) touch(key blockKey, eventTick uint64, write bool) uint64 {
+	if p.cache.access(key, write) {
+		p.cacheHits++
+		return 0
+	}
+	p.cacheMisses++
+	p.offchipReads++
+	done := p.env.MetadataRead(eventTick)
+	if ev, dirty := p.cache.install(key, write); ev {
+		if dirty {
+			p.offchipWrites++
+			p.env.MetadataWrite(eventTick)
+		}
+	}
+	return done - eventTick
+}
+
+// prefetchBlock installs a block without charging latency to the
+// current operation (the metadata prefetcher runs off the critical
+// path) but still pays traffic.
+func (p *Prefetcher) prefetchBlock(key blockKey, now uint64) {
+	if p.cache.present(key) {
+		return
+	}
+	p.offchipReads++
+	p.env.MetadataRead(now)
+	if ev, dirty := p.cache.install(key, false); ev && dirty {
+		p.offchipWrites++
+		p.env.MetadataWrite(now)
+	}
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	now := ev.Tick
+	reqs := p.predict(ev, now)
+	p.learn(ev, now)
+	return reqs
+}
+
+// predict walks the structural space from ev.Line's structural address.
+func (p *Prefetcher) predict(ev prefetch.Event, now uint64) []prefetch.Request {
+	s, ok := p.ps[ev.Line]
+	if !ok {
+		return nil
+	}
+	delay := p.touch(psBlock(ev.Line), now, false)
+	var reqs []prefetch.Request
+	for i := 1; i <= p.degree; i++ {
+		line, ok := p.sp[s+uint64(i)]
+		if !ok {
+			break
+		}
+		delay += p.touch(spBlock(s+uint64(i)), now, false)
+		reqs = append(reqs, prefetch.Request{Line: line, PC: ev.PC, IssueDelay: delay})
+	}
+	// Metadata prefetching — MISB's central mechanism for hiding
+	// off-chip metadata latency: fetch the next SP block along the
+	// stream, and the PS blocks of the just-predicted addresses (they
+	// become triggers momentarily). Off the critical path; traffic is
+	// still charged.
+	p.prefetchBlock(spBlock(s+uint64(p.degree)+blockEntries), now)
+	for _, req := range reqs {
+		p.prefetchBlock(psBlock(req.Line), now)
+	}
+	return reqs
+}
+
+// learn updates the structural mapping with the new correlation.
+// Unlike a table, the structural space must be *maintained*: a pair
+// whose successor changed updates the SP slot under a 1-bit confidence
+// (first disagreement forgiven), and a line keeps its first structural
+// position for life. Cross-stream links leave stale duplicate SP
+// entries behind — exactly the metadata redundancy the paper says
+// structural organizations pay relative to Triage's table (§2.1).
+func (p *Prefetcher) learn(ev prefetch.Event, now uint64) {
+	prev, hadPrev := p.lastAddr[ev.PC]
+	p.lastAddr[ev.PC] = ev.Line
+	if !hadPrev || prev == ev.Line {
+		return
+	}
+	sPrev, ok := p.ps[prev]
+	if !ok {
+		// Start a new structural stream at prev.
+		sPrev = p.nextStream * streamGap
+		p.nextStream++
+		p.ps[prev] = sPrev
+		p.sp[sPrev] = prev
+		p.touch(psBlock(prev), now, true)
+		p.touch(spBlock(sPrev), now, true)
+	}
+	desired := sPrev + 1
+	if old, ok := p.sp[desired]; ok {
+		if old == ev.Line {
+			p.dbgConsistent++
+			p.spConf[desired] = true
+			return // already correlated
+		}
+		if p.spConf[desired] {
+			// First disagreement is forgiven (1-bit confidence).
+			p.dbgForgiven++
+			p.spConf[desired] = false
+			return
+		}
+		p.dbgDisplace++
+	}
+	p.dbgRebinds++
+	p.sp[desired] = ev.Line
+	p.spConf[desired] = true
+	p.touch(spBlock(desired), now, true)
+	if _, ok := p.ps[ev.Line]; !ok {
+		p.ps[ev.Line] = desired
+		p.touch(psBlock(ev.Line), now, true)
+	}
+}
+
+// --- on-chip metadata cache: LRU over 64B blocks ---
+
+type blockNode struct {
+	key        blockKey
+	dirty      bool
+	prev, next *blockNode
+}
+
+type blockCache struct {
+	capacity int
+	nodes    map[blockKey]*blockNode
+	head     *blockNode // MRU
+	tail     *blockNode // LRU
+}
+
+func newBlockCache(blocks int) *blockCache {
+	if blocks < 1 {
+		blocks = 1
+	}
+	return &blockCache{capacity: blocks, nodes: make(map[blockKey]*blockNode, blocks)}
+}
+
+// access touches key; returns true on hit. write marks it dirty.
+func (c *blockCache) access(key blockKey, write bool) bool {
+	n, ok := c.nodes[key]
+	if !ok {
+		return false
+	}
+	if write {
+		n.dirty = true
+	}
+	c.moveToFront(n)
+	return true
+}
+
+func (c *blockCache) present(key blockKey) bool {
+	_, ok := c.nodes[key]
+	return ok
+}
+
+// install inserts key, evicting the LRU block if full. It returns
+// whether an eviction happened and whether the victim was dirty.
+func (c *blockCache) install(key blockKey, write bool) (evicted, dirty bool) {
+	if n, ok := c.nodes[key]; ok {
+		if write {
+			n.dirty = true
+		}
+		c.moveToFront(n)
+		return false, false
+	}
+	if len(c.nodes) >= c.capacity {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.nodes, victim.key)
+		evicted, dirty = true, victim.dirty
+	}
+	n := &blockNode{key: key, dirty: write}
+	c.nodes[key] = n
+	c.pushFront(n)
+	return evicted, dirty
+}
+
+func (c *blockCache) moveToFront(n *blockNode) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}
+
+func (c *blockCache) pushFront(n *blockNode) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *blockCache) unlink(n *blockNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}

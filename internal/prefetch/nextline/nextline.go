@@ -1,0 +1,46 @@
+// Package nextline implements the simplest hardware prefetcher: on a
+// miss for line X, fetch X+1..X+degree (Smith, 1978). It is the
+// canonical lower bound for the prefetcher zoo and a sanity anchor for
+// the simulator (it must help sequential streams and do nothing useful
+// for pointer chases).
+package nextline
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// Prefetcher is a next-N-line prefetcher.
+type Prefetcher struct {
+	degree int
+}
+
+// New returns a next-line prefetcher with the given degree.
+func New(degree int) *Prefetcher {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Prefetcher{degree: degree}
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "nextline" }
+
+// SetDegree implements prefetch.DegreeSetter.
+func (p *Prefetcher) SetDegree(d int) {
+	if d >= 1 {
+		p.degree = d
+	}
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	reqs := make([]prefetch.Request, 0, p.degree)
+	for i := 1; i <= p.degree; i++ {
+		reqs = append(reqs, prefetch.Request{Line: ev.Line + mem.Line(i), PC: ev.PC})
+	}
+	return reqs
+}

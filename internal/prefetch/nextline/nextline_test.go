@@ -1,0 +1,48 @@
+package nextline
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func TestPrefetchesNextLines(t *testing.T) {
+	p := New(3)
+	reqs := p.Train(prefetch.Event{PC: 1, Line: 100, Miss: true})
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	for i, want := range []mem.Line{101, 102, 103} {
+		if reqs[i].Line != want {
+			t.Errorf("request %d = %d, want %d", i, reqs[i].Line, want)
+		}
+	}
+}
+
+func TestIgnoresHits(t *testing.T) {
+	p := New(1)
+	if reqs := p.Train(prefetch.Event{PC: 1, Line: 5}); reqs != nil {
+		t.Error("trained on a non-miss event")
+	}
+}
+
+func TestDegreeClamping(t *testing.T) {
+	p := New(0) // clamps to 1
+	if got := len(p.Train(prefetch.Event{Line: 1, Miss: true})); got != 1 {
+		t.Errorf("degree-0 constructor: %d requests, want 1", got)
+	}
+	p.SetDegree(-5) // ignored
+	if got := len(p.Train(prefetch.Event{Line: 1, Miss: true})); got != 1 {
+		t.Errorf("after SetDegree(-5): %d requests, want 1", got)
+	}
+	p.SetDegree(4)
+	if got := len(p.Train(prefetch.Event{Line: 1, Miss: true})); got != 4 {
+		t.Errorf("after SetDegree(4): %d requests, want 4", got)
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+)

@@ -1,0 +1,115 @@
+// Package prefetch defines the contract between the simulator and data
+// prefetchers, plus shared helpers. Concrete prefetchers live in
+// subpackages (bo, sms, stride, stms, domino, misb, hybrid) and the
+// paper's contribution, Triage, lives in internal/core.
+//
+// Per the paper's methodology (§4.1), prefetchers train on the L2
+// access stream — demand misses and demand hits on prefetched lines —
+// and their prefetches are inserted into the L2.
+package prefetch
+
+import "repro/internal/mem"
+
+// Event is one L2 training event.
+type Event struct {
+	// PC is the load/store instruction address (PC localization).
+	PC uint64
+	// Line is the accessed cache line.
+	Line mem.Line
+	// Core is the requesting core id.
+	Core int
+	// Miss is true for an L2 demand miss.
+	Miss bool
+	// PrefetchHit is true for a demand hit on a prefetched line.
+	PrefetchHit bool
+	// Store marks write accesses.
+	Store bool
+	// Tick is the current simulator time.
+	Tick uint64
+}
+
+// Request is a prefetch candidate.
+type Request struct {
+	// Line to prefetch.
+	Line mem.Line
+	// PC is the trigger PC, recorded for replacement/feedback training.
+	PC uint64
+	// IssueDelay is extra ticks before the request may be sent below
+	// the L2 (metadata lookup latency: LLC-resident metadata for
+	// Triage, off-chip metadata for MISB).
+	IssueDelay uint64
+}
+
+// Prefetcher is the interface all L2 prefetchers implement.
+type Prefetcher interface {
+	// Name identifies the prefetcher in reports.
+	Name() string
+	// Train observes one training event and returns prefetch
+	// candidates, at most its configured degree.
+	Train(ev Event) []Request
+}
+
+// DegreeSetter is implemented by prefetchers with a tunable degree.
+type DegreeSetter interface {
+	SetDegree(d int)
+}
+
+// FillObserver is implemented by prefetchers that learn from fills
+// completing at the L2 (Best-Offset uses this for its recent-requests
+// table so that learned offsets respect prefetch timeliness).
+type FillObserver interface {
+	// ObserveFill is called when line arrives at the L2. prefetched
+	// reports whether a prefetcher requested it.
+	ObserveFill(line mem.Line, prefetched bool, tick uint64)
+}
+
+// OutcomeObserver is implemented by prefetchers that need per-request
+// feedback. Triage trains its Hawkeye metadata replacement positively
+// only when a prefetch actually misses in the cache (paper §3,
+// "Metadata Replacement").
+type OutcomeObserver interface {
+	// PrefetchOutcome reports whether the issued request missed the
+	// data caches (useful) or was redundant (hit L2/LLC).
+	PrefetchOutcome(req Request, missedCache bool)
+}
+
+// Env gives prefetchers access to simulator resources they are
+// architecturally entitled to: off-chip metadata transfers (MISB) and
+// LLC metadata access counting (Triage's energy accounting).
+type Env interface {
+	// MetadataRead models one off-chip metadata block read starting at
+	// tick now; it returns the completion tick and accounts traffic.
+	MetadataRead(now uint64) uint64
+	// MetadataWrite models one posted off-chip metadata block write.
+	MetadataWrite(now uint64)
+	// LLCMetadataAccess counts n LLC accesses made for prefetcher
+	// metadata (energy model: 1 unit per access, Fig. 13).
+	LLCMetadataAccess(n int)
+}
+
+// EnvUser is implemented by prefetchers that need an Env. The simulator
+// calls Bind before the first Train.
+type EnvUser interface {
+	Bind(env Env)
+}
+
+// NopEnv is an Env that ignores everything (tests, standalone use).
+type NopEnv struct{}
+
+// MetadataRead implements Env with zero latency.
+func (NopEnv) MetadataRead(now uint64) uint64 { return now }
+
+// MetadataWrite implements Env.
+func (NopEnv) MetadataWrite(uint64) {}
+
+// LLCMetadataAccess implements Env.
+func (NopEnv) LLCMetadataAccess(int) {}
+
+// Nil is the no-prefetching baseline ("NoL2PF" in the figures).
+type Nil struct{}
+
+// Name implements Prefetcher.
+func (Nil) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (Nil) Train(Event) []Request { return nil }

@@ -1,0 +1,155 @@
+// Package sms implements Spatial Memory Streaming (Somogyi et al.,
+// ISCA'06): it records the spatial footprint of accesses within a
+// memory region during a "generation", associates the footprint with
+// the (PC, trigger-offset) that opened the generation, and on a later
+// trigger replays the footprint as prefetches across a new region.
+//
+// SMS captures recurring spatial patterns in irregular code but — as
+// the paper stresses — cannot follow pointers, which is why it trails
+// Triage badly on the irregular SPEC subset (Fig. 5).
+package sms
+
+import (
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+// RegionLines is the spatial region size in cache lines (2KB regions).
+const RegionLines = 32
+
+type generation struct {
+	pc        uint64
+	trigger   int // offset of the first access
+	footprint uint32
+	lastUse   uint64
+}
+
+// Prefetcher implements SMS.
+type Prefetcher struct {
+	// active generation table: region -> in-flight footprint
+	agt    map[uint64]*generation
+	agtCap int
+	clock  uint64
+
+	// pattern history table: (pc, trigger offset) -> footprint
+	pht    map[uint64]uint32
+	phtCap int
+
+	degree int
+}
+
+// Option configures the prefetcher.
+type Option func(*Prefetcher)
+
+// WithTableSizes bounds the AGT and PHT.
+func WithTableSizes(agt, pht int) Option {
+	return func(p *Prefetcher) { p.agtCap, p.phtCap = agt, pht }
+}
+
+// New returns an SMS prefetcher (defaults: 64-region AGT, 16K-entry
+// PHT, footprint replay capped at 8 lines).
+func New(opts ...Option) *Prefetcher {
+	p := &Prefetcher{
+		agt:    make(map[uint64]*generation),
+		agtCap: 64,
+		pht:    make(map[uint64]uint32),
+		phtCap: 16384,
+		degree: 8,
+	}
+	for _, o := range opts {
+		o(p)
+	}
+	return p
+}
+
+// Name implements prefetch.Prefetcher.
+func (p *Prefetcher) Name() string { return "sms" }
+
+// SetDegree implements prefetch.DegreeSetter: it caps the number of
+// footprint lines replayed per trigger.
+func (p *Prefetcher) SetDegree(d int) { p.degree = d }
+
+func phtKey(pc uint64, trigger int) uint64 {
+	return pc<<5 | uint64(trigger)
+}
+
+// Train implements prefetch.Prefetcher.
+func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
+	if !ev.Miss && !ev.PrefetchHit {
+		return nil
+	}
+	p.clock++
+	region := mem.RegionOf(ev.Line, RegionLines)
+	off := mem.RegionOffset(ev.Line, RegionLines)
+	if g, ok := p.agt[region]; ok {
+		g.footprint |= 1 << uint(off)
+		g.lastUse = p.clock
+		return nil
+	}
+	// New generation: first access to the region is the trigger.
+	p.openGeneration(region, ev.PC, off)
+	// Replay a learned footprint for this (PC, trigger offset), if any.
+	fp, ok := p.pht[phtKey(ev.PC, off)]
+	if !ok {
+		return nil
+	}
+	base := mem.Line(region * RegionLines)
+	reqs := make([]prefetch.Request, 0, p.degree)
+	// Replay nearest offsets first so a small degree keeps the most
+	// correlated lines.
+	for dist := 1; dist < RegionLines && len(reqs) < p.degree; dist++ {
+		for _, o := range []int{off + dist, off - dist} {
+			if o < 0 || o >= RegionLines || len(reqs) >= p.degree {
+				continue
+			}
+			if fp&(1<<uint(o)) != 0 {
+				reqs = append(reqs, prefetch.Request{Line: base + mem.Line(o), PC: ev.PC})
+			}
+		}
+	}
+	return reqs
+}
+
+// openGeneration starts tracking a region, retiring the LRU generation
+// into the PHT when the AGT is full.
+func (p *Prefetcher) openGeneration(region uint64, pc uint64, off int) {
+	if len(p.agt) >= p.agtCap {
+		var lruRegion uint64
+		lruClock := ^uint64(0)
+		for r, g := range p.agt {
+			if g.lastUse < lruClock {
+				lruClock, lruRegion = g.lastUse, r
+			}
+		}
+		p.retire(lruRegion)
+	}
+	p.agt[region] = &generation{
+		pc:        pc,
+		trigger:   off,
+		footprint: 1 << uint(off),
+		lastUse:   p.clock,
+	}
+}
+
+// retire moves a finished generation's footprint into the PHT.
+func (p *Prefetcher) retire(region uint64) {
+	g := p.agt[region]
+	delete(p.agt, region)
+	if g == nil {
+		return
+	}
+	key := phtKey(g.pc, g.trigger)
+	if _, ok := p.pht[key]; ok && g.footprint == 1<<uint(g.trigger) {
+		// The generation ended before any spatial neighbor was touched
+		// (e.g. it was displaced from the AGT immediately); keep the
+		// learned pattern instead of degrading it to a lone trigger.
+		return
+	}
+	if len(p.pht) >= p.phtCap {
+		for k := range p.pht {
+			delete(p.pht, k)
+			break
+		}
+	}
+	p.pht[key] = g.footprint
+}

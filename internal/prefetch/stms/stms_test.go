@@ -1,0 +1,92 @@
+package stms
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+)
+
+func miss(line mem.Line) prefetch.Event {
+	return prefetch.Event{PC: 1, Line: line, Miss: true}
+}
+
+func TestReplaysTemporalStream(t *testing.T) {
+	p := New()
+	seq := []mem.Line{10, 99, 3, 7, 42}
+	for _, l := range seq {
+		if reqs := p.Train(miss(l)); len(reqs) != 0 {
+			t.Fatalf("first pass prefetched %v", reqs)
+		}
+	}
+	// Second pass: each access should predict its recorded successor.
+	for i := 0; i < len(seq)-1; i++ {
+		reqs := p.Train(miss(seq[i]))
+		if len(reqs) != 1 || reqs[0].Line != seq[i+1] {
+			t.Errorf("trigger %d: got %v, want successor %d", seq[i], reqs, seq[i+1])
+		}
+	}
+}
+
+func TestDegreeReplaysRun(t *testing.T) {
+	p := New()
+	p.SetDegree(3)
+	seq := []mem.Line{1, 2, 3, 4, 5}
+	for _, l := range seq {
+		p.Train(miss(l))
+	}
+	reqs := p.Train(miss(1))
+	if len(reqs) != 3 {
+		t.Fatalf("degree 3: got %d requests", len(reqs))
+	}
+	for k, want := range []mem.Line{2, 3, 4} {
+		if reqs[k].Line != want {
+			t.Errorf("request %d = %d, want %d", k, reqs[k].Line, want)
+		}
+	}
+}
+
+func TestNoPCLocalization(t *testing.T) {
+	// STMS uses the global stream: interleaving two streams pollutes the
+	// successors — the defining weakness vs ISB/Triage (§2.1).
+	p := New()
+	for i := 0; i < 4; i++ {
+		p.Train(prefetch.Event{PC: 0xA, Line: mem.Line(100 + i), Miss: true})
+		p.Train(prefetch.Event{PC: 0xB, Line: mem.Line(200 + i), Miss: true})
+	}
+	reqs := p.Train(prefetch.Event{PC: 0xA, Line: 100, Miss: true})
+	if len(reqs) != 1 {
+		t.Fatalf("got %d requests", len(reqs))
+	}
+	// The recorded global successor of 100 is 200 (stream B's access),
+	// not 101.
+	if reqs[0].Line != 200 {
+		t.Errorf("global successor = %d, want 200 (interleaved stream)", reqs[0].Line)
+	}
+}
+
+func TestIndexTracksLatestOccurrence(t *testing.T) {
+	p := New()
+	for _, l := range []mem.Line{1, 2, 1, 3} {
+		p.Train(miss(l))
+	}
+	reqs := p.Train(miss(1))
+	if len(reqs) != 1 || reqs[0].Line != 3 {
+		t.Errorf("got %v, want successor of the latest occurrence (3)", reqs)
+	}
+}
+
+func TestHistoryGrowth(t *testing.T) {
+	p := New()
+	for i := 0; i < 1000; i++ {
+		p.Train(miss(mem.Line(i)))
+	}
+	if p.HistoryLen() != 1000 {
+		t.Errorf("history length %d, want 1000", p.HistoryLen())
+	}
+}
+
+var (
+	_ prefetch.Prefetcher   = (*Prefetcher)(nil)
+	_ prefetch.DegreeSetter = (*Prefetcher)(nil)
+)

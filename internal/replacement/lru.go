@@ -1,0 +1,45 @@
+package replacement
+
+// LRU is the classic least-recently-used policy.
+type LRU struct {
+	ways  int
+	stamp [][]uint64 // [set][way] last-use timestamps
+	clock uint64
+}
+
+// NewLRU returns an LRU policy for a sets x ways cache.
+func NewLRU(sets, ways int) *LRU {
+	s := make([][]uint64, sets)
+	for i := range s {
+		s[i] = make([]uint64, ways)
+	}
+	return &LRU{ways: ways, stamp: s}
+}
+
+// Name implements Policy.
+func (p *LRU) Name() string { return "lru" }
+
+// Hit implements Policy.
+func (p *LRU) Hit(set, way int, _ Access) { p.touch(set, way) }
+
+// Fill implements Policy.
+func (p *LRU) Fill(set, way int, _ Access) { p.touch(set, way) }
+
+func (p *LRU) touch(set, way int) {
+	p.clock++
+	p.stamp[set][way] = p.clock
+}
+
+// Victim implements Policy.
+func (p *LRU) Victim(set int, _ Access, valid []bool) int {
+	if w := preferInvalid(valid); w >= 0 {
+		return w
+	}
+	victim, oldest := 0, ^uint64(0)
+	for w := 0; w < len(valid); w++ {
+		if s := p.stamp[set][w]; s < oldest {
+			oldest, victim = s, w
+		}
+	}
+	return victim
+}

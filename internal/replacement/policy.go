@@ -1,0 +1,45 @@
+// Package replacement provides cache replacement policies: LRU, random,
+// SRRIP, and Hawkeye (Jain & Lin, ISCA'16), which the paper uses both as
+// an LLC policy and — in modified form — as Triage's metadata
+// replacement policy and partition-utility estimator.
+package replacement
+
+import "repro/internal/mem"
+
+// Access carries the information a policy may use on each cache access.
+type Access struct {
+	Line mem.Line
+	PC   uint64
+	// Core is the id of the requesting core (0 on single-core systems).
+	Core int
+	// Prefetch marks fills/touches caused by a prefetcher rather than a
+	// demand access.
+	Prefetch bool
+}
+
+// Policy decides which way to evict within a set and observes hits and
+// fills. A single Policy instance serves one cache; implementations are
+// sized with NewXxx(sets, ways).
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Hit notifies the policy that the line in (set, way) was accessed.
+	Hit(set, way int, a Access)
+	// Fill notifies the policy that a new line was installed in
+	// (set, way).
+	Fill(set, way int, a Access)
+	// Victim selects the way to evict from set for the incoming access.
+	// valid[w] reports whether way w currently holds a line; policies
+	// must prefer an invalid way when one exists.
+	Victim(set int, a Access, valid []bool) int
+}
+
+// preferInvalid returns the first invalid way, or -1 if all are valid.
+func preferInvalid(valid []bool) int {
+	for w, v := range valid {
+		if !v {
+			return w
+		}
+	}
+	return -1
+}

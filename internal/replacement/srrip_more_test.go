@@ -1,0 +1,61 @@
+package replacement
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func mLine(i int) mem.Line { return mem.Line(i * 977) }
+
+func TestSRRIPAgingTerminates(t *testing.T) {
+	// All lines at RRPV 0: Victim must age until one reaches max and
+	// still return a legal way.
+	p := NewSRRIP(1, 4, 2)
+	for w := 0; w < 4; w++ {
+		p.Fill(0, w, Access{})
+		p.Hit(0, w, Access{}) // promote to 0
+	}
+	v := p.Victim(0, Access{}, allValid(4))
+	if v < 0 || v >= 4 {
+		t.Fatalf("victim %d out of range", v)
+	}
+}
+
+func TestHawkeyeSamplerBounded(t *testing.T) {
+	h := NewHawkeye(64, 4, 1, 8) // every set sampled
+	for i := 0; i < 100000; i++ {
+		set := i % 64
+		a := Access{Line: 0, PC: uint64(i % 3)}
+		a.Line = mLine(i)
+		h.Fill(set, i%4, a)
+	}
+	for set, s := range h.samplers {
+		if len(s.last) > s.cap {
+			t.Fatalf("set %d sampler grew to %d entries (cap %d)", set, len(s.last), s.cap)
+		}
+	}
+}
+
+func TestPredictorBitsValidation(t *testing.T) {
+	for _, bits := range []uint{0, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPredictor(%d) did not panic", bits)
+				}
+			}()
+			NewPredictor(bits)
+		}()
+	}
+}
+
+func TestRandomZeroSeedGetsDefault(t *testing.T) {
+	p := NewRandom(4, 0)
+	// Must still produce victims without hanging or dividing by zero.
+	for i := 0; i < 10; i++ {
+		if v := p.Victim(0, Access{}, allValid(4)); v < 0 || v >= 4 {
+			t.Fatalf("victim %d", v)
+		}
+	}
+}

@@ -1,0 +1,466 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/stride"
+	"repro/internal/replacement"
+)
+
+// mshrRing models a bank of K miss-status-holding registers as a
+// K-server queue: a request arriving at t starts no earlier than the
+// completion of the request K slots ago. Requests are inserted in
+// program order per core, so FIFO reuse is a faithful approximation.
+type mshrRing struct {
+	slots []uint64
+	head  int
+}
+
+func newMSHRRing(k int) *mshrRing { return &mshrRing{slots: make([]uint64, k)} }
+
+// admit returns the earliest start time for a request arriving at t,
+// plus a commit func the caller invokes with the request's completion.
+func (m *mshrRing) admit(t uint64) (start uint64, commit func(done uint64)) {
+	if f := m.slots[m.head]; f > t {
+		t = f
+	}
+	h := m.head
+	m.head = (m.head + 1) % len(m.slots)
+	return t, func(done uint64) { m.slots[h] = done }
+}
+
+// tryAdmit is the non-blocking variant used for prefetches: when every
+// slot is busy at t the request is rejected (ChampSim drops prefetches
+// on a full prefetch queue rather than delaying them — a delayed
+// prefetch would be worse than the demand miss it replaces).
+func (m *mshrRing) tryAdmit(t uint64) (commit func(done uint64), ok bool) {
+	if m.slots[m.head] > t {
+		return nil, false
+	}
+	h := m.head
+	m.head = (m.head + 1) % len(m.slots)
+	return func(done uint64) { m.slots[h] = done }, true
+}
+
+// hierarchy owns the caches, DRAM and prefetchers of one machine.
+type hierarchy struct {
+	cfg config.Machine
+
+	l1  []*cache.Cache // per core
+	l2  []*cache.Cache // per core
+	llc *cache.Cache   // shared
+	ram *dram.DRAM
+
+	l1pf []*stride.Prefetcher  // optional per-core L1 stride prefetcher
+	l2pf []prefetch.Prefetcher // per-core L2 prefetcher (may be nil)
+
+	// Per-core queueing: demand MSHRs at L1 and L2, and the prefetch
+	// queue below the L2 (finite MLP; what makes prefetching matter).
+	l1mshr []*mshrRing
+	l2mshr []*mshrRing
+	pfq    []*mshrRing
+
+	// Latencies in ticks.
+	l1Lat, l2Lat, llcLat uint64
+
+	noCapacityLoss bool
+	metaWays       int
+	partitioners   [][]metadataPartitioner // per core
+
+	// Fig 19: time-averaged per-core metadata ways.
+	waySamples []float64
+	waySampleN uint64
+	lastWants  []int
+
+	// Energy counters (prefetch.Env).
+	triageMetaAccesses uint64
+	metaLineRR         uint64 // rotates MISB metadata over banks
+
+	pfIssued, pfUseful, pfRedundant, pfDropped uint64
+}
+
+// metadataPartitioner is implemented by prefetchers that claim LLC
+// capacity for metadata (Triage).
+type metadataPartitioner interface {
+	DesiredMetadataBytes() int
+}
+
+// partsOf unwraps hybrid prefetchers to find partitioners.
+type partsProvider interface {
+	Parts() []prefetch.Prefetcher
+}
+
+func findPartitioners(p prefetch.Prefetcher) []metadataPartitioner {
+	if p == nil {
+		return nil
+	}
+	if pp, ok := p.(partsProvider); ok {
+		var out []metadataPartitioner
+		for _, part := range pp.Parts() {
+			out = append(out, findPartitioners(part)...)
+		}
+		return out
+	}
+	if mp, ok := p.(metadataPartitioner); ok {
+		return []metadataPartitioner{mp}
+	}
+	return nil
+}
+
+func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy string, detailedDRAM, noCapacityLoss bool) *hierarchy {
+	h := &hierarchy{
+		cfg:            cfg,
+		ram:            dram.New(cfg, detailedDRAM),
+		l2pf:           l2pf,
+		l1Lat:          uint64(cfg.L1Latency) * dram.TicksPerCycle,
+		l2Lat:          uint64(cfg.L2Latency) * dram.TicksPerCycle,
+		llcLat:         uint64(cfg.LLCLatency+cfg.LLCExtraLatency) * dram.TicksPerCycle,
+		noCapacityLoss: noCapacityLoss,
+		waySamples:     make([]float64, cfg.Cores),
+		lastWants:      make([]int, cfg.Cores),
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		h.l1 = append(h.l1, cache.New("l1", cfg.L1Sets(), cfg.L1Ways, replacement.NewLRU(cfg.L1Sets(), cfg.L1Ways)))
+		h.l2 = append(h.l2, cache.New("l2", cfg.L2Sets(), cfg.L2Ways, replacement.NewLRU(cfg.L2Sets(), cfg.L2Ways)))
+		h.l1mshr = append(h.l1mshr, newMSHRRing(cfg.L1MSHRs))
+		h.l2mshr = append(h.l2mshr, newMSHRRing(cfg.L2MSHRs))
+		h.pfq = append(h.pfq, newMSHRRing(cfg.PrefetchQueue))
+		if cfg.L1StridePrefetcher {
+			h.l1pf = append(h.l1pf, stride.New())
+		} else {
+			h.l1pf = append(h.l1pf, nil)
+		}
+	}
+	llcSets := cfg.LLCSets()
+	var pol replacement.Policy
+	switch llcPolicy {
+	case "hawkeye":
+		pol = replacement.NewHawkeye(llcSets, cfg.LLCWays, 64, 13)
+	default:
+		pol = replacement.NewLRU(llcSets, cfg.LLCWays)
+	}
+	h.llc = cache.New("llc", llcSets, cfg.LLCWays, pol)
+	h.partitioners = make([][]metadataPartitioner, cfg.Cores)
+	for c, p := range l2pf {
+		h.partitioners[c] = findPartitioners(p)
+		if eu, ok := p.(prefetch.EnvUser); ok {
+			eu.Bind(h)
+		}
+	}
+	h.applyPartition()
+	return h
+}
+
+// --- prefetch.Env ---
+
+// MetadataRead implements prefetch.Env: one off-chip metadata block
+// read, contending for DRAM bandwidth like any other transfer.
+func (h *hierarchy) MetadataRead(now uint64) uint64 {
+	h.metaLineRR++
+	return h.ram.Access(now, mem.Line(h.metaLineRR), dram.MetadataRead)
+}
+
+// MetadataWrite implements prefetch.Env.
+func (h *hierarchy) MetadataWrite(now uint64) {
+	h.metaLineRR++
+	h.ram.Access(now, mem.Line(h.metaLineRR), dram.MetadataWrite)
+}
+
+// LLCMetadataAccess implements prefetch.Env.
+func (h *hierarchy) LLCMetadataAccess(n int) {
+	h.triageMetaAccesses += uint64(n)
+}
+
+// --- partitioning ---
+
+// applyPartition converts the per-core metadata desires into LLC way
+// allocation. Each core's wish is clamped so the total never exceeds
+// half the LLC (Fig. 19 caps metadata at 50%).
+func (h *hierarchy) applyPartition() {
+	total := 0
+	for c := range h.partitioners {
+		want := 0
+		for _, p := range h.partitioners[c] {
+			want += p.DesiredMetadataBytes()
+		}
+		h.lastWants[c] = want
+		total += want
+	}
+	if h.noCapacityLoss {
+		return
+	}
+	bytesPerWay := h.llc.Sets() * mem.LineSize
+	ways := (total + bytesPerWay/2) / bytesPerWay
+	if max := h.cfg.LLCWays / 2; ways > max {
+		ways = max
+	}
+	if ways == h.metaWays {
+		return
+	}
+	h.metaWays = ways
+	evs := h.llc.SetDataWays(h.cfg.LLCWays - ways)
+	// Flushed dirty lines are written back (the paper flushes the
+	// reallocated portion immediately).
+	for _, ev := range evs {
+		if ev.Dirty {
+			h.ram.Access(0, ev.Line, dram.Writeback)
+		}
+	}
+}
+
+// sampleWays records the per-core metadata allocation for Fig. 19. The
+// recorded unit is LLC ways of the shared cache attributable to each
+// core's wish.
+func (h *hierarchy) sampleWays() {
+	h.waySampleN++
+	bytesPerWay := float64(h.llc.Sets() * mem.LineSize)
+	for c := range h.lastWants {
+		h.waySamples[c] += float64(h.lastWants[c]) / bytesPerWay
+	}
+}
+
+// --- the access paths ---
+
+// load performs a demand load for core c and returns the data-ready tick.
+func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
+	acc := replacement.Access{Line: line, PC: pc, Core: c}
+
+	if r := h.l1[c].Access(line, acc, now); r.Hit {
+		ready := now + h.l1Lat
+		if r.ReadyTick > ready {
+			ready = r.ReadyTick
+		}
+		h.trainL1(c, pc, line, now)
+		return ready
+	}
+	h.trainL1(c, pc, line, now)
+
+	// L1 miss: allocate an L1 MSHR; it is held until the fill arrives.
+	t, commitL1 := h.l1mshr[c].admit(now)
+	var ready uint64
+
+	if r := h.l2[c].Access(line, acc, t); r.Hit {
+		ready = t + h.l2Lat
+		if r.ReadyTick > ready {
+			ready = r.ReadyTick
+		}
+		h.fill(h.l1[c], c, line, acc, false, ready)
+		commitL1(ready)
+		if r.WasPrefetch {
+			// Demand hit on a prefetched L2 line: a training event.
+			h.trainL2(c, prefetch.Event{PC: pc, Line: line, Core: c, PrefetchHit: true, Tick: t})
+		}
+		return ready
+	}
+
+	// L2 demand miss: training event regardless of LLC outcome.
+	ev := prefetch.Event{PC: pc, Line: line, Core: c, Miss: true, Tick: t}
+	t2, commitL2 := h.l2mshr[c].admit(t)
+	if r := h.llc.Access(line, acc, t2); r.Hit {
+		ready = t2 + h.llcLat
+		if r.ReadyTick > ready {
+			ready = r.ReadyTick
+		}
+	} else {
+		ready = h.ram.Access(t2, line, dram.DemandRead)
+		h.fill(h.llc, c, line, acc, false, ready)
+	}
+	commitL2(ready)
+	h.fill(h.l2[c], c, line, acc, false, ready)
+	h.observeL2Fill(c, line, false, ready)
+	h.fill(h.l1[c], c, line, acc, false, ready)
+	commitL1(ready)
+	h.trainL2(c, ev)
+	return ready
+}
+
+// store performs a demand store; the core does not wait (posted), but
+// the line is write-allocated and dirtied.
+func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
+	acc := replacement.Access{Line: line, PC: pc, Core: c}
+	if r := h.l1[c].Access(line, acc, now); r.Hit {
+		h.l1[c].MarkDirty(line)
+		h.trainL1(c, pc, line, now)
+		return
+	}
+	h.trainL1(c, pc, line, now)
+	t, commitL1 := h.l1mshr[c].admit(now)
+	if r := h.l2[c].Access(line, acc, t); r.Hit {
+		ready := t + h.l2Lat
+		if r.ReadyTick > ready {
+			ready = r.ReadyTick
+		}
+		h.fill(h.l1[c], c, line, acc, true, ready)
+		commitL1(ready)
+		if r.WasPrefetch {
+			h.trainL2(c, prefetch.Event{PC: pc, Line: line, Core: c, PrefetchHit: true, Store: true, Tick: t})
+		}
+		return
+	}
+	ev := prefetch.Event{PC: pc, Line: line, Core: c, Miss: true, Store: true, Tick: t}
+	t2, commitL2 := h.l2mshr[c].admit(t)
+	var ready uint64
+	if r := h.llc.Access(line, acc, t2); r.Hit {
+		ready = t2 + h.llcLat
+	} else {
+		ready = h.ram.Access(t2, line, dram.DemandRead) // write-allocate fetch
+		h.fill(h.llc, c, line, acc, false, ready)
+	}
+	commitL2(ready)
+	h.fill(h.l2[c], c, line, acc, false, ready)
+	h.observeL2Fill(c, line, false, ready)
+	h.fill(h.l1[c], c, line, acc, true, ready)
+	commitL1(ready)
+	h.trainL2(c, ev)
+}
+
+// fill installs a line and routes the displaced victim's writeback.
+func (h *hierarchy) fill(dst *cache.Cache, c int, line mem.Line, acc replacement.Access, dirty bool, ready uint64) {
+	ev := dst.Fill(line, acc, dirty, ready)
+	if !ev.Valid || !ev.Dirty {
+		return
+	}
+	switch dst {
+	case h.l1[c]:
+		// L1 victim writes back into L2 (mark dirty if present; install
+		// otherwise — simplified non-inclusive writeback).
+		h.l2[c].MarkDirty(ev.Line)
+	case h.l2[c]:
+		h.llc.MarkDirty(ev.Line)
+	case h.llc:
+		h.ram.Access(ready, ev.Line, dram.Writeback)
+	}
+}
+
+// trainL1 runs the baseline L1 stride prefetcher; its prefetches fill
+// the L1 and L2 without training the L2 prefetcher.
+func (h *hierarchy) trainL1(c int, pc uint64, line mem.Line, now uint64) {
+	p := h.l1pf[c]
+	if p == nil {
+		return
+	}
+	for _, req := range p.Train(prefetch.Event{PC: pc, Line: line, Miss: true}) {
+		if h.l1[c].Probe(req.Line) {
+			continue
+		}
+		acc := replacement.Access{Line: req.Line, PC: req.PC, Core: c, Prefetch: true}
+		// Resolve from L2/LLC/DRAM without touching the L2 training
+		// path; a full prefetch queue drops the request.
+		if h.l2[c].Probe(req.Line) {
+			h.fill(h.l1[c], c, req.Line, acc, false, now+h.l2Lat)
+			continue
+		}
+		commit, ok := h.pfq[c].tryAdmit(now)
+		if !ok {
+			continue
+		}
+		var ready uint64
+		if r := h.llc.Access(req.Line, acc, now); r.Hit {
+			ready = now + h.llcLat
+			h.fill(h.l2[c], c, req.Line, acc, false, ready)
+		} else {
+			ready = h.ram.Access(now, req.Line, dram.PrefetchRead)
+			h.fill(h.llc, c, req.Line, acc, false, ready)
+			h.fill(h.l2[c], c, req.Line, acc, false, ready)
+		}
+		commit(ready)
+		h.fill(h.l1[c], c, req.Line, acc, false, ready)
+	}
+}
+
+// trainL2 feeds one training event to the core's L2 prefetcher and
+// issues the resulting requests.
+func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
+	p := h.l2pf[c]
+	if p == nil {
+		return
+	}
+	reqs := p.Train(ev)
+	oo, _ := p.(prefetch.OutcomeObserver)
+	maxDelay := uint64(h.cfg.DRAMLatencyCycles()) * dram.TicksPerCycle
+	for _, req := range reqs {
+		// A prefetch delayed longer than a DRAM round trip (e.g. by
+		// serialized off-chip metadata lookups) would complete later
+		// than the demand miss it is meant to hide; hardware squashes
+		// it rather than letting the demand merge into it.
+		if req.IssueDelay > maxDelay {
+			h.pfDropped++
+			if oo != nil {
+				oo.PrefetchOutcome(req, false)
+			}
+			continue
+		}
+		issueAt := ev.Tick + req.IssueDelay
+		// Redundant if already in L2: dropped before consuming anything.
+		if h.l2[c].Probe(req.Line) {
+			h.pfRedundant++
+			if oo != nil {
+				oo.PrefetchOutcome(req, false)
+			}
+			continue
+		}
+		acc := replacement.Access{Line: req.Line, PC: req.PC, Core: c, Prefetch: true}
+		commit, ok := h.pfq[c].tryAdmit(issueAt)
+		if !ok {
+			// Prefetch queue full: drop (never issued, so Triage's
+			// delayed training treats it like a redundant prefetch).
+			h.pfDropped++
+			if oo != nil {
+				oo.PrefetchOutcome(req, false)
+			}
+			continue
+		}
+		h.pfIssued++
+		var ready uint64
+		missedCache := false
+		if r := h.llc.Access(req.Line, acc, issueAt); r.Hit {
+			ready = issueAt + h.llcLat
+			if r.ReadyTick > ready {
+				ready = r.ReadyTick
+			}
+		} else {
+			missedCache = true
+			ready = h.ram.Access(issueAt, req.Line, dram.PrefetchRead)
+			h.fill(h.llc, c, req.Line, acc, false, ready)
+		}
+		commit(ready)
+		h.fill(h.l2[c], c, req.Line, acc, false, ready)
+		h.observeL2Fill(c, req.Line, true, ready)
+		if oo != nil {
+			oo.PrefetchOutcome(req, missedCache)
+		}
+	}
+	// Partition re-evaluation is cheap; poll after each training event.
+	if len(h.partitioners[c]) > 0 {
+		h.applyPartition()
+	}
+	h.sampleWays()
+}
+
+// observeL2Fill notifies FillObserver prefetchers (BO's RR table).
+func (h *hierarchy) observeL2Fill(c int, line mem.Line, prefetched bool, tick uint64) {
+	if p := h.l2pf[c]; p != nil {
+		if fo, ok := p.(prefetch.FillObserver); ok {
+			fo.ObserveFill(line, prefetched, tick)
+		}
+	}
+}
+
+// resetStats clears all measurement counters (end of warmup).
+func (h *hierarchy) resetStats() {
+	for c := range h.l1 {
+		h.l1[c].ResetStats()
+		h.l2[c].ResetStats()
+	}
+	h.llc.ResetStats()
+	h.ram.ResetStats()
+	h.triageMetaAccesses = 0
+	h.pfIssued, h.pfUseful, h.pfRedundant, h.pfDropped = 0, 0, 0, 0
+	h.waySampleN = 0
+	for i := range h.waySamples {
+		h.waySamples[i] = 0
+	}
+}

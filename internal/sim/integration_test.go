@@ -1,0 +1,256 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/bo"
+	"repro/internal/prefetch/hybrid"
+	"repro/internal/prefetch/misb"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func triage(mode core.Mode) *core.Triage {
+	m := config.Default(1)
+	return core.New(core.Config{
+		Mode: mode, StaticBytes: 1 << 20,
+		LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
+	})
+}
+
+func chase() trace.Reader {
+	return workload.NewChase(workload.ChaseParams{
+		Nodes: 192 << 10, Streams: 2, HotFrac: 0.5, HotProb: 0.9,
+		RunLen: 256, Gap: 6,
+	}, 5, 0)
+}
+
+// TestDynamicPartitionAppearsDuringRun drives Triage-Dynamic and
+// verifies the LLC loses data ways once the sizer provisions a store.
+func TestDynamicPartitionAppearsDuringRun(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Dynamic)},
+		WarmupInstructions:  2_500_000,
+		MeasureInstructions: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if m.hier.metaWays == 0 {
+		t.Error("dynamic Triage never claimed LLC ways on a hot chase")
+	}
+	if res.Cores[0].AvgMetadataWays <= 0 {
+		t.Error("AvgMetadataWays not recorded")
+	}
+}
+
+// TestHybridComposesInSim checks the full hybrid plumbing end to end:
+// partition discovery through the hybrid wrapper, outcome fan-out, and
+// that composition never corrupts results.
+func TestHybridComposesInSim(t *testing.T) {
+	h := hybrid.New(triage(core.Static), bo.New())
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{h},
+		WarmupInstructions:  1_500_000,
+		MeasureInstructions: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	// The hybrid's Triage part must have been found by the partitioner.
+	if got := m.hier.llc.DataWays(); got != 8 {
+		t.Errorf("LLC data ways with hybrid(Triage-1MB, BO) = %d, want 8", got)
+	}
+}
+
+// TestMISBMetadataTrafficReachesDRAM verifies the Env plumbing: MISB's
+// metadata reads/writes must appear in the DRAM stats.
+func TestMISBMetadataTrafficReachesDRAM(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{misb.New()},
+		WarmupInstructions:  500_000,
+		MeasureInstructions: 500_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.DRAM.Transfers[dram.MetadataRead] == 0 {
+		t.Error("MISB produced no metadata-read DRAM traffic")
+	}
+	if res.MISBOffChipMetadataAccesses == 0 {
+		t.Error("MISB metadata access counter not collected")
+	}
+}
+
+// TestTriageEnergyCounterReachesResult verifies Triage's LLC metadata
+// access counter flows through the Env into the Result.
+func TestTriageEnergyCounterReachesResult(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Static)},
+		WarmupInstructions:  200_000,
+		MeasureInstructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.TriageLLCMetadataAccesses == 0 {
+		t.Error("no Triage LLC metadata accesses recorded")
+	}
+}
+
+// TestHawkeyeLLCPolicyRuns exercises the alternative LLC policy path.
+func TestHawkeyeLLCPolicyRuns(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		LLCPolicy:           "hawkeye",
+		WarmupInstructions:  100_000,
+		MeasureInstructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.IPC() <= 0 {
+		t.Error("hawkeye-LLC run produced no progress")
+	}
+}
+
+// TestStoresDirtyLinesCauseWritebacks checks the write path end to end:
+// stores dirty lines, evictions write back, DRAM sees them.
+func TestStoresDirtyLinesCauseWritebacks(t *testing.T) {
+	// Stores over a 6MB region (>> 2MB LLC): write-allocate then evict
+	// dirty lines all the way out to DRAM.
+	recs := make([]trace.Record, 0, 200_000)
+	for i := 0; i < 100_000; i++ {
+		recs = append(recs, trace.Record{PC: 1, Op: trace.Store, Addr: mem.Addr(i) * 64})
+		recs = append(recs, trace.Record{PC: 2, Op: trace.NonMem})
+	}
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{trace.NewLoopReader(recs)},
+		WarmupInstructions:  400_000,
+		MeasureInstructions: 400_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.DRAM.Transfers[dram.Writeback] == 0 {
+		t.Error("no writebacks despite a dirty streaming store working set")
+	}
+}
+
+// TestUnlimitedTriageKeepsLLCIntact runs the idealized configuration.
+func TestUnlimitedTriageKeepsLLCIntact(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Unlimited)},
+		WarmupInstructions:  500_000,
+		MeasureInstructions: 300_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if got := m.hier.llc.DataWays(); got != 16 {
+		t.Errorf("unlimited mode took LLC ways: %d data ways", got)
+	}
+}
+
+// TestDeterminism: identical options must produce identical results.
+func TestDeterminism(t *testing.T) {
+	run := func() Result {
+		m, err := New(Options{
+			Machine:             config.Default(2),
+			Workloads:           []trace.Reader{chase(), chase()},
+			Prefetchers:         []prefetch.Prefetcher{triage(core.Dynamic), bo.New()},
+			WarmupInstructions:  300_000,
+			MeasureInstructions: 300_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run()
+	}
+	a, b := run(), run()
+	for c := range a.Cores {
+		if a.Cores[c].Cycles != b.Cores[c].Cycles || a.Cores[c].Instructions != b.Cores[c].Instructions {
+			t.Fatalf("core %d nondeterministic: %+v vs %+v", c, a.Cores[c], b.Cores[c])
+		}
+	}
+	if a.DRAM != b.DRAM {
+		t.Errorf("DRAM stats nondeterministic: %+v vs %+v", a.DRAM, b.DRAM)
+	}
+}
+
+// TestRateModeCoresIsolated verifies disjoint address spaces in rate
+// mode: per-core L2 stats must be nearly identical across symmetric
+// cores (same workload, different bases/seeds => statistically close).
+func TestRateModeCoresIsolated(t *testing.T) {
+	spec, _ := workload.ByName("classification")
+	ws := make([]trace.Reader, 4)
+	for c := range ws {
+		ws[c] = spec.New(uint64(c)+1, mem.Addr(c+1)<<40)
+	}
+	m, err := New(Options{
+		Machine:             config.Default(4),
+		Workloads:           ws,
+		WarmupInstructions:  200_000,
+		MeasureInstructions: 200_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	for c, cr := range res.Cores {
+		if cr.Instructions != 200_000 {
+			t.Errorf("core %d: %d instructions", c, cr.Instructions)
+		}
+		if cr.IPC() <= 0 {
+			t.Errorf("core %d: IPC %.3f", c, cr.IPC())
+		}
+	}
+}
+
+// TestDegreeSweepMonotoneCoverage: higher Triage degree must not reduce
+// the number of useful prefetches on a well-trained chase.
+func TestDegreeSweepMonotoneCoverage(t *testing.T) {
+	useful := func(d int) uint64 {
+		tr := triage(core.Static)
+		tr.SetDegree(d)
+		m, err := New(Options{
+			Machine:             config.Default(1),
+			Workloads:           []trace.Reader{chase()},
+			Prefetchers:         []prefetch.Prefetcher{tr},
+			WarmupInstructions:  1_500_000,
+			MeasureInstructions: 500_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.Run().PrefetchesUseful
+	}
+	u1, u4 := useful(1), useful(4)
+	if u4 < u1 {
+		t.Errorf("useful prefetches fell with degree: d1=%d d4=%d", u1, u4)
+	}
+}

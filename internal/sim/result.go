@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"repro/internal/cache"
+	"repro/internal/dram"
+)
+
+// CoreResult holds one core's measured-window performance.
+type CoreResult struct {
+	// Instructions executed in the measurement window.
+	Instructions uint64
+	// Cycles elapsed for those instructions.
+	Cycles uint64
+	// Loads and L2 demand misses in the window.
+	Loads          uint64
+	L2DemandMisses uint64
+	// AvgMetadataWays is the time-averaged number of LLC ways allocated
+	// to this core's prefetcher metadata (Fig. 19).
+	AvgMetadataWays float64
+	// AvgLoadCycles is the mean post-dependency load latency in cycles
+	// (diagnostics: shows where prefetching pays off).
+	AvgLoadCycles float64
+}
+
+// IPC returns instructions per cycle.
+func (c CoreResult) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// Result aggregates a simulation run.
+type Result struct {
+	Cores []CoreResult
+	// L2 per core and the shared LLC.
+	L2  []cache.Stats
+	LLC cache.Stats
+	// DRAM transfer counts by kind.
+	DRAM dram.Stats
+	// TriageLLCMetadataAccesses counts LLC accesses made for Triage
+	// metadata; MISBOffChipMetadataAccesses counts MISB's off-chip
+	// metadata transfers. Both feed the Fig. 13 energy model.
+	TriageLLCMetadataAccesses   uint64
+	MISBOffChipMetadataAccesses uint64
+	// EstimatedMetadataTransfers is the metadata traffic a realistic
+	// implementation of an *idealized* prefetcher (STMS, Domino) would
+	// have generated; it is charged in Figs. 11/12 traffic but has no
+	// timing effect, per the paper's methodology.
+	EstimatedMetadataTransfers uint64
+	// PrefetchesIssued/Useful/Redundant/Dropped summarize L2
+	// prefetching across cores. Redundant requests (already resident)
+	// and Dropped requests (full prefetch queue) never consume
+	// bandwidth.
+	PrefetchesIssued    uint64
+	PrefetchesUseful    uint64
+	PrefetchesRedundant uint64
+	PrefetchesDropped   uint64
+}
+
+// IPC returns the arithmetic-mean IPC across cores (single-core: that
+// core's IPC).
+func (r Result) IPC() float64 {
+	if len(r.Cores) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, c := range r.Cores {
+		sum += c.IPC()
+	}
+	return sum / float64(len(r.Cores))
+}
+
+// SpeedupOver returns the mean per-core speedup of r relative to a
+// baseline run of the same workloads (the paper's multi-programmed
+// metric: average of per-benchmark speedups).
+func (r Result) SpeedupOver(base Result) float64 {
+	if len(r.Cores) != len(base.Cores) || len(r.Cores) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for i := range r.Cores {
+		b := base.Cores[i].IPC()
+		if b == 0 {
+			continue
+		}
+		sum += r.Cores[i].IPC() / b
+	}
+	return sum / float64(len(r.Cores))
+}
+
+// TotalTraffic returns total off-chip line transfers.
+func (r Result) TotalTraffic() uint64 { return r.DRAM.Total() }
+
+// TrafficOverheadPct returns the percentage increase in off-chip
+// traffic relative to a baseline run (Figs. 11, 12).
+func (r Result) TrafficOverheadPct(base Result) float64 {
+	b := float64(base.TotalTraffic())
+	if b == 0 {
+		return 0
+	}
+	return 100 * (float64(r.TotalTraffic()) - b) / b
+}
+
+// Accuracy returns useful prefetches / prefetch fills at the L2 (the
+// paper's accuracy metric, Fig. 6).
+func (r Result) Accuracy() float64 {
+	var fills, used uint64
+	for _, s := range r.L2 {
+		fills += s.PrefetchFills
+		used += s.PrefetchUsed
+	}
+	if fills == 0 {
+		return 0
+	}
+	return float64(used) / float64(fills)
+}
+
+// CoverageOver returns the fraction of the baseline's L2 demand misses
+// that prefetching eliminated (Fig. 6).
+func (r Result) CoverageOver(base Result) float64 {
+	var bm, pm uint64
+	for _, c := range base.Cores {
+		bm += c.L2DemandMisses
+	}
+	for _, c := range r.Cores {
+		pm += c.L2DemandMisses
+	}
+	if bm == 0 {
+		return 0
+	}
+	cov := 1 - float64(pm)/float64(bm)
+	if cov < 0 {
+		cov = 0
+	}
+	return cov
+}

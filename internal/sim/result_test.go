@@ -1,0 +1,119 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+)
+
+func TestCoreResultIPC(t *testing.T) {
+	if got := (CoreResult{Instructions: 100, Cycles: 50}).IPC(); got != 2 {
+		t.Errorf("IPC = %g, want 2", got)
+	}
+	if got := (CoreResult{Instructions: 100}).IPC(); got != 0 {
+		t.Errorf("IPC with zero cycles = %g, want 0", got)
+	}
+}
+
+func TestResultIPCMean(t *testing.T) {
+	r := Result{Cores: []CoreResult{
+		{Instructions: 100, Cycles: 100}, // 1.0
+		{Instructions: 300, Cycles: 100}, // 3.0
+	}}
+	if got := r.IPC(); got != 2 {
+		t.Errorf("mean IPC = %g, want 2", got)
+	}
+	if got := (Result{}).IPC(); got != 0 {
+		t.Errorf("empty Result IPC = %g", got)
+	}
+}
+
+func TestSpeedupOverMismatchedCores(t *testing.T) {
+	a := Result{Cores: []CoreResult{{Instructions: 1, Cycles: 1}}}
+	b := Result{}
+	if got := a.SpeedupOver(b); got != 0 {
+		t.Errorf("mismatched SpeedupOver = %g, want 0", got)
+	}
+}
+
+func TestSpeedupSkipsZeroBaseline(t *testing.T) {
+	base := Result{Cores: []CoreResult{
+		{Instructions: 0, Cycles: 0},     // IPC 0: skipped
+		{Instructions: 100, Cycles: 100}, // IPC 1
+	}}
+	with := Result{Cores: []CoreResult{
+		{Instructions: 100, Cycles: 100},
+		{Instructions: 200, Cycles: 100}, // 2x
+	}}
+	// Mean over 2 cores, one contributing 0 (skipped => only 2/2): the
+	// implementation divides by core count, so the dead core dilutes.
+	if got := with.SpeedupOver(base); got != 1 {
+		t.Errorf("SpeedupOver = %g, want 1 (2x diluted by dead core)", got)
+	}
+}
+
+func TestAccuracyAndCoverage(t *testing.T) {
+	r := Result{L2: []cache.Stats{{PrefetchFills: 100, PrefetchUsed: 60}}}
+	if got := r.Accuracy(); got != 0.6 {
+		t.Errorf("Accuracy = %g, want 0.6", got)
+	}
+	if got := (Result{}).Accuracy(); got != 0 {
+		t.Errorf("empty Accuracy = %g", got)
+	}
+	base := Result{Cores: []CoreResult{{L2DemandMisses: 100}}}
+	with := Result{Cores: []CoreResult{{L2DemandMisses: 40}}}
+	if got := with.CoverageOver(base); got != 0.6 {
+		t.Errorf("Coverage = %g, want 0.6", got)
+	}
+	// More misses than baseline clamps to zero, not negative.
+	worse := Result{Cores: []CoreResult{{L2DemandMisses: 150}}}
+	if got := worse.CoverageOver(base); got != 0 {
+		t.Errorf("negative coverage not clamped: %g", got)
+	}
+}
+
+func TestTrafficOverheadZeroBaseline(t *testing.T) {
+	var r, base Result
+	r.DRAM.Transfers[0] = 100
+	if got := r.TrafficOverheadPct(base); got != 0 {
+		t.Errorf("overhead with zero baseline = %g, want 0", got)
+	}
+}
+
+func TestMSHRRingSerialization(t *testing.T) {
+	m := newMSHRRing(2)
+	// Two slots free: first two admits start immediately.
+	s1, c1 := m.admit(100)
+	s2, c2 := m.admit(100)
+	if s1 != 100 || s2 != 100 {
+		t.Fatalf("starts %d,%d want 100,100", s1, s2)
+	}
+	c1(500)
+	c2(700)
+	// Third admit must wait for the first completion.
+	s3, c3 := m.admit(100)
+	if s3 != 500 {
+		t.Errorf("third admit start = %d, want 500", s3)
+	}
+	c3(900)
+	// Fourth waits for the second.
+	s4, _ := m.admit(100)
+	if s4 != 700 {
+		t.Errorf("fourth admit start = %d, want 700", s4)
+	}
+}
+
+func TestMSHRRingTryAdmit(t *testing.T) {
+	m := newMSHRRing(1)
+	commit, ok := m.tryAdmit(10)
+	if !ok {
+		t.Fatal("empty ring rejected")
+	}
+	commit(100)
+	if _, ok := m.tryAdmit(50); ok {
+		t.Error("busy ring admitted at t=50 (busy until 100)")
+	}
+	if _, ok := m.tryAdmit(100); !ok {
+		t.Error("ring rejected at exactly the free time")
+	}
+}

@@ -1,0 +1,353 @@
+// Package sim is the trace-driven performance simulator: an analytic
+// out-of-order core model (128-entry ROB, 4-wide dispatch and retire)
+// over the cache hierarchy of package cache and the DRAM model of
+// package dram, following the paper's methodology (§4.1).
+//
+// Timing works in ticks (4 per core cycle, matching the 4-wide
+// pipeline). Each instruction dispatches one tick after its predecessor
+// but no earlier than the retirement of the instruction ROB-size ahead
+// of it; loads complete when the hierarchy returns their data, with
+// pointer-chasing loads (Record.LoadDep) additionally serialized
+// behind the load they depend on. This O(1)-per-instruction model captures
+// memory-level parallelism, ROB stalls on long misses, and prefetch
+// timeliness without an event queue.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/config"
+	"repro/internal/dram"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Machine is the hardware configuration (Table 1 defaults via
+	// config.Default).
+	Machine config.Machine
+	// Workloads supplies one instruction stream per core. Streams that
+	// end are restarted only if they are LoopReaders; synthetic
+	// generators are endless.
+	Workloads []trace.Reader
+	// Prefetchers holds the per-core L2 prefetcher (nil entries = none).
+	Prefetchers []prefetch.Prefetcher
+	// LLCPolicy selects the LLC replacement policy ("lru" default,
+	// "hawkeye").
+	LLCPolicy string
+	// WarmupInstructions per core run before statistics reset.
+	WarmupInstructions uint64
+	// MeasureInstructions per core define the measurement window.
+	MeasureInstructions uint64
+	// DetailedDRAM forces the channel/bank contention model; by default
+	// it is enabled for multi-core machines (paper methodology).
+	DetailedDRAM *bool
+	// NoCapacityLoss gives Triage its metadata store for free (Fig. 9's
+	// "assuming no loss in LLC capacity" study).
+	NoCapacityLoss bool
+}
+
+func (o *Options) validate() error {
+	if err := o.Machine.Validate(); err != nil {
+		return err
+	}
+	if len(o.Workloads) != o.Machine.Cores {
+		return fmt.Errorf("sim: %d workloads for %d cores", len(o.Workloads), o.Machine.Cores)
+	}
+	if o.Prefetchers != nil && len(o.Prefetchers) != o.Machine.Cores {
+		return fmt.Errorf("sim: %d prefetchers for %d cores", len(o.Prefetchers), o.Machine.Cores)
+	}
+	if o.MeasureInstructions == 0 {
+		return fmt.Errorf("sim: MeasureInstructions must be > 0")
+	}
+	return nil
+}
+
+// coreState is the per-core analytic pipeline state.
+type coreState struct {
+	reader trace.Reader
+
+	retire       []uint64 // ring of the last ROB retire ticks
+	head         int
+	lastDispatch uint64
+	lastRetire   uint64
+
+	// loadDone is a ring of the completion ticks of the most recent
+	// loads, consulted by LoadDep-serialized loads (pointer chases).
+	loadDone [16]uint64
+	loadHead int
+
+	instructions uint64 // since current phase start
+	loads        uint64
+	loadLatTicks uint64 // summed post-dependency load latencies
+	startTick    uint64 // measurement window start
+	finished     bool
+	exhausted    bool
+
+	// frozen captures the core's counters the moment it crosses the
+	// measurement target; the core keeps running afterwards to sustain
+	// contention (as the paper does by restarting early finishers) but
+	// its reported numbers stop here.
+	frozen struct {
+		instructions uint64
+		loads        uint64
+		loadLatTicks uint64
+		endTick      uint64
+		l2Misses     uint64
+	}
+}
+
+func (cs *coreState) freeze(l2Misses uint64) {
+	cs.finished = true
+	cs.frozen.instructions = cs.instructions
+	cs.frozen.loads = cs.loads
+	cs.frozen.loadLatTicks = cs.loadLatTicks
+	cs.frozen.endTick = cs.lastRetire
+	cs.frozen.l2Misses = l2Misses
+}
+
+// Machine is a runnable simulation instance.
+type Machine struct {
+	opts  Options
+	hier  *hierarchy
+	cores []*coreState
+}
+
+// New constructs a Machine; it returns an error for inconsistent
+// options.
+func New(opts Options) (*Machine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	pfs := opts.Prefetchers
+	if pfs == nil {
+		pfs = make([]prefetch.Prefetcher, opts.Machine.Cores)
+	}
+	detailed := opts.Machine.Cores > 1
+	if opts.DetailedDRAM != nil {
+		detailed = *opts.DetailedDRAM
+	}
+	m := &Machine{
+		opts: opts,
+		hier: newHierarchy(opts.Machine, pfs, opts.LLCPolicy, detailed, opts.NoCapacityLoss),
+	}
+	for c := 0; c < opts.Machine.Cores; c++ {
+		m.cores = append(m.cores, &coreState{
+			reader: opts.Workloads[c],
+			retire: make([]uint64, opts.Machine.ROBEntries),
+		})
+	}
+	return m, nil
+}
+
+// Run executes warmup then measurement and returns the results. Each
+// core runs until it has retired MeasureInstructions in the measurement
+// window; cores that finish early keep executing (so contention is
+// sustained, as the paper does by restarting benchmarks) but their
+// statistics freeze at the finish line.
+func (m *Machine) Run() Result {
+	warm := m.opts.WarmupInstructions
+	measure := m.opts.MeasureInstructions
+
+	// Warmup phase: early finishers simply stop (no stats involved).
+	if warm > 0 {
+		m.phase(warm, false)
+	}
+	m.hier.resetStats()
+	for _, cs := range m.cores {
+		cs.instructions = 0
+		cs.loads = 0
+		cs.loadLatTicks = 0
+		cs.startTick = cs.lastRetire
+		cs.finished = false
+	}
+
+	// Measurement phase: early finishers keep running to sustain
+	// contention, with their stats frozen at the finish line.
+	m.phase(measure, true)
+
+	return m.collect()
+}
+
+// phase advances cores — always the one with the smallest dispatch time
+// next, which keeps shared-resource timestamps coherent — until every
+// core has executed target instructions. With sustain, cores that reach
+// the target keep executing until the last core arrives.
+func (m *Machine) phase(target uint64, sustain bool) {
+	remaining := 0
+	for c, cs := range m.cores {
+		if cs.exhausted || cs.instructions >= target {
+			if !cs.finished {
+				cs.freeze(m.hier.l2[c].Stats().Misses)
+			}
+			continue
+		}
+		remaining++
+	}
+	for remaining > 0 {
+		// Pick the core with the earliest dispatch time among those
+		// still allowed to run.
+		var next *coreState
+		idx := -1
+		minT := ^uint64(0)
+		for i, cs := range m.cores {
+			if cs.exhausted || (cs.finished && !sustain) {
+				continue
+			}
+			if cs.lastDispatch < minT {
+				minT, next, idx = cs.lastDispatch, cs, i
+			}
+		}
+		if next == nil {
+			return
+		}
+		if !m.step(idx, next) {
+			next.exhausted = true
+			if !next.finished {
+				next.freeze(m.hier.l2[idx].Stats().Misses)
+				remaining--
+			}
+			continue
+		}
+		if !next.finished && next.instructions >= target {
+			next.freeze(m.hier.l2[idx].Stats().Misses)
+			remaining--
+		}
+	}
+}
+
+// step executes one instruction on core c; it returns false when the
+// trace is exhausted.
+func (m *Machine) step(c int, cs *coreState) bool {
+	rec, ok := cs.reader.Next()
+	if !ok {
+		return false
+	}
+	// Dispatch: one tick (quarter cycle) after the previous dispatch,
+	// gated by ROB availability.
+	d := cs.lastDispatch + 1
+	if robGate := cs.retire[cs.head]; robGate > d {
+		d = robGate
+	}
+	var complete uint64
+	switch rec.Op {
+	case trace.Load:
+		start := d
+		if dep := int(rec.LoadDep); dep > 0 {
+			// Pointer chase: the address depends on the dep-th most
+			// recent load; execution cannot start before it completes.
+			if dep > len(cs.loadDone) {
+				dep = len(cs.loadDone)
+			}
+			idx := (cs.loadHead - dep + 2*len(cs.loadDone)) % len(cs.loadDone)
+			if t := cs.loadDone[idx]; t > start {
+				start = t
+			}
+		}
+		complete = m.hier.load(c, rec.PC, mem.LineOf(rec.Addr), start)
+		cs.loadLatTicks += complete - start
+		cs.loadDone[cs.loadHead] = complete
+		cs.loadHead = (cs.loadHead + 1) % len(cs.loadDone)
+		cs.loads++
+	case trace.Store:
+		m.hier.store(c, rec.PC, mem.LineOf(rec.Addr), d)
+		complete = d + dram.TicksPerCycle
+	default:
+		complete = d + dram.TicksPerCycle
+	}
+	// In-order retirement, up to 4 per cycle (1 per tick).
+	r := complete
+	if min := cs.lastRetire + 1; min > r {
+		r = min
+	}
+	cs.retire[cs.head] = r
+	cs.head++
+	if cs.head == len(cs.retire) {
+		cs.head = 0
+	}
+	cs.lastDispatch = d
+	cs.lastRetire = r
+	cs.instructions++
+	return true
+}
+
+// collect builds the Result from the measurement window.
+func (m *Machine) collect() Result {
+	res := Result{
+		DRAM:                      m.hier.ram.Stats(),
+		LLC:                       m.hier.llc.Stats(),
+		TriageLLCMetadataAccesses: m.hier.triageMetaAccesses,
+		PrefetchesIssued:          m.hier.pfIssued,
+		PrefetchesRedundant:       m.hier.pfRedundant,
+		PrefetchesDropped:         m.hier.pfDropped,
+	}
+	for c, cs := range m.cores {
+		l2 := m.hier.l2[c].Stats()
+		res.L2 = append(res.L2, l2)
+		ticks := cs.frozen.endTick - cs.startTick
+		avgWays := 0.0
+		if m.hier.waySampleN > 0 {
+			avgWays = m.hier.waySamples[c] / float64(m.hier.waySampleN)
+		}
+		avgLoad := 0.0
+		if cs.frozen.loads > 0 {
+			avgLoad = float64(cs.frozen.loadLatTicks) / float64(cs.frozen.loads) / dram.TicksPerCycle
+		}
+		res.Cores = append(res.Cores, CoreResult{
+			Instructions:    cs.frozen.instructions,
+			Cycles:          ticks / dram.TicksPerCycle,
+			Loads:           cs.frozen.loads,
+			L2DemandMisses:  cs.frozen.l2Misses,
+			AvgMetadataWays: avgWays,
+			AvgLoadCycles:   avgLoad,
+		})
+		res.PrefetchesUseful += l2.PrefetchUsed
+	}
+	for _, p := range m.opts.Prefetchers {
+		res.MISBOffChipMetadataAccesses += misbMetaAccesses(p)
+		res.EstimatedMetadataTransfers += estimatedMeta(p)
+	}
+	return res
+}
+
+// estimatedMeta extracts idealized prefetchers' estimated metadata
+// traffic, unwrapping hybrids.
+func estimatedMeta(p prefetch.Prefetcher) uint64 {
+	type estimator interface{ EstimatedMetadataTransfers() uint64 }
+	if p == nil {
+		return 0
+	}
+	if pp, ok := p.(partsProvider); ok {
+		var n uint64
+		for _, part := range pp.Parts() {
+			n += estimatedMeta(part)
+		}
+		return n
+	}
+	if e, ok := p.(estimator); ok {
+		return e.EstimatedMetadataTransfers()
+	}
+	return 0
+}
+
+// misbMetaAccesses extracts MISB's off-chip metadata access count,
+// unwrapping hybrids.
+func misbMetaAccesses(p prefetch.Prefetcher) uint64 {
+	type metaCounter interface{ OffChipMetadataAccesses() uint64 }
+	if p == nil {
+		return 0
+	}
+	if pp, ok := p.(partsProvider); ok {
+		var n uint64
+		for _, part := range pp.Parts() {
+			n += misbMetaAccesses(part)
+		}
+		return n
+	}
+	if mc, ok := p.(metaCounter); ok {
+		return mc.OffChipMetadataAccesses()
+	}
+	return 0
+}

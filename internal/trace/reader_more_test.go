@@ -1,0 +1,47 @@
+package trace
+
+import "testing"
+
+func TestFuncReader(t *testing.T) {
+	n := 0
+	r := FuncReader(func() (Record, bool) {
+		n++
+		if n > 3 {
+			return Record{}, false
+		}
+		return Record{PC: uint64(n)}, true
+	})
+	got := Collect(r, 10)
+	if len(got) != 3 {
+		t.Fatalf("collected %d records, want 3", len(got))
+	}
+	for i, r := range got {
+		if r.PC != uint64(i+1) {
+			t.Errorf("record %d PC = %d", i, r.PC)
+		}
+	}
+}
+
+func TestFileReaderErrSticky(t *testing.T) {
+	fr := NewFileReader(errReader{})
+	if _, ok := fr.Next(); ok {
+		t.Fatal("Next succeeded on a failing reader")
+	}
+	if fr.Err() == nil {
+		t.Fatal("Err is nil after read failure")
+	}
+	// Subsequent calls stay failed without panicking.
+	if _, ok := fr.Next(); ok {
+		t.Error("Next succeeded after sticky error")
+	}
+}
+
+type errReader struct{}
+
+func (errReader) Read([]byte) (int, error) { return 0, errBoom }
+
+var errBoom = &stickyErr{}
+
+type stickyErr struct{}
+
+func (*stickyErr) Error() string { return "boom" }

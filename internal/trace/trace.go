@@ -1,0 +1,247 @@
+// Package trace defines the instruction-trace model consumed by the
+// simulator, mirroring ChampSim's trace-driven methodology: each record
+// is one retired instruction, optionally with a memory operand.
+// Generators (package workload) synthesize traces program-by-program; a
+// compact binary codec supports writing traces to disk and replaying
+// them (cmd/tracegen).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+)
+
+// Op is the instruction class.
+type Op uint8
+
+// Instruction classes.
+const (
+	// NonMem is a non-memory instruction occupying one ROB slot.
+	NonMem Op = iota
+	// Load reads Addr.
+	Load
+	// Store writes Addr.
+	Store
+)
+
+// Record is one instruction.
+type Record struct {
+	// PC is the instruction address. Prefetchers PC-localize on it.
+	PC uint64
+	// Addr is the data address of a Load or Store (unused for NonMem).
+	Addr mem.Addr
+	// Op classifies the instruction.
+	Op Op
+	// LoadDep, when non-zero, marks a load whose address depends on the
+	// value of the LoadDep-th most recent preceding load (1 = the
+	// immediately previous load). Pointer chases set 1; K interleaved
+	// chase streams set K so each stream serializes only on itself;
+	// array/stride code leaves 0 (fully overlappable).
+	LoadDep uint8
+}
+
+// Reader supplies a stream of records. Next returns ok=false when the
+// stream is exhausted (synthetic generators never exhaust).
+type Reader interface {
+	Next() (Record, bool)
+}
+
+// SliceReader replays an in-memory trace.
+type SliceReader struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceReader returns a Reader over recs.
+func NewSliceReader(recs []Record) *SliceReader { return &SliceReader{recs: recs} }
+
+// Next implements Reader.
+func (r *SliceReader) Next() (Record, bool) {
+	if r.pos >= len(r.recs) {
+		return Record{}, false
+	}
+	rec := r.recs[r.pos]
+	r.pos++
+	return rec, true
+}
+
+// Reset rewinds to the beginning.
+func (r *SliceReader) Reset() { r.pos = 0 }
+
+// LoopReader replays a finite trace forever (the paper restarts
+// early-finishing benchmarks in multi-programmed mixes so contention is
+// sustained, §4.1).
+type LoopReader struct {
+	recs []Record
+	pos  int
+}
+
+// NewLoopReader returns a Reader that cycles through recs.
+func NewLoopReader(recs []Record) *LoopReader {
+	if len(recs) == 0 {
+		panic("trace: LoopReader needs a non-empty trace")
+	}
+	return &LoopReader{recs: recs}
+}
+
+// Next implements Reader.
+func (r *LoopReader) Next() (Record, bool) {
+	rec := r.recs[r.pos]
+	r.pos++
+	if r.pos == len(r.recs) {
+		r.pos = 0
+	}
+	return rec, true
+}
+
+// FuncReader adapts a generator function to Reader.
+type FuncReader func() (Record, bool)
+
+// Next implements Reader.
+func (f FuncReader) Next() (Record, bool) { return f() }
+
+// Collect drains up to n records from r into a slice.
+func Collect(r Reader, n int) []Record {
+	out := make([]Record, 0, n)
+	for len(out) < n {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// --- binary codec ---
+
+// magic identifies the trace file format; the version byte guards
+// against stale files after format changes.
+var magic = [4]byte{'T', 'R', 'C', 1}
+
+// Writer streams records to an io.Writer in a compact delta-encoded
+// binary format.
+type Writer struct {
+	w      *bufio.Writer
+	lastPC uint64
+	n      uint64
+	header bool
+}
+
+// NewWriter returns a trace Writer on w.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: bufio.NewWriter(w)} }
+
+// Write appends one record.
+func (tw *Writer) Write(r Record) error {
+	if !tw.header {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+		tw.header = true
+	}
+	var buf [binary.MaxVarintLen64*2 + 3]byte
+	buf[0] = byte(r.Op)
+	if r.LoadDep != 0 {
+		buf[0] |= 0x80
+	}
+	n := 1
+	if r.LoadDep != 0 {
+		buf[n] = r.LoadDep
+		n++
+	}
+	n += binary.PutVarint(buf[n:], int64(r.PC)-int64(tw.lastPC))
+	tw.lastPC = r.PC
+	if r.Op != NonMem {
+		n += binary.PutUvarint(buf[n:], uint64(r.Addr))
+	}
+	tw.n++
+	if _, err := tw.w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("trace: writing record %d: %w", tw.n, err)
+	}
+	return nil
+}
+
+// Flush flushes buffered output.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Count returns the number of records written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// FileReader decodes a trace written by Writer.
+type FileReader struct {
+	r      *bufio.Reader
+	lastPC uint64
+	header bool
+	err    error
+}
+
+// NewFileReader returns a Reader decoding from r.
+func NewFileReader(r io.Reader) *FileReader { return &FileReader{r: bufio.NewReader(r)} }
+
+// Err returns the first decoding error, if any (io.EOF is not an error).
+func (fr *FileReader) Err() error { return fr.err }
+
+// Next implements Reader.
+func (fr *FileReader) Next() (Record, bool) {
+	if fr.err != nil {
+		return Record{}, false
+	}
+	if !fr.header {
+		var got [4]byte
+		if _, err := io.ReadFull(fr.r, got[:]); err != nil {
+			fr.fail(err)
+			return Record{}, false
+		}
+		if got != magic {
+			fr.err = fmt.Errorf("trace: bad magic %v", got)
+			return Record{}, false
+		}
+		fr.header = true
+	}
+	opByte, err := fr.r.ReadByte()
+	if err != nil {
+		fr.fail(err)
+		return Record{}, false
+	}
+	var rec Record
+	rec.Op = Op(opByte & 0x7F)
+	if rec.Op > Store {
+		fr.err = fmt.Errorf("trace: bad op %d", rec.Op)
+		return Record{}, false
+	}
+	if opByte&0x80 != 0 {
+		dep, err := fr.r.ReadByte()
+		if err != nil {
+			fr.fail(err)
+			return Record{}, false
+		}
+		rec.LoadDep = dep
+	}
+	dpc, err := binary.ReadVarint(fr.r)
+	if err != nil {
+		fr.fail(err)
+		return Record{}, false
+	}
+	fr.lastPC = uint64(int64(fr.lastPC) + dpc)
+	rec.PC = fr.lastPC
+	if rec.Op != NonMem {
+		addr, err := binary.ReadUvarint(fr.r)
+		if err != nil {
+			fr.fail(err)
+			return Record{}, false
+		}
+		rec.Addr = mem.Addr(addr)
+	}
+	return rec, true
+}
+
+func (fr *FileReader) fail(err error) {
+	if !errors.Is(err, io.EOF) {
+		fr.err = fmt.Errorf("trace: decoding: %w", err)
+	}
+}

@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mem"
+)
+
+func TestSliceReader(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Op: NonMem},
+		{PC: 2, Op: Load, Addr: 0x1000},
+		{PC: 3, Op: Store, Addr: 0x2000},
+	}
+	r := NewSliceReader(recs)
+	for i, want := range recs {
+		got, ok := r.Next()
+		if !ok || got != want {
+			t.Fatalf("record %d: got %+v,%v want %+v", i, got, ok, want)
+		}
+	}
+	if _, ok := r.Next(); ok {
+		t.Error("Next after exhaustion returned ok")
+	}
+	r.Reset()
+	if got, ok := r.Next(); !ok || got != recs[0] {
+		t.Error("Reset did not rewind")
+	}
+}
+
+func TestLoopReaderWraps(t *testing.T) {
+	recs := []Record{{PC: 1}, {PC: 2}}
+	r := NewLoopReader(recs)
+	for i := 0; i < 10; i++ {
+		got, ok := r.Next()
+		if !ok {
+			t.Fatal("LoopReader returned not-ok")
+		}
+		if got.PC != recs[i%2].PC {
+			t.Fatalf("iteration %d: PC %d, want %d", i, got.PC, recs[i%2].PC)
+		}
+	}
+}
+
+func TestLoopReaderEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewLoopReader(nil) did not panic")
+		}
+	}()
+	NewLoopReader(nil)
+}
+
+func TestCollect(t *testing.T) {
+	r := NewLoopReader([]Record{{PC: 7}})
+	got := Collect(r, 5)
+	if len(got) != 5 {
+		t.Fatalf("Collect returned %d records, want 5", len(got))
+	}
+	short := Collect(NewSliceReader([]Record{{PC: 1}}), 10)
+	if len(short) != 1 {
+		t.Fatalf("Collect over short stream returned %d, want 1", len(short))
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	recs := make([]Record, 5000)
+	pc := uint64(0x400000)
+	for i := range recs {
+		pc += uint64(rng.Intn(8)) * 4
+		op := Op(rng.Intn(3))
+		r := Record{PC: pc, Op: op}
+		if op != NonMem {
+			r.Addr = mem.Addr(rng.Uint64() >> 16)
+			r.LoadDep = uint8(rng.Intn(4))
+		}
+		recs[i] = r
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Errorf("Count = %d, want %d", w.Count(), len(recs))
+	}
+
+	fr := NewFileReader(&buf)
+	for i, want := range recs {
+		got, ok := fr.Next()
+		if !ok {
+			t.Fatalf("record %d: premature EOF (err=%v)", i, fr.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := fr.Next(); ok {
+		t.Error("reader returned a record after EOF")
+	}
+	if fr.Err() != nil {
+		t.Errorf("Err = %v, want nil at clean EOF", fr.Err())
+	}
+}
+
+func TestCodecRejectsBadMagic(t *testing.T) {
+	fr := NewFileReader(bytes.NewReader([]byte{'X', 'X', 'X', 'X', 0, 0}))
+	if _, ok := fr.Next(); ok {
+		t.Fatal("decoded a record from garbage")
+	}
+	if fr.Err() == nil {
+		t.Error("Err = nil, want bad-magic error")
+	}
+}
+
+func TestCodecTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{PC: 100, Op: Load, Addr: 0x5000}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Chop mid-record: reader must stop without panicking.
+	fr := NewFileReader(bytes.NewReader(full[:len(full)-1]))
+	if _, ok := fr.Next(); ok {
+		t.Error("decoded a record from truncated input")
+	}
+}
+
+func TestCodecCompactness(t *testing.T) {
+	// Sequential PCs and small addresses should delta-encode well below
+	// the naive 17 bytes/record.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 1000; i++ {
+		op := NonMem
+		if i%4 == 0 {
+			op = Load
+		}
+		if err := w.Write(Record{PC: 0x400000 + uint64(i*4), Op: op, Addr: mem.Addr(i * 64)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	perRec := float64(buf.Len()) / 1000
+	if perRec > 6 {
+		t.Errorf("%.1f bytes/record, want <= 6 for sequential code", perRec)
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(pcs []uint32, addrs []uint32, ops []uint8) bool {
+		n := len(pcs)
+		if len(addrs) < n {
+			n = len(addrs)
+		}
+		if len(ops) < n {
+			n = len(ops)
+		}
+		recs := make([]Record, n)
+		for i := 0; i < n; i++ {
+			recs[i] = Record{PC: uint64(pcs[i]), Op: Op(ops[i] % 3)}
+			if recs[i].Op != NonMem {
+				recs[i].Addr = mem.Addr(addrs[i])
+				recs[i].LoadDep = ops[i] % 5
+			}
+		}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		fr := NewFileReader(&buf)
+		for _, want := range recs {
+			got, ok := fr.Next()
+			if !ok || got != want {
+				return false
+			}
+		}
+		_, ok := fr.Next()
+		return !ok && fr.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func TestMixWeightsValidation(t *testing.T) {
+	a := trace.NewLoopReader([]trace.Record{{PC: 1}})
+	cases := []struct {
+		readers []trace.Reader
+		weights []int
+	}{
+		{nil, nil},
+		{[]trace.Reader{a}, []int{1, 2}},
+		{[]trace.Reader{a}, []int{0}},
+	}
+	for i, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: NewMix did not panic", i)
+				}
+			}()
+			NewMix(4, c.readers, c.weights)
+		}()
+	}
+}
+
+// Property: over a long window, each component's share of records
+// approaches weight_i / sum(weights).
+func TestMixShareProperty(t *testing.T) {
+	f := func(w1, w2 uint8) bool {
+		wa := int(w1%4) + 1
+		wb := int(w2%4) + 1
+		a := trace.NewLoopReader([]trace.Record{{PC: 0xA}})
+		b := trace.NewLoopReader([]trace.Record{{PC: 0xB}})
+		m := NewMix(16, []trace.Reader{a, b}, []int{wa, wb})
+		const n = 16 * 200
+		countA := 0
+		for i := 0; i < n; i++ {
+			rec, _ := m.Next()
+			if rec.PC == 0xA {
+				countA++
+			}
+		}
+		want := float64(wa) / float64(wa+wb)
+		got := float64(countA) / n
+		return got > want-0.1 && got < want+0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSharedPCStride(t *testing.T) {
+	shared := NewStride(StrideParams{Streams: 4, StrideLines: 1, Gap: 0, SharedPC: true}, 1, 0)
+	pcs := map[uint64]bool{}
+	for _, r := range trace.Collect(shared, 400) {
+		if r.Op == trace.Load {
+			pcs[r.PC] = true
+		}
+	}
+	if len(pcs) != 1 {
+		t.Errorf("SharedPC produced %d distinct load PCs, want 1", len(pcs))
+	}
+	perPC := NewStride(StrideParams{Streams: 4, StrideLines: 1, Gap: 0}, 1, 0)
+	pcs = map[uint64]bool{}
+	for _, r := range trace.Collect(perPC, 400) {
+		if r.Op == trace.Load {
+			pcs[r.PC] = true
+		}
+	}
+	if len(pcs) != 4 {
+		t.Errorf("per-PC mode produced %d distinct load PCs, want 4", len(pcs))
+	}
+}
+
+func TestChaseValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewChase with 2 nodes did not panic")
+		}
+	}()
+	NewChase(ChaseParams{Nodes: 2}, 1, 0)
+}
+
+func TestChaseStoreRegionIsBounded(t *testing.T) {
+	p := ChaseParams{Nodes: 4096, Streams: 1, HotFrac: 1, HotProb: 1, RunLen: 64, Gap: 0, StoreEvery: 2}
+	lines := map[uint64]bool{}
+	for _, r := range trace.Collect(NewChase(p, 1, 0), 50_000) {
+		if r.Op == trace.Store {
+			lines[uint64(r.Addr)>>6] = true
+		}
+	}
+	if len(lines) == 0 || len(lines) > 512 {
+		t.Errorf("store scratch region spans %d lines, want (0, 512]", len(lines))
+	}
+}

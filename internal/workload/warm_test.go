@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// tierCounts classifies chase loads by the traversal tier their node
+// belongs to, using the generator's own region layout.
+func tierCounts(p ChaseParams, n int) (hot, warm, cold int) {
+	c := NewChase(p, 11, 0).(*chase)
+	hotN := int(p.HotFrac * float64(p.Nodes))
+	warmN := int(p.WarmFrac * float64(p.Nodes))
+	// Invert order[] so we can map an address back to its position.
+	posOf := make([]int, p.Nodes)
+	for pos, node := range c.order {
+		posOf[node] = pos
+	}
+	seen := 0
+	for seen < n {
+		rec, _ := c.Next()
+		if rec.Op != trace.Load || rec.PC == pcNoise {
+			continue
+		}
+		seen++
+		pos := posOf[int(mem.LineOf(rec.Addr))]
+		switch {
+		case pos < hotN:
+			hot++
+		case pos < hotN+warmN:
+			warm++
+		default:
+			cold++
+		}
+	}
+	return
+}
+
+// TestWarmTierVisitShares verifies the three-tier reuse distribution:
+// accesses split roughly by (HotProb, WarmProb, rest), which is what
+// makes the 512KB-vs-1MB store choice meaningful (DESIGN.md §5).
+func TestWarmTierVisitShares(t *testing.T) {
+	p := ChaseParams{
+		Nodes: 64 << 10, Streams: 2,
+		HotFrac: 0.1, HotProb: 0.4,
+		WarmFrac: 0.4, WarmProb: 0.45,
+		RunLen: 128, Gap: 0,
+	}
+	hot, warm, cold := tierCounts(p, 200_000)
+	total := float64(hot + warm + cold)
+	hotF, warmF, coldF := float64(hot)/total, float64(warm)/total, float64(cold)/total
+	// Runs drift past tier boundaries, so allow generous bands.
+	if hotF < 0.30 || hotF > 0.55 {
+		t.Errorf("hot share %.2f, want ~0.40", hotF)
+	}
+	if warmF < 0.35 || warmF > 0.60 {
+		t.Errorf("warm share %.2f, want ~0.45", warmF)
+	}
+	if coldF < 0.05 || coldF > 0.25 {
+		t.Errorf("cold share %.2f, want ~0.15", coldF)
+	}
+}
+
+// TestWarmTierReusePerLine: hot lines must be revisited far more often
+// than warm lines, and warm more than cold.
+func TestWarmTierReusePerLine(t *testing.T) {
+	p := ChaseParams{
+		Nodes: 32 << 10, Streams: 1,
+		HotFrac: 0.1, HotProb: 0.5,
+		WarmFrac: 0.4, WarmProb: 0.4,
+		RunLen: 128, Gap: 0,
+	}
+	hot, warm, cold := tierCounts(p, 300_000)
+	hotLines := p.HotFrac * float64(p.Nodes)
+	warmLines := p.WarmFrac * float64(p.Nodes)
+	coldLines := (1 - p.HotFrac - p.WarmFrac) * float64(p.Nodes)
+	hotPer := float64(hot) / hotLines
+	warmPer := float64(warm) / warmLines
+	coldPer := float64(cold) / coldLines
+	if !(hotPer > 2*warmPer && warmPer > 2*coldPer) {
+		t.Errorf("reuse per line not tiered: hot %.1f, warm %.1f, cold %.1f", hotPer, warmPer, coldPer)
+	}
+}
+
+// TestNoWarmTierIsTwoTier: WarmFrac 0 degenerates to the original
+// hot/cold behavior without panicking.
+func TestNoWarmTierIsTwoTier(t *testing.T) {
+	p := ChaseParams{
+		Nodes: 8 << 10, Streams: 1, HotFrac: 0.2, HotProb: 0.8,
+		RunLen: 64, Gap: 0,
+	}
+	hot, _, cold := tierCounts(p, 50_000)
+	if hot == 0 || cold == 0 {
+		t.Errorf("two-tier counts degenerate: hot=%d cold=%d", hot, cold)
+	}
+}
+
+// TestMixSpecBuilders exercises all three spec constructors through the
+// public suite (every benchmark must emit stable PCs and legal ops).
+func TestSpecStreamsWellFormed(t *testing.T) {
+	for _, s := range All() {
+		recs := trace.Collect(s.New(3, 1<<40), 5000)
+		loads := 0
+		for i, r := range recs {
+			if r.Op > trace.Store {
+				t.Fatalf("%s: bad op at %d", s.Name, i)
+			}
+			if r.Op != trace.NonMem {
+				if r.Addr < 1<<40 {
+					t.Fatalf("%s: address %#x below base", s.Name, r.Addr)
+				}
+				if r.Op == trace.Load {
+					loads++
+				}
+			}
+		}
+		if loads == 0 {
+			t.Errorf("%s: no loads in 5000 records", s.Name)
+		}
+	}
+}

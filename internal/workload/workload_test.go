@@ -1,0 +1,288 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestChaseDeterministic(t *testing.T) {
+	p := ChaseParams{Nodes: 1024, Streams: 2, HotFrac: 0.2, HotProb: 0.8, RunLen: 32, Gap: 4}
+	a := trace.Collect(NewChase(p, 7, 0), 5000)
+	b := trace.Collect(NewChase(p, 7, 0), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := trace.Collect(NewChase(p, 8, 0), 5000)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestChaseTemporalRepetition(t *testing.T) {
+	// The defining property: the successor of a node in traversal order
+	// is stable across runs, so a temporal prefetcher can learn it.
+	p := ChaseParams{Nodes: 256, Streams: 1, HotFrac: 1, HotProb: 1, RunLen: 64, Gap: 0}
+	recs := trace.Collect(NewChase(p, 3, 0), 50000)
+	succ := map[mem.Addr]map[mem.Addr]int{}
+	var prev mem.Addr
+	havePrev := false
+	for _, r := range recs {
+		if r.Op != trace.Load || r.PC != pcStream(0) {
+			continue
+		}
+		if havePrev {
+			if succ[prev] == nil {
+				succ[prev] = map[mem.Addr]int{}
+			}
+			succ[prev][r.Addr]++
+		}
+		prev, havePrev = r.Addr, true
+	}
+	// For nodes with >= 5 observations, the dominant successor should
+	// carry the overwhelming majority (run breaks add a little noise).
+	dominated, total := 0, 0
+	for _, m := range succ {
+		var sum, max int
+		for _, n := range m {
+			sum += n
+			if n > max {
+				max = n
+			}
+		}
+		if sum < 5 {
+			continue
+		}
+		total++
+		if float64(max)/float64(sum) > 0.8 {
+			dominated++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no repeated nodes observed")
+	}
+	if frac := float64(dominated) / float64(total); frac < 0.8 {
+		t.Errorf("only %.0f%% of nodes have a dominant successor; temporal correlation too weak", frac*100)
+	}
+}
+
+func TestChaseSpatialIrregularity(t *testing.T) {
+	// Consecutive loads must NOT be spatially adjacent (that is what
+	// defeats BO/SMS on this class).
+	p := ChaseParams{Nodes: 64 << 10, Streams: 1, HotFrac: 1, HotProb: 1, RunLen: 128, Gap: 0}
+	recs := trace.Collect(NewChase(p, 5, 0), 20000)
+	adjacent, pairs := 0, 0
+	var prev mem.Addr
+	havePrev := false
+	for _, r := range recs {
+		if r.Op != trace.Load {
+			continue
+		}
+		if havePrev {
+			pairs++
+			d := int64(r.Addr) - int64(prev)
+			if d < 0 {
+				d = -d
+			}
+			if d <= 4*mem.LineSize {
+				adjacent++
+			}
+		}
+		prev, havePrev = r.Addr, true
+	}
+	if frac := float64(adjacent) / float64(pairs); frac > 0.05 {
+		t.Errorf("%.1f%% of consecutive loads are near-adjacent; chase is too regular", frac*100)
+	}
+}
+
+func TestChaseHotSkew(t *testing.T) {
+	// With strong hot bias, a small set of lines should absorb most
+	// accesses (the Fig. 1 reuse skew).
+	p := ChaseParams{Nodes: 8 << 10, Streams: 1, HotFrac: 0.1, HotProb: 0.9, RunLen: 64, Gap: 0}
+	recs := trace.Collect(NewChase(p, 11, 0), 200000)
+	counts := map[mem.Addr]int{}
+	loads := 0
+	for _, r := range recs {
+		if r.Op == trace.Load {
+			counts[r.Addr]++
+			loads++
+		}
+	}
+	// Count accesses landing on the top 20% most-accessed lines.
+	top := make([]int, 0, len(counts))
+	for _, n := range counts {
+		top = append(top, n)
+	}
+	// selection: simple sort
+	for i := 0; i < len(top); i++ {
+		for j := i + 1; j < len(top); j++ {
+			if top[j] > top[i] {
+				top[i], top[j] = top[j], top[i]
+			}
+		}
+		if i > len(top)/5 {
+			break
+		}
+	}
+	sum := 0
+	for i := 0; i <= len(top)/5; i++ {
+		sum += top[i]
+	}
+	if frac := float64(sum) / float64(loads); frac < 0.5 {
+		t.Errorf("top 20%% of lines got %.0f%% of accesses, want >= 50%% (reuse skew)", frac*100)
+	}
+}
+
+func TestChaseLoadDepEncoding(t *testing.T) {
+	p := ChaseParams{Nodes: 512, Streams: 3, HotFrac: 1, HotProb: 1, RunLen: 32, Gap: 2}
+	recs := trace.Collect(NewChase(p, 1, 0), 10000)
+	for _, r := range recs {
+		if r.Op == trace.Load && r.PC != pcNoise && r.LoadDep != 3 {
+			t.Fatalf("chase load has LoadDep %d, want Streams=3", r.LoadDep)
+		}
+	}
+}
+
+func TestStrideRegularity(t *testing.T) {
+	p := StrideParams{Streams: 1, StrideLines: 2, WorkingSetLines: 1 << 20, Gap: 1}
+	recs := trace.Collect(NewStride(p, 0, 0), 3000)
+	var prev mem.Addr
+	havePrev := false
+	for _, r := range recs {
+		if r.Op != trace.Load {
+			continue
+		}
+		if havePrev {
+			if d := r.Addr - prev; d != 2*mem.LineSize {
+				t.Fatalf("stride %d bytes, want %d", d, 2*mem.LineSize)
+			}
+		}
+		prev, havePrev = r.Addr, true
+	}
+}
+
+func TestStrideWorkingSetWraps(t *testing.T) {
+	p := StrideParams{Streams: 1, StrideLines: 1, WorkingSetLines: 64, Gap: 0}
+	recs := trace.Collect(NewStride(p, 0, 0), 1000)
+	seen := map[mem.Addr]bool{}
+	for _, r := range recs {
+		if r.Op == trace.Load {
+			seen[r.Addr] = true
+		}
+	}
+	if len(seen) > 64 {
+		t.Errorf("working set spans %d lines, bound 64", len(seen))
+	}
+}
+
+func TestStrideEndlessStreamNeverRepeats(t *testing.T) {
+	p := StrideParams{Streams: 1, StrideLines: 1, WorkingSetLines: 0, Gap: 0}
+	recs := trace.Collect(NewStride(p, 0, 0), 5000)
+	seen := map[mem.Addr]bool{}
+	for _, r := range recs {
+		if r.Op != trace.Load {
+			continue
+		}
+		if seen[r.Addr] {
+			t.Fatalf("address %#x repeated in compulsory-miss stream", r.Addr)
+		}
+		seen[r.Addr] = true
+	}
+}
+
+func TestMixInterleavesBlocks(t *testing.T) {
+	a := trace.NewLoopReader([]trace.Record{{PC: 0xA}})
+	b := trace.NewLoopReader([]trace.Record{{PC: 0xB}})
+	m := NewMix(10, []trace.Reader{a, b}, []int{2, 1})
+	recs := trace.Collect(m, 60)
+	// Expect 20 of A, then 10 of B, repeating.
+	for i := 0; i < 20; i++ {
+		if recs[i].PC != 0xA {
+			t.Fatalf("record %d: PC %#x, want A-block", i, recs[i].PC)
+		}
+	}
+	for i := 20; i < 30; i++ {
+		if recs[i].PC != 0xB {
+			t.Fatalf("record %d: PC %#x, want B-block", i, recs[i].PC)
+		}
+	}
+	if recs[30].PC != 0xA {
+		t.Error("mix did not cycle back to A")
+	}
+}
+
+func TestSuitesComplete(t *testing.T) {
+	if got := len(IrregularSuite()); got != 7 {
+		t.Errorf("irregular suite has %d benchmarks, want 7 (Fig. 5)", got)
+	}
+	if got := len(RegularSuite()); got != 25 {
+		t.Errorf("regular suite has %d benchmarks, want 25 (Fig. 8)", got)
+	}
+	if got := len(CloudSuite()); got != 5 {
+		t.Errorf("CloudSuite has %d benchmarks, want 5 (Fig. 14)", got)
+	}
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if seen[s.Name] {
+			t.Errorf("duplicate benchmark name %q", s.Name)
+		}
+		seen[s.Name] = true
+		r := s.New(1, 0)
+		recs := trace.Collect(r, 1000)
+		if len(recs) != 1000 {
+			t.Errorf("%s: generator exhausted early", s.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("mcf not found")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Error("found a benchmark that does not exist")
+	}
+	if len(Names()) != len(All()) {
+		t.Error("Names() length mismatch")
+	}
+}
+
+func TestMixesDeterministicAndSized(t *testing.T) {
+	a := Mixes(30, 4, 42, true)
+	b := Mixes(30, 4, 42, true)
+	if len(a) != 30 {
+		t.Fatalf("got %d mixes, want 30", len(a))
+	}
+	for i := range a {
+		if len(a[i].Specs) != 4 {
+			t.Fatalf("mix %d has %d benchmarks, want 4", i, len(a[i].Specs))
+		}
+		for c := range a[i].Specs {
+			if a[i].Specs[c].Name != b[i].Specs[c].Name {
+				t.Fatal("mixes are not deterministic")
+			}
+		}
+	}
+	// irregularOnly mixes draw only from the irregular suite.
+	irr := map[string]bool{}
+	for _, s := range IrregularSuite() {
+		irr[s.Name] = true
+	}
+	for _, m := range a {
+		for _, s := range m.Specs {
+			if !irr[s.Name] {
+				t.Errorf("irregular-only mix contains %q", s.Name)
+			}
+		}
+	}
+}
