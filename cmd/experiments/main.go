@@ -2,19 +2,27 @@
 //
 // Usage:
 //
-//	experiments [-fig fig05,fig11] [-full] [-mixes N] [-measure N] [-warmup N] [-seed N]
+//	experiments [-fig fig05,fig11] [-full] [-j N] [-mixes N] [-measure N] [-warmup N] [-seed N]
 //
 // Without -fig it runs every experiment in paper order. -full switches
-// to the larger paper-scale windows (slower). Results print as aligned
-// text tables with shape notes; EXPERIMENTS.md records paper-vs-
-// measured values for a committed run.
+// to the larger paper-scale windows (slower). -j sets how many
+// simulations run concurrently (default: GOMAXPROCS); tables and CSVs
+// are byte-identical for every -j. Results print as aligned text
+// tables with shape notes; EXPERIMENTS.md records paper-vs-measured
+// values for a committed run.
+//
+// -bench FILE runs each selected experiment with a fresh runner,
+// timing it, and writes a JSON report of simulation throughput
+// (see EXPERIMENTS.md "Performance").
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -23,13 +31,17 @@ import (
 
 func main() {
 	var (
-		figs    = flag.String("fig", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(experiments.IDs(), ",")+")")
-		full    = flag.Bool("full", false, "paper-scale instruction windows (slower)")
-		mixes   = flag.Int("mixes", 0, "override number of multi-programmed mixes")
-		warmup  = flag.Uint64("warmup", 0, "override single-core warmup instructions")
-		measure = flag.Uint64("measure", 0, "override single-core measured instructions")
-		seed    = flag.Uint64("seed", 0, "override workload seed")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		figs     = flag.String("fig", "all", "comma-separated experiment ids, or 'all' (known: "+strings.Join(experiments.IDs(), ",")+")")
+		full     = flag.Bool("full", false, "paper-scale instruction windows (slower)")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations running concurrently (output is identical for any value)")
+		mixes    = flag.Int("mixes", 0, "override number of multi-programmed mixes")
+		warmup   = flag.Uint64("warmup", 0, "override single-core warmup instructions")
+		measure  = flag.Uint64("measure", 0, "override single-core measured instructions")
+		mwarmup  = flag.Uint64("mwarmup", 0, "override multi-core warmup instructions")
+		mmeasure = flag.Uint64("mmeasure", 0, "override multi-core measured instructions")
+		seed     = flag.Uint64("seed", 0, "override workload seed")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		bench    = flag.String("bench", "", "write a JSON throughput report (per-experiment wall time and sim-instr/s) to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +57,12 @@ func main() {
 	}
 	if *measure > 0 {
 		p.Measure = *measure
+	}
+	if *mwarmup > 0 {
+		p.MultiWarmup = *mwarmup
+	}
+	if *mmeasure > 0 {
+		p.MultiMeasure = *mmeasure
 	}
 	if *seed > 0 {
 		p.Seed = *seed
@@ -64,22 +82,104 @@ func main() {
 		}
 	}
 
-	runner := experiments.NewRunner(p)
+	pool := experiments.NewPool(*jobs)
 	start := time.Now()
-	for _, e := range selected {
-		t0 := time.Now()
-		fmt.Printf("running %s (%s)...\n", e.ID, e.Short)
-		table := e.Run(runner)
-		table.Fprint(os.Stdout)
+
+	if *bench != "" {
+		if err := runBench(*bench, p, pool, selected, *csvDir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+		return
+	}
+
+	// All experiments share one runner: the single-flight cache simulates
+	// each baseline exactly once even when figures race to it, and the
+	// launch/collect figure structure keeps tables deterministic.
+	runner := experiments.NewRunnerPool(p, pool)
+	fmt.Printf("running %d experiments on %d workers...\n", len(selected), pool.Workers())
+	tables := experiments.RunAll(runner, selected)
+	for i, e := range selected {
+		tables[i].Fprint(os.Stdout)
 		if *csvDir != "" {
-			if err := writeCSV(*csvDir, e.ID, table); err != nil {
+			if err := writeCSV(*csvDir, e.ID, tables[i]); err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("(%s took %.1fs)\n\n", e.ID, time.Since(t0).Seconds())
 	}
-	fmt.Printf("total: %.1fs\n", time.Since(start).Seconds())
+	fmt.Printf("total: %.1fs (%d simulations, %.2fM sim-instr/s)\n",
+		time.Since(start).Seconds(), runner.Runs(),
+		float64(runner.SimulatedInstructions())/time.Since(start).Seconds()/1e6)
+}
+
+// benchEntry is one experiment's throughput record (BENCH_sim.json).
+type benchEntry struct {
+	Experiment       string  `json:"experiment"`
+	WallSeconds      float64 `json:"wall_seconds"`
+	Simulations      uint64  `json:"simulations"`
+	SimInstructions  uint64  `json:"sim_instructions"`
+	SimInstrPerSec   float64 `json:"sim_instructions_per_sec"`
+	Workers          int     `json:"workers"`
+	WarmupInstr      uint64  `json:"warmup_instructions"`
+	MeasureInstr     uint64  `json:"measure_instructions"`
+	MultiWarmupInstr uint64  `json:"multi_warmup_instructions"`
+	MultiMeasure     uint64  `json:"multi_measure_instructions"`
+}
+
+// runBench times each experiment with a fresh runner (so cached work is
+// attributed to the experiment that caused it) and writes the JSON
+// report. Experiments run one at a time; their internal simulations
+// still fan out across the pool.
+func runBench(path string, p experiments.Params, pool *experiments.Pool, selected []experiments.Experiment, csvDir string) error {
+	var entries []benchEntry
+	var totalInstr, totalRuns uint64
+	benchStart := time.Now()
+	for _, e := range selected {
+		runner := experiments.NewRunnerPool(p, pool)
+		t0 := time.Now()
+		fmt.Printf("running %s (%s)...\n", e.ID, e.Short)
+		table := e.Run(runner)
+		wall := time.Since(t0).Seconds()
+		instr := runner.SimulatedInstructions()
+		totalInstr += instr
+		totalRuns += runner.Runs()
+		entries = append(entries, benchEntry{
+			Experiment:       e.ID,
+			WallSeconds:      wall,
+			Simulations:      runner.Runs(),
+			SimInstructions:  instr,
+			SimInstrPerSec:   float64(instr) / wall,
+			Workers:          pool.Workers(),
+			WarmupInstr:      p.Warmup,
+			MeasureInstr:     p.Measure,
+			MultiWarmupInstr: p.MultiWarmup,
+			MultiMeasure:     p.MultiMeasure,
+		})
+		if csvDir != "" {
+			if err := writeCSV(csvDir, e.ID, table); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s took %.1fs, %.2fM sim-instr/s)\n\n", e.ID, wall, float64(instr)/wall/1e6)
+	}
+	totalWall := time.Since(benchStart).Seconds()
+	entries = append(entries, benchEntry{
+		Experiment:      "total",
+		WallSeconds:     totalWall,
+		Simulations:     totalRuns,
+		SimInstructions: totalInstr,
+		SimInstrPerSec:  float64(totalInstr) / totalWall,
+		Workers:         pool.Workers(),
+		WarmupInstr:     p.Warmup,
+		MeasureInstr:    p.Measure,
+	})
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func writeCSV(dir, id string, t *experiments.Table) error {

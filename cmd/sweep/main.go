@@ -4,22 +4,26 @@
 //
 // Usage:
 //
-//	sweep -bench mcf -sizes 128,256,512,1024 -degrees 1,2,4 [-llc 1,2,4] [-repl lru,hawkeye]
+//	sweep -bench mcf -sizes 128,256,512,1024 -degrees 1,2,4 [-llc 1,2,4] [-repl lru,hawkeye] [-j N]
 //
 // Each configuration is simulated against its own no-prefetch baseline
-// at the same LLC size, so the speedup isolates the prefetcher.
+// at the same LLC size, so the speedup isolates the prefetcher. -j
+// runs up to N simulations concurrently; rows still print in sweep
+// order, so the CSV is byte-identical for any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/experiments"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -48,6 +52,7 @@ func main() {
 		warmup  = flag.Uint64("warmup", 3_000_000, "warmup instructions")
 		measure = flag.Uint64("measure", 2_000_000, "measured instructions")
 		seed    = flag.Uint64("seed", 42, "workload seed")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations running concurrently")
 	)
 	flag.Parse()
 
@@ -89,25 +94,47 @@ func main() {
 		return machine.Run()
 	}
 
-	fmt.Println("bench,llc_mb,store_kb,degree,replacement,speedup,coverage,accuracy,traffic_overhead_pct")
-	for _, llcMB := range llcList {
-		base := run(llcMB, nil)
-		for _, sizeKB := range sizeList {
-			for _, d := range degreeList {
-				for _, repl := range strings.Split(*repls, ",") {
+	replList := strings.Split(*repls, ",")
+
+	// Launch every point on the pool, then collect in sweep order so the
+	// CSV is identical regardless of -j.
+	pool := experiments.NewPool(*jobs)
+	baseFs := make([]*experiments.Future[sim.Result], len(llcList))
+	cellFs := make(map[[4]int]*experiments.Future[sim.Result])
+	for li, llcMB := range llcList {
+		llcMB := llcMB
+		baseFs[li] = experiments.Go(pool, func() sim.Result { return run(llcMB, nil) })
+		for si, sizeKB := range sizeList {
+			for di, d := range degreeList {
+				for ri, repl := range replList {
+					llcMB, sizeKB, d := llcMB, sizeKB, d
 					r := core.Hawkeye
 					if strings.TrimSpace(repl) == "lru" {
 						r = core.LRU
 					}
-					m := config.Default(1)
-					tri := core.New(core.Config{
-						Mode:            core.Static,
-						StaticBytes:     sizeKB << 10,
-						Degree:          d,
-						Replacement:     r,
-						LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
+					cellFs[[4]int{li, si, di, ri}] = experiments.Go(pool, func() sim.Result {
+						m := config.Default(1)
+						tri := core.New(core.Config{
+							Mode:            core.Static,
+							StaticBytes:     sizeKB << 10,
+							Degree:          d,
+							Replacement:     r,
+							LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
+						})
+						return run(llcMB, tri)
 					})
-					res := run(llcMB, tri)
+				}
+			}
+		}
+	}
+
+	fmt.Println("bench,llc_mb,store_kb,degree,replacement,speedup,coverage,accuracy,traffic_overhead_pct")
+	for li, llcMB := range llcList {
+		base := baseFs[li].Wait()
+		for si, sizeKB := range sizeList {
+			for di, d := range degreeList {
+				for ri, repl := range replList {
+					res := cellFs[[4]int{li, si, di, ri}].Wait()
 					fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.4f,%.4f,%.1f\n",
 						*bench, llcMB, sizeKB, d, strings.TrimSpace(repl),
 						res.SpeedupOver(base), res.CoverageOver(base),

@@ -68,6 +68,9 @@ type Cache struct {
 	lines    [][]Line
 	policy   replacement.Policy
 	stats    Stats
+	// validScratch backs the per-fill valid-ways view handed to the
+	// policy; reused so Fill allocates nothing.
+	validScratch []bool
 }
 
 // New returns a cache with the given geometry and replacement policy.
@@ -82,7 +85,7 @@ func New(name string, sets, ways int, policy replacement.Policy) *Cache {
 	for i := range ls {
 		ls[i] = make([]Line, ways)
 	}
-	return &Cache{name: name, sets: sets, ways: ways, dataWays: ways, lines: ls, policy: policy}
+	return &Cache{name: name, sets: sets, ways: ways, dataWays: ways, lines: ls, policy: policy, validScratch: make([]bool, ways)}
 }
 
 // Name returns the cache's name.
@@ -185,7 +188,7 @@ func (c *Cache) Fill(l mem.Line, a replacement.Access, dirty bool, readyTick uin
 			return Eviction{}
 		}
 	}
-	valid := make([]bool, c.dataWays)
+	valid := c.validScratch[:c.dataWays]
 	for w := 0; w < c.dataWays; w++ {
 		valid[w] = c.lines[s][w].Valid
 	}

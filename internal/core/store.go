@@ -1,6 +1,7 @@
 package core
 
 import (
+	"repro/internal/flat"
 	"repro/internal/mem"
 	"repro/internal/replacement"
 )
@@ -50,7 +51,7 @@ type store struct {
 	trigComp     *mem.TagCompressor
 	nextComp     *mem.TagCompressor
 	clock        uint64
-	reuse        map[mem.Line]uint64 // per-trigger reuse counts (Fig 1)
+	reuse        *flat.Map // per-trigger reuse counts (Fig 1)
 	trackReuse   bool
 	insertions   uint64
 	replacements uint64
@@ -122,7 +123,8 @@ func (s *store) lookup(l mem.Line) (next mem.Line, way int, ok bool) {
 			return 0, -1, false
 		}
 		if s.trackReuse {
-			s.reuse[l]++
+			n, _ := s.reuse.Get(uint64(l))
+			s.reuse.Set(uint64(l), n+1)
 		}
 		return mem.Line(full<<11 | uint64(e.nextSet)), w, true
 	}
@@ -193,8 +195,8 @@ func (s *store) insert(l, next mem.Line, pc uint64) {
 	*e = entry{valid: true, trigTag: trigTag, nextSet: nextSet, nextTag: nextTag, conf: true}
 	s.touchOnInsert(e, pc)
 	if s.trackReuse && s.reuse != nil {
-		if _, seen := s.reuse[l]; !seen {
-			s.reuse[l] = 0
+		if _, seen := s.reuse.Get(uint64(l)); !seen {
+			s.reuse.Set(uint64(l), 0)
 		}
 	}
 }
@@ -255,7 +257,7 @@ func (s *store) victim(setIdx int, _ uint64) int {
 // enableReuseTracking turns on per-trigger reuse counting (Fig 1).
 func (s *store) enableReuseTracking() {
 	s.trackReuse = true
-	s.reuse = make(map[mem.Line]uint64)
+	s.reuse = flat.NewMap(0)
 }
 
 // occupancy counts valid entries (tests).

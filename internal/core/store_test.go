@@ -151,7 +151,7 @@ func TestStoreReuseTracking(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		s.lookup(1)
 	}
-	if got := s.reuse[1]; got != 3 {
+	if got, _ := s.reuse.Get(1); got != 3 {
 		t.Errorf("reuse[1] = %d, want 3", got)
 	}
 }

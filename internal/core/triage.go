@@ -19,6 +19,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/flat"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
 	"repro/internal/replacement"
@@ -146,8 +147,11 @@ type Triage struct {
 	env  prefetch.Env
 	pred *replacement.Predictor
 
-	tu      map[uint64]mem.Line // training unit: PC -> last line
-	tuOrder []uint64            // FIFO of PCs for bounded eviction
+	// tu is the training unit: PC -> last line, bounded by
+	// TrainingUnitSize with FIFO eviction. Updates go through At (no
+	// LRU promotion), so the flat table's recency order degenerates to
+	// insertion order — exactly the original FIFO.
+	tu *flat.LRU[uint64]
 
 	store       *store
 	sizer       *sizer
@@ -157,6 +161,8 @@ type Triage struct {
 	// Unlimited-mode table.
 	unl     map[mem.Line]unlEntry
 	pending map[mem.Line]pendingObs
+
+	reqs []prefetch.Request // predict scratch, reused every Train
 
 	metadataAccesses uint64 // LLC accesses for metadata (energy, Fig 13)
 	lookups          uint64
@@ -183,7 +189,7 @@ func New(cfg Config) *Triage {
 		cfg:     cfg,
 		env:     prefetch.NopEnv{},
 		pred:    replacement.NewPredictor(cfg.PredictorBits),
-		tu:      make(map[uint64]mem.Line),
+		tu:      flat.NewLRU[uint64](cfg.TrainingUnitSize),
 		pending: make(map[mem.Line]pendingObs),
 	}
 	switch cfg.Mode {
@@ -294,10 +300,11 @@ func (t *Triage) ReuseCounts() []uint64 {
 	if t.store == nil || t.store.reuse == nil {
 		return nil
 	}
-	out := make([]uint64, 0, len(t.store.reuse))
-	for _, n := range t.store.reuse {
+	out := make([]uint64, 0, t.store.reuse.Len())
+	t.store.reuse.Range(func(_, n uint64) bool {
 		out = append(out, n)
-	}
+		return true
+	})
 	return out
 }
 
@@ -315,8 +322,10 @@ func (t *Triage) Train(ev prefetch.Event) []prefetch.Request {
 }
 
 // predict chains metadata lookups from ev.Line, one per degree step.
+// The returned slice is scratch owned by the prefetcher; callers
+// consume it before the next Train.
 func (t *Triage) predict(ev prefetch.Event) []prefetch.Request {
-	var reqs []prefetch.Request
+	t.reqs = t.reqs[:0]
 	cur := ev.Line
 	delay := t.cfg.LLCLatencyTicks
 	for i := 0; i < t.cfg.Degree; i++ {
@@ -325,7 +334,7 @@ func (t *Triage) predict(ev prefetch.Event) []prefetch.Request {
 			break
 		}
 		req := prefetch.Request{Line: next, PC: ev.PC, IssueDelay: delay}
-		reqs = append(reqs, req)
+		t.reqs = append(t.reqs, req)
 		// Defer the Hawkeye predictor update until the outcome of this
 		// prefetch is known (§3: train only on useful prefetches).
 		t.pending[next] = pendingObs{hint: hint}
@@ -333,7 +342,10 @@ func (t *Triage) predict(ev prefetch.Event) []prefetch.Request {
 		cur = next
 		delay += t.cfg.LLCLatencyTicks
 	}
-	return reqs
+	if len(t.reqs) == 0 {
+		return nil
+	}
+	return t.reqs
 }
 
 // lookupOnce performs one metadata lookup, charging one LLC metadata
@@ -368,16 +380,16 @@ func (t *Triage) lookupOnce(l mem.Line, pc uint64) (mem.Line, trainHint, bool) {
 
 // learn records the PC-localized pair (lastAddr[PC] -> ev.Line).
 func (t *Triage) learn(ev prefetch.Event) {
-	prev, had := t.tu[ev.PC]
-	if !had {
-		if len(t.tu) >= t.cfg.TrainingUnitSize {
-			oldest := t.tuOrder[0]
-			t.tuOrder = t.tuOrder[1:]
-			delete(t.tu, oldest)
-		}
-		t.tuOrder = append(t.tuOrder, ev.PC)
+	var prev mem.Line
+	slot, had := t.tu.Find(ev.PC)
+	if had {
+		prev = mem.Line(*t.tu.At(slot))
+		*t.tu.At(slot) = uint64(ev.Line)
+	} else {
+		// Insert evicts the oldest PC when full (FIFO: updates above
+		// never promote, so tail order is insertion order).
+		t.tu.Insert(ev.PC, uint64(ev.Line))
 	}
-	t.tu[ev.PC] = ev.Line
 	if !had || prev == ev.Line {
 		return
 	}

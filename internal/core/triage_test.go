@@ -237,8 +237,8 @@ func TestTrainingUnitBounded(t *testing.T) {
 	for pc := uint64(0); pc < 100; pc++ {
 		tr.Train(miss(pc, mem.Line(pc*10)))
 	}
-	if len(tr.tu) > 8 {
-		t.Errorf("training unit grew to %d entries, bound 8", len(tr.tu))
+	if tr.tu.Len() > 8 {
+		t.Errorf("training unit grew to %d entries, bound 8", tr.tu.Len())
 	}
 }
 

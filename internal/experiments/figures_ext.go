@@ -45,12 +45,14 @@ func (r *Runner) ExtZooTraffic() *Table {
 		Title:  "Metadata organizations: relative off-chip traffic (irregular SPEC)",
 		Header: []string{"benchmark", "ISB traf", "MISB traf", "Triage traf"},
 	}
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, configs)
 	sums := make([][]float64, len(configs))
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
+	for si, spec := range suite {
+		base := bases[si].Wait()
 		row := []string{spec.Name}
-		for i, cfg := range configs {
-			res := r.single(spec, cfg)
+		for i := range configs {
+			res := cells[si][i].Wait()
 			tr := 1.0
 			if bt := base.TotalTraffic(); bt > 0 {
 				tr = float64(res.TotalTraffic()+res.EstimatedMetadataTransfers) / float64(bt)
@@ -90,11 +92,12 @@ func (r *Runner) ExtUtility() *Table {
 	}
 	// ...plus the irregular suite, where the extension must not regress.
 	suite = append(suite, workload.IrregularSuite()...)
+	bases, cells := r.launchGrid(suite, []namedPF{cfgTDyn, cfgUtil})
 	var dyn, util []float64
-	for _, spec := range suite {
-		base := r.single(spec, cfgNone)
-		d := r.single(spec, cfgTDyn).SpeedupOver(base)
-		u := r.single(spec, cfgUtil).SpeedupOver(base)
+	for si, spec := range suite {
+		base := bases[si].Wait()
+		d := cells[si][0].Wait().SpeedupOver(base)
+		u := cells[si][1].Wait().SpeedupOver(base)
 		dyn = append(dyn, d)
 		util = append(util, u)
 		t.AddRow(spec.Name, fmtSpeedup(d), fmtSpeedup(u))
@@ -117,11 +120,13 @@ func (r *Runner) ExtLadder() *Table {
 		Title:  "Extension: time-shared OPTgen ladder (256KB-2MB) vs two-point Dynamic",
 		Header: []string{"benchmark", "Triage_Dynamic", "Triage_Ladder"},
 	}
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, []namedPF{cfgTDyn, cfgLadder})
 	var dyn, lad []float64
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
-		d := r.single(spec, cfgTDyn).SpeedupOver(base)
-		l := r.single(spec, cfgLadder).SpeedupOver(base)
+	for si, spec := range suite {
+		base := bases[si].Wait()
+		d := cells[si][0].Wait().SpeedupOver(base)
+		l := cells[si][1].Wait().SpeedupOver(base)
 		dyn = append(dyn, d)
 		lad = append(lad, l)
 		t.AddRow(spec.Name, fmtSpeedup(d), fmtSpeedup(l))
@@ -140,14 +145,19 @@ func (r *Runner) ExtLLCPolicy() *Table {
 		Title:  "LLC data replacement under Triage: LRU vs Hawkeye",
 		Header: []string{"benchmark", "Triage/LRU-LLC", "Triage/Hawkeye-LLC"},
 	}
-	var lru, hawk []float64
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
-		l := r.single(spec, cfgT1M).SpeedupOver(base)
-		res := runSingle(r.P, spec, pfTriageStatic(1<<20), func(o *sim.Options) {
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, []namedPF{cfgT1M})
+	hawkFs := make([]*Future[sim.Result], len(suite))
+	for si, spec := range suite {
+		hawkFs[si] = r.runSingleF(spec, pfTriageStatic(1<<20), func(o *sim.Options) {
 			o.LLCPolicy = "hawkeye"
 		})
-		h := res.SpeedupOver(base)
+	}
+	var lru, hawk []float64
+	for si, spec := range suite {
+		base := bases[si].Wait()
+		l := cells[si][0].Wait().SpeedupOver(base)
+		h := hawkFs[si].Wait().SpeedupOver(base)
 		lru = append(lru, l)
 		hawk = append(hawk, h)
 		t.AddRow(spec.Name, fmtSpeedup(l), fmtSpeedup(h))

@@ -4,8 +4,25 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/sim"
 	"repro/internal/workload"
 )
+
+// launchMixGrid starts every mix's no-prefetch baseline plus the mix x
+// config grid on the pool, returning the Futures in input order for a
+// deterministic collect pass.
+func (r *Runner) launchMixGrid(mixes []workload.MixSpec, configs []namedPF) (bases []*Future[sim.Result], cells [][]*Future[sim.Result]) {
+	bases = make([]*Future[sim.Result], len(mixes))
+	cells = make([][]*Future[sim.Result], len(mixes))
+	for mi, mix := range mixes {
+		bases[mi] = r.runMixF(mix, pfNone)
+		cells[mi] = make([]*Future[sim.Result], len(configs))
+		for ci, cfg := range configs {
+			cells[mi][ci] = r.runMixF(mix, cfg.f)
+		}
+	}
+	return bases, cells
+}
 
 // Fig14 evaluates the server workloads on a 4-core system (paper:
 // BO+Triage 13.7% vs BO 8.6%; Triage wins the irregular three, BO/SMS
@@ -15,12 +32,22 @@ func (r *Runner) Fig14() *Table {
 		cfgBOSMS, cfgBOTStatic, cfgBOTDyn}
 	t := &Table{ID: "fig14", Title: "CloudSuite-like server workloads, 4-core"}
 	t.Header = append([]string{"benchmark"}, names(configs)...)
+	suite := workload.CloudSuite()
+	baseFs := make([]*Future[sim.Result], len(suite))
+	cellFs := make([][]*Future[sim.Result], len(suite))
+	for si, spec := range suite {
+		baseFs[si] = r.runRateF(spec, 4, pfNone)
+		cellFs[si] = make([]*Future[sim.Result], len(configs))
+		for ci, cfg := range configs {
+			cellFs[si][ci] = r.runRateF(spec, 4, cfg.f)
+		}
+	}
 	sums := make([][]float64, len(configs))
-	for _, spec := range workload.CloudSuite() {
-		base := runRate(r.P, spec, 4, pfNone)
+	for si, spec := range suite {
+		base := baseFs[si].Wait()
 		row := []string{spec.Name}
-		for i, cfg := range configs {
-			res := runRate(r.P, spec, 4, cfg.f)
+		for i := range configs {
+			res := cellFs[si][i].Wait()
 			sp := res.SpeedupOver(base)
 			sums[i] = append(sums[i], sp)
 			row = append(row, fmtSpeedup(sp))
@@ -46,11 +73,14 @@ func (r *Runner) Fig15() *Table {
 		name   string
 		st, dy float64
 	}
+	bases, cells := r.launchMixGrid(mixes, []namedPF{
+		{"Triage_Static", pfTriageStatic(1 << 20)}, cfgTDyn,
+	})
 	var rows []rowv
-	for _, mix := range mixes {
-		base := runMix(r.P, mix, pfNone)
-		st := runMix(r.P, mix, pfTriageStatic(1<<20)).SpeedupOver(base)
-		dy := runMix(r.P, mix, pfTriageDyn).SpeedupOver(base)
+	for mi, mix := range mixes {
+		base := bases[mi].Wait()
+		st := cells[mi][0].Wait().SpeedupOver(base)
+		dy := cells[mi][1].Wait().SpeedupOver(base)
 		rows = append(rows, rowv{mix.Name, st, dy})
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].dy > rows[j].dy })
@@ -72,12 +102,13 @@ func (r *Runner) Fig16() *Table {
 	configs := []namedPF{cfgBO, cfgTDyn, cfgBOTDyn}
 	t := &Table{ID: "fig16", Title: "4-core irregular multi-programmed mixes"}
 	t.Header = append([]string{"mix"}, names(configs)...)
+	bases, cells := r.launchMixGrid(mixes, configs)
 	sums := make([][]float64, len(configs))
-	for _, mix := range mixes {
-		base := runMix(r.P, mix, pfNone)
+	for mi, mix := range mixes {
+		base := bases[mi].Wait()
 		row := []string{mix.Name}
-		for i, cfg := range configs {
-			sp := runMix(r.P, mix, cfg.f).SpeedupOver(base)
+		for i := range configs {
+			sp := cells[mi][i].Wait().SpeedupOver(base)
 			sums[i] = append(sums[i], sp)
 			row = append(row, fmtSpeedup(sp))
 		}
@@ -102,13 +133,19 @@ func (r *Runner) Fig17() *Table {
 	if mixCount < 2 {
 		mixCount = 2
 	}
-	for _, cores := range []int{2, 4, 8, 16} {
+	coreCounts := []int{2, 4, 8, 16}
+	baseFs := make([][]*Future[sim.Result], len(coreCounts))
+	cellFs := make([][][]*Future[sim.Result], len(coreCounts))
+	for ci, cores := range coreCounts {
 		mixes := workload.Mixes(mixCount, cores, r.P.Seed+uint64(cores), true)
+		baseFs[ci], cellFs[ci] = r.launchMixGrid(mixes, []namedPF{cfgMISB, cfgTDyn})
+	}
+	for ci, cores := range coreCounts {
 		var mi, tr []float64
-		for _, mix := range mixes {
-			base := runMix(r.P, mix, pfNone)
-			mi = append(mi, runMix(r.P, mix, pfMISB).SpeedupOver(base))
-			tr = append(tr, runMix(r.P, mix, pfTriageDyn).SpeedupOver(base))
+		for mj := range baseFs[ci] {
+			base := baseFs[ci][mj].Wait()
+			mi = append(mi, cellFs[ci][mj][0].Wait().SpeedupOver(base))
+			tr = append(tr, cellFs[ci][mj][1].Wait().SpeedupOver(base))
 		}
 		t.AddRow(fmt.Sprintf("%d", cores), fmtSpeedup(geomean(mi)), fmtSpeedup(geomean(tr)))
 	}
@@ -124,12 +161,13 @@ func (r *Runner) Fig18() *Table {
 	configs := []namedPF{cfgBOTDyn, cfgBO, cfgTDyn}
 	t := &Table{ID: "fig18", Title: "4-core mixed regular+irregular mixes"}
 	t.Header = append([]string{"mix"}, names(configs)...)
+	bases, cells := r.launchMixGrid(mixes, configs)
 	sums := make([][]float64, len(configs))
-	for _, mix := range mixes {
-		base := runMix(r.P, mix, pfNone)
+	for mi, mix := range mixes {
+		base := bases[mi].Wait()
 		row := []string{mix.Name}
-		for i, cfg := range configs {
-			sp := runMix(r.P, mix, cfg.f).SpeedupOver(base)
+		for i := range configs {
+			sp := cells[mi][i].Wait().SpeedupOver(base)
 			sums[i] = append(sums[i], sp)
 			row = append(row, fmtSpeedup(sp))
 		}
@@ -151,8 +189,12 @@ func (r *Runner) Fig19() *Table {
 	mixes := workload.Mixes(r.P.Mixes, 4, r.P.Seed^0xBEEF, false)
 	t := &Table{ID: "fig19", Title: "LLC ways allocated to metadata per core (Triage-Dynamic, mixed mixes)"}
 	t.Header = []string{"mix", "core0", "core1", "core2", "core3", "benchmarks"}
-	for _, mix := range mixes {
-		res := runMix(r.P, mix, pfTriageDyn)
+	resFs := make([]*Future[sim.Result], len(mixes))
+	for mi, mix := range mixes {
+		resFs[mi] = r.runMixF(mix, pfTriageDyn)
+	}
+	for mi, mix := range mixes {
+		res := resFs[mi].Wait()
 		row := []string{mix.Name}
 		namesCol := ""
 		for c, cr := range res.Cores {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -11,17 +13,33 @@ import (
 	"repro/internal/workload"
 )
 
-// Runner executes figures, caching single-core runs so that baselines
-// shared between figures (e.g. the no-prefetch runs used by Figs. 5, 6,
-// 7, 10, 11, 12) are simulated once.
+// Runner executes figures over a worker pool, caching single-core runs
+// so that baselines shared between figures (e.g. the no-prefetch runs
+// used by Figs. 5, 6, 7, 10, 11, 12) are simulated once. The cache is
+// single-flight: each key maps to the Future of its one simulation, so
+// figures running concurrently (RunAll) share in-flight baselines
+// instead of duplicating them.
 type Runner struct {
-	P     Params
-	cache map[string]sim.Result
+	P    Params
+	pool *Pool
+
+	mu    sync.Mutex
+	cache map[string]*Future[sim.Result]
+
+	runs     atomic.Uint64
+	simInstr atomic.Uint64
 }
 
-// NewRunner returns a Runner with the given parameters.
-func NewRunner(p Params) *Runner {
-	return &Runner{P: p, cache: make(map[string]sim.Result)}
+// NewRunner returns a Runner with the given parameters and a pool
+// sized to the machine. Figures produce identical tables for any pool
+// size; the pool only sets how many simulations run at once.
+func NewRunner(p Params) *Runner { return NewRunnerPool(p, DefaultPool()) }
+
+// NewRunnerPool returns a Runner executing on an explicit pool
+// (cmd/experiments -j, and the determinism tests that compare -j 1
+// against -j 8 output).
+func NewRunnerPool(p Params, pool *Pool) *Runner {
+	return &Runner{P: p, pool: pool, cache: make(map[string]*Future[sim.Result])}
 }
 
 // namedPF pairs a display name with a prefetcher factory.
@@ -32,13 +50,7 @@ type namedPF struct {
 
 // single runs (and caches) one benchmark x prefetcher configuration.
 func (r *Runner) single(spec workload.Spec, cfg namedPF) sim.Result {
-	key := spec.Name + "/" + cfg.name
-	if res, ok := r.cache[key]; ok {
-		return res
-	}
-	res := runSingle(r.P, spec, cfg.f, nil)
-	r.cache[key] = res
-	return res
+	return r.singleF(spec, cfg).Wait()
 }
 
 var (
@@ -67,7 +79,7 @@ func (r *Runner) Fig01() *Table {
 		captured = core.New(core.Config{Mode: core.Unlimited, LLCLatencyTicks: llcTicks(m)})
 		return captured
 	}
-	runSingle(r.P, spec, factory, nil)
+	r.runSingleF(spec, factory, nil).Wait()
 	counts := captured.ReuseCounts()
 	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
 
@@ -98,18 +110,35 @@ func (r *Runner) Fig01() *Table {
 	return t
 }
 
+// launchGrid starts the suite x configs simulations plus each
+// benchmark's no-prefetch baseline on the pool, returning the Futures
+// in suite/config order. Figures collect from these in a deterministic
+// second pass, so tables are identical for any pool size.
+func (r *Runner) launchGrid(suite []workload.Spec, configs []namedPF) (bases []*Future[sim.Result], cells [][]*Future[sim.Result]) {
+	bases = make([]*Future[sim.Result], len(suite))
+	cells = make([][]*Future[sim.Result], len(suite))
+	for si, spec := range suite {
+		bases[si] = r.singleF(spec, cfgNone)
+		cells[si] = make([]*Future[sim.Result], len(configs))
+		for ci, cfg := range configs {
+			cells[si][ci] = r.singleF(spec, cfg)
+		}
+	}
+	return bases, cells
+}
+
 // speedupTable runs suite x configs and reports per-benchmark speedups
 // over the no-prefetch baseline, with a geometric-mean summary row.
 func (r *Runner) speedupTable(id, title string, suite []workload.Spec, configs []namedPF) *Table {
 	t := &Table{ID: id, Title: title}
 	t.Header = append([]string{"benchmark"}, names(configs)...)
+	bases, cells := r.launchGrid(suite, configs)
 	means := make([][]float64, len(configs))
-	for _, spec := range suite {
-		base := r.single(spec, cfgNone)
+	for si, spec := range suite {
+		base := bases[si].Wait()
 		row := []string{spec.Name}
-		for i, cfg := range configs {
-			res := r.single(spec, cfg)
-			sp := res.SpeedupOver(base)
+		for i := range configs {
+			sp := cells[si][i].Wait().SpeedupOver(base)
 			means[i] = append(means[i], sp)
 			row = append(row, fmtSpeedup(sp))
 		}
@@ -148,13 +177,15 @@ func (r *Runner) Fig06() *Table {
 	configs := []namedPF{cfgBO, cfgSMS, cfgT512, cfgT1M, cfgTDyn}
 	t := &Table{ID: "fig06", Title: "Prefetcher coverage / accuracy, irregular SPEC"}
 	t.Header = append([]string{"benchmark"}, names(configs)...)
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, configs)
 	covSums := make([][]float64, len(configs))
 	accSums := make([][]float64, len(configs))
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
+	for si, spec := range suite {
+		base := bases[si].Wait()
 		row := []string{spec.Name}
-		for i, cfg := range configs {
-			res := r.single(spec, cfg)
+		for i := range configs {
+			res := cells[si][i].Wait()
 			cov, acc := res.CoverageOver(base), res.Accuracy()
 			covSums[i] = append(covSums[i], cov)
 			accSums[i] = append(accSums[i], acc)
@@ -191,22 +222,30 @@ func (r *Runner) Fig07() *Table {
 		Title:  "Breakdown of Triage's improvement vs capacity loss (speedup over 2MB LLC, NoL2PF)",
 		Header: []string{"benchmark", "2MB LLC + 1MB Triage (free)", "1MB LLC, NoL2PF", "1MB LLC + 1MB Triage"},
 	}
-	var free, shrunk, real []float64
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
+	suite := workload.IrregularSuite()
+	baseFs := make([]*Future[sim.Result], len(suite))
+	optFs := make([]*Future[sim.Result], len(suite))
+	smallFs := make([]*Future[sim.Result], len(suite))
+	realFs := make([]*Future[sim.Result], len(suite))
+	for si, spec := range suite {
+		baseFs[si] = r.singleF(spec, cfgNone)
 		// Optimistic: metadata store does not consume LLC capacity.
-		optRes := runSingle(r.P, spec, pfTriageStatic(1<<20), func(o *sim.Options) {
+		optFs[si] = r.runSingleF(spec, pfTriageStatic(1<<20), func(o *sim.Options) {
 			o.NoCapacityLoss = true
 		})
 		// Capacity loss alone: half-size LLC, no prefetching.
-		smallRes := runSingle(r.P, spec, pfNone, func(o *sim.Options) {
+		smallFs[si] = r.runSingleF(spec, pfNone, func(o *sim.Options) {
 			o.Machine.LLCBytesPerCore = 1 << 20
 		})
 		// Real Triage on the normal machine.
-		realRes := r.single(spec, cfgT1M)
-		f := optRes.SpeedupOver(base)
-		s := smallRes.SpeedupOver(base)
-		re := realRes.SpeedupOver(base)
+		realFs[si] = r.singleF(spec, cfgT1M)
+	}
+	var free, shrunk, real []float64
+	for si, spec := range suite {
+		base := baseFs[si].Wait()
+		f := optFs[si].Wait().SpeedupOver(base)
+		s := smallFs[si].Wait().SpeedupOver(base)
+		re := realFs[si].Wait().SpeedupOver(base)
 		free = append(free, f)
 		shrunk = append(shrunk, s)
 		real = append(real, re)
@@ -237,32 +276,42 @@ func (r *Runner) Fig09() *Table {
 	t := &Table{ID: "fig09", Title: "Sensitivity to metadata store size (no LLC capacity loss)"}
 	t.Header = []string{"store size", "LRU", "Hawkeye"}
 	suite := workload.IrregularSuite()
-	baseOf := func(spec workload.Spec) sim.Result { return r.single(spec, cfgNone) }
-	for _, size := range sizes {
-		var lru, hawk []float64
-		for _, spec := range suite {
-			base := baseOf(spec)
-			for _, pol := range []core.Replacement{core.LRU, core.Hawkeye} {
+	pols := []core.Replacement{core.LRU, core.Hawkeye}
+	baseFs := make([]*Future[sim.Result], len(suite))
+	perfFs := make([]*Future[sim.Result], len(suite))
+	cellFs := make([][][]*Future[sim.Result], len(sizes)) // [size][spec][pol]
+	for si, spec := range suite {
+		baseFs[si] = r.singleF(spec, cfgNone)
+		perfFs[si] = r.singleF(spec, cfgTUnl)
+	}
+	for zi, size := range sizes {
+		size := size
+		cellFs[zi] = make([][]*Future[sim.Result], len(suite))
+		for si, spec := range suite {
+			cellFs[zi][si] = make([]*Future[sim.Result], len(pols))
+			for pi, pol := range pols {
 				pol := pol
-				res := runSingle(r.P, spec, func(m config.Machine) prefetch.Prefetcher {
+				cellFs[zi][si][pi] = r.runSingleF(spec, func(m config.Machine) prefetch.Prefetcher {
 					return core.New(core.Config{
 						Mode: core.Static, StaticBytes: size,
 						Replacement: pol, LLCLatencyTicks: llcTicks(m),
 					})
 				}, func(o *sim.Options) { o.NoCapacityLoss = true })
-				if pol == core.LRU {
-					lru = append(lru, res.SpeedupOver(base))
-				} else {
-					hawk = append(hawk, res.SpeedupOver(base))
-				}
 			}
+		}
+	}
+	for zi, size := range sizes {
+		var lru, hawk []float64
+		for si := range suite {
+			base := baseFs[si].Wait()
+			lru = append(lru, cellFs[zi][si][0].Wait().SpeedupOver(base))
+			hawk = append(hawk, cellFs[zi][si][1].Wait().SpeedupOver(base))
 		}
 		t.AddRow(fmt.Sprintf("%dKB", size>>10), fmtSpeedup(geomean(lru)), fmtSpeedup(geomean(hawk)))
 	}
 	var perfect []float64
-	for _, spec := range suite {
-		res := r.single(spec, cfgTUnl)
-		perfect = append(perfect, res.SpeedupOver(baseOf(spec)))
+	for si := range suite {
+		perfect = append(perfect, perfFs[si].Wait().SpeedupOver(baseFs[si].Wait()))
 	}
 	t.AddRow("unlimited (Perfect)", "-", fmtSpeedup(geomean(perfect)))
 	t.Note("paper: 256KB LRU 7.7%% vs Hawkeye 13.7%%; gap shrinks at 1MB; 1MB ~ 75%% of Perfect")
@@ -289,13 +338,15 @@ func (r *Runner) Fig11() *Table {
 	for _, c := range configs {
 		t.Header = append(t.Header, c.name+" spd", c.name+" traf")
 	}
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, configs)
 	spSums := make([][]float64, len(configs))
 	trSums := make([][]float64, len(configs))
-	for _, spec := range workload.IrregularSuite() {
-		base := r.single(spec, cfgNone)
+	for si, spec := range suite {
+		base := bases[si].Wait()
 		row := []string{spec.Name}
-		for i, cfg := range configs {
-			res := r.single(spec, cfg)
+		for i := range configs {
+			res := cells[si][i].Wait()
 			sp := res.SpeedupOver(base)
 			tr := 1.0
 			if bt := base.TotalTraffic(); bt > 0 {
@@ -326,11 +377,13 @@ func (r *Runner) Fig12() *Table {
 		Title:  "Design space: speedup vs off-chip traffic overhead (irregular SPEC averages)",
 		Header: []string{"prefetcher", "speedup", "traffic overhead"},
 	}
-	for _, cfg := range configs {
+	suite := workload.IrregularSuite()
+	bases, cells := r.launchGrid(suite, configs)
+	for ci, cfg := range configs {
 		var sps, trs []float64
-		for _, spec := range workload.IrregularSuite() {
-			base := r.single(spec, cfgNone)
-			res := r.single(spec, cfg)
+		for si := range suite {
+			base := bases[si].Wait()
+			res := cells[si][ci].Wait()
 			sps = append(sps, res.SpeedupOver(base))
 			bt := float64(base.TotalTraffic())
 			over := 0.0
@@ -354,10 +407,17 @@ func (r *Runner) Fig13() *Table {
 		Title:  "Energy overhead of MISB's metadata accesses over Triage (x)",
 		Header: []string{"benchmark", "Triage accesses", "MISB accesses", "ratio @10", "ratio @25", "ratio @50"},
 	}
+	suite := workload.IrregularSuite()
+	triFs := make([]*Future[sim.Result], len(suite))
+	miFs := make([]*Future[sim.Result], len(suite))
+	for si, spec := range suite {
+		triFs[si] = r.singleF(spec, cfgT1M)
+		miFs[si] = r.singleF(spec, cfgMISB)
+	}
 	var ratios []float64
-	for _, spec := range workload.IrregularSuite() {
-		tri := r.single(spec, cfgT1M)
-		mi := r.single(spec, cfgMISB)
+	for si, spec := range suite {
+		tri := triFs[si].Wait()
+		mi := miFs[si].Wait()
 		te := float64(tri.TriageLLCMetadataAccesses)
 		me := float64(mi.MISBOffChipMetadataAccesses)
 		if te == 0 {
@@ -380,7 +440,13 @@ func (r *Runner) Fig20() *Table {
 	degrees := []int{1, 2, 4, 8, 16}
 	t := &Table{ID: "fig20", Title: "Sensitivity to prefetch degree (irregular SPEC averages)"}
 	t.Header = []string{"degree", "BO spd", "SMS spd", "Triage spd", "BO acc", "SMS acc", "Triage acc"}
-	for _, d := range degrees {
+	suite := workload.IrregularSuite()
+	basesF := make([]*Future[sim.Result], len(suite))
+	cellFs := make([][][]*Future[sim.Result], len(degrees)) // [degree][spec][config]
+	for si, spec := range suite {
+		basesF[si] = r.singleF(spec, cfgNone)
+	}
+	for di, d := range degrees {
 		d := d
 		mk := func(base pfFactory) pfFactory {
 			return func(m config.Machine) prefetch.Prefetcher {
@@ -396,12 +462,21 @@ func (r *Runner) Fig20() *Table {
 			{fmt.Sprintf("SMS-d%d", d), mk(pfSMS)},
 			{fmt.Sprintf("Triage-d%d", d), mk(pfTriageStatic(1 << 20))},
 		}
+		cellFs[di] = make([][]*Future[sim.Result], len(suite))
+		for si, spec := range suite {
+			cellFs[di][si] = make([]*Future[sim.Result], len(configs))
+			for ci, cfg := range configs {
+				cellFs[di][si][ci] = r.singleF(spec, cfg)
+			}
+		}
+	}
+	for di, d := range degrees {
 		var sp [3][]float64
 		var acc [3][]float64
-		for _, spec := range workload.IrregularSuite() {
-			base := r.single(spec, cfgNone)
-			for i, cfg := range configs {
-				res := r.single(spec, cfg)
+		for si := range suite {
+			base := basesF[si].Wait()
+			for i := 0; i < 3; i++ {
+				res := cellFs[di][si][i].Wait()
 				sp[i] = append(sp[i], res.SpeedupOver(base))
 				acc[i] = append(acc[i], res.Accuracy())
 			}
@@ -420,12 +495,17 @@ func (r *Runner) SensEpoch() *Table {
 	epochs := []int{10_000, 25_000, 50_000, 100_000, 200_000}
 	t := &Table{ID: "sens-epoch", Title: "Sensitivity to partition epoch length (Triage-Dynamic)"}
 	t.Header = []string{"epoch (metadata accesses)", "speedup"}
-	for _, e := range epochs {
+	suite := workload.IrregularSuite()
+	baseFs := make([]*Future[sim.Result], len(suite))
+	cellFs := make([][]*Future[sim.Result], len(epochs))
+	for si, spec := range suite {
+		baseFs[si] = r.singleF(spec, cfgNone)
+	}
+	for ei, e := range epochs {
 		e := e
-		var sps []float64
-		for _, spec := range workload.IrregularSuite() {
-			base := r.single(spec, cfgNone)
-			res := r.single(spec, namedPF{
+		cellFs[ei] = make([]*Future[sim.Result], len(suite))
+		for si, spec := range suite {
+			cellFs[ei][si] = r.singleF(spec, namedPF{
 				fmt.Sprintf("TriageDyn-e%d", e),
 				func(m config.Machine) prefetch.Prefetcher {
 					return core.New(core.Config{
@@ -433,7 +513,12 @@ func (r *Runner) SensEpoch() *Table {
 					})
 				},
 			})
-			sps = append(sps, res.SpeedupOver(base))
+		}
+	}
+	for ei, e := range epochs {
+		var sps []float64
+		for si := range suite {
+			sps = append(sps, cellFs[ei][si].Wait().SpeedupOver(baseFs[si].Wait()))
 		}
 		t.AddRow(fmt.Sprintf("%d", e), fmtSpeedup(geomean(sps)))
 	}
@@ -446,15 +531,26 @@ func (r *Runner) SensEpoch() *Table {
 func (r *Runner) SensLatency() *Table {
 	t := &Table{ID: "sens-latency", Title: "Sensitivity to extra LLC latency (Triage_1MB)"}
 	t.Header = []string{"extra cycles", "speedup over unpenalized NoL2PF"}
-	for _, extra := range []int{0, 2, 4, 6} {
+	extras := []int{0, 2, 4, 6}
+	suite := workload.IrregularSuite()
+	baseFs := make([]*Future[sim.Result], len(suite))
+	cellFs := make([][]*Future[sim.Result], len(extras))
+	for si, spec := range suite {
+		baseFs[si] = r.singleF(spec, cfgNone) // unpenalized baseline
+	}
+	for xi, extra := range extras {
 		extra := extra
-		var sps []float64
-		for _, spec := range workload.IrregularSuite() {
-			base := r.single(spec, cfgNone) // unpenalized baseline
-			res := runSingle(r.P, spec, pfTriageStatic(1<<20), func(o *sim.Options) {
+		cellFs[xi] = make([]*Future[sim.Result], len(suite))
+		for si, spec := range suite {
+			cellFs[xi][si] = r.runSingleF(spec, pfTriageStatic(1<<20), func(o *sim.Options) {
 				o.Machine.LLCExtraLatency = extra
 			})
-			sps = append(sps, res.SpeedupOver(base))
+		}
+	}
+	for xi, extra := range extras {
+		var sps []float64
+		for si := range suite {
+			sps = append(sps, cellFs[xi][si].Wait().SpeedupOver(baseFs[si].Wait()))
 		}
 		t.AddRow(fmt.Sprintf("+%d", extra), fmtSpeedup(geomean(sps)))
 	}

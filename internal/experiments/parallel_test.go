@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestSingleFlightSharedBaselines runs two figures that share every
+// cached simulation (Fig05 and Fig06 use the same suite x config grid
+// plus the no-prefetch baselines) concurrently on a wide pool. The
+// single-flight cache must simulate each distinct configuration exactly
+// once, and under -race this doubles as the regression test for the
+// Runner cache data race.
+func TestSingleFlightSharedBaselines(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	r := NewRunnerPool(tinyParams(), NewPool(8))
+	e05, _ := ByID("fig05")
+	e06, _ := ByID("fig06")
+	RunAll(r, []Experiment{e05, e06})
+
+	// Fig05 and Fig06 both run suite x {BO, SMS, T512, T1M, TDyn} plus
+	// the baseline: 6 distinct runs per benchmark, shared between them.
+	want := uint64(len(workload.IrregularSuite()) * 6)
+	if got := r.Runs(); got != want {
+		t.Errorf("executed %d simulations, want %d (baselines shared via single-flight)", got, want)
+	}
+	if got := uint64(len(r.cache)); got != want {
+		t.Errorf("cache holds %d entries, want %d", got, want)
+	}
+	if r.SimulatedInstructions() == 0 {
+		t.Error("no simulated instructions recorded")
+	}
+}
+
+// csvFor runs the given experiments on a pool of the given width and
+// returns their concatenated CSV output.
+func csvFor(t *testing.T, workers int, ids []string) []byte {
+	t.Helper()
+	r := NewRunnerPool(tinyParams(), NewPool(workers))
+	var es []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		es = append(es, e)
+	}
+	var buf bytes.Buffer
+	for _, tab := range RunAll(r, es) {
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelDeterminism checks the acceptance criterion directly: a
+// single-core figure and a multi-core mix figure produce byte-identical
+// CSVs on one worker and on eight.
+func TestParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	ids := []string{"fig05", "fig16"}
+	seq := csvFor(t, 1, ids)
+	par := csvFor(t, 8, ids)
+	if !bytes.Equal(seq, par) {
+		t.Errorf("-j 8 output differs from -j 1:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+}

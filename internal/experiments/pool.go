@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Pool bounds the number of simulations executing concurrently. Figure
+// coordinators run on plain goroutines and never hold a worker slot
+// while waiting on a Future, so the pool cannot deadlock: every job it
+// admits is an independent leaf simulation.
+type Pool struct {
+	sem chan struct{}
+}
+
+// NewPool returns a pool running at most workers simulations at once.
+// workers < 1 is clamped to 1 (the sequential engine, -j 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Pool{sem: make(chan struct{}, workers)}
+}
+
+// DefaultPool sizes a pool to the machine (GOMAXPROCS workers).
+func DefaultPool() *Pool { return NewPool(runtime.GOMAXPROCS(0)) }
+
+// Workers returns the pool's concurrency bound.
+func (p *Pool) Workers() int { return cap(p.sem) }
+
+// Future is the eventual result of a pooled computation.
+type Future[T any] struct {
+	done chan struct{}
+	val  T
+}
+
+// Wait blocks until the computation finishes and returns its result.
+func (f *Future[T]) Wait() T {
+	<-f.done
+	return f.val
+}
+
+// Go schedules fn on the pool and returns its Future. fn runs once a
+// worker slot is free; slots are held only for the duration of fn.
+func Go[T any](p *Pool, fn func() T) *Future[T] {
+	f := &Future[T]{done: make(chan struct{})}
+	go func() {
+		p.sem <- struct{}{}
+		defer func() { <-p.sem }()
+		f.val = fn()
+		close(f.done)
+	}()
+	return f
+}
+
+// --- Runner integration ---
+
+// record accumulates a finished run's cost into the runner's counters
+// (the bench harness reports simulated instructions per second).
+func (r *Runner) record(res sim.Result) sim.Result {
+	r.runs.Add(1)
+	r.simInstr.Add(res.SimulatedInstructions)
+	return res
+}
+
+// Runs returns how many simulations this runner actually executed
+// (cache hits do not count — the single-flight cache guarantees each
+// distinct configuration is simulated exactly once).
+func (r *Runner) Runs() uint64 { return r.runs.Load() }
+
+// SimulatedInstructions returns the total instructions stepped by this
+// runner's simulations, including warmup and contention-sustain work.
+func (r *Runner) SimulatedInstructions() uint64 { return r.simInstr.Load() }
+
+// singleF returns the Future of one cached benchmark x prefetcher run,
+// starting it if this is the first request. The per-key Future doubles
+// as single-flight dedup: concurrent figures that share a baseline wait
+// on the same Future instead of re-simulating it.
+func (r *Runner) singleF(spec workload.Spec, cfg namedPF) *Future[sim.Result] {
+	key := spec.Name + "/" + cfg.name
+	r.mu.Lock()
+	f, ok := r.cache[key]
+	if !ok {
+		f = Go(r.pool, func() sim.Result {
+			return r.record(runSingle(r.P, spec, cfg.f, nil))
+		})
+		r.cache[key] = f
+	}
+	r.mu.Unlock()
+	return f
+}
+
+// runSingleF schedules an uncached single-core run (mutated machines,
+// one-off configurations) on the pool.
+func (r *Runner) runSingleF(spec workload.Spec, factory pfFactory, mutate func(*sim.Options)) *Future[sim.Result] {
+	return Go(r.pool, func() sim.Result {
+		return r.record(runSingle(r.P, spec, factory, mutate))
+	})
+}
+
+// runMixF schedules one multi-programmed mix on the pool.
+func (r *Runner) runMixF(mix workload.MixSpec, factory pfFactory) *Future[sim.Result] {
+	return Go(r.pool, func() sim.Result {
+		return r.record(runMix(r.P, mix, factory))
+	})
+}
+
+// runRateF schedules one N-copy server run on the pool.
+func (r *Runner) runRateF(spec workload.Spec, cores int, factory pfFactory) *Future[sim.Result] {
+	return Go(r.pool, func() sim.Result {
+		return r.record(runRate(r.P, spec, cores, factory))
+	})
+}
+
+// RunAll executes the given experiments, each on its own coordinator
+// goroutine so their simulations interleave on the pool, and returns
+// the tables in input order. The single-flight cache keeps shared
+// baselines simulated exactly once even when figures race to them, so
+// the output is byte-identical to a sequential run.
+func RunAll(r *Runner, es []Experiment) []*Table {
+	tables := make([]*Table, len(es))
+	var wg sync.WaitGroup
+	for i, e := range es {
+		wg.Add(1)
+		go func(i int, e Experiment) {
+			defer wg.Done()
+			tables[i] = e.Run(r)
+		}(i, e)
+	}
+	wg.Wait()
+	return tables
+}

@@ -1,0 +1,251 @@
+package flat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestMapBasic(t *testing.T) {
+	m := NewMap(0)
+	if _, ok := m.Get(42); ok {
+		t.Fatal("empty map returned a value")
+	}
+	m.Set(42, 7)
+	m.Set(0, 9) // zero key is stored out of line
+	m.Set(42, 8)
+	if v, ok := m.Get(42); !ok || v != 8 {
+		t.Fatalf("Get(42) = %d,%v want 8,true", v, ok)
+	}
+	if v, ok := m.Get(0); !ok || v != 9 {
+		t.Fatalf("Get(0) = %d,%v want 9,true", v, ok)
+	}
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d want 2", m.Len())
+	}
+}
+
+func TestMapGrowAndRandomized(t *testing.T) {
+	m := NewMap(0)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 20000; i++ {
+		k := rng.Uint64() % 5000 // force overwrites
+		v := rng.Uint64()
+		m.Set(k, v)
+		ref[k] = v
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		got, ok := m.Get(k)
+		if !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+	seen := map[uint64]uint64{}
+	m.Range(func(k, v uint64) bool {
+		seen[k] = v
+		return true
+	})
+	if len(seen) != len(ref) {
+		t.Fatalf("Range visited %d entries, want %d", len(seen), len(ref))
+	}
+}
+
+func TestMapReset(t *testing.T) {
+	m := NewMap(4)
+	m.Set(0, 1)
+	m.Set(5, 2)
+	m.Reset()
+	if m.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", m.Len())
+	}
+	if _, ok := m.Get(5); ok {
+		t.Fatal("Reset map still returns values")
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("Reset map still holds the zero key")
+	}
+	m.Set(5, 3)
+	if v, _ := m.Get(5); v != 3 {
+		t.Fatal("map unusable after Reset")
+	}
+}
+
+// collidingKeys returns n distinct nonzero keys whose home slot in l's
+// index is exactly target, forcing one probe chain.
+func collidingKeys(l *LRU[int], target, n int) []uint64 {
+	var out []uint64
+	for k := uint64(1); len(out) < n; k++ {
+		if l.home(k) == target {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	l := NewLRU[int](3)
+	for i := uint64(1); i <= 3; i++ {
+		if _, _, ev := l.Insert(i, int(i)); ev {
+			t.Fatalf("eviction while filling (key %d)", i)
+		}
+	}
+	// Touch 1 so the LRU order is 2, 3, 1.
+	slot, ok := l.Find(1)
+	if !ok {
+		t.Fatal("key 1 missing")
+	}
+	l.TouchFront(slot)
+	for i, want := range []uint64{2, 3, 1} {
+		k, v, ev := l.Insert(uint64(100+i), 0)
+		if !ev || k != want {
+			t.Fatalf("eviction %d: got key %d (evicted=%v), want %d", i, k, ev, want)
+		}
+		if v != int(want) {
+			t.Fatalf("eviction %d: value %d, want %d", i, v, want)
+		}
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d want 3", l.Len())
+	}
+}
+
+func TestLRUInsertExistingPromotes(t *testing.T) {
+	l := NewLRU[int](2)
+	l.Insert(1, 10)
+	l.Insert(2, 20)
+	l.Insert(1, 11) // overwrite + promote; 2 becomes LRU
+	k, _, ev := l.Insert(3, 30)
+	if !ev || k != 2 {
+		t.Fatalf("evicted %d (evicted=%v), want 2", k, ev)
+	}
+	slot, ok := l.Find(1)
+	if !ok || *l.At(slot) != 11 {
+		t.Fatal("overwritten value lost")
+	}
+}
+
+// TestLRUCollisionWraparound drives a probe chain across the index's
+// end so the wraparound and backward-shift deletion paths both run.
+func TestLRUCollisionWraparound(t *testing.T) {
+	l := NewLRU[int](4) // index has 8 slots
+	target := len(l.idx) - 1
+	keys := collidingKeys(l, target, 4)
+	for i, k := range keys {
+		l.Insert(k, i)
+	}
+	// All keys share home = last index slot, so three of them wrapped.
+	for i, k := range keys {
+		slot, ok := l.Find(k)
+		if !ok || *l.At(slot) != i {
+			t.Fatalf("key %d lost after wraparound", k)
+		}
+	}
+	// Evicting (keys[0] is LRU) exercises backward-shift deletion across
+	// the wrap point; the survivors must all remain reachable.
+	evK, _, ev := l.Insert(collidingKeys(l, target, 5)[4], 99)
+	if !ev || evK != keys[0] {
+		t.Fatalf("evicted %d, want %d", evK, keys[0])
+	}
+	for i, k := range keys[1:] {
+		slot, ok := l.Find(k)
+		if !ok || *l.At(slot) != i+1 {
+			t.Fatalf("key %d unreachable after backward-shift delete", k)
+		}
+	}
+}
+
+func TestLRUReset(t *testing.T) {
+	l := NewLRU[int](2)
+	l.Insert(1, 1)
+	l.Insert(2, 2)
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", l.Len())
+	}
+	if _, ok := l.Find(1); ok {
+		t.Fatal("Reset table still finds keys")
+	}
+	l.Insert(3, 3)
+	l.Insert(4, 4)
+	k, _, ev := l.Insert(5, 5)
+	if !ev || k != 3 {
+		t.Fatalf("post-Reset eviction got %d (evicted=%v), want 3", k, ev)
+	}
+}
+
+func TestLRUZeroKey(t *testing.T) {
+	l := NewLRU[int](2)
+	l.Insert(0, 7) // key 0 is a legal key (page 0 exists)
+	if slot, ok := l.Find(0); !ok || *l.At(slot) != 7 {
+		t.Fatal("zero key not stored")
+	}
+	l.Insert(1, 1)
+	l.Insert(2, 2) // evicts 0
+	if _, ok := l.Find(0); ok {
+		t.Fatal("zero key should have been evicted")
+	}
+}
+
+func TestLRURandomizedAgainstReference(t *testing.T) {
+	const capacity = 64
+	l := NewLRU[uint64](capacity)
+	type refEnt struct {
+		key, val uint64
+	}
+	var ref []refEnt // front = MRU
+	find := func(k uint64) int {
+		for i, e := range ref {
+			if e.key == k {
+				return i
+			}
+		}
+		return -1
+	}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint64() % 256
+		switch rng.Intn(3) {
+		case 0: // Find + TouchFront
+			slot, ok := l.Find(k)
+			ri := find(k)
+			if ok != (ri >= 0) {
+				t.Fatalf("step %d: Find(%d)=%v, ref %v", i, k, ok, ri >= 0)
+			}
+			if ok {
+				if *l.At(slot) != ref[ri].val {
+					t.Fatalf("step %d: value mismatch for %d", i, k)
+				}
+				l.TouchFront(slot)
+				e := ref[ri]
+				ref = append(ref[:ri], ref[ri+1:]...)
+				ref = append([]refEnt{e}, ref...)
+			}
+		case 1: // Insert
+			v := rng.Uint64()
+			evK, evV, ev := l.Insert(k, v)
+			if ri := find(k); ri >= 0 {
+				if ev {
+					t.Fatalf("step %d: eviction on overwrite", i)
+				}
+				ref = append(ref[:ri], ref[ri+1:]...)
+			} else if len(ref) == capacity {
+				last := ref[len(ref)-1]
+				if !ev || evK != last.key || evV != last.val {
+					t.Fatalf("step %d: eviction mismatch: got (%d,%d,%v) want (%d,%d)", i, evK, evV, ev, last.key, last.val)
+				}
+				ref = ref[:len(ref)-1]
+			} else if ev {
+				t.Fatalf("step %d: unexpected eviction", i)
+			}
+			ref = append([]refEnt{{k, v}}, ref...)
+		case 2: // mutate through At without touching order
+			if slot, ok := l.Find(k); ok {
+				*l.At(slot) += 3
+				ref[find(k)].val += 3
+			}
+		}
+	}
+}

@@ -50,6 +50,8 @@ type Prefetcher struct {
 	ownHead int
 
 	degree int
+
+	reqs []prefetch.Request // Train scratch, reused every call
 }
 
 type pendingFill struct {
@@ -146,16 +148,19 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 	if !p.active {
 		return nil
 	}
-	reqs := make([]prefetch.Request, 0, p.degree)
+	p.reqs = p.reqs[:0]
 	for i := 1; i <= p.degree; i++ {
 		target := int64(ev.Line) + p.bestOffset*int64(i)
 		if target < 0 {
 			break
 		}
-		reqs = append(reqs, prefetch.Request{Line: mem.Line(target), PC: ev.PC})
+		p.reqs = append(p.reqs, prefetch.Request{Line: mem.Line(target), PC: ev.PC})
 		p.recordOwn(mem.Line(target))
 	}
-	return reqs
+	if len(p.reqs) == 0 {
+		return nil
+	}
+	return p.reqs
 }
 
 // recordOwn remembers a just-issued prefetch target (bounded FIFO).

@@ -15,6 +15,7 @@ import (
 type Prefetcher struct {
 	parts []prefetch.Prefetcher
 	name  string
+	out   []prefetch.Request // Train scratch, reused every call
 }
 
 // New composes the given prefetchers. Request order follows argument
@@ -74,18 +75,25 @@ func (p *Prefetcher) PrefetchOutcome(req prefetch.Request, missed bool) {
 }
 
 // Train implements prefetch.Prefetcher: requests from all components,
-// deduplicated by line.
+// deduplicated by line (first-come-first-kept). Request counts are a
+// handful per event, so a linear scan over the merged slice replaces
+// the former per-call map; the returned slice is scratch owned by the
+// hybrid and consumed before the next Train.
 func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
-	var out []prefetch.Request
-	seen := map[mem.Line]bool{}
+	p.out = p.out[:0]
 	for _, part := range p.parts {
+	next:
 		for _, r := range part.Train(ev) {
-			if seen[r.Line] {
-				continue
+			for _, kept := range p.out {
+				if kept.Line == r.Line {
+					continue next
+				}
 			}
-			seen[r.Line] = true
-			out = append(out, r)
+			p.out = append(p.out, r)
 		}
 	}
-	return out
+	if len(p.out) == 0 {
+		return nil
+	}
+	return p.out
 }

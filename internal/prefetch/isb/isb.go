@@ -15,6 +15,7 @@
 package isb
 
 import (
+	"repro/internal/flat"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
 )
@@ -29,45 +30,42 @@ const streamGap = 1 << 20
 // metadata mirrors exactly the pages the TLB holds.
 const tlbEntries = 1024
 
-// Prefetcher is the ISB model.
+// Prefetcher is the ISB model. The per-instruction maps are flat
+// open-addressed tables (internal/flat), so the training path allocates
+// nothing in steady state.
 type Prefetcher struct {
 	env prefetch.Env
 
 	// Off-chip metadata: PS/SP maps with per-slot confidence, as in
-	// package misb (the structural space is the common substrate).
-	ps     map[mem.Line]uint64
-	sp     map[uint64]mem.Line
-	spConf map[uint64]bool
+	// package misb (the structural space is the common substrate). The
+	// SP map packs the physical line and its 1-bit confidence into one
+	// value: line<<1 | conf.
+	ps *flat.Map
+	sp *flat.Map
 
-	lastAddr   map[uint64]mem.Line
+	lastAddr   *flat.Map // PC -> last line
 	nextStream uint64
 
 	// TLB-synchronized metadata residency: the set of pages whose
-	// metadata is currently on chip, LRU-ordered.
-	tlb    map[uint64]*pageNode
-	head   *pageNode
-	tail   *pageNode
+	// metadata is currently on chip, LRU-ordered. The value is the
+	// page's dirty-mapping count (write-back volume).
+	tlb    *flat.LRU[int32]
 	degree int
+
+	reqs []prefetch.Request // predict scratch, reused every Train
 
 	offchipReads  uint64
 	offchipWrites uint64
-}
-
-type pageNode struct {
-	page       uint64
-	dirtyLines int // metadata updates since fetched (write-back volume)
-	prev, next *pageNode
 }
 
 // New returns an ISB prefetcher.
 func New() *Prefetcher {
 	return &Prefetcher{
 		env:      prefetch.NopEnv{},
-		ps:       make(map[mem.Line]uint64),
-		sp:       make(map[uint64]mem.Line),
-		spConf:   make(map[uint64]bool),
-		lastAddr: make(map[uint64]mem.Line),
-		tlb:      make(map[uint64]*pageNode),
+		ps:       flat.NewMap(0),
+		sp:       flat.NewMap(0),
+		lastAddr: flat.NewMap(0),
+		tlb:      flat.NewLRU[int32](tlbEntries),
 		degree:   1,
 	}
 }
@@ -99,17 +97,14 @@ func pageOf(l mem.Line) uint64 { return uint64(l) / linesPerPage }
 // (up to 64 lines x 8B = 8 metadata blocks) move on every TLB miss.
 func (p *Prefetcher) touchPage(l mem.Line, now uint64) (latency uint64) {
 	page := pageOf(l)
-	if n, ok := p.tlb[page]; ok {
-		p.moveToFront(n)
+	if slot, ok := p.tlb.Find(page); ok {
+		p.tlb.TouchFront(slot)
 		return 0
 	}
-	if len(p.tlb) >= tlbEntries {
-		victim := p.tail
-		p.unlink(victim)
-		delete(p.tlb, victim.page)
+	if _, dirtyLines, evicted := p.tlb.Insert(page, 0); evicted {
 		// Write back the victim page's metadata (amortized: one block
 		// per 8 dirty mappings, at least one block if any).
-		blocks := (victim.dirtyLines + 7) / 8
+		blocks := (int(dirtyLines) + 7) / 8
 		if blocks == 0 {
 			blocks = 1
 		}
@@ -118,16 +113,13 @@ func (p *Prefetcher) touchPage(l mem.Line, now uint64) (latency uint64) {
 			p.env.MetadataWrite(now)
 		}
 	}
-	n := &pageNode{page: page}
-	p.tlb[page] = n
-	p.pushFront(n)
 	// Fetch the page's metadata: ISB hides this under the TLB-miss
 	// page walk, so the prefetcher itself pays no issue latency, but
 	// the traffic is real. Count populated mappings on the page.
 	populated := 0
 	base := mem.Line(page * linesPerPage)
 	for i := mem.Line(0); i < linesPerPage; i++ {
-		if _, ok := p.ps[base+i]; ok {
+		if _, ok := p.ps.Get(uint64(base + i)); ok {
 			populated++
 		}
 	}
@@ -154,98 +146,68 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 }
 
 // predict walks the structural space (metadata for TLB-resident pages
-// is on chip, so lookups are free once the page is touched).
+// is on chip, so lookups are free once the page is touched). The
+// returned slice is scratch owned by the prefetcher; callers consume it
+// before the next Train.
 func (p *Prefetcher) predict(ev prefetch.Event) []prefetch.Request {
-	s, ok := p.ps[ev.Line]
+	s, ok := p.ps.Get(uint64(ev.Line))
 	if !ok {
 		return nil
 	}
-	var reqs []prefetch.Request
+	p.reqs = p.reqs[:0]
 	for i := 1; i <= p.degree; i++ {
-		line, ok := p.sp[s+uint64(i)]
+		packed, ok := p.sp.Get(s + uint64(i))
 		if !ok {
 			break
 		}
-		reqs = append(reqs, prefetch.Request{Line: line, PC: ev.PC})
+		p.reqs = append(p.reqs, prefetch.Request{Line: mem.Line(packed >> 1), PC: ev.PC})
 	}
-	return reqs
+	if len(p.reqs) == 0 {
+		return nil
+	}
+	return p.reqs
 }
 
 // learn updates the structural mapping (same redundant-SP scheme as
 // MISB; see internal/prefetch/misb).
 func (p *Prefetcher) learn(ev prefetch.Event) {
-	prev, had := p.lastAddr[ev.PC]
-	p.lastAddr[ev.PC] = ev.Line
+	prevU, had := p.lastAddr.Get(ev.PC)
+	prev := mem.Line(prevU)
+	p.lastAddr.Set(ev.PC, uint64(ev.Line))
 	if !had || prev == ev.Line {
 		return
 	}
-	sPrev, ok := p.ps[prev]
+	sPrev, ok := p.ps.Get(uint64(prev))
 	if !ok {
 		sPrev = p.nextStream * streamGap
 		p.nextStream++
-		p.ps[prev] = sPrev
-		p.sp[sPrev] = prev
+		p.ps.Set(uint64(prev), sPrev)
+		p.sp.Set(sPrev, uint64(prev)<<1)
 		p.markDirty(prev)
 	}
 	desired := sPrev + 1
-	if old, ok := p.sp[desired]; ok {
+	if packed, ok := p.sp.Get(desired); ok {
+		old, conf := mem.Line(packed>>1), packed&1 == 1
 		if old == ev.Line {
-			p.spConf[desired] = true
+			p.sp.Set(desired, packed|1)
 			return
 		}
-		if p.spConf[desired] {
-			p.spConf[desired] = false
+		if conf {
+			p.sp.Set(desired, packed&^1)
 			return
 		}
 	}
-	p.sp[desired] = ev.Line
-	p.spConf[desired] = true
-	if _, ok := p.ps[ev.Line]; !ok {
-		p.ps[ev.Line] = desired
+	p.sp.Set(desired, uint64(ev.Line)<<1|1)
+	if _, ok := p.ps.Get(uint64(ev.Line)); !ok {
+		p.ps.Set(uint64(ev.Line), desired)
 	}
 	p.markDirty(ev.Line)
 }
 
 // markDirty records a metadata update against the line's page (charged
-// at the page's next TLB eviction).
+// at the page's next TLB eviction) without disturbing LRU order.
 func (p *Prefetcher) markDirty(l mem.Line) {
-	if n, ok := p.tlb[pageOf(l)]; ok {
-		n.dirtyLines++
+	if slot, ok := p.tlb.Find(pageOf(l)); ok {
+		*p.tlb.At(slot)++
 	}
-}
-
-// --- intrusive LRU list ---
-
-func (p *Prefetcher) moveToFront(n *pageNode) {
-	if p.head == n {
-		return
-	}
-	p.unlink(n)
-	p.pushFront(n)
-}
-
-func (p *Prefetcher) pushFront(n *pageNode) {
-	n.prev = nil
-	n.next = p.head
-	if p.head != nil {
-		p.head.prev = n
-	}
-	p.head = n
-	if p.tail == nil {
-		p.tail = n
-	}
-}
-
-func (p *Prefetcher) unlink(n *pageNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		p.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		p.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
 }

@@ -14,6 +14,7 @@
 package misb
 
 import (
+	"repro/internal/flat"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
 )
@@ -35,28 +36,37 @@ const (
 	spKind                  // structural -> physical blocks
 )
 
-type blockKey struct {
-	kind blockKind
-	id   uint64
+// blockKey identifies one metadata block; kind occupies the low bit so
+// the key doubles as a flat-table key.
+type blockKey uint64
+
+func makeBlockKey(kind blockKind, id uint64) blockKey {
+	return blockKey(id<<1 | uint64(kind))
 }
 
-// Prefetcher is the MISB model.
+// Prefetcher is the MISB model. The hot-path maps — PS/SP, the
+// training units, and the metadata block cache — are flat
+// open-addressed tables (internal/flat), so Train allocates nothing in
+// steady state.
 type Prefetcher struct {
 	env prefetch.Env
 
 	// Off-chip metadata (backed by host memory = simulated DRAM).
 	// Each correlation is tracked twice (PS and SP entries) — the 2x
-	// metadata redundancy the paper attributes to MISB (§2.1).
-	ps     map[mem.Line]uint64
-	sp     map[uint64]mem.Line
-	spConf map[uint64]bool // 1-bit successor confidence per SP slot
+	// metadata redundancy the paper attributes to MISB (§2.1). The SP
+	// map packs the physical line and its 1-bit successor confidence
+	// into one value: line<<1 | conf.
+	ps *flat.Map
+	sp *flat.Map
 
-	lastAddr map[uint64]mem.Line // training unit: PC -> last line
+	lastAddr *flat.Map // training unit: PC -> last line
 
 	nextStream uint64
 
 	cache  *blockCache
 	degree int
+
+	reqs []prefetch.Request // predict scratch, reused every Train
 
 	// Stats
 	offchipReads  uint64
@@ -80,10 +90,9 @@ func WithCacheBytes(b int) Option {
 func New(opts ...Option) *Prefetcher {
 	p := &Prefetcher{
 		env:      prefetch.NopEnv{},
-		ps:       make(map[mem.Line]uint64),
-		sp:       make(map[uint64]mem.Line),
-		spConf:   make(map[uint64]bool),
-		lastAddr: make(map[uint64]mem.Line),
+		ps:       flat.NewMap(0),
+		sp:       flat.NewMap(0),
+		lastAddr: flat.NewMap(0),
 		cache:    newBlockCache(48 << 10 / mem.LineSize),
 		degree:   1,
 	}
@@ -117,8 +126,8 @@ func (p *Prefetcher) CacheHitRate() float64 {
 	return float64(p.cacheHits) / float64(t)
 }
 
-func psBlock(l mem.Line) blockKey { return blockKey{psKind, uint64(l) / blockEntries} }
-func spBlock(s uint64) blockKey   { return blockKey{spKind, s / blockEntries} }
+func psBlock(l mem.Line) blockKey { return makeBlockKey(psKind, uint64(l)/blockEntries) }
+func spBlock(s uint64) blockKey   { return makeBlockKey(spKind, s/blockEntries) }
 
 // touch runs one metadata-cache access for an operation that began at
 // tick eventTick; on a miss it pays an off-chip read and installs the
@@ -169,20 +178,22 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 }
 
 // predict walks the structural space from ev.Line's structural address.
+// The returned slice is scratch owned by the prefetcher; callers
+// consume it before the next Train.
 func (p *Prefetcher) predict(ev prefetch.Event, now uint64) []prefetch.Request {
-	s, ok := p.ps[ev.Line]
+	s, ok := p.ps.Get(uint64(ev.Line))
 	if !ok {
 		return nil
 	}
 	delay := p.touch(psBlock(ev.Line), now, false)
-	var reqs []prefetch.Request
+	p.reqs = p.reqs[:0]
 	for i := 1; i <= p.degree; i++ {
-		line, ok := p.sp[s+uint64(i)]
+		packed, ok := p.sp.Get(s + uint64(i))
 		if !ok {
 			break
 		}
 		delay += p.touch(spBlock(s+uint64(i)), now, false)
-		reqs = append(reqs, prefetch.Request{Line: line, PC: ev.PC, IssueDelay: delay})
+		p.reqs = append(p.reqs, prefetch.Request{Line: mem.Line(packed >> 1), PC: ev.PC, IssueDelay: delay})
 	}
 	// Metadata prefetching — MISB's central mechanism for hiding
 	// off-chip metadata latency: fetch the next SP block along the
@@ -190,10 +201,13 @@ func (p *Prefetcher) predict(ev prefetch.Event, now uint64) []prefetch.Request {
 	// become triggers momentarily). Off the critical path; traffic is
 	// still charged.
 	p.prefetchBlock(spBlock(s+uint64(p.degree)+blockEntries), now)
-	for _, req := range reqs {
+	for _, req := range p.reqs {
 		p.prefetchBlock(psBlock(req.Line), now)
 	}
-	return reqs
+	if len(p.reqs) == 0 {
+		return nil
+	}
+	return p.reqs
 }
 
 // learn updates the structural mapping with the new correlation.
@@ -204,138 +218,90 @@ func (p *Prefetcher) predict(ev prefetch.Event, now uint64) []prefetch.Request {
 // entries behind — exactly the metadata redundancy the paper says
 // structural organizations pay relative to Triage's table (§2.1).
 func (p *Prefetcher) learn(ev prefetch.Event, now uint64) {
-	prev, hadPrev := p.lastAddr[ev.PC]
-	p.lastAddr[ev.PC] = ev.Line
+	prevU, hadPrev := p.lastAddr.Get(ev.PC)
+	prev := mem.Line(prevU)
+	p.lastAddr.Set(ev.PC, uint64(ev.Line))
 	if !hadPrev || prev == ev.Line {
 		return
 	}
-	sPrev, ok := p.ps[prev]
+	sPrev, ok := p.ps.Get(uint64(prev))
 	if !ok {
 		// Start a new structural stream at prev.
 		sPrev = p.nextStream * streamGap
 		p.nextStream++
-		p.ps[prev] = sPrev
-		p.sp[sPrev] = prev
+		p.ps.Set(uint64(prev), sPrev)
+		p.sp.Set(sPrev, uint64(prev)<<1)
 		p.touch(psBlock(prev), now, true)
 		p.touch(spBlock(sPrev), now, true)
 	}
 	desired := sPrev + 1
-	if old, ok := p.sp[desired]; ok {
+	if packed, ok := p.sp.Get(desired); ok {
+		old, conf := mem.Line(packed>>1), packed&1 == 1
 		if old == ev.Line {
 			p.dbgConsistent++
-			p.spConf[desired] = true
+			p.sp.Set(desired, packed|1)
 			return // already correlated
 		}
-		if p.spConf[desired] {
+		if conf {
 			// First disagreement is forgiven (1-bit confidence).
 			p.dbgForgiven++
-			p.spConf[desired] = false
+			p.sp.Set(desired, packed&^1)
 			return
 		}
 		p.dbgDisplace++
 	}
 	p.dbgRebinds++
-	p.sp[desired] = ev.Line
-	p.spConf[desired] = true
+	p.sp.Set(desired, uint64(ev.Line)<<1|1)
 	p.touch(spBlock(desired), now, true)
-	if _, ok := p.ps[ev.Line]; !ok {
-		p.ps[ev.Line] = desired
+	if _, ok := p.ps.Get(uint64(ev.Line)); !ok {
+		p.ps.Set(uint64(ev.Line), desired)
 		p.touch(psBlock(ev.Line), now, true)
 	}
 }
 
 // --- on-chip metadata cache: LRU over 64B blocks ---
 
-type blockNode struct {
-	key        blockKey
-	dirty      bool
-	prev, next *blockNode
-}
-
+// blockCache is a fixed-capacity LRU of metadata blocks; the value per
+// block is its dirty bit.
 type blockCache struct {
-	capacity int
-	nodes    map[blockKey]*blockNode
-	head     *blockNode // MRU
-	tail     *blockNode // LRU
+	lru *flat.LRU[bool]
 }
 
 func newBlockCache(blocks int) *blockCache {
 	if blocks < 1 {
 		blocks = 1
 	}
-	return &blockCache{capacity: blocks, nodes: make(map[blockKey]*blockNode, blocks)}
+	return &blockCache{lru: flat.NewLRU[bool](blocks)}
 }
 
 // access touches key; returns true on hit. write marks it dirty.
 func (c *blockCache) access(key blockKey, write bool) bool {
-	n, ok := c.nodes[key]
+	slot, ok := c.lru.Find(uint64(key))
 	if !ok {
 		return false
 	}
 	if write {
-		n.dirty = true
+		*c.lru.At(slot) = true
 	}
-	c.moveToFront(n)
+	c.lru.TouchFront(slot)
 	return true
 }
 
 func (c *blockCache) present(key blockKey) bool {
-	_, ok := c.nodes[key]
+	_, ok := c.lru.Find(uint64(key))
 	return ok
 }
 
 // install inserts key, evicting the LRU block if full. It returns
 // whether an eviction happened and whether the victim was dirty.
 func (c *blockCache) install(key blockKey, write bool) (evicted, dirty bool) {
-	if n, ok := c.nodes[key]; ok {
+	if slot, ok := c.lru.Find(uint64(key)); ok {
 		if write {
-			n.dirty = true
+			*c.lru.At(slot) = true
 		}
-		c.moveToFront(n)
+		c.lru.TouchFront(slot)
 		return false, false
 	}
-	if len(c.nodes) >= c.capacity {
-		victim := c.tail
-		c.unlink(victim)
-		delete(c.nodes, victim.key)
-		evicted, dirty = true, victim.dirty
-	}
-	n := &blockNode{key: key, dirty: write}
-	c.nodes[key] = n
-	c.pushFront(n)
-	return evicted, dirty
-}
-
-func (c *blockCache) moveToFront(n *blockNode) {
-	if c.head == n {
-		return
-	}
-	c.unlink(n)
-	c.pushFront(n)
-}
-
-func (c *blockCache) pushFront(n *blockNode) {
-	n.prev = nil
-	n.next = c.head
-	if c.head != nil {
-		c.head.prev = n
-	}
-	c.head = n
-	if c.tail == nil {
-		c.tail = n
-	}
-}
-
-func (c *blockCache) unlink(n *blockNode) {
-	if n.prev != nil {
-		n.prev.next = n.next
-	} else {
-		c.head = n.next
-	}
-	if n.next != nil {
-		n.next.prev = n.prev
-	} else {
-		c.tail = n.prev
-	}
-	n.prev, n.next = nil, nil
+	_, victimDirty, ev := c.lru.Insert(uint64(key), write)
+	return ev, ev && victimDirty
 }

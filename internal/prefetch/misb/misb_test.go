@@ -51,16 +51,17 @@ func TestPCLocalization(t *testing.T) {
 func TestStructuralSpaceIsConsecutive(t *testing.T) {
 	p := New()
 	feed(p, 1, []mem.Line{10, 20, 30, 40})
-	s10 := p.ps[10]
+	s10, _ := p.ps.Get(10)
 	for i, l := range []mem.Line{20, 30, 40} {
-		if p.ps[l] != s10+uint64(i+1) {
-			t.Errorf("PS[%d] = %d, want %d", l, p.ps[l], s10+uint64(i+1))
+		if s, _ := p.ps.Get(uint64(l)); s != s10+uint64(i+1) {
+			t.Errorf("PS[%d] = %d, want %d", l, s, s10+uint64(i+1))
 		}
 	}
 	for i := uint64(0); i < 4; i++ {
 		want := []mem.Line{10, 20, 30, 40}[i]
-		if p.sp[s10+i] != want {
-			t.Errorf("SP[%d] = %d, want %d", s10+i, p.sp[s10+i], want)
+		// SP values pack line<<1 | confidence.
+		if packed, _ := p.sp.Get(s10 + i); mem.Line(packed>>1) != want {
+			t.Errorf("SP[%d] = %d, want %d", s10+i, packed>>1, want)
 		}
 	}
 }

@@ -45,7 +45,10 @@ type Prefetcher interface {
 	// Name identifies the prefetcher in reports.
 	Name() string
 	// Train observes one training event and returns prefetch
-	// candidates, at most its configured degree.
+	// candidates, at most its configured degree. The returned slice
+	// may be scratch storage owned by the prefetcher, valid only
+	// until the next Train call; callers must consume (or copy) it
+	// before training again.
 	Train(ev Event) []Request
 }
 

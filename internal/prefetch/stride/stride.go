@@ -21,6 +21,7 @@ type Prefetcher struct {
 	max       int
 	degree    int
 	maxStride int64
+	reqs      []prefetch.Request // Train scratch, reused every call
 }
 
 // Option configures the prefetcher.
@@ -91,13 +92,16 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 	if e.confidence < 2 || e.stride == 0 {
 		return nil
 	}
-	reqs := make([]prefetch.Request, 0, p.degree)
+	p.reqs = p.reqs[:0]
 	for i := 1; i <= p.degree; i++ {
 		target := int64(ev.Line) + e.stride*int64(i)
 		if target < 0 {
 			break
 		}
-		reqs = append(reqs, prefetch.Request{Line: mem.Line(target), PC: ev.PC})
+		p.reqs = append(p.reqs, prefetch.Request{Line: mem.Line(target), PC: ev.PC})
 	}
-	return reqs
+	if len(p.reqs) == 0 {
+		return nil
+	}
+	return p.reqs
 }

@@ -55,10 +55,12 @@ func TestNoPrefetchOnIrregular(t *testing.T) {
 func TestPerPCIsolation(t *testing.T) {
 	p := New(WithDegree(1))
 	// Interleave two streams with different strides on different PCs.
+	// Train returns a scratch slice valid only until the next call, so
+	// snapshot each stream's requests before training the other.
 	var gotA, gotB []prefetch.Request
 	for i := 0; i < 8; i++ {
-		gotA = p.Train(ev(0xA, mem.Line(i)))
-		gotB = p.Train(ev(0xB, mem.Line(1000+i*5)))
+		gotA = append(gotA[:0], p.Train(ev(0xA, mem.Line(i)))...)
+		gotB = append(gotB[:0], p.Train(ev(0xB, mem.Line(1000+i*5)))...)
 	}
 	if len(gotA) != 1 || gotA[0].Line != 8 {
 		t.Errorf("stream A prefetch = %v, want line 8", gotA)

@@ -33,6 +33,11 @@ func (c CoreResult) IPC() float64 {
 // Result aggregates a simulation run.
 type Result struct {
 	Cores []CoreResult
+	// SimulatedInstructions counts every instruction stepped by the
+	// run across all cores and phases — warmup, measurement, and the
+	// contention-sustain tail — i.e. the simulator's actual workload.
+	// The bench harness divides it by wall-clock for sim-instr/s.
+	SimulatedInstructions uint64
 	// L2 per core and the shared LLC.
 	L2  []cache.Stats
 	LLC cache.Stats

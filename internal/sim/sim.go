@@ -113,6 +113,7 @@ type Machine struct {
 	opts  Options
 	hier  *hierarchy
 	cores []*coreState
+	steps uint64 // total instructions stepped, all cores and phases
 }
 
 // New constructs a Machine; it returns an error for inconsistent
@@ -270,12 +271,14 @@ func (m *Machine) step(c int, cs *coreState) bool {
 	cs.lastDispatch = d
 	cs.lastRetire = r
 	cs.instructions++
+	m.steps++
 	return true
 }
 
 // collect builds the Result from the measurement window.
 func (m *Machine) collect() Result {
 	res := Result{
+		SimulatedInstructions:     m.steps,
 		DRAM:                      m.hier.ram.Stats(),
 		LLC:                       m.hier.llc.Stats(),
 		TriageLLCMetadataAccesses: m.hier.triageMetaAccesses,

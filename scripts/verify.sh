@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 verification: build, tests, vet, and race-detector runs over
+# the packages with concurrency (the parallel experiment engine and the
+# simulator it drives). Run from the repo root:
+#
+#   ./scripts/verify.sh
+#
+# Note: the -race runs re-execute the experiment smoke tests under the
+# race detector and take a few minutes on a small machine.
+set -eux
+
+go build ./...
+go test ./...
+go vet ./...
+go test -race ./internal/experiments ./internal/sim
