@@ -13,13 +13,21 @@
 //
 // -bench FILE runs each selected experiment with a fresh runner,
 // timing it, and writes a JSON report of simulation throughput
-// (see EXPERIMENTS.md "Performance").
+// (see EXPERIMENTS.md "Performance"). -telemetry attaches a sampler to
+// every run so the report also measures the instrumented path.
+//
+// Introspection: -progress prints a live status line (runs, Minstr/s,
+// busy workers, ETA) to stderr; -debughttp ADDR serves expvar counters
+// at http://ADDR/debug/vars; -cpuprofile/-memprofile write pprof
+// profiles.
 package main
 
 import (
 	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -27,6 +35,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,6 +51,12 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override workload seed")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		bench    = flag.String("bench", "", "write a JSON throughput report (per-experiment wall time and sim-instr/s) to this file")
+
+		progress   = flag.Bool("progress", false, "print a live progress line to stderr")
+		debugHTTP  = flag.String("debughttp", "", "serve expvar live counters on this address (e.g. localhost:6060)")
+		withTel    = flag.Bool("telemetry", false, "attach a 100k-instruction sampler to every run (bench: measures the instrumented path)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
@@ -67,6 +82,9 @@ func main() {
 	if *seed > 0 {
 		p.Seed = *seed
 	}
+	if *withTel {
+		p.SampleEvery = 100_000
+	}
 
 	var selected []experiments.Experiment
 	if *figs == "all" {
@@ -85,8 +103,35 @@ func main() {
 	pool := experiments.NewPool(*jobs)
 	start := time.Now()
 
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
+	if *progress || *debugHTTP != "" {
+		prog := telemetry.NewPoolProgress(len(selected))
+		pool.SetProgress(prog)
+		if *progress {
+			stop := telemetry.StartPrinter(os.Stderr, prog, 2*time.Second)
+			defer stop()
+		}
+		if *debugHTTP != "" {
+			serveExpvars(*debugHTTP, prog)
+		}
+	}
+
 	if *bench != "" {
-		if err := runBench(*bench, p, pool, selected, *csvDir); err != nil {
+		if err := runBench(*bench, p, pool, selected, *csvDir, *withTel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -126,13 +171,28 @@ type benchEntry struct {
 	MeasureInstr     uint64  `json:"measure_instructions"`
 	MultiWarmupInstr uint64  `json:"multi_warmup_instructions"`
 	MultiMeasure     uint64  `json:"multi_measure_instructions"`
+	// Telemetry marks entries measured with the per-run sampler
+	// attached (-telemetry), so throughput numbers with and without
+	// instrumentation are comparable across reports.
+	Telemetry bool `json:"telemetry"`
+}
+
+// serveExpvars publishes live pool counters under /debug/vars on addr.
+func serveExpvars(addr string, prog *telemetry.PoolProgress) {
+	expvar.Publish("pool", expvar.Func(func() any { return prog.Snapshot() }))
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "debughttp: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "live counters: http://%s/debug/vars\n", addr)
 }
 
 // runBench times each experiment with a fresh runner (so cached work is
 // attributed to the experiment that caused it) and writes the JSON
 // report. Experiments run one at a time; their internal simulations
 // still fan out across the pool.
-func runBench(path string, p experiments.Params, pool *experiments.Pool, selected []experiments.Experiment, csvDir string) error {
+func runBench(path string, p experiments.Params, pool *experiments.Pool, selected []experiments.Experiment, csvDir string, withTel bool) error {
 	var entries []benchEntry
 	var totalInstr, totalRuns uint64
 	benchStart := time.Now()
@@ -156,6 +216,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 			MeasureInstr:     p.Measure,
 			MultiWarmupInstr: p.MultiWarmup,
 			MultiMeasure:     p.MultiMeasure,
+			Telemetry:        withTel,
 		})
 		if csvDir != "" {
 			if err := writeCSV(csvDir, e.ID, table); err != nil {
@@ -174,6 +235,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 		Workers:         pool.Workers(),
 		WarmupInstr:     p.Warmup,
 		MeasureInstr:    p.Measure,
+		Telemetry:       withTel,
 	})
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/prefetch"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -53,8 +55,28 @@ func main() {
 		measure = flag.Uint64("measure", 2_000_000, "measured instructions")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations running concurrently")
+
+		progress   = flag.Bool("progress", false, "print a live progress line (cells done, Minstr/s, ETA) to stderr")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	spec, ok := workload.ByName(*bench)
 	if !ok {
@@ -77,6 +99,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	replList := strings.Split(*repls, ",")
+
+	// Every cell counts as one progress unit, plus the per-LLC baselines:
+	// the cell count is known up front, so the ETA is exact in runs.
+	cellCount := len(llcList) * (1 + len(sizeList)*len(degreeList)*len(replList))
+	var prog *telemetry.PoolProgress
+	var hooks *telemetry.Hooks
+	if *progress {
+		prog = telemetry.NewPoolProgress(cellCount)
+		hooks = &telemetry.Hooks{Progress: prog}
+		stop := telemetry.StartPrinter(os.Stderr, prog, 2*time.Second)
+		defer stop()
+	}
+
 	run := func(llcMB int, pf prefetch.Prefetcher) sim.Result {
 		m := config.Default(1)
 		m.LLCBytesPerCore = llcMB << 20
@@ -86,19 +122,26 @@ func main() {
 			Prefetchers:         []prefetch.Prefetcher{pf},
 			WarmupInstructions:  *warmup,
 			MeasureInstructions: *measure,
+			Telemetry:           hooks,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		return machine.Run()
+		res := machine.Run()
+		if prog != nil {
+			prog.RunDone()
+			prog.UnitDone()
+		}
+		return res
 	}
-
-	replList := strings.Split(*repls, ",")
 
 	// Launch every point on the pool, then collect in sweep order so the
 	// CSV is identical regardless of -j.
 	pool := experiments.NewPool(*jobs)
+	if prog != nil {
+		pool.SetProgress(prog)
+	}
 	baseFs := make([]*experiments.Future[sim.Result], len(llcList))
 	cellFs := make(map[[4]int]*experiments.Future[sim.Result])
 	for li, llcMB := range llcList {

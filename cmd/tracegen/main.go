@@ -12,9 +12,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/mem"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -28,8 +30,27 @@ func main() {
 		base    = flag.Uint64("base", 0, "address-space base")
 		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
+	if *memProfile != "" {
+		defer func() {
+			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, name := range workload.Names() {
@@ -38,10 +59,12 @@ func main() {
 		return
 	}
 	if *inspect != "" {
-		if err := summarize(*inspect); err != nil {
+		s, err := summarize(*inspect)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		s.print(os.Stdout)
 		return
 	}
 
@@ -82,14 +105,25 @@ func main() {
 		w.Count(), path, float64(st.Size())/(1<<20), float64(st.Size())/float64(w.Count()))
 }
 
-func summarize(path string) error {
+// summary is the -inspect report, split from its printing so tests
+// can check the round-trip numbers directly.
+type summary struct {
+	Records   uint64
+	Loads     uint64
+	Stores    uint64
+	Dependent uint64
+	MemoryPCs int
+	Lines     int
+}
+
+func summarize(path string) (summary, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return summary{}, err
 	}
 	defer f.Close()
 	r := trace.NewFileReader(f)
-	var total, loads, stores, deps uint64
+	var s summary
 	pcs := map[uint64]struct{}{}
 	lines := map[mem.Line]struct{}{}
 	for {
@@ -97,12 +131,12 @@ func summarize(path string) error {
 		if !ok {
 			break
 		}
-		total++
+		s.Records++
 		switch rec.Op {
 		case trace.Load:
-			loads++
+			s.Loads++
 		case trace.Store:
-			stores++
+			s.Stores++
 		}
 		if rec.Op != trace.NonMem {
 			pcs[rec.PC] = struct{}{}
@@ -111,20 +145,25 @@ func summarize(path string) error {
 			}
 		}
 		if rec.LoadDep > 0 {
-			deps++
+			s.Dependent++
 		}
 	}
 	if err := r.Err(); err != nil {
-		return err
+		return summary{}, err
 	}
-	fmt.Printf("records      : %d\n", total)
-	fmt.Printf("loads/stores : %d / %d\n", loads, stores)
-	fmt.Printf("dependent    : %d loads (%.1f%%) are pointer-chained\n",
-		deps, 100*float64(deps)/float64(max64(loads, 1)))
-	fmt.Printf("memory PCs   : %d\n", len(pcs))
-	fmt.Printf("footprint    : %d distinct lines (%.1f MB)\n",
-		len(lines), float64(len(lines))*mem.LineSize/(1<<20))
-	return nil
+	s.MemoryPCs = len(pcs)
+	s.Lines = len(lines)
+	return s, nil
+}
+
+func (s summary) print(w io.Writer) {
+	fmt.Fprintf(w, "records      : %d\n", s.Records)
+	fmt.Fprintf(w, "loads/stores : %d / %d\n", s.Loads, s.Stores)
+	fmt.Fprintf(w, "dependent    : %d loads (%.1f%%) are pointer-chained\n",
+		s.Dependent, 100*float64(s.Dependent)/float64(max64(s.Loads, 1)))
+	fmt.Fprintf(w, "memory PCs   : %d\n", s.MemoryPCs)
+	fmt.Fprintf(w, "footprint    : %d distinct lines (%.1f MB)\n",
+		s.Lines, float64(s.Lines)*mem.LineSize/(1<<20))
 }
 
 func max64(a, b uint64) uint64 {

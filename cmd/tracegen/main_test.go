@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestSummarizeRoundTrip materializes a small benchmark trace exactly
+// the way the generate path does, counting the expected statistics on
+// the fly, then checks that -inspect's summarize recovers them from
+// the encoded file.
+func TestSummarizeRoundTrip(t *testing.T) {
+	spec, ok := workload.ByName("mcf")
+	if !ok {
+		t.Fatal("benchmark mcf not registered")
+	}
+	path := filepath.Join(t.TempDir(), "mcf.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	r := spec.New(42, 0)
+
+	var want summary
+	pcs := map[uint64]struct{}{}
+	lines := map[mem.Line]struct{}{}
+	const n = 50_000
+	for i := 0; i < n; i++ {
+		rec, ok := r.Next()
+		if !ok {
+			break
+		}
+		want.Records++
+		switch rec.Op {
+		case trace.Load:
+			want.Loads++
+		case trace.Store:
+			want.Stores++
+		}
+		if rec.Op != trace.NonMem {
+			pcs[rec.PC] = struct{}{}
+			lines[mem.LineOf(rec.Addr)] = struct{}{}
+		}
+		if rec.LoadDep > 0 {
+			want.Dependent++
+		}
+		if err := w.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want.MemoryPCs = len(pcs)
+	want.Lines = len(lines)
+
+	got, err := summarize(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("summarize mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	if got.Records != n {
+		t.Errorf("expected the generator to supply all %d records, got %d", n, got.Records)
+	}
+	if got.Loads == 0 || got.Dependent == 0 {
+		t.Errorf("mcf should contain dependent loads, got %+v", got)
+	}
+}
+
+// TestSummarizePrint pins the -inspect report format so the CLI output
+// stays stable for scripts that scrape it.
+func TestSummarizePrint(t *testing.T) {
+	s := summary{Records: 10, Loads: 6, Stores: 2, Dependent: 3, MemoryPCs: 4, Lines: 5}
+	var buf bytes.Buffer
+	s.print(&buf)
+	want := "records      : 10\n" +
+		"loads/stores : 6 / 2\n" +
+		"dependent    : 3 loads (50.0%) are pointer-chained\n" +
+		"memory PCs   : 4\n" +
+		"footprint    : 5 distinct lines (0.0 MB)\n"
+	if buf.String() != want {
+		t.Errorf("print output:\n%q\nwant:\n%q", buf.String(), want)
+	}
+}
+
+// TestSummarizeMissingFile checks the error path -inspect relies on.
+func TestSummarizeMissingFile(t *testing.T) {
+	if _, err := summarize(filepath.Join(t.TempDir(), "nope.trace")); err == nil {
+		t.Error("expected an error for a missing trace file")
+	}
+}

@@ -10,6 +10,12 @@
 // stms, domino, isb, misb, triage-512k, triage-1m, triage-dyn,
 // triage-dynutil, triage-unlimited, and '+'-joined hybrids such as
 // triage+bo. Use -list to see benchmarks.
+//
+// Telemetry: -sample N records a counter snapshot every N retired
+// instructions and writes the series to -sampleout (JSONL, or CSV when
+// the path ends in .csv); -events PATH writes the last -eventcap
+// prefetch-lifecycle events as JSONL; -cpuprofile/-memprofile write
+// pprof profiles.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"repro/internal/prefetch/sms"
 	"repro/internal/prefetch/stms"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -116,6 +123,13 @@ func main() {
 		degree  = flag.Int("degree", 1, "prefetch degree")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
+
+		sample     = flag.Uint64("sample", 0, "snapshot counters every N retired instructions (0 = off)")
+		sampleOut  = flag.String("sampleout", "samples.jsonl", "time-series output path (.csv selects CSV, else JSONL)")
+		eventsOut  = flag.String("events", "", "write prefetch-lifecycle event trace (JSONL) to this path")
+		eventCap   = flag.Int("eventcap", 1<<16, "event ring capacity (keeps the last N events)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
 	flag.Parse()
 
@@ -142,18 +156,49 @@ func main() {
 		}
 		pfs[c] = p
 	}
+	var hooks *telemetry.Hooks
+	if *sample > 0 || *eventsOut != "" {
+		hooks = &telemetry.Hooks{}
+		if *sample > 0 {
+			hooks.Sampler = telemetry.NewSampler(*sample)
+		}
+		if *eventsOut != "" {
+			hooks.Events = telemetry.NewEventTrace(*eventCap)
+		}
+	}
 	machine, err := sim.New(sim.Options{
 		Machine:             m,
 		Workloads:           ws,
 		Prefetchers:         pfs,
 		WarmupInstructions:  *warmup,
 		MeasureInstructions: *measure,
+		Telemetry:           hooks,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *cpuProfile != "" {
+		stop, err := telemetry.StartCPUProfile(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer stop()
+	}
 	res := machine.Run()
+	if *memProfile != "" {
+		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if hooks != nil {
+		if err := writeTelemetry(hooks, *sampleOut, *eventsOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	fmt.Printf("benchmark    : %s (x%d cores)\n", spec.Name, *cores)
 	fmt.Printf("prefetcher   : %s (degree %d)\n", *pfName, *degree)
@@ -174,4 +219,46 @@ func main() {
 	fmt.Printf("LLC          : %d/%d hits (data ways end state reflect partition)\n", res.LLC.Hits, res.LLC.Accesses)
 	fmt.Printf("meta accesses: triage-LLC %d, misb-offchip %d\n",
 		res.TriageLLCMetadataAccesses, res.MISBOffChipMetadataAccesses)
+	if hooks != nil && hooks.Sampler != nil {
+		fmt.Printf("telemetry    : %d samples -> %s\n", len(hooks.Sampler.Samples()), *sampleOut)
+	}
+	if hooks != nil && hooks.Events != nil {
+		fmt.Printf("events       : %d total (last %d kept) -> %s\n",
+			hooks.Events.Total(), len(hooks.Events.Events()), *eventsOut)
+	}
+}
+
+// writeTelemetry flushes the sampled series and event trace to disk.
+func writeTelemetry(hooks *telemetry.Hooks, sampleOut, eventsOut string) error {
+	if hooks.Sampler != nil {
+		f, err := os.Create(sampleOut)
+		if err != nil {
+			return err
+		}
+		if strings.HasSuffix(sampleOut, ".csv") {
+			err = hooks.Sampler.WriteCSV(f)
+		} else {
+			err = hooks.Sampler.WriteJSONL(f)
+		}
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	if hooks.Events != nil {
+		f, err := os.Create(eventsOut)
+		if err != nil {
+			return err
+		}
+		err = hooks.Events.WriteJSONL(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/mem"
 	"repro/internal/prefetch"
 	"repro/internal/replacement"
+	"repro/internal/telemetry"
 )
 
 // Mode selects how the metadata store is provisioned.
@@ -164,6 +165,12 @@ type Triage struct {
 
 	reqs []prefetch.Request // predict scratch, reused every Train
 
+	// tr, when non-nil, receives Hawkeye predictor-decision events;
+	// lastTick/lastCore stamp them with the current training event.
+	tr       *telemetry.EventTrace
+	lastTick uint64
+	lastCore int32
+
 	metadataAccesses uint64 // LLC accesses for metadata (energy, Fig 13)
 	lookups          uint64
 	lookupHits       uint64
@@ -249,6 +256,32 @@ func (t *Triage) SetDegree(d int) {
 // Bind implements prefetch.EnvUser.
 func (t *Triage) Bind(env prefetch.Env) { t.env = env }
 
+// BindEventTrace attaches a structured event trace that receives
+// Hawkeye predictor-training decisions (telemetry; optional).
+func (t *Triage) BindEventTrace(tr *telemetry.EventTrace) { t.tr = tr }
+
+// LookupCounts returns cumulative metadata-store lookups and hits
+// (the sampler derives the per-interval hit rate from the deltas).
+func (t *Triage) LookupCounts() (lookups, hits uint64) {
+	return t.lookups, t.lookupHits
+}
+
+// notePredictor records one applied predictor update in the event
+// trace. Call immediately before hint.apply.
+func (t *Triage) notePredictor(hint trainHint) {
+	if t.tr == nil || !hint.valid {
+		return
+	}
+	a := int64(0)
+	if hint.optHit {
+		a = 1
+	}
+	t.tr.Emit(telemetry.Event{
+		Tick: t.lastTick, Kind: telemetry.EvPredictor,
+		Core: t.lastCore, PC: hint.pc, A: a,
+	})
+}
+
 // DesiredMetadataBytes reports how much LLC capacity Triage wants for
 // metadata right now; the simulator carves the corresponding ways out
 // of the LLC (0 in Unlimited mode — that configuration models a free
@@ -316,6 +349,7 @@ func (t *Triage) Train(ev prefetch.Event) []prefetch.Request {
 	if !ev.Miss && !ev.PrefetchHit {
 		return nil
 	}
+	t.lastTick, t.lastCore = ev.Tick, int32(ev.Core)
 	reqs := t.predict(ev)
 	t.learn(ev)
 	return reqs
@@ -370,6 +404,7 @@ func (t *Triage) lookupOnce(l mem.Line, pc uint64) (mem.Line, trainHint, bool) {
 	if !ok {
 		// Metadata miss: its predictor update applies immediately (a
 		// miss cannot be a redundant prefetch).
+		t.notePredictor(hint)
 		hint.apply(t.pred)
 		return 0, trainHint{}, false
 	}
@@ -484,5 +519,6 @@ func (t *Triage) PrefetchOutcome(req prefetch.Request, missedCache bool) {
 		return
 	}
 	t.usefulFeedback++
+	t.notePredictor(p.hint)
 	p.hint.apply(t.pred)
 }

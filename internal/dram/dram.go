@@ -159,6 +159,13 @@ func New(m config.Machine, detailed bool) *DRAM {
 // Stats returns accumulated transfer counts.
 func (d *DRAM) Stats() Stats { return d.stats }
 
+// TransferTicks returns one line transfer's per-channel occupancy in
+// ticks (telemetry derives bandwidth-busy fractions from it).
+func (d *DRAM) TransferTicks() uint64 { return d.transferTicks }
+
+// Channels returns the number of modeled channels.
+func (d *DRAM) Channels() int { return d.channels }
+
 // ResetStats zeroes counters (after warmup).
 func (d *DRAM) ResetStats() { d.stats = Stats{} }
 

@@ -23,8 +23,9 @@ type Runner struct {
 	P    Params
 	pool *Pool
 
-	mu    sync.Mutex
-	cache map[string]*Future[sim.Result]
+	mu      sync.Mutex
+	cache   map[string]*Future[sim.Result]
+	samples map[string][]byte // JSONL series per cached run (SampleEvery)
 
 	runs     atomic.Uint64
 	simInstr atomic.Uint64

@@ -36,11 +36,14 @@ func TestSingleFlightSharedBaselines(t *testing.T) {
 	}
 }
 
-// csvFor runs the given experiments on a pool of the given width and
-// returns their concatenated CSV output.
-func csvFor(t *testing.T, workers int, ids []string) []byte {
+// csvFor runs the given experiments on a pool of the given width with
+// telemetry sampling on, returning the concatenated CSV output and the
+// per-run sampled JSONL series.
+func csvFor(t *testing.T, workers int, ids []string) ([]byte, map[string][]byte) {
 	t.Helper()
-	r := NewRunnerPool(tinyParams(), NewPool(workers))
+	p := tinyParams()
+	p.SampleEvery = 10_000
+	r := NewRunnerPool(p, NewPool(workers))
 	var es []Experiment
 	for _, id := range ids {
 		e, ok := ByID(id)
@@ -55,20 +58,37 @@ func csvFor(t *testing.T, workers int, ids []string) []byte {
 			t.Fatal(err)
 		}
 	}
-	return buf.Bytes()
+	return buf.Bytes(), r.SampleSeries()
 }
 
 // TestParallelDeterminism checks the acceptance criterion directly: a
 // single-core figure and a multi-core mix figure produce byte-identical
-// CSVs on one worker and on eight.
+// CSVs on one worker and on eight, and every cached run's sampled
+// telemetry time series is byte-identical too.
 func TestParallelDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation smoke test")
 	}
 	ids := []string{"fig05", "fig16"}
-	seq := csvFor(t, 1, ids)
-	par := csvFor(t, 8, ids)
+	seq, seqSamples := csvFor(t, 1, ids)
+	par, parSamples := csvFor(t, 8, ids)
 	if !bytes.Equal(seq, par) {
 		t.Errorf("-j 8 output differs from -j 1:\n--- j1 ---\n%s\n--- j8 ---\n%s", seq, par)
+	}
+	if len(seqSamples) == 0 {
+		t.Fatal("no sampled series recorded with SampleEvery set")
+	}
+	if len(parSamples) != len(seqSamples) {
+		t.Fatalf("sample series count differs: j1=%d j8=%d", len(seqSamples), len(parSamples))
+	}
+	for key, want := range seqSamples {
+		got, ok := parSamples[key]
+		if !ok {
+			t.Errorf("series %q missing on -j 8", key)
+			continue
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("series %q differs between -j 1 and -j 8:\n--- j1 ---\n%s\n--- j8 ---\n%s", key, want, got)
+		}
 	}
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"bytes"
 	"runtime"
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -13,8 +15,13 @@ import (
 // while waiting on a Future, so the pool cannot deadlock: every job it
 // admits is an independent leaf simulation.
 type Pool struct {
-	sem chan struct{}
+	sem  chan struct{}
+	prog *telemetry.PoolProgress
 }
+
+// SetProgress attaches a live progress tracker; workers report busy/
+// idle transitions around every pooled job.
+func (p *Pool) SetProgress(prog *telemetry.PoolProgress) { p.prog = prog }
 
 // NewPool returns a pool running at most workers simulations at once.
 // workers < 1 is clamped to 1 (the sequential engine, -j 1).
@@ -50,6 +57,10 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 	go func() {
 		p.sem <- struct{}{}
 		defer func() { <-p.sem }()
+		if p.prog != nil {
+			p.prog.WorkerStart()
+			defer p.prog.WorkerDone()
+		}
 		f.val = fn()
 		close(f.done)
 	}()
@@ -63,7 +74,58 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 func (r *Runner) record(res sim.Result) sim.Result {
 	r.runs.Add(1)
 	r.simInstr.Add(res.SimulatedInstructions)
+	if p := r.pool.prog; p != nil {
+		p.RunDone()
+	}
 	return res
+}
+
+// newHooks builds the per-run telemetry hooks: a sampler when the
+// Params ask for one, and the pool's progress tracker when attached.
+// Returns nil when both are off so runs stay on the zero-cost path.
+func (r *Runner) newHooks() *telemetry.Hooks {
+	var h telemetry.Hooks
+	if r.P.SampleEvery > 0 {
+		h.Sampler = telemetry.NewSampler(r.P.SampleEvery)
+	}
+	if r.pool.prog != nil {
+		h.Progress = r.pool.prog
+	}
+	if h.Sampler == nil && h.Progress == nil {
+		return nil
+	}
+	return &h
+}
+
+// storeSamples persists one cached run's sampled series as JSONL,
+// keyed like the single-flight cache ("bench/config").
+func (r *Runner) storeSamples(key string, hooks *telemetry.Hooks) {
+	if hooks == nil || hooks.Sampler == nil {
+		return
+	}
+	var buf bytes.Buffer
+	if err := hooks.Sampler.WriteJSONL(&buf); err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.samples == nil {
+		r.samples = make(map[string][]byte)
+	}
+	r.samples[key] = buf.Bytes()
+	r.mu.Unlock()
+}
+
+// SampleSeries returns the JSONL time series of every cached
+// single-core run, keyed "bench/config". Empty unless Params.
+// SampleEvery was set.
+func (r *Runner) SampleSeries() map[string][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string][]byte, len(r.samples))
+	for k, v := range r.samples {
+		out[k] = v
+	}
+	return out
 }
 
 // Runs returns how many simulations this runner actually executed
@@ -85,7 +147,10 @@ func (r *Runner) singleF(spec workload.Spec, cfg namedPF) *Future[sim.Result] {
 	f, ok := r.cache[key]
 	if !ok {
 		f = Go(r.pool, func() sim.Result {
-			return r.record(runSingle(r.P, spec, cfg.f, nil))
+			hooks := r.newHooks()
+			res := r.record(runSingle(r.P, spec, cfg.f, nil, hooks))
+			r.storeSamples(key, hooks)
+			return res
 		})
 		r.cache[key] = f
 	}
@@ -97,21 +162,21 @@ func (r *Runner) singleF(spec workload.Spec, cfg namedPF) *Future[sim.Result] {
 // one-off configurations) on the pool.
 func (r *Runner) runSingleF(spec workload.Spec, factory pfFactory, mutate func(*sim.Options)) *Future[sim.Result] {
 	return Go(r.pool, func() sim.Result {
-		return r.record(runSingle(r.P, spec, factory, mutate))
+		return r.record(runSingle(r.P, spec, factory, mutate, r.newHooks()))
 	})
 }
 
 // runMixF schedules one multi-programmed mix on the pool.
 func (r *Runner) runMixF(mix workload.MixSpec, factory pfFactory) *Future[sim.Result] {
 	return Go(r.pool, func() sim.Result {
-		return r.record(runMix(r.P, mix, factory))
+		return r.record(runMix(r.P, mix, factory, r.newHooks()))
 	})
 }
 
 // runRateF schedules one N-copy server run on the pool.
 func (r *Runner) runRateF(spec workload.Spec, cores int, factory pfFactory) *Future[sim.Result] {
 	return Go(r.pool, func() sim.Result {
-		return r.record(runRate(r.P, spec, cores, factory))
+		return r.record(runRate(r.P, spec, cores, factory, r.newHooks()))
 	})
 }
 
@@ -128,6 +193,9 @@ func RunAll(r *Runner, es []Experiment) []*Table {
 		go func(i int, e Experiment) {
 			defer wg.Done()
 			tables[i] = e.Run(r)
+			if p := r.pool.prog; p != nil {
+				p.UnitDone()
+			}
 		}(i, e)
 	}
 	wg.Wait()

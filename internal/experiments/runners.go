@@ -15,6 +15,7 @@ import (
 	"repro/internal/prefetch/sms"
 	"repro/internal/prefetch/stms"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -36,6 +37,10 @@ type Params struct {
 	Mixes int
 	// Seed drives mix construction and generator schedules.
 	Seed uint64
+	// SampleEvery, when non-zero, attaches a telemetry sampler at this
+	// retired-instruction interval to every run; cached single-core
+	// runs keep their JSONL series retrievable via Runner.SampleSeries.
+	SampleEvery uint64
 }
 
 // DefaultParams returns the quick configuration.
@@ -106,7 +111,7 @@ func pfHybrid(a, b pfFactory) pfFactory {
 }
 
 // runSingle simulates one benchmark on a single-core Table 1 machine.
-func runSingle(p Params, spec workload.Spec, factory pfFactory, mutate func(*sim.Options)) sim.Result {
+func runSingle(p Params, spec workload.Spec, factory pfFactory, mutate func(*sim.Options), tel *telemetry.Hooks) sim.Result {
 	m := config.Default(1)
 	opts := sim.Options{
 		Machine:             m,
@@ -114,6 +119,7 @@ func runSingle(p Params, spec workload.Spec, factory pfFactory, mutate func(*sim
 		Prefetchers:         []prefetch.Prefetcher{factory(m)},
 		WarmupInstructions:  p.Warmup,
 		MeasureInstructions: p.Measure,
+		Telemetry:           tel,
 	}
 	if mutate != nil {
 		mutate(&opts)
@@ -129,7 +135,7 @@ func runSingle(p Params, spec workload.Spec, factory pfFactory, mutate func(*sim
 
 // runMix simulates a multi-programmed mix on an N-core machine, one
 // benchmark and one prefetcher instance per core.
-func runMix(p Params, mix workload.MixSpec, factory pfFactory) sim.Result {
+func runMix(p Params, mix workload.MixSpec, factory pfFactory, tel *telemetry.Hooks) sim.Result {
 	cores := len(mix.Specs)
 	m := config.Default(cores)
 	ws := make([]trace.Reader, cores)
@@ -144,6 +150,7 @@ func runMix(p Params, mix workload.MixSpec, factory pfFactory) sim.Result {
 		Prefetchers:         pfs,
 		WarmupInstructions:  p.MultiWarmup,
 		MeasureInstructions: p.MultiMeasure,
+		Telemetry:           tel,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", mix.Name, err))
@@ -153,7 +160,7 @@ func runMix(p Params, mix workload.MixSpec, factory pfFactory) sim.Result {
 
 // runRate simulates N copies of one benchmark on an N-core machine
 // (the CloudSuite server setup).
-func runRate(p Params, spec workload.Spec, cores int, factory pfFactory) sim.Result {
+func runRate(p Params, spec workload.Spec, cores int, factory pfFactory, tel *telemetry.Hooks) sim.Result {
 	m := config.Default(cores)
 	ws := make([]trace.Reader, cores)
 	pfs := make([]prefetch.Prefetcher, cores)
@@ -167,6 +174,7 @@ func runRate(p Params, spec workload.Spec, cores int, factory pfFactory) sim.Res
 		Prefetchers:         pfs,
 		WarmupInstructions:  p.MultiWarmup,
 		MeasureInstructions: p.MultiMeasure,
+		Telemetry:           tel,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s x%d: %v", spec.Name, cores, err))

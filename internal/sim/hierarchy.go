@@ -8,6 +8,7 @@ import (
 	"repro/internal/prefetch"
 	"repro/internal/prefetch/stride"
 	"repro/internal/replacement"
+	"repro/internal/telemetry"
 )
 
 // mshrRing models a bank of K miss-status-holding registers as a
@@ -75,6 +76,12 @@ type hierarchy struct {
 	waySampleN uint64
 	lastWants  []int
 
+	// tr, when non-nil, receives prefetch-lifecycle and
+	// partition-resize events. Every emission site is nil-guarded so
+	// the disabled path costs one predictable branch off the per-
+	// instruction loop.
+	tr *telemetry.EventTrace
+
 	// Energy counters (prefetch.Env).
 	triageMetaAccesses uint64
 	metaLineRR         uint64 // rotates MISB metadata over banks
@@ -110,11 +117,12 @@ func findPartitioners(p prefetch.Prefetcher) []metadataPartitioner {
 	return nil
 }
 
-func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy string, detailedDRAM, noCapacityLoss bool) *hierarchy {
+func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy string, detailedDRAM, noCapacityLoss bool, tr *telemetry.EventTrace) *hierarchy {
 	h := &hierarchy{
 		cfg:            cfg,
 		ram:            dram.New(cfg, detailedDRAM),
 		l2pf:           l2pf,
+		tr:             tr,
 		l1Lat:          uint64(cfg.L1Latency) * dram.TicksPerCycle,
 		l2Lat:          uint64(cfg.L2Latency) * dram.TicksPerCycle,
 		llcLat:         uint64(cfg.LLCLatency+cfg.LLCExtraLatency) * dram.TicksPerCycle,
@@ -150,7 +158,7 @@ func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy stri
 			eu.Bind(h)
 		}
 	}
-	h.applyPartition()
+	h.applyPartition(0)
 	return h
 }
 
@@ -178,8 +186,9 @@ func (h *hierarchy) LLCMetadataAccess(n int) {
 
 // applyPartition converts the per-core metadata desires into LLC way
 // allocation. Each core's wish is clamped so the total never exceeds
-// half the LLC (Fig. 19 caps metadata at 50%).
-func (h *hierarchy) applyPartition() {
+// half the LLC (Fig. 19 caps metadata at 50%). now stamps the resize
+// event when the allocation changes.
+func (h *hierarchy) applyPartition(now uint64) {
 	total := 0
 	for c := range h.partitioners {
 		want := 0
@@ -199,6 +208,12 @@ func (h *hierarchy) applyPartition() {
 	}
 	if ways == h.metaWays {
 		return
+	}
+	if h.tr != nil {
+		h.tr.Emit(telemetry.Event{
+			Tick: now, Kind: telemetry.EvPartitionResize, Core: -1,
+			A: int64(h.metaWays), B: int64(ways),
+		})
 	}
 	h.metaWays = ways
 	evs := h.llc.SetDataWays(h.cfg.LLCWays - ways)
@@ -220,6 +235,12 @@ func (h *hierarchy) sampleWays() {
 	for c := range h.lastWants {
 		h.waySamples[c] += float64(h.lastWants[c]) / bytesPerWay
 	}
+}
+
+// metaWaysOf returns core c's current metadata wish in LLC ways (the
+// instantaneous Fig. 19 quantity, sampled by the telemetry layer).
+func (h *hierarchy) metaWaysOf(c int) float64 {
+	return float64(h.lastWants[c]) / float64(h.llc.Sets()*mem.LineSize)
 }
 
 // --- the access paths ---
@@ -250,6 +271,9 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 		h.fill(h.l1[c], c, line, acc, false, ready)
 		commitL1(ready)
 		if r.WasPrefetch {
+			if h.tr != nil {
+				h.tr.Emit(telemetry.Event{Tick: t, Kind: telemetry.EvUsed, Core: int32(c), Level: 2, Line: uint64(line), PC: pc})
+			}
 			// Demand hit on a prefetched L2 line: a training event.
 			h.trainL2(c, prefetch.Event{PC: pc, Line: line, Core: c, PrefetchHit: true, Tick: t})
 		}
@@ -263,6 +287,9 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 		ready = t2 + h.llcLat
 		if r.ReadyTick > ready {
 			ready = r.ReadyTick
+		}
+		if r.WasPrefetch && h.tr != nil {
+			h.tr.Emit(telemetry.Event{Tick: t2, Kind: telemetry.EvUsed, Core: int32(c), Level: 3, Line: uint64(line), PC: pc})
 		}
 	} else {
 		ready = h.ram.Access(t2, line, dram.DemandRead)
@@ -296,6 +323,9 @@ func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
 		h.fill(h.l1[c], c, line, acc, true, ready)
 		commitL1(ready)
 		if r.WasPrefetch {
+			if h.tr != nil {
+				h.tr.Emit(telemetry.Event{Tick: t, Kind: telemetry.EvUsed, Core: int32(c), Level: 2, Line: uint64(line), PC: pc})
+			}
 			h.trainL2(c, prefetch.Event{PC: pc, Line: line, Core: c, PrefetchHit: true, Store: true, Tick: t})
 		}
 		return
@@ -320,7 +350,18 @@ func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
 // fill installs a line and routes the displaced victim's writeback.
 func (h *hierarchy) fill(dst *cache.Cache, c int, line mem.Line, acc replacement.Access, dirty bool, ready uint64) {
 	ev := dst.Fill(line, acc, dirty, ready)
-	if !ev.Valid || !ev.Dirty {
+	if !ev.Valid {
+		return
+	}
+	if ev.Prefetch && h.tr != nil {
+		switch dst {
+		case h.l2[c]:
+			h.tr.Emit(telemetry.Event{Tick: ready, Kind: telemetry.EvEvictedUnused, Core: int32(ev.Core), Level: 2, Line: uint64(ev.Line)})
+		case h.llc:
+			h.tr.Emit(telemetry.Event{Tick: ready, Kind: telemetry.EvEvictedUnused, Core: int32(ev.Core), Level: 3, Line: uint64(ev.Line)})
+		}
+	}
+	if !ev.Dirty {
 		return
 	}
 	switch dst {
@@ -382,12 +423,18 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 	oo, _ := p.(prefetch.OutcomeObserver)
 	maxDelay := uint64(h.cfg.DRAMLatencyCycles()) * dram.TicksPerCycle
 	for _, req := range reqs {
+		if h.tr != nil {
+			h.tr.Emit(telemetry.Event{Tick: ev.Tick, Kind: telemetry.EvTrained, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC})
+		}
 		// A prefetch delayed longer than a DRAM round trip (e.g. by
 		// serialized off-chip metadata lookups) would complete later
 		// than the demand miss it is meant to hide; hardware squashes
 		// it rather than letting the demand merge into it.
 		if req.IssueDelay > maxDelay {
 			h.pfDropped++
+			if h.tr != nil {
+				h.tr.Emit(telemetry.Event{Tick: ev.Tick, Kind: telemetry.EvDropped, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC, A: dropDelay})
+			}
 			if oo != nil {
 				oo.PrefetchOutcome(req, false)
 			}
@@ -397,6 +444,9 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 		// Redundant if already in L2: dropped before consuming anything.
 		if h.l2[c].Probe(req.Line) {
 			h.pfRedundant++
+			if h.tr != nil {
+				h.tr.Emit(telemetry.Event{Tick: issueAt, Kind: telemetry.EvRedundant, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC})
+			}
 			if oo != nil {
 				oo.PrefetchOutcome(req, false)
 			}
@@ -408,12 +458,18 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 			// Prefetch queue full: drop (never issued, so Triage's
 			// delayed training treats it like a redundant prefetch).
 			h.pfDropped++
+			if h.tr != nil {
+				h.tr.Emit(telemetry.Event{Tick: issueAt, Kind: telemetry.EvDropped, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC, A: dropQueueFull})
+			}
 			if oo != nil {
 				oo.PrefetchOutcome(req, false)
 			}
 			continue
 		}
 		h.pfIssued++
+		if h.tr != nil {
+			h.tr.Emit(telemetry.Event{Tick: issueAt, Kind: telemetry.EvIssued, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC})
+		}
 		var ready uint64
 		missedCache := false
 		if r := h.llc.Access(req.Line, acc, issueAt); r.Hit {
@@ -428,6 +484,9 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 		}
 		commit(ready)
 		h.fill(h.l2[c], c, req.Line, acc, false, ready)
+		if h.tr != nil {
+			h.tr.Emit(telemetry.Event{Tick: ready, Kind: telemetry.EvFilled, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC})
+		}
 		h.observeL2Fill(c, req.Line, true, ready)
 		if oo != nil {
 			oo.PrefetchOutcome(req, missedCache)
@@ -435,10 +494,16 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 	}
 	// Partition re-evaluation is cheap; poll after each training event.
 	if len(h.partitioners[c]) > 0 {
-		h.applyPartition()
+		h.applyPartition(ev.Tick)
 	}
 	h.sampleWays()
 }
+
+// Drop reasons carried in the A operand of EvDropped events.
+const (
+	dropDelay     = 1 // issue delay exceeded a DRAM round trip
+	dropQueueFull = 2 // prefetch queue had no free slot
+)
 
 // observeL2Fill notifies FillObserver prefetchers (BO's RR table).
 func (h *hierarchy) observeL2Fill(c int, line mem.Line, prefetched bool, tick uint64) {

@@ -84,14 +84,19 @@ func (r Result) SpeedupOver(base Result) float64 {
 		return 0
 	}
 	sum := 0.0
+	n := 0
 	for i := range r.Cores {
 		b := base.Cores[i].IPC()
 		if b == 0 {
 			continue
 		}
 		sum += r.Cores[i].IPC() / b
+		n++
 	}
-	return sum / float64(len(r.Cores))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }
 
 // TotalTraffic returns total off-chip line transfers.

@@ -45,10 +45,15 @@ func TestSpeedupSkipsZeroBaseline(t *testing.T) {
 		{Instructions: 100, Cycles: 100},
 		{Instructions: 200, Cycles: 100}, // 2x
 	}}
-	// Mean over 2 cores, one contributing 0 (skipped => only 2/2): the
-	// implementation divides by core count, so the dead core dilutes.
-	if got := with.SpeedupOver(base); got != 1 {
-		t.Errorf("SpeedupOver = %g, want 1 (2x diluted by dead core)", got)
+	// The dead core is excluded from both the sum and the divisor, so
+	// the mean is over the one measurable core.
+	if got := with.SpeedupOver(base); got != 2 {
+		t.Errorf("SpeedupOver = %g, want 2 (mean over counted cores)", got)
+	}
+	// All-dead baseline: no counted cores, not a division by zero.
+	dead := Result{Cores: []CoreResult{{}, {}}}
+	if got := with.SpeedupOver(dead); got != 0 {
+		t.Errorf("SpeedupOver(all-zero baseline) = %g, want 0", got)
 	}
 }
 

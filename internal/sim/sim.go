@@ -16,10 +16,12 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/cache"
 	"repro/internal/config"
 	"repro/internal/dram"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -47,6 +49,10 @@ type Options struct {
 	// NoCapacityLoss gives Triage its metadata store for free (Fig. 9's
 	// "assuming no loss in LLC capacity" study).
 	NoCapacityLoss bool
+	// Telemetry optionally attaches a sampler, event trace, and/or
+	// progress sink to the run. Nil (or nil fields) disables each piece
+	// at the cost of one predictable branch per instruction.
+	Telemetry *telemetry.Hooks
 }
 
 func (o *Options) validate() error {
@@ -114,7 +120,25 @@ type Machine struct {
 	hier  *hierarchy
 	cores []*coreState
 	steps uint64 // total instructions stepped, all cores and phases
+
+	// Telemetry state (see telemetry.go). sampleCountdown is 0 while
+	// sampling is off, so the disabled hot-loop cost is one compare.
+	sampler         *telemetry.Sampler
+	sampleCountdown uint64
+	sampleIdx       int
+	prevCores       []corePrev
+	prevLLC         cache.Stats
+	prevDRAM        dram.Stats
+	prevTick        uint64
+
+	progress        telemetry.ProgressSink
+	progressPending uint64
 }
+
+// progressChunk is how many stepped instructions accumulate before one
+// ProgressSink.Add call (coarse enough to keep atomics off the hot
+// path).
+const progressChunk = 1 << 14
 
 // New constructs a Machine; it returns an error for inconsistent
 // options.
@@ -130,9 +154,22 @@ func New(opts Options) (*Machine, error) {
 	if opts.DetailedDRAM != nil {
 		detailed = *opts.DetailedDRAM
 	}
+	var tr *telemetry.EventTrace
+	if opts.Telemetry != nil {
+		tr = opts.Telemetry.Events
+	}
 	m := &Machine{
 		opts: opts,
-		hier: newHierarchy(opts.Machine, pfs, opts.LLCPolicy, detailed, opts.NoCapacityLoss),
+		hier: newHierarchy(opts.Machine, pfs, opts.LLCPolicy, detailed, opts.NoCapacityLoss, tr),
+	}
+	if opts.Telemetry != nil {
+		m.sampler = opts.Telemetry.Sampler
+		m.progress = opts.Telemetry.Progress
+		if tr != nil {
+			for _, p := range pfs {
+				bindEventTrace(p, tr)
+			}
+		}
 	}
 	for c := 0; c < opts.Machine.Cores; c++ {
 		m.cores = append(m.cores, &coreState{
@@ -165,10 +202,16 @@ func (m *Machine) Run() Result {
 		cs.finished = false
 	}
 
+	m.startSampling()
+
 	// Measurement phase: early finishers keep running to sustain
 	// contention, with their stats frozen at the finish line.
 	m.phase(measure, true)
 
+	if m.progress != nil && m.progressPending > 0 {
+		m.progress.Add(m.progressPending)
+		m.progressPending = 0
+	}
 	return m.collect()
 }
 
@@ -272,6 +315,20 @@ func (m *Machine) step(c int, cs *coreState) bool {
 	cs.lastRetire = r
 	cs.instructions++
 	m.steps++
+	if m.progress != nil {
+		m.progressPending++
+		if m.progressPending >= progressChunk {
+			m.progress.Add(m.progressPending)
+			m.progressPending = 0
+		}
+	}
+	if m.sampleCountdown > 0 {
+		m.sampleCountdown--
+		if m.sampleCountdown == 0 {
+			m.takeSample()
+			m.sampleCountdown = m.sampler.Every()
+		}
+	}
 	return true
 }
 

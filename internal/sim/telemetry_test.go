@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+func telemetryRun(t *testing.T, hooks *telemetry.Hooks, warm, measure uint64, mode core.Mode) Result {
+	t.Helper()
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(mode)},
+		WarmupInstructions:  warm,
+		MeasureInstructions: measure,
+		Telemetry:           hooks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Run()
+}
+
+// TestTelemetryDoesNotChangeResults: attaching every hook must be a
+// pure observation — the Result is bit-identical to a bare run.
+func TestTelemetryDoesNotChangeResults(t *testing.T) {
+	bare := telemetryRun(t, nil, 400_000, 400_000, core.Dynamic)
+	hooks := &telemetry.Hooks{
+		Sampler:  telemetry.NewSampler(100_000),
+		Events:   telemetry.NewEventTrace(1 << 12),
+		Progress: telemetry.NewPoolProgress(0),
+	}
+	observed := telemetryRun(t, hooks, 400_000, 400_000, core.Dynamic)
+	if !reflect.DeepEqual(bare, observed) {
+		t.Fatalf("telemetry perturbed the simulation:\nbare:     %+v\nobserved: %+v", bare, observed)
+	}
+	if len(hooks.Sampler.Samples()) == 0 {
+		t.Error("sampler recorded nothing")
+	}
+	if hooks.Events.Total() == 0 {
+		t.Error("event trace recorded nothing")
+	}
+}
+
+// TestSampledSeriesDeterministic pins the acceptance criterion: two
+// identical runs emit byte-identical JSONL, and the series includes
+// the per-interval Triage metadata way allocation.
+func TestSampledSeriesDeterministic(t *testing.T) {
+	series := func() (*telemetry.Sampler, []byte) {
+		s := telemetry.NewSampler(50_000)
+		telemetryRun(t, &telemetry.Hooks{Sampler: s}, 300_000, 300_000, core.Static)
+		var buf bytes.Buffer
+		if err := s.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return s, buf.Bytes()
+	}
+	sa, ja := series()
+	_, jb := series()
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("sampled JSONL series not deterministic:\n%s\nvs\n%s", ja, jb)
+	}
+	samples := sa.Samples()
+	if len(samples) < 3 {
+		t.Fatalf("only %d samples for a 300k-instruction window at 50k interval", len(samples))
+	}
+	for i, smp := range samples {
+		if smp.Interval != i {
+			t.Errorf("sample %d has interval %d", i, smp.Interval)
+		}
+		// Static Triage claims 1MB = 8 of the 16 LLC ways from t=0.
+		if got := smp.Cores[0].MetaWays; got != 8 {
+			t.Errorf("sample %d MetaWays = %g, want 8 (static 1MB store)", i, got)
+		}
+		if smp.Cores[0].IPC <= 0 {
+			t.Errorf("sample %d has IPC %g", i, smp.Cores[0].IPC)
+		}
+	}
+	// CSV must be deterministic too and carry one row per core.
+	var ca bytes.Buffer
+	if err := sa.WriteCSV(&ca); err != nil {
+		t.Fatal(err)
+	}
+	if ca.Len() == 0 {
+		t.Error("empty CSV")
+	}
+}
+
+// TestEventTraceCapturesLifecycle checks that a Triage run produces
+// the main lifecycle stages plus the partition-resize and predictor
+// decision events.
+func TestEventTraceCapturesLifecycle(t *testing.T) {
+	tr := telemetry.NewEventTrace(1 << 16)
+	telemetryRun(t, &telemetry.Hooks{Events: tr}, 1_200_000, 300_000, core.Static)
+	seen := map[telemetry.EventKind]int{}
+	for _, e := range tr.Events() {
+		seen[e.Kind]++
+	}
+	for _, k := range []telemetry.EventKind{
+		telemetry.EvTrained, telemetry.EvIssued, telemetry.EvFilled,
+		telemetry.EvUsed, telemetry.EvPredictor,
+	} {
+		if seen[k] == 0 {
+			t.Errorf("no %s events in a trained Triage run (kinds seen: %v)", k, seen)
+		}
+	}
+	// Static Triage resizes the partition 0 -> 8 ways at construction;
+	// the ring keeps only the tail, so check the full-run counter via a
+	// small fresh trace instead.
+	small := telemetry.NewEventTrace(8)
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Static)},
+		MeasureInstructions: 1,
+		Telemetry:           &telemetry.Hooks{Events: small},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m
+	var resized bool
+	for _, e := range small.Events() {
+		if e.Kind == telemetry.EvPartitionResize {
+			resized = true
+			if e.A != 0 || e.B != 8 {
+				t.Errorf("construction resize = %d -> %d ways, want 0 -> 8", e.A, e.B)
+			}
+		}
+	}
+	if !resized {
+		t.Error("no partition_resize event at static-Triage construction")
+	}
+}
+
+// TestProgressSinkSeesEveryInstruction: the chunked live updates plus
+// the final flush must account for exactly the simulated instructions.
+func TestProgressSinkSeesEveryInstruction(t *testing.T) {
+	prog := telemetry.NewPoolProgress(0)
+	res := telemetryRun(t, &telemetry.Hooks{Progress: prog}, 150_000, 150_000, core.Static)
+	if got := prog.Snapshot().Instructions; got != res.SimulatedInstructions {
+		t.Fatalf("progress saw %d instructions, simulator stepped %d", got, res.SimulatedInstructions)
+	}
+}
+
+// TestTelemetryOffOverheadGuard is the <2% regression guard. The seed
+// binary is not runnable from here, so the guard bounds the cost from
+// above: the telemetry-disabled path differs from the seed hot loop
+// only by nil-guard branches, which cost strictly less than the fully
+// *enabled* path measured here. If even enabled-vs-disabled is within
+// the budget, the disabled-vs-seed regression is too.
+func TestTelemetryOffOverheadGuard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector inflates instrumented-path timings; guard runs in the plain test pass")
+	}
+	const (
+		warm    = 300_000
+		measure = 1_200_000
+	)
+	run := func(hooks *telemetry.Hooks) time.Duration {
+		start := time.Now()
+		telemetryRun(t, hooks, warm, measure, core.Static)
+		return time.Since(start)
+	}
+	minOf := func(n int, f func() time.Duration) time.Duration {
+		best := f()
+		for i := 1; i < n; i++ {
+			if d := f(); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	mkHooks := func() *telemetry.Hooks {
+		return &telemetry.Hooks{
+			Sampler:  telemetry.NewSampler(100_000),
+			Events:   telemetry.NewEventTrace(1 << 12),
+			Progress: telemetry.NewPoolProgress(0),
+		}
+	}
+	// Allow a few attempts: min-of-N absorbs most scheduler noise, but
+	// CI machines still hiccup. The budget is 2% plus a small absolute
+	// slack so sub-millisecond jitter can't fail a fast run.
+	const slack = 25 * time.Millisecond
+	var disabled, enabled time.Duration
+	for attempt := 0; attempt < 3; attempt++ {
+		disabled = minOf(3, func() time.Duration { return run(nil) })
+		enabled = minOf(3, func() time.Duration { return run(mkHooks()) })
+		if enabled <= disabled+disabled/50+slack {
+			return
+		}
+	}
+	t.Errorf("telemetry overhead too high: enabled %v vs disabled %v (budget 2%% + %v)",
+		enabled, disabled, slack)
+}

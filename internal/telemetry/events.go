@@ -1,0 +1,181 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// EventKind tags one structured trace event.
+type EventKind uint8
+
+const (
+	// EvTrained: the prefetcher produced a candidate for Line (from a
+	// training access at PC). One per requested prefetch.
+	EvTrained EventKind = iota
+	// EvIssued: the candidate entered the L2 MSHR/prefetch queue and a
+	// memory request was sent. Tick is the issue tick.
+	EvIssued
+	// EvRedundant: the candidate was already present or in flight at
+	// L2; no request was sent.
+	EvRedundant
+	// EvDropped: the candidate was discarded. A=1 means the issue
+	// delay window expired, A=2 means the prefetch queue was full.
+	EvDropped
+	// EvFilled: the prefetched line arrived and was installed in L2.
+	// Tick is the fill tick.
+	EvFilled
+	// EvUsed: a demand access hit a line that was brought in by a
+	// prefetch (Level 2 = L2 hit, 3 = LLC hit).
+	EvUsed
+	// EvEvictedUnused: a prefetched line was evicted before any demand
+	// access touched it (Level identifies the cache).
+	EvEvictedUnused
+	// EvPartitionResize: the Triage LLC way partition changed.
+	// A = old ways, B = new ways (machine total, in LLC ways).
+	EvPartitionResize
+	// EvPredictor: the Hawkeye/OPTgen sizer trained its PC predictor.
+	// A = 1 for a positive (OPT hit) update, 0 for negative.
+	EvPredictor
+)
+
+// kindNames must stay in sync with the EventKind constants above.
+var kindNames = [...]string{
+	"trained", "issued", "redundant", "dropped", "filled",
+	"used", "evicted_unused", "partition_resize", "predictor",
+}
+
+// String returns the stable lowercase name used in JSONL output.
+func (k EventKind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// Event is one structured trace record. The meaning of Line, PC, A
+// and B depends on Kind; unused fields are zero.
+type Event struct {
+	// Tick is the simulator tick the event was observed at.
+	Tick uint64
+	// Line is the cache-line-aligned address involved, if any.
+	Line uint64
+	// PC is the program counter involved, if any.
+	PC uint64
+	// A, B carry kind-specific operands (drop reason, old/new ways,
+	// predictor polarity).
+	A, B int64
+	// Core is the core id, or -1 for machine-level events.
+	Core int32
+	// Kind tags the record.
+	Kind EventKind
+	// Level is the cache level involved (2 or 3), if any.
+	Level uint8
+}
+
+// EventTrace is a bounded ring buffer of Events. When full, new
+// events overwrite the oldest, so the trace always holds the last
+// cap events of the run. It is not safe for concurrent use; each
+// running machine owns its own trace.
+type EventTrace struct {
+	buf   []Event
+	total uint64
+}
+
+// NewEventTrace returns a trace that keeps the last cap events.
+func NewEventTrace(cap int) *EventTrace {
+	if cap < 1 {
+		cap = 1
+	}
+	return &EventTrace{buf: make([]Event, 0, cap)}
+}
+
+// Emit records one event, overwriting the oldest when full.
+func (t *EventTrace) Emit(e Event) {
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, e)
+	} else {
+		t.buf[t.total%uint64(len(t.buf))] = e
+	}
+	t.total++
+}
+
+// Total returns the number of events emitted over the whole run,
+// including ones that have been overwritten.
+func (t *EventTrace) Total() uint64 { return t.total }
+
+// Events returns the retained events in emission order (oldest
+// first). It allocates a fresh slice.
+func (t *EventTrace) Events() []Event {
+	out := make([]Event, 0, len(t.buf))
+	if len(t.buf) == cap(t.buf) && t.total > uint64(len(t.buf)) {
+		start := t.total % uint64(len(t.buf))
+		out = append(out, t.buf[start:]...)
+		out = append(out, t.buf[:start]...)
+	} else {
+		out = append(out, t.buf...)
+	}
+	return out
+}
+
+// eventJSON is the stable JSONL schema for one event. Numeric
+// operands are emitted only when meaningful for the kind.
+type eventJSON struct {
+	Tick  uint64 `json:"tick"`
+	Kind  string `json:"kind"`
+	Core  int32  `json:"core"`
+	Level uint8  `json:"level,omitempty"`
+	Line  string `json:"line,omitempty"`
+	PC    string `json:"pc,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+}
+
+// WriteJSONL emits the retained events, oldest first, one JSON object
+// per line. Addresses are hex strings for readability.
+func (t *EventTrace) WriteJSONL(w io.Writer) error {
+	for _, e := range t.Events() {
+		rec := eventJSON{
+			Tick:  e.Tick,
+			Kind:  e.Kind.String(),
+			Core:  e.Core,
+			Level: e.Level,
+			A:     e.A,
+			B:     e.B,
+		}
+		if e.Line != 0 {
+			rec.Line = hex64(e.Line)
+		}
+		if e.PC != 0 {
+			rec.PC = hex64(e.PC)
+		}
+		b, err := json.Marshal(&rec)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// hex64 formats v as 0x-prefixed lowercase hex without allocating
+// through fmt.
+func hex64(v uint64) string {
+	var tmp [18]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = hexDigits[v&0xf]
+		v >>= 4
+		if v == 0 {
+			break
+		}
+	}
+	i -= 2
+	tmp[i], tmp[i+1] = '0', 'x'
+	return string(tmp[i:])
+}

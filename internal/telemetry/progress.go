@@ -1,0 +1,135 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// PoolProgress tracks a parallel experiment pool's live throughput:
+// how many workers are busy, how many runs and work units have
+// finished, and how many instructions have been simulated so far.
+// All methods are safe for concurrent use. It implements ProgressSink,
+// so it can be attached directly to sim.Options.Telemetry.Progress.
+type PoolProgress struct {
+	instr      atomic.Uint64 // instructions simulated (live, chunked)
+	runs       atomic.Uint64 // simulations completed
+	units      atomic.Uint64 // work units (figures/tables/cells) completed
+	unitsTotal atomic.Uint64 // expected work units, 0 if unknown
+	workers    atomic.Int64  // currently busy workers
+	start      atomic.Int64  // UnixNano of first activity, 0 before
+}
+
+// NewPoolProgress returns a zeroed progress tracker. totalUnits is
+// the expected number of work units for ETA reporting; pass 0 when
+// unknown.
+func NewPoolProgress(totalUnits int) *PoolProgress {
+	p := &PoolProgress{}
+	if totalUnits > 0 {
+		p.unitsTotal.Store(uint64(totalUnits))
+	}
+	return p
+}
+
+// Add implements ProgressSink: record live simulated instructions.
+func (p *PoolProgress) Add(instructions uint64) {
+	p.instr.Add(instructions)
+}
+
+// WorkerStart marks one worker busy (and starts the clock on first
+// call).
+func (p *PoolProgress) WorkerStart() {
+	if p.start.Load() == 0 {
+		p.start.CompareAndSwap(0, time.Now().UnixNano())
+	}
+	p.workers.Add(1)
+}
+
+// WorkerDone marks one worker idle again.
+func (p *PoolProgress) WorkerDone() { p.workers.Add(-1) }
+
+// RunDone records one completed simulation.
+func (p *PoolProgress) RunDone() { p.runs.Add(1) }
+
+// UnitDone records one completed work unit (a figure, table or sweep
+// cell).
+func (p *PoolProgress) UnitDone() { p.units.Add(1) }
+
+// Snapshot is a consistent-enough view for display purposes.
+type Snapshot struct {
+	Instructions uint64
+	Runs         uint64
+	Units        uint64
+	UnitsTotal   uint64
+	Workers      int64
+	Elapsed      time.Duration
+}
+
+// Snapshot reads the counters.
+func (p *PoolProgress) Snapshot() Snapshot {
+	var elapsed time.Duration
+	if s := p.start.Load(); s != 0 {
+		elapsed = time.Duration(time.Now().UnixNano() - s)
+	}
+	return Snapshot{
+		Instructions: p.instr.Load(),
+		Runs:         p.runs.Load(),
+		Units:        p.units.Load(),
+		UnitsTotal:   p.unitsTotal.Load(),
+		Workers:      p.workers.Load(),
+		Elapsed:      elapsed,
+	}
+}
+
+// Line renders a one-line status like
+//
+//	12/37 units | 58 runs | 312.4 Minstr | 41.2 Minstr/s | 4 busy | ETA 0:42
+//
+// ETA is omitted when the total unit count is unknown or nothing has
+// finished yet.
+func (s Snapshot) Line() string {
+	secs := s.Elapsed.Seconds()
+	rate := 0.0
+	if secs > 0 {
+		rate = float64(s.Instructions) / 1e6 / secs
+	}
+	units := fmt.Sprintf("%d units", s.Units)
+	if s.UnitsTotal > 0 {
+		units = fmt.Sprintf("%d/%d units", s.Units, s.UnitsTotal)
+	}
+	line := fmt.Sprintf("%s | %d runs | %.1f Minstr | %.1f Minstr/s | %d busy",
+		units, s.Runs, float64(s.Instructions)/1e6, rate, s.Workers)
+	if s.UnitsTotal > 0 && s.Units > 0 && s.Units < s.UnitsTotal {
+		per := s.Elapsed / time.Duration(s.Units)
+		eta := per * time.Duration(s.UnitsTotal-s.Units)
+		line += fmt.Sprintf(" | ETA %s", eta.Round(time.Second))
+	}
+	return line
+}
+
+// StartPrinter spawns a goroutine writing the progress line to w
+// every interval until stop is called. Lines are terminated with \n
+// (plain log style, safe for redirection).
+func StartPrinter(w io.Writer, p *PoolProgress, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintf(w, "progress: %s\n", p.Snapshot().Line())
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		<-finished
+		fmt.Fprintf(w, "progress: %s\n", p.Snapshot().Line())
+	}
+}

@@ -1,0 +1,130 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CoreSample is one core's slice of an interval snapshot. Rates (IPC,
+// MPKI, accuracy, hit rate) are computed over the interval since the
+// previous sample, not cumulatively, so phase changes are visible.
+type CoreSample struct {
+	// Core is the core id.
+	Core int `json:"core"`
+	// Instructions retired by this core since the measurement window
+	// started (cumulative; frozen cores keep counting while they
+	// sustain contention).
+	Instructions uint64 `json:"instructions"`
+	// IPC over the interval.
+	IPC float64 `json:"ipc"`
+	// L2MPKI is L2 demand misses per kilo-instruction over the interval.
+	L2MPKI float64 `json:"l2_mpki"`
+	// Accuracy is used/filled L2 prefetches over the interval.
+	Accuracy float64 `json:"accuracy"`
+	// Covered is the interval coverage proxy: prefetched-and-used lines
+	// as a fraction of all would-be L2 demand misses (used + missed).
+	Covered float64 `json:"covered"`
+	// MetaWays is the LLC way share currently claimed by this core's
+	// prefetcher metadata (the Fig. 19 quantity).
+	MetaWays float64 `json:"meta_ways"`
+	// MetaHitRate is the Triage metadata-store lookup hit rate over the
+	// interval (0 when the core has no Triage prefetcher).
+	MetaHitRate float64 `json:"meta_hit_rate"`
+}
+
+// Sample is one time-series point.
+type Sample struct {
+	// Interval is the sample index (0-based).
+	Interval int `json:"interval"`
+	// Tick is the simulator tick at sample time (max retire tick over
+	// cores; 4 ticks per core cycle).
+	Tick uint64 `json:"tick"`
+	// Instructions is the total retired across cores in the
+	// measurement window so far.
+	Instructions uint64 `json:"instructions"`
+	// LLCMPKI is shared-LLC demand misses per kilo-instruction over
+	// the interval.
+	LLCMPKI float64 `json:"llc_mpki"`
+	// DRAMBusy is the fraction of available DRAM channel bandwidth
+	// consumed over the interval (clamped to [0, 1]).
+	DRAMBusy float64 `json:"dram_busy"`
+	// DRAMLines is the number of line transfers over the interval.
+	DRAMLines uint64 `json:"dram_lines"`
+	// Cores holds the per-core sub-samples.
+	Cores []CoreSample `json:"cores"`
+}
+
+// Sampler accumulates interval snapshots of a single run. The
+// simulator adds one Sample every Every() retired instructions during
+// the measurement window; the writers then emit a deterministic JSONL
+// or CSV time series.
+type Sampler struct {
+	every   uint64
+	samples []Sample
+}
+
+// NewSampler returns a sampler with the given interval in retired
+// instructions (summed across cores). every == 0 disables sampling.
+func NewSampler(every uint64) *Sampler {
+	return &Sampler{every: every}
+}
+
+// Every returns the sampling interval in retired instructions.
+func (s *Sampler) Every() uint64 { return s.every }
+
+// Add appends one snapshot.
+func (s *Sampler) Add(smp Sample) { s.samples = append(s.samples, smp) }
+
+// Samples returns the recorded series (not a copy; callers must not
+// mutate).
+func (s *Sampler) Samples() []Sample { return s.samples }
+
+// WriteJSONL emits one JSON object per sample, in order. The field
+// order is fixed by the struct layout, so output is byte-deterministic
+// for a deterministic run.
+func (s *Sampler) WriteJSONL(w io.Writer) error {
+	for i := range s.samples {
+		b, err := json.Marshal(&s.samples[i])
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvHeader is the flat per-(interval, core) schema of WriteCSV.
+const csvHeader = "interval,tick,core,instructions,ipc,l2_mpki,llc_mpki,accuracy,covered,meta_ways,meta_hit_rate,dram_busy,dram_lines\n"
+
+// WriteCSV emits the series as one row per (interval, core); the
+// machine-level columns (llc_mpki, dram_busy, dram_lines) repeat on
+// every core row of an interval.
+func (s *Sampler) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, csvHeader); err != nil {
+		return err
+	}
+	for i := range s.samples {
+		smp := &s.samples[i]
+		for _, c := range smp.Cores {
+			_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%s,%s,%s,%s,%s,%s,%s,%s,%d\n",
+				smp.Interval, smp.Tick, c.Core, c.Instructions,
+				ftoa(c.IPC), ftoa(c.L2MPKI), ftoa(smp.LLCMPKI),
+				ftoa(c.Accuracy), ftoa(c.Covered),
+				ftoa(c.MetaWays), ftoa(c.MetaHitRate),
+				ftoa(smp.DRAMBusy), smp.DRAMLines)
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ftoa formats floats with the shortest round-trip representation
+// (matching encoding/json, so the CSV and JSONL series agree).
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,38 @@
+// Package telemetry is the simulator's observability layer: a
+// time-series sampler that snapshots per-core performance counters at
+// a fixed instruction interval (the Fig. 19-style curves as first-class
+// outputs), a bounded structured event trace for the prefetch
+// lifecycle, live progress counters for the parallel experiment pool,
+// and pprof helpers for the cmd tools.
+//
+// Everything here is optional and nil-guarded: the simulator accepts a
+// nil *Hooks (or nil fields inside one) and the disabled path costs a
+// single predictable branch per retired instruction in the hot loop.
+// Output writers are deterministic — the same run produces byte-
+// identical JSONL/CSV regardless of pool width, which the experiments
+// determinism tests pin.
+package telemetry
+
+// Hooks bundles the instrumentation attached to one simulation run.
+// Sampler and Events carry per-run state and must not be shared
+// between concurrently running machines; Progress is updated with
+// atomics and is safe to share across a whole worker pool.
+type Hooks struct {
+	// Sampler, when non-nil, records a counter snapshot every
+	// Sampler.Every() retired instructions (summed across cores).
+	Sampler *Sampler
+	// Events, when non-nil, receives structured prefetch-lifecycle,
+	// partition-resize and predictor-decision events.
+	Events *EventTrace
+	// Progress, when non-nil, receives live retired-instruction counts
+	// in coarse chunks (for instr/s and ETA displays).
+	Progress ProgressSink
+}
+
+// ProgressSink receives live instruction-count updates from a running
+// simulation. Implementations must be safe for concurrent use; the
+// simulator reports in coarse chunks (every few thousand instructions)
+// so the sink is off the per-instruction path.
+type ProgressSink interface {
+	Add(instructions uint64)
+}

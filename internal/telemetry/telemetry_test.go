@@ -1,0 +1,177 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSamplerJSONLDeterministic(t *testing.T) {
+	mk := func() *Sampler {
+		s := NewSampler(1000)
+		s.Add(Sample{Interval: 0, Tick: 4000, Instructions: 1000, LLCMPKI: 1.5,
+			DRAMBusy: 0.25, DRAMLines: 10,
+			Cores: []CoreSample{{Core: 0, Instructions: 1000, IPC: 1, MetaWays: 2.5}}})
+		s.Add(Sample{Interval: 1, Tick: 8000, Instructions: 2000,
+			Cores: []CoreSample{{Core: 0, Instructions: 2000, IPC: 0.5}}})
+		return s
+	}
+	var a, b bytes.Buffer
+	if err := mk().WriteJSONL(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := mk().WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("JSONL output not deterministic:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 JSONL lines, got %d", len(lines))
+	}
+	if !strings.Contains(lines[0], `"meta_ways":2.5`) {
+		t.Errorf("first line missing meta_ways: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[0], `{"interval":0,"tick":4000,`) {
+		t.Errorf("unexpected field order: %s", lines[0])
+	}
+}
+
+func TestSamplerCSV(t *testing.T) {
+	s := NewSampler(1000)
+	s.Add(Sample{Interval: 0, Tick: 4000, Instructions: 2000, LLCMPKI: 2, DRAMLines: 7,
+		Cores: []CoreSample{
+			{Core: 0, Instructions: 1000, IPC: 1.25},
+			{Core: 1, Instructions: 1000, IPC: 0.75},
+		}})
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 { // header + one row per core
+		t.Fatalf("want 3 CSV lines, got %d: %q", len(lines), buf.String())
+	}
+	if lines[0] != strings.TrimRight(csvHeader, "\n") {
+		t.Errorf("bad header: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,4000,0,1000,1.25,") {
+		t.Errorf("bad row for core 0: %s", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "0,4000,1,1000,0.75,") {
+		t.Errorf("bad row for core 1: %s", lines[2])
+	}
+}
+
+func TestEventTraceRingWraps(t *testing.T) {
+	tr := NewEventTrace(4)
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Tick: uint64(i), Kind: EvIssued, Core: 0})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", tr.Total())
+	}
+	evs := tr.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Tick != want {
+			t.Errorf("event %d tick = %d, want %d (oldest-first order)", i, e.Tick, want)
+		}
+	}
+}
+
+func TestEventTracePartialFill(t *testing.T) {
+	tr := NewEventTrace(8)
+	tr.Emit(Event{Tick: 1, Kind: EvTrained})
+	tr.Emit(Event{Tick: 2, Kind: EvFilled})
+	evs := tr.Events()
+	if len(evs) != 2 || evs[0].Tick != 1 || evs[1].Tick != 2 {
+		t.Fatalf("unexpected events: %+v", evs)
+	}
+}
+
+func TestEventTraceJSONL(t *testing.T) {
+	tr := NewEventTrace(16)
+	tr.Emit(Event{Tick: 12, Kind: EvDropped, Core: 1, Line: 0xabc0, A: 2})
+	tr.Emit(Event{Tick: 20, Kind: EvPartitionResize, Core: -1, A: 2, B: 4})
+	tr.Emit(Event{Tick: 30, Kind: EvPredictor, Core: 0, PC: 0x401000, A: 1})
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("want 3 lines, got %d", len(lines))
+	}
+	if want := `{"tick":12,"kind":"dropped","core":1,"line":"0xabc0","a":2}`; lines[0] != want {
+		t.Errorf("line 0 = %s, want %s", lines[0], want)
+	}
+	if want := `{"tick":20,"kind":"partition_resize","core":-1,"a":2,"b":4}`; lines[1] != want {
+		t.Errorf("line 1 = %s, want %s", lines[1], want)
+	}
+	if want := `{"tick":30,"kind":"predictor","core":0,"pc":"0x401000","a":1}`; lines[2] != want {
+		t.Errorf("line 2 = %s, want %s", lines[2], want)
+	}
+}
+
+func TestEventKindNames(t *testing.T) {
+	for k := EvTrained; k <= EvPredictor; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should be unknown")
+	}
+}
+
+func TestHex64(t *testing.T) {
+	cases := map[uint64]string{
+		0:                  "0x0",
+		0xf:                "0xf",
+		0x401000:           "0x401000",
+		0xffffffffffffffff: "0xffffffffffffffff",
+	}
+	for v, want := range cases {
+		if got := hex64(v); got != want {
+			t.Errorf("hex64(%d) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+func TestPoolProgress(t *testing.T) {
+	p := NewPoolProgress(4)
+	p.WorkerStart()
+	p.Add(1_000_000)
+	p.RunDone()
+	p.UnitDone()
+	s := p.Snapshot()
+	if s.Instructions != 1_000_000 || s.Runs != 1 || s.Units != 1 || s.UnitsTotal != 4 || s.Workers != 1 {
+		t.Fatalf("unexpected snapshot: %+v", s)
+	}
+	line := s.Line()
+	for _, want := range []string{"1/4 units", "1 runs", "1 busy"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+	p.WorkerDone()
+	if got := p.Snapshot().Workers; got != 0 {
+		t.Errorf("workers after done = %d, want 0", got)
+	}
+}
+
+func TestStartPrinterStops(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPoolProgress(0)
+	stop := StartPrinter(&buf, p, time.Millisecond)
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if !strings.Contains(buf.String(), "progress:") {
+		t.Fatalf("printer wrote nothing: %q", buf.String())
+	}
+}

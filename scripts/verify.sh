@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 verification: build, tests, vet, and race-detector runs over
-# the packages with concurrency (the parallel experiment engine and the
-# simulator it drives). Run from the repo root:
+# Tier-1 verification: formatting, build, tests, vet, race-detector
+# runs over the packages with concurrency (the parallel experiment
+# engine and the simulator it drives), and an end-to-end smoke run of
+# the CLI tools with telemetry enabled. Run from the repo root:
 #
 #   ./scripts/verify.sh
 #
@@ -9,7 +10,27 @@
 # race detector and take a few minutes on a small machine.
 set -eux
 
+# gofmt -l prints offending files but exits 0; fail explicitly.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/experiments ./internal/sim
+
+# End-to-end smoke: one small figure through the experiment driver, and
+# one telemetry-instrumented run producing sampled series + event trace.
+smokedir=$(mktemp -d)
+trap 'rm -rf "$smokedir"' EXIT
+go run ./cmd/experiments -fig fig05 -warmup 200000 -measure 200000 -j 2 >"$smokedir/fig05.txt"
+go run ./cmd/triagesim -bench mcf -pf triage-1m -warmup 100000 -measure 200000 \
+    -sample 50000 -sampleout "$smokedir/samples.jsonl" \
+    -events "$smokedir/events.jsonl" >"$smokedir/triagesim.txt"
+test -s "$smokedir/samples.jsonl"
+test -s "$smokedir/events.jsonl"
+grep -q '"meta_ways"' "$smokedir/samples.jsonl"
