@@ -20,6 +20,14 @@
 // busy workers, ETA) to stderr; -debughttp ADDR serves expvar counters
 // at http://ADDR/debug/vars; -cpuprofile/-memprofile write pprof
 // profiles.
+//
+// Fault tolerance: -resume DIR checkpoints completed runs and restarts
+// only the missing ones after an interruption (output byte-identical);
+// -deadline/-stall abort stuck runs; a panicking or aborted cell
+// degrades into an error row/table while siblings complete, and the
+// process exits nonzero. -check N asserts simulator structural
+// invariants every N instructions. See EXPERIMENTS.md "Fault
+// tolerance".
 package main
 
 import (
@@ -51,6 +59,12 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "override workload seed")
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		bench    = flag.String("bench", "", "write a JSON throughput report (per-experiment wall time and sim-instr/s) to this file")
+
+		resume   = flag.String("resume", "", "checkpoint directory: completed runs persist here and an interrupted invocation restarts only the missing cells")
+		deadline = flag.Duration("deadline", 0, "per-run wall-clock deadline (0 = none); an overrunning simulation is aborted and its cell failed")
+		stall    = flag.Duration("stall", 0, "per-run stall timeout (0 = none); a simulation making no instruction progress for this long is aborted")
+		retries  = flag.Int("retries", 0, "extra attempts for transiently failed runs (fault-injection test hook; deterministic failures are never retried)")
+		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
 
 		progress   = flag.Bool("progress", false, "print a live progress line to stderr")
 		debugHTTP  = flag.String("debughttp", "", "serve expvar live counters on this address (e.g. localhost:6060)")
@@ -85,6 +99,10 @@ func main() {
 	if *withTel {
 		p.SampleEvery = 100_000
 	}
+	p.Deadline = *deadline
+	p.StallTimeout = *stall
+	p.Retries = *retries
+	p.CheckEvery = *check
 
 	var selected []experiments.Experiment
 	if *figs == "all" {
@@ -143,6 +161,16 @@ func main() {
 	// each baseline exactly once even when figures race to it, and the
 	// launch/collect figure structure keeps tables deterministic.
 	runner := experiments.NewRunnerPool(p, pool)
+	var ck *experiments.Checkpoint
+	if *resume != "" {
+		var err error
+		ck, err = experiments.OpenCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runner.SetCheckpoint(ck)
+	}
 	fmt.Printf("running %d experiments on %d workers...\n", len(selected), pool.Workers())
 	tables := experiments.RunAll(runner, selected)
 	for i, e := range selected {
@@ -157,6 +185,22 @@ func main() {
 	fmt.Printf("total: %.1fs (%d simulations, %.2fM sim-instr/s)\n",
 		time.Since(start).Seconds(), runner.Runs(),
 		float64(runner.SimulatedInstructions())/time.Since(start).Seconds()/1e6)
+	// Diagnostics go to stderr so stdout stays byte-identical between
+	// fresh and resumed invocations.
+	for _, err := range runner.SampleErrors() {
+		fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+	}
+	if ck != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %d cells restored, %d simulated\n",
+			runner.Restored(), runner.Runs())
+		if err := ck.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint: %v\n", err)
+		}
+	}
+	if experiments.AnyFailed(tables) {
+		fmt.Fprintln(os.Stderr, "one or more experiments failed (see error rows above)")
+		os.Exit(1)
+	}
 }
 
 // benchEntry is one experiment's throughput record (BENCH_sim.json).
@@ -200,7 +244,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 		runner := experiments.NewRunnerPool(p, pool)
 		t0 := time.Now()
 		fmt.Printf("running %s (%s)...\n", e.ID, e.Short)
-		table := e.Run(runner)
+		table := experiments.RunOne(runner, e)
 		wall := time.Since(t0).Seconds()
 		instr := runner.SimulatedInstructions()
 		totalInstr += instr

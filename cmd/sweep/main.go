@@ -10,6 +10,12 @@
 // at the same LLC size, so the speedup isolates the prefetcher. -j
 // runs up to N simulations concurrently; rows still print in sweep
 // order, so the CSV is byte-identical for any -j.
+//
+// -resume DIR persists completed cells; an interrupted sweep rerun
+// with the same flags simulates only the missing ones and emits
+// identical CSV. -deadline/-stall abort stuck cells (rendered as
+// ERROR rows, exit nonzero); -check N asserts simulator invariants
+// every N instructions (see EXPERIMENTS.md "Fault tolerance").
 package main
 
 import (
@@ -59,6 +65,11 @@ func main() {
 		progress   = flag.Bool("progress", false, "print a live progress line (cells done, Minstr/s, ETA) to stderr")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
 		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
+
+		resume   = flag.String("resume", "", "checkpoint directory: completed cells persist here and an interrupted sweep restarts only the missing ones")
+		deadline = flag.Duration("deadline", 0, "per-cell wall-clock deadline (0 = none)")
+		stall    = flag.Duration("stall", 0, "per-cell stall timeout (0 = none)")
+		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
 	)
 	flag.Parse()
 
@@ -105,15 +116,29 @@ func main() {
 	// the cell count is known up front, so the ETA is exact in runs.
 	cellCount := len(llcList) * (1 + len(sizeList)*len(degreeList)*len(replList))
 	var prog *telemetry.PoolProgress
-	var hooks *telemetry.Hooks
 	if *progress {
 		prog = telemetry.NewPoolProgress(cellCount)
-		hooks = &telemetry.Hooks{Progress: prog}
 		stop := telemetry.StartPrinter(os.Stderr, prog, 2*time.Second)
 		defer stop()
 	}
+	mkHooks := func() *telemetry.Hooks {
+		if prog == nil {
+			return nil
+		}
+		return &telemetry.Hooks{Progress: prog}
+	}
 
-	run := func(llcMB int, pf prefetch.Prefetcher) sim.Result {
+	var ck *experiments.Checkpoint
+	if *resume != "" {
+		var err error
+		ck, err = experiments.OpenCheckpoint(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(llcMB int, pf prefetch.Prefetcher, hooks *telemetry.Hooks) sim.Result {
 		m := config.Default(1)
 		m.LLCBytesPerCore = llcMB << 20
 		machine, err := sim.New(sim.Options{
@@ -123,10 +148,10 @@ func main() {
 			WarmupInstructions:  *warmup,
 			MeasureInstructions: *measure,
 			Telemetry:           hooks,
+			CheckEvery:          *check,
 		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			panic(err) // recovered by the pool into the cell's RunError
 		}
 		res := machine.Run()
 		if prog != nil {
@@ -137,25 +162,48 @@ func main() {
 	}
 
 	// Launch every point on the pool, then collect in sweep order so the
-	// CSV is identical regardless of -j.
+	// CSV is identical regardless of -j. Checkpointed cells resolve from
+	// disk; Put runs inside the pooled closure so a cell completed but
+	// not yet collected still persists before a kill.
 	pool := experiments.NewPool(*jobs)
 	if prog != nil {
 		pool.SetProgress(prog)
+	}
+	restored := 0
+	schedule := func(key string, job func(*telemetry.Hooks) sim.Result) *experiments.Future[sim.Result] {
+		if ck != nil {
+			if res, _, ok := ck.Get(key); ok {
+				restored++
+				return experiments.Resolved(res)
+			}
+		}
+		return experiments.Go(pool, func() sim.Result {
+			res := experiments.Guarded(key, *deadline, *stall, mkHooks, job)
+			if ck != nil {
+				ck.Put(key, res, nil)
+			}
+			return res
+		})
 	}
 	baseFs := make([]*experiments.Future[sim.Result], len(llcList))
 	cellFs := make(map[[4]int]*experiments.Future[sim.Result])
 	for li, llcMB := range llcList {
 		llcMB := llcMB
-		baseFs[li] = experiments.Go(pool, func() sim.Result { return run(llcMB, nil) })
+		baseKey := fmt.Sprintf("%s/llc%dMB/base", *bench, llcMB)
+		baseFs[li] = schedule(baseKey, func(hooks *telemetry.Hooks) sim.Result {
+			return run(llcMB, nil, hooks)
+		})
 		for si, sizeKB := range sizeList {
 			for di, d := range degreeList {
 				for ri, repl := range replList {
 					llcMB, sizeKB, d := llcMB, sizeKB, d
+					replName := strings.TrimSpace(repl)
 					r := core.Hawkeye
-					if strings.TrimSpace(repl) == "lru" {
+					if replName == "lru" {
 						r = core.LRU
 					}
-					cellFs[[4]int{li, si, di, ri}] = experiments.Go(pool, func() sim.Result {
+					key := fmt.Sprintf("%s/llc%dMB/%dKB/d%d/%s", *bench, llcMB, sizeKB, d, replName)
+					cellFs[[4]int{li, si, di, ri}] = schedule(key, func(hooks *telemetry.Hooks) sim.Result {
 						m := config.Default(1)
 						tri := core.New(core.Config{
 							Mode:            core.Static,
@@ -164,20 +212,39 @@ func main() {
 							Replacement:     r,
 							LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
 						})
-						return run(llcMB, tri)
+						return run(llcMB, tri, hooks)
 					})
 				}
 			}
 		}
 	}
 
+	failed := false
+	cellFail := func(err *experiments.RunError) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "sweep: %v\n", err)
+		if len(err.Stack) > 0 {
+			os.Stderr.Write(err.Stack)
+		}
+	}
 	fmt.Println("bench,llc_mb,store_kb,degree,replacement,speedup,coverage,accuracy,traffic_overhead_pct")
 	for li, llcMB := range llcList {
-		base := baseFs[li].Wait()
+		base, berr := baseFs[li].Result()
+		if berr != nil {
+			cellFail(berr)
+		}
 		for si, sizeKB := range sizeList {
 			for di, d := range degreeList {
 				for ri, repl := range replList {
-					res := cellFs[[4]int{li, si, di, ri}].Wait()
+					res, err := cellFs[[4]int{li, si, di, ri}].Result()
+					if err != nil {
+						cellFail(err)
+					}
+					if berr != nil || err != nil {
+						fmt.Printf("%s,%d,%d,%d,%s,ERROR,ERROR,ERROR,ERROR\n",
+							*bench, llcMB, sizeKB, d, strings.TrimSpace(repl))
+						continue
+					}
 					fmt.Printf("%s,%d,%d,%d,%s,%.4f,%.4f,%.4f,%.1f\n",
 						*bench, llcMB, sizeKB, d, strings.TrimSpace(repl),
 						res.SpeedupOver(base), res.CoverageOver(base),
@@ -185,5 +252,15 @@ func main() {
 				}
 			}
 		}
+	}
+	if ck != nil {
+		fmt.Fprintf(os.Stderr, "checkpoint: %d cells restored, %d simulated\n",
+			restored, cellCount-restored)
+		if err := ck.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: checkpoint: %v\n", err)
+		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/debug"
 
 	"repro/internal/mem"
 	"repro/internal/telemetry"
@@ -22,6 +23,16 @@ import (
 )
 
 func main() {
+	// A generator panic (bad parameters, broken workload) reports as a
+	// clean diagnostic with the stack rather than a raw crash, matching
+	// the other tools' failure reporting.
+	defer func() {
+		if rec := recover(); rec != nil {
+			fmt.Fprintf(os.Stderr, "tracegen: panic: %v\n", rec)
+			os.Stderr.Write(debug.Stack())
+			os.Exit(1)
+		}
+	}()
 	var (
 		bench   = flag.String("bench", "mcf", "benchmark to materialize")
 		n       = flag.Uint64("n", 5_000_000, "number of instructions")

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -124,6 +125,10 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 
+		deadline = flag.Duration("deadline", 0, "wall-clock deadline for the run (0 = none); an overrunning simulation aborts with a diagnostic")
+		stall    = flag.Duration("stall", 0, "abort if retired instructions stop advancing for this long (0 = off)")
+		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
+
 		sample     = flag.Uint64("sample", 0, "snapshot counters every N retired instructions (0 = off)")
 		sampleOut  = flag.String("sampleout", "samples.jsonl", "time-series output path (.csv selects CSV, else JSONL)")
 		eventsOut  = flag.String("events", "", "write prefetch-lifecycle event trace (JSONL) to this path")
@@ -157,13 +162,16 @@ func main() {
 		pfs[c] = p
 	}
 	var hooks *telemetry.Hooks
-	if *sample > 0 || *eventsOut != "" {
+	if *sample > 0 || *eventsOut != "" || *deadline > 0 || *stall > 0 {
 		hooks = &telemetry.Hooks{}
 		if *sample > 0 {
 			hooks.Sampler = telemetry.NewSampler(*sample)
 		}
 		if *eventsOut != "" {
 			hooks.Events = telemetry.NewEventTrace(*eventCap)
+		}
+		if *deadline > 0 || *stall > 0 {
+			hooks.Watch = telemetry.NewRunWatch()
 		}
 	}
 	machine, err := sim.New(sim.Options{
@@ -173,6 +181,7 @@ func main() {
 		WarmupInstructions:  *warmup,
 		MeasureInstructions: *measure,
 		Telemetry:           hooks,
+		CheckEvery:          *check,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -186,7 +195,11 @@ func main() {
 		}
 		defer stop()
 	}
-	res := machine.Run()
+	res, err := runGuarded(machine, hooks, *deadline, *stall)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	if *memProfile != "" {
 		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -226,6 +239,28 @@ func main() {
 		fmt.Printf("events       : %d total (last %d kept) -> %s\n",
 			hooks.Events.Total(), len(hooks.Events.Events()), *eventsOut)
 	}
+}
+
+// runGuarded executes the simulation under an optional watchdog,
+// converting a watchdog abort (or an invariant-check panic) into an
+// error instead of a raw panic.
+func runGuarded(machine *sim.Machine, hooks *telemetry.Hooks, deadline, stall time.Duration) (res sim.Result, err error) {
+	if hooks != nil && hooks.Watch != nil {
+		defer telemetry.StartWatchdog(hooks.Watch, deadline, stall)()
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			switch v := rec.(type) {
+			case *sim.Aborted:
+				err = v
+			case error:
+				err = v
+			default:
+				err = fmt.Errorf("%v", v)
+			}
+		}
+	}()
+	return machine.Run(), nil
 }
 
 // writeTelemetry flushes the sampled series and event trace to disk.

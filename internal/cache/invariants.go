@@ -1,0 +1,42 @@
+package cache
+
+import "fmt"
+
+// CheckInvariants verifies the cache's structural invariants: geometry
+// is internally consistent, no set holds two valid lines with the same
+// tag, and no valid line sits in a way reserved for metadata
+// (SetDataWays evicts on shrink, so residency above dataWays means a
+// fill escaped the partition). O(sets x ways^2); debug mode only.
+func (c *Cache) CheckInvariants() error {
+	if c.dataWays < 1 || c.dataWays > c.ways {
+		return fmt.Errorf("cache %s: dataWays=%d of %d ways", c.name, c.dataWays, c.ways)
+	}
+	if len(c.lines) != c.sets || len(c.validScratch) != c.ways {
+		return fmt.Errorf("cache %s: %d line sets / %d scratch entries for %dx%d geometry",
+			c.name, len(c.lines), len(c.validScratch), c.sets, c.ways)
+	}
+	for s := range c.lines {
+		set := c.lines[s]
+		if len(set) != c.ways {
+			return fmt.Errorf("cache %s: set %d has %d ways, want %d", c.name, s, len(set), c.ways)
+		}
+		for w := c.dataWays; w < c.ways; w++ {
+			if set[w].Valid {
+				return fmt.Errorf("cache %s: set %d way %d valid inside reserved partition (dataWays=%d)",
+					c.name, s, w, c.dataWays)
+			}
+		}
+		for w := 0; w < c.dataWays; w++ {
+			if !set[w].Valid {
+				continue
+			}
+			for v := w + 1; v < c.dataWays; v++ {
+				if set[v].Valid && set[v].Tag == set[w].Tag {
+					return fmt.Errorf("cache %s: set %d ways %d and %d both hold tag %#x",
+						c.name, s, w, v, set[w].Tag)
+				}
+			}
+		}
+	}
+	return nil
+}

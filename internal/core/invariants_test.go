@@ -1,0 +1,44 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestStoreCheckInvariants(t *testing.T) {
+	s := newStore(8, false, nil)
+	if err := s.checkInvariants(); err != nil {
+		t.Fatalf("fresh store violates invariants: %v", err)
+	}
+	s.resize(4)
+	if err := s.checkInvariants(); err != nil {
+		t.Fatalf("shrunk store violates invariants: %v", err)
+	}
+	// A valid entry above the shrunk associativity means resize leaked
+	// state that lookups must never see.
+	s.sets[0][6].valid = true
+	err := s.checkInvariants()
+	if err == nil {
+		t.Fatal("resize leak passed the invariant check")
+	}
+	if !strings.Contains(err.Error(), "resize leak") {
+		t.Errorf("violation %q does not identify the leak", err)
+	}
+}
+
+func TestTriageCheckInvariants(t *testing.T) {
+	tr := New(Config{Mode: Static, StaticBytes: 512 << 10})
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatalf("fresh Triage violates invariants: %v", err)
+	}
+	// Desynchronize the store from the partition it is supposed to
+	// mirror: the sweep must flag the capacity mismatch.
+	tr.store.resize(tr.store.assoc / 2)
+	err := tr.CheckInvariants()
+	if err == nil {
+		t.Fatal("store/partition capacity mismatch passed the invariant check")
+	}
+	if !strings.Contains(err.Error(), "partition wants") {
+		t.Errorf("violation %q does not identify the capacity mismatch", err)
+	}
+}

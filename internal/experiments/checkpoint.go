@@ -1,0 +1,155 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// checkpointVersion is bumped whenever the record layout (or the
+// meaning of sim.Result fields) changes; a store written by another
+// version is refused rather than silently misread.
+const checkpointVersion = 1
+
+// checkpointFile is the store's single append-only log.
+const checkpointFile = "runs.jsonl"
+
+// checkpointRecord is one completed run. sim.Result is plain exported
+// numeric data, so JSON round-trips it exactly (uint64s parse exactly;
+// float64 uses shortest-round-trip encoding) and a resumed sweep
+// reproduces byte-identical tables.
+type checkpointRecord struct {
+	V       int        `json:"v"`
+	Key     string     `json:"key"`
+	Result  sim.Result `json:"result"`
+	Samples []byte     `json:"samples,omitempty"` // JSONL series, if sampled
+}
+
+// Checkpoint is a versioned on-disk store of completed runs, keyed
+// like the single-flight cache ("bench/config"). Records are appended
+// as complete JSONL lines; on open, a torn tail (from a kill mid-
+// write) is truncated away so the next append cannot merge into it.
+type Checkpoint struct {
+	mu   sync.Mutex
+	f    *os.File
+	seen map[string]checkpointRecord
+	err  error // first write error, reported at Close
+}
+
+// OpenCheckpoint opens (or creates) the store in dir, loading every
+// complete record already present.
+func OpenCheckpoint(dir string) (*Checkpoint, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, checkpointFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	c := &Checkpoint{seen: make(map[string]checkpointRecord)}
+	good := 0
+	for good < len(data) {
+		nl := bytes.IndexByte(data[good:], '\n')
+		if nl < 0 {
+			break // torn tail: record never finished writing
+		}
+		var rec checkpointRecord
+		if json.Unmarshal(data[good:good+nl], &rec) != nil {
+			break // torn or corrupt: drop this and everything after
+		}
+		if rec.V != checkpointVersion {
+			return nil, fmt.Errorf("checkpoint %s: record version %d, this build writes %d (delete the directory to start over)",
+				path, rec.V, checkpointVersion)
+		}
+		c.seen[rec.Key] = rec
+		good += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(good)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	c.f = f
+	return c, nil
+}
+
+// Put appends one completed run. Duplicate keys are ignored (the
+// single-flight cache already guarantees one simulation per key; a
+// resumed run only writes keys it actually simulated). Write errors
+// are latched and surfaced by Err/Close rather than failing the run —
+// a broken checkpoint must not abort a healthy sweep.
+func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) {
+	rec := checkpointRecord{V: checkpointVersion, Key: key, Result: res, Samples: samples}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		c.mu.Lock()
+		if c.err == nil {
+			c.err = err
+		}
+		c.mu.Unlock()
+		return
+	}
+	data = append(data, '\n')
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.seen[key]; ok {
+		return
+	}
+	if c.f != nil {
+		if _, err := c.f.Write(data); err != nil && c.err == nil {
+			c.err = err
+		}
+	}
+	c.seen[key] = rec
+}
+
+// Get returns the stored result for key, if present.
+func (c *Checkpoint) Get(key string) (sim.Result, []byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.seen[key]
+	return rec.Result, rec.Samples, ok
+}
+
+// Len returns the number of stored runs.
+func (c *Checkpoint) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.seen)
+}
+
+// Err returns the first write error, if any.
+func (c *Checkpoint) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// Close flushes and closes the store, returning the first error seen.
+func (c *Checkpoint) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f != nil {
+		if err := c.f.Close(); err != nil && c.err == nil {
+			c.err = err
+		}
+		c.f = nil
+	}
+	return c.err
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// runWithCheckpoint executes the given experiments with a checkpoint
+// attached, returning the concatenated CSV output and the runner.
+func runWithCheckpoint(t *testing.T, dir string, ids []string) ([]byte, *Runner) {
+	t.Helper()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRunnerPool(tinyParams(), NewPool(4))
+	r.SetCheckpoint(ck)
+	var es []Experiment
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("unknown experiment %s", id)
+		}
+		es = append(es, e)
+	}
+	var buf bytes.Buffer
+	for _, tab := range RunAll(r, es) {
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), r
+}
+
+// TestCheckpointResumeByteIdentical is the acceptance criterion: a
+// second invocation over a complete checkpoint simulates nothing,
+// restores every cell from disk, and emits byte-identical tables.
+func TestCheckpointResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	dir := t.TempDir()
+	first, r1 := runWithCheckpoint(t, dir, []string{"fig05"})
+	if r1.Runs() == 0 {
+		t.Fatal("first run simulated nothing")
+	}
+	second, r2 := runWithCheckpoint(t, dir, []string{"fig05"})
+	if !bytes.Equal(first, second) {
+		t.Errorf("resumed CSV differs from the original:\n--- fresh ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+	if got := r2.Runs(); got != 0 {
+		t.Errorf("resumed run re-simulated %d cells, want 0", got)
+	}
+	if r2.Restored() != r1.Runs() {
+		t.Errorf("restored %d cells, want %d", r2.Restored(), r1.Runs())
+	}
+}
+
+// TestCheckpointPartialResume truncates the store to half its records
+// (modelling a killed sweep) and verifies the resumed run simulates
+// only the missing cells while still producing identical output.
+func TestCheckpointPartialResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation smoke test")
+	}
+	dir := t.TempDir()
+	first, r1 := runWithCheckpoint(t, dir, []string{"fig05"})
+	total := r1.Runs()
+
+	path := filepath.Join(dir, checkpointFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	records := bytes.Count(data, []byte("\n"))
+	if uint64(records) != total {
+		t.Fatalf("checkpoint holds %d records for %d runs", records, total)
+	}
+	keep := records / 2
+	if keep < 1 {
+		t.Fatalf("need at least 2 records, have %d", records)
+	}
+	off := 0
+	for i := 0; i < keep; i++ {
+		off += bytes.IndexByte(data[off:], '\n') + 1
+	}
+	if err := os.WriteFile(path, data[:off], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	second, r2 := runWithCheckpoint(t, dir, []string{"fig05"})
+	if !bytes.Equal(first, second) {
+		t.Errorf("partially resumed CSV differs from the original:\n--- fresh ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+	if got := r2.Restored(); got != uint64(keep) {
+		t.Errorf("restored %d cells, want %d", got, keep)
+	}
+	if got := r2.Runs(); got != total-uint64(keep) {
+		t.Errorf("re-simulated %d cells, want %d", got, total-uint64(keep))
+	}
+}
+
+// TestCheckpointTornTail verifies crash safety: a partial record at the
+// end of the file (a write cut off by SIGKILL) is discarded on open,
+// the complete records survive, and subsequent appends land cleanly.
+func TestCheckpointTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := sim.Result{PrefetchesIssued: 7}
+	ck.Put("a/b", res, []byte("{\"s\":1}\n"))
+	ck.Put("c/d", res, nil)
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(dir, checkpointFile)
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"v":1,"key":"torn`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	ck2, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatalf("torn tail rejected the whole checkpoint: %v", err)
+	}
+	if got := ck2.Len(); got != 2 {
+		t.Errorf("loaded %d records, want 2 (torn record dropped)", got)
+	}
+	got, samples, ok := ck2.Get("a/b")
+	if !ok || got.PrefetchesIssued != 7 {
+		t.Errorf("record a/b = (%+v, %t), want the persisted result", got, ok)
+	}
+	if string(samples) != "{\"s\":1}\n" {
+		t.Errorf("samples = %q, want the persisted series", samples)
+	}
+	ck2.Put("e/f", res, nil)
+	if err := ck2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ck3, err := OpenCheckpoint(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ck3.Len(); got != 3 {
+		t.Errorf("after append-and-reopen: %d records, want 3", got)
+	}
+	if _, _, ok := ck3.Get("e/f"); !ok {
+		t.Error("record appended after truncation did not survive reopen")
+	}
+	ck3.Close()
+}
+
+// TestCheckpointVersionMismatch ensures a store written by a different
+// format version is refused rather than silently misread.
+func TestCheckpointVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	rec := `{"v":99,"key":"x","result":{}}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, checkpointFile), []byte(rec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenCheckpoint(dir); err == nil {
+		t.Fatal("opened a checkpoint from a future format version")
+	}
+}

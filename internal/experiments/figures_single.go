@@ -23,13 +23,24 @@ type Runner struct {
 	P    Params
 	pool *Pool
 
-	mu      sync.Mutex
-	cache   map[string]*Future[sim.Result]
-	samples map[string][]byte // JSONL series per cached run (SampleEvery)
+	mu         sync.Mutex
+	cache      map[string]*Future[sim.Result]
+	samples    map[string][]byte // JSONL series per cached run (SampleEvery)
+	sampleErrs map[string]error  // series lost to encoding failures
+
+	// ckpt, when set, persists every completed cached run and satisfies
+	// repeat keys from disk (resume of an interrupted sweep).
+	ckpt *Checkpoint
 
 	runs     atomic.Uint64
 	simInstr atomic.Uint64
+	restored atomic.Uint64
 }
+
+// SetCheckpoint attaches an on-disk store of completed runs. Call
+// before scheduling work: cached keys already in the store resolve
+// from disk, and newly simulated keys are appended as they finish.
+func (r *Runner) SetCheckpoint(c *Checkpoint) { r.ckpt = c }
 
 // NewRunner returns a Runner with the given parameters and a pool
 // sized to the machine. Figures produce identical tables for any pool
@@ -136,12 +147,25 @@ func (r *Runner) speedupTable(id, title string, suite []workload.Spec, configs [
 	bases, cells := r.launchGrid(suite, configs)
 	means := make([][]float64, len(configs))
 	for si, spec := range suite {
-		base := bases[si].Wait()
+		base, berr := bases[si].Result()
 		row := []string{spec.Name}
 		for i := range configs {
-			sp := cells[si][i].Wait().SpeedupOver(base)
+			// Collect every cell even under a failed baseline so no run
+			// is left half-finished when the figure returns.
+			res, err := cells[si][i].Result()
+			if berr != nil || err != nil {
+				row = append(row, "ERROR")
+				if err != nil {
+					t.fail(err)
+				}
+				continue
+			}
+			sp := res.SpeedupOver(base)
 			means[i] = append(means[i], sp)
 			row = append(row, fmtSpeedup(sp))
+		}
+		if berr != nil {
+			t.fail(berr)
 		}
 		t.AddRow(row...)
 	}

@@ -64,9 +64,22 @@ func IDs() []string {
 	return ids
 }
 
+// RunOne executes one experiment, converting a panic in its
+// coordinator (e.g. a failed cell collected through Wait, or a broken
+// figure function) into an error table so sibling experiments keep
+// running.
+func RunOne(r *Runner, e Experiment) (t *Table) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			t = errorTable(e, asRunError(rec))
+		}
+	}()
+	return e.Run(r)
+}
+
 // RunAndPrint executes the experiment and writes its table to w.
 func RunAndPrint(r *Runner, e Experiment, w io.Writer) {
 	fmt.Fprintf(w, "running %s (%s)...\n", e.ID, e.Short)
-	t := e.Run(r)
+	t := RunOne(r, e)
 	t.Fprint(w)
 }

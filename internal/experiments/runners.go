@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
@@ -41,6 +42,28 @@ type Params struct {
 	// retired-instruction interval to every run; cached single-core
 	// runs keep their JSONL series retrievable via Runner.SampleSeries.
 	SampleEvery uint64
+	// Deadline, when non-zero, bounds each run's wall-clock time; a run
+	// that exceeds it is aborted cooperatively and its cell fails with
+	// an "aborted" RunError instead of hanging the pool.
+	Deadline time.Duration
+	// StallTimeout, when non-zero, aborts a run whose retired-
+	// instruction count stops advancing for this long (a wedged
+	// simulation on an otherwise healthy pool).
+	StallTimeout time.Duration
+	// Retries is how many extra attempts a transiently failed run gets
+	// (total attempts = Retries + 1). Only failures injected through
+	// FaultHook are transient; panics and watchdog aborts are
+	// deterministic and never retried.
+	Retries int
+	// CheckEvery, when non-zero, enables the simulator's structural
+	// invariant sweep at this stepped-instruction interval (debug mode;
+	// see sim.Options.CheckEvery).
+	CheckEvery uint64
+	// FaultHook, when non-nil, is consulted before every run attempt
+	// with the run's cache key and 1-based attempt number; a non-nil
+	// error fails that attempt as a retryable transient fault. Test
+	// hook for the retry machinery — leave nil in production.
+	FaultHook func(key string, attempt int) error
 }
 
 // DefaultParams returns the quick configuration.
@@ -120,6 +143,7 @@ func runSingle(p Params, spec workload.Spec, factory pfFactory, mutate func(*sim
 		WarmupInstructions:  p.Warmup,
 		MeasureInstructions: p.Measure,
 		Telemetry:           tel,
+		CheckEvery:          p.CheckEvery,
 	}
 	if mutate != nil {
 		mutate(&opts)
@@ -151,6 +175,7 @@ func runMix(p Params, mix workload.MixSpec, factory pfFactory, tel *telemetry.Ho
 		WarmupInstructions:  p.MultiWarmup,
 		MeasureInstructions: p.MultiMeasure,
 		Telemetry:           tel,
+		CheckEvery:          p.CheckEvery,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s: %v", mix.Name, err))
@@ -175,6 +200,7 @@ func runRate(p Params, spec workload.Spec, cores int, factory pfFactory, tel *te
 		WarmupInstructions:  p.MultiWarmup,
 		MeasureInstructions: p.MultiMeasure,
 		Telemetry:           tel,
+		CheckEvery:          p.CheckEvery,
 	})
 	if err != nil {
 		panic(fmt.Sprintf("experiments: %s x%d: %v", spec.Name, cores, err))

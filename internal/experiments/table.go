@@ -22,6 +22,29 @@ type Table struct {
 	Rows   [][]string
 	// Notes carry shape assertions and caveats, printed under the table.
 	Notes []string
+	// Failed marks a table carrying error rows from failed runs; the
+	// cmd tools exit nonzero when any printed table is failed.
+	Failed bool
+}
+
+// fail marks the table failed and records the error (with a trimmed
+// stack for panics) in its notes.
+func (t *Table) fail(err *RunError) {
+	t.Failed = true
+	t.Note("FAILED cell: %s", err.Error())
+	for _, l := range stackLines(err.Stack, 16) {
+		t.Note("%s", l)
+	}
+}
+
+// AnyFailed reports whether any table carries a failure.
+func AnyFailed(tables []*Table) bool {
+	for _, t := range tables {
+		if t != nil && t.Failed {
+			return true
+		}
+	}
+	return false
 }
 
 // AddRow appends a row of stringified cells.

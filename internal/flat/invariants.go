@@ -1,0 +1,106 @@
+package flat
+
+import "fmt"
+
+// CheckInvariants verifies the map's structural invariants: the stored
+// count matches the occupied slots, the load factor is below the grow
+// threshold, and every key is reachable from its home slot (no probe
+// chain is broken by a stray empty slot). It is O(capacity) and meant
+// for the opt-in debug mode, not the hot path.
+func (m *Map) CheckInvariants() error {
+	occupied := 0
+	for _, k := range m.keys {
+		if k != 0 {
+			occupied++
+		}
+	}
+	if occupied != m.n {
+		return fmt.Errorf("flat.Map: %d occupied slots but n=%d", occupied, m.n)
+	}
+	if m.n*4 >= len(m.keys)*3 {
+		return fmt.Errorf("flat.Map: load %d/%d at or above grow threshold", m.n, len(m.keys))
+	}
+	mask := len(m.keys) - 1
+	for i, k := range m.keys {
+		if k == 0 {
+			continue
+		}
+		// Walk from the key's home slot; an empty slot before we reach it
+		// means Get would miss this resident key.
+		found := false
+		for j := m.home(k); ; j = (j + 1) & mask {
+			if m.keys[j] == k {
+				found = j == i
+				break
+			}
+			if m.keys[j] == 0 {
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("flat.Map: key %#x in slot %d unreachable from home %d", k, i, m.home(k))
+		}
+	}
+	return nil
+}
+
+// CheckInvariants verifies the LRU's structural invariants: the
+// recency list is a consistent doubly-linked chain over exactly the
+// resident slots, the index holds one entry per resident slot, and
+// every resident key resolves back to its slot. O(capacity).
+func (l *LRU[V]) CheckInvariants() error {
+	if l.n == 0 {
+		if l.head != -1 || l.tail != -1 {
+			return fmt.Errorf("flat.LRU: empty but head=%d tail=%d", l.head, l.tail)
+		}
+		return nil
+	}
+	if l.head < 0 || int(l.head) >= l.n || l.tail < 0 || int(l.tail) >= l.n {
+		return fmt.Errorf("flat.LRU: head=%d tail=%d out of range [0,%d)", l.head, l.tail, l.n)
+	}
+	if l.prev[l.head] != -1 {
+		return fmt.Errorf("flat.LRU: head %d has prev %d", l.head, l.prev[l.head])
+	}
+	// Validate the index before calling Find: a corrupted full index
+	// would make Find probe forever.
+	idxEntries := 0
+	for i, s := range l.idx {
+		if s == 0 {
+			continue
+		}
+		idxEntries++
+		if int(s-1) >= l.n {
+			return fmt.Errorf("flat.LRU: idx[%d] points at slot %d beyond n=%d", i, s-1, l.n)
+		}
+	}
+	if idxEntries != l.n {
+		return fmt.Errorf("flat.LRU: index holds %d entries for %d residents", idxEntries, l.n)
+	}
+	// Walk the recency chain head -> tail.
+	count := 0
+	for s := l.head; s >= 0; s = l.next[s] {
+		if int(s) >= l.n {
+			return fmt.Errorf("flat.LRU: chain visits slot %d beyond n=%d", s, l.n)
+		}
+		count++
+		if count > l.n {
+			return fmt.Errorf("flat.LRU: recency chain longer than %d residents (cycle?)", l.n)
+		}
+		if nx := l.next[s]; nx >= 0 && l.prev[nx] != s {
+			return fmt.Errorf("flat.LRU: prev[%d]=%d, want %d", nx, l.prev[nx], s)
+		}
+		if l.next[s] < 0 && s != l.tail {
+			return fmt.Errorf("flat.LRU: chain ends at slot %d but tail=%d", s, l.tail)
+		}
+	}
+	if count != l.n {
+		return fmt.Errorf("flat.LRU: recency chain visits %d of %d residents", count, l.n)
+	}
+	for s := 0; s < l.n; s++ {
+		got, ok := l.Find(l.keys[s])
+		if !ok || got != s {
+			return fmt.Errorf("flat.LRU: key %#x in slot %d resolves to (%d,%t)", l.keys[s], s, got, ok)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,65 @@
+package flat
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMapCheckInvariants(t *testing.T) {
+	m := NewMap(16)
+	for i := uint64(1); i <= 20; i++ {
+		m.Set(i*0x9e3779b97f4a7c15, i)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("healthy map violates invariants: %v", err)
+	}
+	// Clear an occupied slot without adjusting n: the count no longer
+	// matches the table (and any chain through it is broken).
+	for i, k := range m.keys {
+		if k != 0 {
+			m.keys[i] = 0
+			break
+		}
+	}
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("corrupted map passed the invariant check")
+	}
+}
+
+func TestLRUCheckInvariantsChainCycle(t *testing.T) {
+	l := NewLRU[int](8)
+	for i := uint64(1); i <= 8; i++ {
+		l.Insert(i, int(i))
+	}
+	if err := l.CheckInvariants(); err != nil {
+		t.Fatalf("healthy LRU violates invariants: %v", err)
+	}
+	l.next[l.head] = l.head // recency chain now cycles at the head
+	err := l.CheckInvariants()
+	if err == nil {
+		t.Fatal("cyclic recency chain passed the invariant check")
+	}
+}
+
+func TestLRUCheckInvariantsIndexCorruption(t *testing.T) {
+	l := NewLRU[int](8)
+	for i := uint64(1); i <= 4; i++ {
+		l.Insert(i, int(i))
+	}
+	// Point an index entry at a slot beyond the resident range. The
+	// checker must report this WITHOUT calling Find (a corrupted full
+	// index would make Find probe forever).
+	for i, s := range l.idx {
+		if s != 0 {
+			l.idx[i] = int32(l.n) + 1
+			break
+		}
+	}
+	err := l.CheckInvariants()
+	if err == nil {
+		t.Fatal("out-of-range index slot passed the invariant check")
+	}
+	if !strings.Contains(err.Error(), "beyond n=") {
+		t.Errorf("violation %q does not identify the index corruption", err)
+	}
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/prefetch"
+)
+
+// invariantChecker is implemented by simulated components that can
+// verify their own structural invariants (caches, DRAM, Triage, flat
+// tables).
+type invariantChecker interface {
+	CheckInvariants() error
+}
+
+// findCheckers unwraps hybrid prefetchers to find the parts that can
+// self-check (mirrors findPartitioners).
+func findCheckers(p prefetch.Prefetcher) []invariantChecker {
+	if p == nil {
+		return nil
+	}
+	if pp, ok := p.(partsProvider); ok {
+		var out []invariantChecker
+		for _, part := range pp.Parts() {
+			out = append(out, findCheckers(part)...)
+		}
+		return out
+	}
+	if ic, ok := p.(invariantChecker); ok {
+		return []invariantChecker{ic}
+	}
+	return nil
+}
+
+// CheckInvariants sweeps the machine's structural invariants: every
+// cache level, the MSHR and prefetch-queue rings, the DRAM tables, the
+// LLC way partition, and each prefetcher that can self-check. The
+// first violation is returned. With Options.CheckEvery set, the step
+// loop runs this sweep periodically and panics on violation; tests can
+// also call it directly after corrupting state.
+func (m *Machine) CheckInvariants() error {
+	return m.hier.checkInvariants()
+}
+
+func (h *hierarchy) checkInvariants() error {
+	for c := range h.l1 {
+		if err := h.l1[c].CheckInvariants(); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+		if err := h.l2[c].CheckInvariants(); err != nil {
+			return fmt.Errorf("core %d: %w", c, err)
+		}
+		if err := checkRing(h.l1mshr[c], h.cfg.L1MSHRs); err != nil {
+			return fmt.Errorf("core %d l1 mshr: %w", c, err)
+		}
+		if err := checkRing(h.l2mshr[c], h.cfg.L2MSHRs); err != nil {
+			return fmt.Errorf("core %d l2 mshr: %w", c, err)
+		}
+		if err := checkRing(h.pfq[c], h.cfg.PrefetchQueue); err != nil {
+			return fmt.Errorf("core %d prefetch queue: %w", c, err)
+		}
+		for _, ic := range findCheckers(h.l2pf[c]) {
+			if err := ic.CheckInvariants(); err != nil {
+				return fmt.Errorf("core %d prefetcher: %w", c, err)
+			}
+		}
+	}
+	if err := h.llc.CheckInvariants(); err != nil {
+		return err
+	}
+	if err := h.ram.CheckInvariants(); err != nil {
+		return err
+	}
+	if h.metaWays < 0 || h.metaWays > h.cfg.LLCWays/2 {
+		return fmt.Errorf("llc partition: metaWays=%d of %d LLC ways (cap %d)",
+			h.metaWays, h.cfg.LLCWays, h.cfg.LLCWays/2)
+	}
+	if !h.noCapacityLoss {
+		if got, want := h.llc.DataWays(), h.cfg.LLCWays-h.metaWays; got != want {
+			return fmt.Errorf("llc partition: %d data ways but %d total - %d metadata = %d",
+				got, h.cfg.LLCWays, h.metaWays, want)
+		}
+	}
+	return nil
+}
+
+// checkRing verifies one MSHR/prefetch-queue ring: its slot count
+// matches the configured register count (an entry leak would shrink or
+// grow it) and the head cursor stays in range.
+func checkRing(r *mshrRing, want int) error {
+	if len(r.slots) != want {
+		return fmt.Errorf("%d slots, want %d (entry leak)", len(r.slots), want)
+	}
+	if r.head < 0 || r.head >= len(r.slots) {
+		return fmt.Errorf("head %d out of range [0,%d)", r.head, len(r.slots))
+	}
+	return nil
+}

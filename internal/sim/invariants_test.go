@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/prefetch"
+	"repro/internal/trace"
+)
+
+// TestInvariantsHoldDuringRun drives Triage-Dynamic (the config that
+// exercises partition resizes, the metadata store, and the flat-map
+// structures) with the periodic checker armed: any mid-run structural
+// violation panics and fails the test.
+func TestInvariantsHoldDuringRun(t *testing.T) {
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Dynamic)},
+		WarmupInstructions:  300_000,
+		MeasureInstructions: 200_000,
+		CheckEvery:          50_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := m.Run()
+	if res.Cores[0].Instructions == 0 {
+		t.Error("run retired no instructions")
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Errorf("post-run invariant violation: %v", err)
+	}
+}
+
+// TestInvariantCatchesMSHRCorruption corrupts an MSHR ring cursor and
+// verifies the sweep reports it with the core and level attributed.
+func TestInvariantCatchesMSHRCorruption(t *testing.T) {
+	m := freshMachine(t)
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatalf("fresh machine violates invariants: %v", err)
+	}
+	m.hier.l2mshr[0].head = -1
+	err := m.CheckInvariants()
+	if err == nil {
+		t.Fatal("corrupted MSHR ring passed the invariant sweep")
+	}
+	if !strings.Contains(err.Error(), "l2 mshr") {
+		t.Errorf("violation %q does not attribute the l2 mshr", err)
+	}
+}
+
+// TestInvariantCatchesMSHRLeak shrinks a ring's slot slice (an entry
+// leak) and verifies detection.
+func TestInvariantCatchesMSHRLeak(t *testing.T) {
+	m := freshMachine(t)
+	r := m.hier.l1mshr[0]
+	r.slots = r.slots[:len(r.slots)-1]
+	err := m.CheckInvariants()
+	if err == nil {
+		t.Fatal("leaked MSHR slot passed the invariant sweep")
+	}
+	if !strings.Contains(err.Error(), "entry leak") {
+		t.Errorf("violation %q does not mention the leak", err)
+	}
+}
+
+// TestInvariantCatchesPartitionMismatch desynchronizes the recorded
+// metadata-way count from the LLC's actual data-way split.
+func TestInvariantCatchesPartitionMismatch(t *testing.T) {
+	m := freshMachine(t)
+	m.hier.metaWays = m.hier.cfg.LLCWays // beyond the LLCWays/2 cap
+	if err := m.CheckInvariants(); err == nil {
+		t.Fatal("impossible way partition passed the invariant sweep")
+	}
+}
+
+func freshMachine(t *testing.T) *Machine {
+	t.Helper()
+	m, err := New(Options{
+		Machine:             config.Default(1),
+		Workloads:           []trace.Reader{chase()},
+		Prefetchers:         []prefetch.Prefetcher{triage(core.Dynamic)},
+		WarmupInstructions:  1000,
+		MeasureInstructions: 1000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -49,10 +49,17 @@ type Options struct {
 	// NoCapacityLoss gives Triage its metadata store for free (Fig. 9's
 	// "assuming no loss in LLC capacity" study).
 	NoCapacityLoss bool
-	// Telemetry optionally attaches a sampler, event trace, and/or
-	// progress sink to the run. Nil (or nil fields) disables each piece
-	// at the cost of one predictable branch per instruction.
+	// Telemetry optionally attaches a sampler, event trace, progress
+	// sink, and/or run watch to the run. Nil (or nil fields) disables
+	// each piece at the cost of one predictable branch per instruction.
 	Telemetry *telemetry.Hooks
+	// CheckEvery, when non-zero, asserts the structural invariants of
+	// every simulated component (caches, MSHR rings, DRAM tables, Triage
+	// metadata store, flat LRU chains) every CheckEvery stepped
+	// instructions, and once more at the end of the run. A violation
+	// panics with the failing invariant. Debug mode: the sweep is
+	// O(machine state), so keep the interval coarse.
+	CheckEvery uint64
 }
 
 func (o *Options) validate() error {
@@ -132,7 +139,24 @@ type Machine struct {
 	prevTick        uint64
 
 	progress        telemetry.ProgressSink
+	watch           *telemetry.RunWatch
 	progressPending uint64
+
+	// checkCountdown counts down to the next invariant sweep; 0 while
+	// invariant checking is off (same one-compare idle cost as sampling).
+	checkCountdown uint64
+}
+
+// Aborted is the panic value of a run cancelled through its RunWatch
+// (deadline or stall watchdog). The experiment engine recovers it and
+// fails the cell with the reason attached.
+type Aborted struct {
+	Reason       string
+	Instructions uint64
+}
+
+func (a *Aborted) Error() string {
+	return fmt.Sprintf("simulation aborted after %d instructions: %s", a.Instructions, a.Reason)
 }
 
 // progressChunk is how many stepped instructions accumulate before one
@@ -165,12 +189,14 @@ func New(opts Options) (*Machine, error) {
 	if opts.Telemetry != nil {
 		m.sampler = opts.Telemetry.Sampler
 		m.progress = opts.Telemetry.Progress
+		m.watch = opts.Telemetry.Watch
 		if tr != nil {
 			for _, p := range pfs {
 				bindEventTrace(p, tr)
 			}
 		}
 	}
+	m.checkCountdown = opts.CheckEvery
 	for c := 0; c < opts.Machine.Cores; c++ {
 		m.cores = append(m.cores, &coreState{
 			reader: opts.Workloads[c],
@@ -208,9 +234,21 @@ func (m *Machine) Run() Result {
 	// contention, with their stats frozen at the finish line.
 	m.phase(measure, true)
 
-	if m.progress != nil && m.progressPending > 0 {
-		m.progress.Add(m.progressPending)
+	// Final flush deliberately skips the cancellation check: a cancel
+	// racing a run that just finished must not fail the finished run.
+	if m.progressPending > 0 {
+		if m.progress != nil {
+			m.progress.Add(m.progressPending)
+		}
+		if m.watch != nil {
+			m.watch.Add(m.progressPending)
+		}
 		m.progressPending = 0
+	}
+	if m.opts.CheckEvery > 0 {
+		if err := m.CheckInvariants(); err != nil {
+			panic(err)
+		}
 	}
 	return m.collect()
 }
@@ -315,11 +353,10 @@ func (m *Machine) step(c int, cs *coreState) bool {
 	cs.lastRetire = r
 	cs.instructions++
 	m.steps++
-	if m.progress != nil {
+	if m.progress != nil || m.watch != nil {
 		m.progressPending++
 		if m.progressPending >= progressChunk {
-			m.progress.Add(m.progressPending)
-			m.progressPending = 0
+			m.flushProgress()
 		}
 	}
 	if m.sampleCountdown > 0 {
@@ -329,7 +366,33 @@ func (m *Machine) step(c int, cs *coreState) bool {
 			m.sampleCountdown = m.sampler.Every()
 		}
 	}
+	if m.checkCountdown > 0 {
+		m.checkCountdown--
+		if m.checkCountdown == 0 {
+			m.checkCountdown = m.opts.CheckEvery
+			if err := m.CheckInvariants(); err != nil {
+				panic(err)
+			}
+		}
+	}
 	return true
+}
+
+// flushProgress reports the pending instruction chunk to the progress
+// sink and run watch, then honors a pending cancellation. The panic
+// unwinds the run; the experiment engine recovers the *Aborted and
+// fails the cell.
+func (m *Machine) flushProgress() {
+	if m.progress != nil {
+		m.progress.Add(m.progressPending)
+	}
+	if m.watch != nil {
+		m.watch.Add(m.progressPending)
+		if reason, ok := m.watch.Cancelled(); ok {
+			panic(&Aborted{Reason: reason, Instructions: m.steps})
+		}
+	}
+	m.progressPending = 0
 }
 
 // collect builds the Result from the measurement window.

@@ -27,6 +27,11 @@ type Hooks struct {
 	// Progress, when non-nil, receives live retired-instruction counts
 	// in coarse chunks (for instr/s and ETA displays).
 	Progress ProgressSink
+	// Watch, when non-nil, is the run's cooperative cancellation point:
+	// the simulator reports instruction progress to it and aborts the
+	// run (by panicking with a structured error) once a watchdog has
+	// cancelled it. See RunWatch.
+	Watch *RunWatch
 }
 
 // ProgressSink receives live instruction-count updates from a running

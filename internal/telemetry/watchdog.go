@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// RunWatch is the cooperative cancellation point of one simulation
+// run. The simulator adds retired-instruction counts in coarse chunks
+// and polls Cancelled at the same cadence; a watchdog goroutine (or a
+// test) calls Cancel from outside. Cancellation is cooperative: a run
+// notices it at the next progress flush, so only a simulation that is
+// still stepping can be stopped — a goroutine wedged outside the step
+// loop cannot be killed from the outside in Go.
+type RunWatch struct {
+	instr  atomic.Uint64
+	reason atomic.Pointer[string]
+}
+
+// NewRunWatch returns a fresh, uncancelled watch.
+func NewRunWatch() *RunWatch { return &RunWatch{} }
+
+// Add implements ProgressSink for the watch's own instruction counter.
+func (w *RunWatch) Add(instructions uint64) { w.instr.Add(instructions) }
+
+// Instructions returns the instructions reported so far.
+func (w *RunWatch) Instructions() uint64 { return w.instr.Load() }
+
+// Cancel requests the run stop with the given reason. The first cancel
+// wins; later calls are no-ops.
+func (w *RunWatch) Cancel(reason string) {
+	w.reason.CompareAndSwap(nil, &reason)
+}
+
+// Cancelled reports whether the run was cancelled, and why.
+func (w *RunWatch) Cancelled() (reason string, ok bool) {
+	if p := w.reason.Load(); p != nil {
+		return *p, true
+	}
+	return "", false
+}
+
+// StartWatchdog monitors w from a background goroutine and cancels it
+// when the run exceeds its wall-clock deadline or makes no instruction
+// progress for stall. Either bound may be zero (disabled). The
+// returned stop func must be called when the run finishes (deferred);
+// it is idempotent-free but safe to call after the watchdog fired.
+func StartWatchdog(w *RunWatch, deadline, stall time.Duration) (stop func()) {
+	if deadline <= 0 && stall <= 0 {
+		return func() {}
+	}
+	interval := 250 * time.Millisecond
+	if deadline > 0 && deadline/8 < interval {
+		interval = deadline / 8
+	}
+	if stall > 0 && stall/4 < interval {
+		interval = stall / 4
+	}
+	if interval < time.Millisecond {
+		interval = time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		start := time.Now()
+		lastInstr := w.Instructions()
+		lastChange := start
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				if deadline > 0 && now.Sub(start) >= deadline {
+					w.Cancel(fmt.Sprintf("wall-clock deadline %s exceeded (%d instructions retired)",
+						deadline, w.Instructions()))
+					return
+				}
+				if stall > 0 {
+					if in := w.Instructions(); in != lastInstr {
+						lastInstr, lastChange = in, now
+					} else if now.Sub(lastChange) >= stall {
+						w.Cancel(fmt.Sprintf("no instruction progress for %s (stuck at %d)", stall, in))
+						return
+					}
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -22,12 +22,33 @@ go build ./...
 go test ./...
 go vet ./...
 go test -race ./internal/experiments ./internal/sim
+go test -race ./internal/cache ./internal/replacement
+
+# Fault-injection suite: panic isolation, watchdog deadlines, bounded
+# retry, checkpoint round-trips, and the invariant checkers.
+go test -run 'TestFuture|TestPanic|TestRetry|TestDeadline|TestCheckpoint|TestInvariant|TestStoreCheck|TestTriageCheck|TestMapCheck|TestLRUCheck|TestCheckInvariants' \
+    ./internal/experiments ./internal/sim ./internal/cache ./internal/flat ./internal/core ./internal/dram
 
 # End-to-end smoke: one small figure through the experiment driver, and
 # one telemetry-instrumented run producing sampled series + event trace.
 smokedir=$(mktemp -d)
 trap 'rm -rf "$smokedir"' EXIT
 go run ./cmd/experiments -fig fig05 -warmup 200000 -measure 200000 -j 2 >"$smokedir/fig05.txt"
+
+# Kill-and-resume smoke: an interrupted checkpointed run restarted with
+# -resume must reproduce the uninterrupted run's output byte for byte.
+go build -o "$smokedir/experiments" ./cmd/experiments
+"$smokedir/experiments" -fig fig05 -warmup 200000 -measure 200000 -j 2 \
+    -csv "$smokedir/clean" >/dev/null
+"$smokedir/experiments" -fig fig05 -warmup 200000 -measure 200000 -j 2 \
+    -resume "$smokedir/ckpt" >/dev/null &
+resume_pid=$!
+sleep 2
+kill -9 "$resume_pid" 2>/dev/null || true # may already have finished
+wait "$resume_pid" || true
+"$smokedir/experiments" -fig fig05 -warmup 200000 -measure 200000 -j 2 \
+    -resume "$smokedir/ckpt" -csv "$smokedir/resumed" >/dev/null
+cmp "$smokedir/clean/fig05.csv" "$smokedir/resumed/fig05.csv"
 go run ./cmd/triagesim -bench mcf -pf triage-1m -warmup 100000 -measure 200000 \
     -sample 50000 -sampleout "$smokedir/samples.jsonl" \
     -events "$smokedir/events.jsonl" >"$smokedir/triagesim.txt"
