@@ -32,16 +32,16 @@ package main
 
 import (
 	"encoding/json"
-	"expvar"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -60,18 +60,16 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 		bench    = flag.String("bench", "", "write a JSON throughput report (per-experiment wall time and sim-instr/s) to this file")
 
-		resume   = flag.String("resume", "", "checkpoint directory: completed runs persist here and an interrupted invocation restarts only the missing cells")
-		deadline = flag.Duration("deadline", 0, "per-run wall-clock deadline (0 = none); an overrunning simulation is aborted and its cell failed")
-		stall    = flag.Duration("stall", 0, "per-run stall timeout (0 = none); a simulation making no instruction progress for this long is aborted")
-		retries  = flag.Int("retries", 0, "extra attempts for transiently failed runs (fault-injection test hook; deterministic failures are never retried)")
-		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
+		resume  = flag.String("resume", "", "checkpoint directory: completed runs persist here and an interrupted invocation restarts only the missing cells")
+		retries = flag.Int("retries", 0, "extra attempts for transiently failed runs (fault-injection test hook; deterministic failures are never retried)")
+		check   = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
 
-		progress   = flag.Bool("progress", false, "print a live progress line to stderr")
-		debugHTTP  = flag.String("debughttp", "", "serve expvar live counters on this address (e.g. localhost:6060)")
-		withTel    = flag.Bool("telemetry", false, "attach a 100k-instruction sampler to every run (bench: measures the instrumented path)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
+		progress = flag.Bool("progress", false, "print a live progress line to stderr")
+		withTel  = flag.Bool("telemetry", false, "attach a 100k-instruction sampler to every run (bench: measures the instrumented path)")
 	)
+	wd := cliutil.AddWatchdog(flag.CommandLine)
+	debugHTTP := cliutil.AddDebugHTTP(flag.CommandLine)
+	prof := cliutil.AddProfile(flag.CommandLine)
 	flag.Parse()
 
 	p := experiments.DefaultParams()
@@ -99,8 +97,8 @@ func main() {
 	if *withTel {
 		p.SampleEvery = 100_000
 	}
-	p.Deadline = *deadline
-	p.StallTimeout = *stall
+	p.Deadline = *wd.Deadline
+	p.StallTimeout = *wd.Stall
 	p.Retries = *retries
 	p.CheckEvery = *check
 
@@ -121,31 +119,20 @@ func main() {
 	pool := experiments.NewPool(*jobs)
 	start := time.Now()
 
-	if *cpuProfile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer stop()
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *memProfile != "" {
-		defer func() {
-			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-	}
-	if *progress || *debugHTTP != "" {
+	defer stopProf()
+	if *progress || *debugHTTP.Addr != "" {
 		prog := telemetry.NewPoolProgress(len(selected))
 		pool.SetProgress(prog)
 		if *progress {
 			stop := telemetry.StartPrinter(os.Stderr, prog, 2*time.Second)
 			defer stop()
 		}
-		if *debugHTTP != "" {
-			serveExpvars(*debugHTTP, prog)
-		}
+		debugHTTP.Serve(prog, os.Stderr)
 	}
 
 	if *bench != "" {
@@ -163,8 +150,11 @@ func main() {
 	runner := experiments.NewRunnerPool(p, pool)
 	var ck *experiments.Checkpoint
 	if *resume != "" {
+		// The checkpoint is stamped with the parameter fingerprint, so a
+		// directory written under different scale flags (or a different
+		// machine config) is refused instead of silently served.
 		var err error
-		ck, err = experiments.OpenCheckpoint(*resume)
+		ck, err = experiments.OpenCheckpoint(*resume, p.Fingerprint(config.Default(1)))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -219,17 +209,6 @@ type benchEntry struct {
 	// attached (-telemetry), so throughput numbers with and without
 	// instrumentation are comparable across reports.
 	Telemetry bool `json:"telemetry"`
-}
-
-// serveExpvars publishes live pool counters under /debug/vars on addr.
-func serveExpvars(addr string, prog *telemetry.PoolProgress) {
-	expvar.Publish("pool", expvar.Func(func() any { return prog.Snapshot() }))
-	go func() {
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			fmt.Fprintf(os.Stderr, "debughttp: %v\n", err)
-		}
-	}()
-	fmt.Fprintf(os.Stderr, "live counters: http://%s/debug/vars\n", addr)
 }
 
 // runBench times each experiment with a fresh runner (so cached work is

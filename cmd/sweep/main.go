@@ -27,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/config"
 	"repro/internal/core"
 	"repro/internal/dram"
@@ -62,32 +63,21 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max simulations running concurrently")
 
-		progress   = flag.Bool("progress", false, "print a live progress line (cells done, Minstr/s, ETA) to stderr")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
+		progress = flag.Bool("progress", false, "print a live progress line (cells done, Minstr/s, ETA) to stderr")
 
-		resume   = flag.String("resume", "", "checkpoint directory: completed cells persist here and an interrupted sweep restarts only the missing ones")
-		deadline = flag.Duration("deadline", 0, "per-cell wall-clock deadline (0 = none)")
-		stall    = flag.Duration("stall", 0, "per-cell stall timeout (0 = none)")
-		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
+		resume = flag.String("resume", "", "checkpoint directory: completed cells persist here and an interrupted sweep restarts only the missing ones")
+		check  = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
 	)
+	prof := cliutil.AddProfile(flag.CommandLine)
+	wd := cliutil.AddWatchdog(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer stop()
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *memProfile != "" {
-		defer func() {
-			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	spec, ok := workload.ByName(*bench)
 	if !ok {
@@ -130,8 +120,12 @@ func main() {
 
 	var ck *experiments.Checkpoint
 	if *resume != "" {
+		// Sweep cell keys don't carry the instruction windows or seed, so
+		// the store is stamped with a fingerprint of them: resuming with
+		// different -warmup/-measure/-seed is refused, not silently mixed.
+		fp := experiments.Params{Warmup: *warmup, Measure: *measure, Seed: *seed}.Fingerprint(config.Default(1))
 		var err error
-		ck, err = experiments.OpenCheckpoint(*resume)
+		ck, err = experiments.OpenCheckpoint(*resume, fp)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -178,7 +172,7 @@ func main() {
 			}
 		}
 		return experiments.Go(pool, func() sim.Result {
-			res := experiments.Guarded(key, *deadline, *stall, mkHooks, job)
+			res := experiments.Guarded(key, *wd.Deadline, *wd.Stall, mkHooks, job)
 			if ck != nil {
 				ck.Put(key, res, nil)
 			}

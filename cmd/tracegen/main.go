@@ -16,8 +16,8 @@ import (
 	"os"
 	"runtime/debug"
 
+	"repro/internal/cliutil"
 	"repro/internal/mem"
-	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -41,27 +41,16 @@ func main() {
 		base    = flag.Uint64("base", 0, "address-space base")
 		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
-
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
 	)
+	prof := cliutil.AddProfile(flag.CommandLine)
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer stop()
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
-	if *memProfile != "" {
-		defer func() {
-			if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	if *list {
 		for _, name := range workload.Names() {

@@ -1,0 +1,417 @@
+// Command triagectl is the client for the triaged simulation service:
+// submit jobs, wait for them, and fetch results.
+//
+//	triagectl -addr 127.0.0.1:8080 submit -bench graph500 -pf triage -wait -o res.json
+//	triagectl -addr 127.0.0.1:8080 figures -j 4 fig05 fig10
+//	triagectl -addr 127.0.0.1:8080 status j1a2b3c4d5e6f708
+//	triagectl -addr 127.0.0.1:8080 result j1a2b3c4d5e6f708 -o res.json
+//
+// Single-run results are written in the same byte-exact JSON encoding
+// as `triagesim -json`, so outputs from the two paths can be compared
+// with cmp(1).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "triagectl:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: triagectl [-addr HOST:PORT] {submit|status|wait|result|jobs|figures|metrics} ...")
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("triagectl", flag.ContinueOnError)
+	addr := global.String("addr", "127.0.0.1:8080", "triaged address (HOST:PORT)")
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	if global.NArg() == 0 {
+		return usage()
+	}
+	c := &client{base: "http://" + *addr}
+	cmd, rest := global.Arg(0), global.Args()[1:]
+	switch cmd {
+	case "submit":
+		return c.cmdSubmit(rest)
+	case "status":
+		return c.cmdStatus(rest)
+	case "wait":
+		return c.cmdWait(rest)
+	case "result":
+		return c.cmdResult(rest)
+	case "jobs":
+		return c.cmdJobs(rest)
+	case "figures":
+		return c.cmdFigures(rest)
+	case "metrics":
+		return c.cmdMetrics(rest)
+	default:
+		return fmt.Errorf("unknown command %q\n%v", cmd, usage())
+	}
+}
+
+// client wraps the service HTTP API.
+type client struct {
+	base string
+	http http.Client
+}
+
+// apiError decodes the service's error envelope into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(resp.Body)
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *client) getJSON(path string, v any) error {
+	resp, err := c.http.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// submit posts a job, retrying on 429 backpressure using the server's
+// Retry-After hint.
+func (c *client) submit(spec service.JobSpec) (service.SubmitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return service.SubmitResponse{}, err
+	}
+	for {
+		resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return service.SubmitResponse{}, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			delay := retryAfter(resp, 2*time.Second)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "triagectl: queue full, retrying in %v\n", delay)
+			time.Sleep(delay)
+			continue
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+			return service.SubmitResponse{}, apiError(resp)
+		}
+		var sr service.SubmitResponse
+		err = json.NewDecoder(resp.Body).Decode(&sr)
+		return sr, err
+	}
+}
+
+func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return time.Duration(n) * time.Second
+		}
+	}
+	return fallback
+}
+
+// wait polls until the job reaches a terminal state.
+func (c *client) wait(id string) (service.JobStatus, error) {
+	for {
+		var st service.JobStatus
+		if err := c.getJSON("/v1/jobs/"+id, &st); err != nil {
+			return st, err
+		}
+		switch st.State {
+		case service.StateDone:
+			return st, nil
+		case service.StateFailed:
+			return st, fmt.Errorf("job %s failed: %s", id, st.Error)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// fetchResult downloads a finished job's result envelope.
+func (c *client) fetchResult(id string) (service.JobResult, error) {
+	var jr service.JobResult
+	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return jr, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return jr, apiError(resp)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&jr)
+	return jr, err
+}
+
+// writeResult renders a result envelope: single runs write the
+// byte-exact `triagesim -json` encoding to out (and the sampled series
+// to telem, if requested); figure jobs render the table.
+func writeResult(jr service.JobResult, out, telem string) error {
+	if jr.Kind == service.KindFigure {
+		if jr.Table == nil {
+			return fmt.Errorf("figure result carries no table")
+		}
+		w := os.Stdout
+		if out != "" {
+			f, err := os.Create(out)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		jr.Table.Fprint(w)
+		return nil
+	}
+	if jr.Result == nil {
+		return fmt.Errorf("result envelope carries no simulation result")
+	}
+	enc := experiments.EncodeResult(*jr.Result)
+	if out == "" {
+		os.Stdout.Write(enc)
+	} else if err := os.WriteFile(out, enc, 0o644); err != nil {
+		return err
+	}
+	if telem != "" {
+		if err := os.WriteFile(telem, []byte(jr.SamplesJSONL), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *client) cmdSubmit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	bench := fs.String("bench", "", "workload name (single job)")
+	pf := fs.String("pf", "none", "prefetcher configuration (single job)")
+	cores := fs.Int("cores", 1, "number of cores (rate mode when > 1)")
+	warmup := fs.Uint64("warmup", 1_000_000, "warmup instructions per core")
+	measure := fs.Uint64("measure", 5_000_000, "measured instructions per core")
+	seed := fs.Uint64("seed", 42, "workload RNG seed")
+	degree := fs.Int("degree", 0, "prefetch degree override (0 = default)")
+	sample := fs.Uint64("sample", 0, "telemetry sampling interval in instructions (0 = off)")
+	figure := fs.String("figure", "", "figure id (figure job; see `experiments -list`)")
+	priority := fs.Int("priority", 0, "admission priority (higher runs first)")
+	wait := fs.Bool("wait", false, "block until the job finishes and fetch its result")
+	out := fs.String("o", "", "write the result to this file (default stdout)")
+	telem := fs.String("telemetry", "", "write the sampled series (JSONL) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var spec service.JobSpec
+	if *figure != "" {
+		spec = service.JobSpec{Kind: service.KindFigure, Figure: *figure, Priority: *priority}
+	} else {
+		if *bench == "" {
+			return fmt.Errorf("submit: need -bench (single job) or -figure (figure job)")
+		}
+		spec = service.JobSpec{
+			Kind: service.KindSingle,
+			Run: &experiments.RunSpec{
+				Bench:       *bench,
+				PF:          *pf,
+				Cores:       *cores,
+				Warmup:      *warmup,
+				Measure:     *measure,
+				Seed:        *seed,
+				Degree:      *degree,
+				SampleEvery: *sample,
+			},
+			Priority: *priority,
+		}
+	}
+	sr, err := c.submit(spec)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triagectl: job %s %s (state %s)\n", sr.ID, disposition(sr), sr.State)
+	if !*wait {
+		fmt.Println(sr.ID)
+		return nil
+	}
+	if _, err := c.wait(sr.ID); err != nil {
+		return err
+	}
+	jr, err := c.fetchResult(sr.ID)
+	if err != nil {
+		return err
+	}
+	return writeResult(jr, *out, *telem)
+}
+
+func disposition(sr service.SubmitResponse) string {
+	switch {
+	case sr.Cached:
+		return "served from warm store"
+	case sr.Deduped:
+		return "deduped onto existing job"
+	}
+	return "admitted"
+}
+
+func (c *client) cmdStatus(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: triagectl status JOB-ID")
+	}
+	var st service.JobStatus
+	if err := c.getJSON("/v1/jobs/"+args[0], &st); err != nil {
+		return err
+	}
+	b, _ := json.MarshalIndent(st, "", "  ")
+	fmt.Println(string(b))
+	return nil
+}
+
+func (c *client) cmdWait(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: triagectl wait JOB-ID")
+	}
+	st, err := c.wait(args[0])
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triagectl: job %s done (%d instructions simulated)\n", st.ID, st.Instructions)
+	return nil
+}
+
+func (c *client) cmdResult(args []string) error {
+	fs := flag.NewFlagSet("result", flag.ContinueOnError)
+	out := fs.String("o", "", "write the result to this file (default stdout)")
+	telem := fs.String("telemetry", "", "write the sampled series (JSONL) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: triagectl result [-o FILE] [-telemetry FILE] JOB-ID")
+	}
+	jr, err := c.fetchResult(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	return writeResult(jr, *out, *telem)
+}
+
+func (c *client) cmdJobs(args []string) error {
+	var js []service.JobStatus
+	if err := c.getJSON("/v1/jobs", &js); err != nil {
+		return err
+	}
+	for _, st := range js {
+		fmt.Printf("%s  %-7s  p%-3d  %12d instr  %s\n", st.ID, st.State, st.Priority, st.Instructions, st.Key)
+	}
+	return nil
+}
+
+// cmdFigures batch-submits a whole figure suite and waits for all of
+// it, make -j style: at most j figures in flight at once, the rest
+// submitted as slots free up (and 429 backpressure respected).
+func (c *client) cmdFigures(args []string) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	j := fs.Int("j", 2, "max figures in flight at once")
+	outDir := fs.String("o", "", "write each figure's table to DIR/<id>.txt (default stdout)")
+	priority := fs.Int("priority", 0, "admission priority for the whole batch")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("usage: triagectl figures [-j N] [-o DIR] {all | FIGURE-ID...}")
+	}
+	if *j < 1 {
+		*j = 1
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	sem := make(chan struct{}, *j)
+	errs := make([]error, len(ids))
+	var mu sync.Mutex // serializes stdout table output
+	var wg sync.WaitGroup
+	for i, id := range ids {
+		wg.Add(1)
+		go func(i int, id string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			errs[i] = func() error {
+				sr, err := c.submit(service.JobSpec{Kind: service.KindFigure, Figure: id, Priority: *priority})
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "triagectl: %s → job %s (%s)\n", id, sr.ID, disposition(sr))
+				if _, err := c.wait(sr.ID); err != nil {
+					return err
+				}
+				jr, err := c.fetchResult(sr.ID)
+				if err != nil {
+					return err
+				}
+				if *outDir != "" {
+					return writeResult(jr, fileInDir(*outDir, id), "")
+				}
+				mu.Lock()
+				defer mu.Unlock()
+				return writeResult(jr, "", "")
+			}()
+		}(i, id)
+	}
+	wg.Wait()
+	var failed int
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "triagectl: %s: %v\n", ids[i], err)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d figures failed", failed, len(ids))
+	}
+	fmt.Fprintf(os.Stderr, "triagectl: all %d figures done\n", len(ids))
+	return nil
+}
+
+func fileInDir(dir, id string) string {
+	return dir + string(os.PathSeparator) + id + ".txt"
+}
+
+func (c *client) cmdMetrics(args []string) error {
+	var m map[string]any
+	if err := c.getJSON("/metrics", &m); err != nil {
+		return err
+	}
+	b, _ := json.MarshalIndent(m, "", "  ")
+	fmt.Println(string(b))
+	return nil
+}

@@ -1,0 +1,110 @@
+// Command triaged serves the simulation engine as a long-running job
+// service (see internal/service): submit benchmark runs or whole paper
+// figures over HTTP, follow their progress live, and fetch results
+// from a content-addressed store that survives restarts.
+//
+// On SIGTERM/SIGINT the server drains gracefully: in-flight
+// simulations finish (and persist), queued jobs stay in the store
+// directory and are re-admitted by the next process, and only then
+// does the process exit.
+//
+//	triaged -store runs.service -listen 127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "triaged:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	listen := flag.String("listen", "127.0.0.1:8080", "address to serve the HTTP API on (port 0 picks a free port)")
+	store := flag.String("store", "runs.service", "result store directory (shared with queued-job persistence)")
+	queueCap := flag.Int("queue", 64, "admission queue capacity; submissions beyond it get 429")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
+	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts using port 0)")
+	prof := cliutil.AddProfile(flag.CommandLine)
+	wd := cliutil.AddWatchdog(flag.CommandLine)
+	flag.Parse()
+
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	srv, err := service.New(service.Config{
+		StoreDir: *store,
+		QueueCap: *queueCap,
+		Workers:  *workers,
+		Deadline: *wd.Deadline,
+		Stall:    *wd.Stall,
+	})
+	if err != nil {
+		return err
+	}
+	if n := srv.Restored(); n > 0 {
+		fmt.Fprintf(os.Stderr, "triaged: re-admitted %d queued job(s) from %s\n", n, *store)
+	}
+	// Surface the service counters on the process-global expvar page
+	// (/debug/vars is not routed by our mux, but other tooling may
+	// scrape expvar via the runtime's default handlers).
+	expvar.Publish("service", expvar.Func(func() any { return srv.MetricsSnapshot() }))
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	if *portFile != "" {
+		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "triaged: serving on http://%s (store %s, %d workers, queue %d)\n",
+		ln.Addr(), *store, *workers, *queueCap)
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "triaged: %v — draining (in-flight jobs finish, queued jobs persist)\n", sig)
+	}
+
+	// Drain order: stop admissions and let workers finish first, so a
+	// client that was mid-submit gets a clean 503 rather than a reset,
+	// then stop the HTTP listener.
+	stats := srv.Drain()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triaged: drained — %d job(s) finished, %d queued job(s) persisted\n",
+		stats.Finished, stats.Queued)
+	return nil
+}

@@ -11,6 +11,11 @@
 // triage-dynutil, triage-unlimited, and '+'-joined hybrids such as
 // triage+bo. Use -list to see benchmarks.
 //
+// The run itself is an experiments.RunSpec — the same job spec the
+// triaged service executes — so `triagesim -json PATH` writes the
+// result in the service's exact encoding and the two paths can be
+// compared byte for byte.
+//
 // Telemetry: -sample N records a counter snapshot every N retired
 // instructions and writes the series to -sampleout (JSONL, or CSV when
 // the path ends in .csv); -events PATH writes the last -eventcap
@@ -25,94 +30,13 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/config"
-	"repro/internal/core"
+	"repro/internal/cliutil"
 	"repro/internal/dram"
-	"repro/internal/mem"
-	"repro/internal/prefetch"
-	"repro/internal/prefetch/bo"
-	"repro/internal/prefetch/domino"
-	"repro/internal/prefetch/ghb"
-	"repro/internal/prefetch/hybrid"
-	"repro/internal/prefetch/isb"
-	"repro/internal/prefetch/markov"
-	"repro/internal/prefetch/misb"
-	"repro/internal/prefetch/nextline"
-	"repro/internal/prefetch/sms"
-	"repro/internal/prefetch/stms"
+	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
-	"repro/internal/trace"
 	"repro/internal/workload"
 )
-
-func buildPF(name string, m config.Machine, degree int) (prefetch.Prefetcher, error) {
-	llcTicks := uint64(m.LLCLatency+m.LLCExtraLatency) * dram.TicksPerCycle
-	mk := func(n string) (prefetch.Prefetcher, error) {
-		switch n {
-		case "none", "stride-only":
-			return nil, nil
-		case "bo":
-			return bo.New(), nil
-		case "sms":
-			return sms.New(), nil
-		case "stms":
-			return stms.New(), nil
-		case "domino":
-			return domino.New(), nil
-		case "misb":
-			return misb.New(), nil
-		case "isb":
-			return isb.New(), nil
-		case "markov":
-			return markov.New(1 << 20), nil
-		case "ghb":
-			return ghb.New(512), nil
-		case "nextline":
-			return nextline.New(1), nil
-		case "triage-512k":
-			return core.New(core.Config{Mode: core.Static, StaticBytes: 512 << 10, LLCLatencyTicks: llcTicks}), nil
-		case "triage-1m":
-			return core.New(core.Config{Mode: core.Static, StaticBytes: 1 << 20, LLCLatencyTicks: llcTicks}), nil
-		case "triage-dyn":
-			return core.New(core.Config{Mode: core.Dynamic, LLCLatencyTicks: llcTicks}), nil
-		case "triage-dynutil":
-			return core.New(core.Config{Mode: core.DynamicUtility, LLCLatencyTicks: llcTicks}), nil
-		case "triage-unlimited":
-			return core.New(core.Config{Mode: core.Unlimited, LLCLatencyTicks: llcTicks}), nil
-		default:
-			return nil, fmt.Errorf("unknown prefetcher %q", n)
-		}
-	}
-	if strings.Contains(name, "+") {
-		parts := strings.Split(name, "+")
-		var ps []prefetch.Prefetcher
-		for _, part := range parts {
-			if part == "triage" {
-				part = "triage-dyn"
-			}
-			p, err := mk(part)
-			if err != nil {
-				return nil, err
-			}
-			if p == nil {
-				return nil, fmt.Errorf("cannot compose %q", part)
-			}
-			ps = append(ps, p)
-		}
-		return hybrid.New(ps...), nil
-	}
-	p, err := mk(name)
-	if err != nil {
-		return nil, err
-	}
-	if p != nil && degree > 1 {
-		if ds, ok := p.(prefetch.DegreeSetter); ok {
-			ds.SetDegree(degree)
-		}
-	}
-	return p, nil
-}
 
 func main() {
 	var (
@@ -125,17 +49,16 @@ func main() {
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 
-		deadline = flag.Duration("deadline", 0, "wall-clock deadline for the run (0 = none); an overrunning simulation aborts with a diagnostic")
-		stall    = flag.Duration("stall", 0, "abort if retired instructions stop advancing for this long (0 = off)")
-		check    = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
+		check = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
 
-		sample     = flag.Uint64("sample", 0, "snapshot counters every N retired instructions (0 = off)")
-		sampleOut  = flag.String("sampleout", "samples.jsonl", "time-series output path (.csv selects CSV, else JSONL)")
-		eventsOut  = flag.String("events", "", "write prefetch-lifecycle event trace (JSONL) to this path")
-		eventCap   = flag.Int("eventcap", 1<<16, "event ring capacity (keeps the last N events)")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this path")
-		memProfile = flag.String("memprofile", "", "write a heap profile to this path")
+		sample    = flag.Uint64("sample", 0, "snapshot counters every N retired instructions (0 = off)")
+		sampleOut = flag.String("sampleout", "samples.jsonl", "time-series output path (.csv selects CSV, else JSONL)")
+		eventsOut = flag.String("events", "", "write prefetch-lifecycle event trace (JSONL) to this path")
+		eventCap  = flag.Int("eventcap", 1<<16, "event ring capacity (keeps the last N events)")
+		jsonOut   = flag.String("json", "", "also write the result as JSON to this path (the service wire encoding; byte-comparable with triagectl output)")
 	)
+	wd := cliutil.AddWatchdog(flag.CommandLine)
+	prof := cliutil.AddProfile(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -144,25 +67,24 @@ func main() {
 		}
 		return
 	}
-	spec, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
+	rs := experiments.RunSpec{
+		Bench:       *bench,
+		PF:          *pfName,
+		Cores:       *cores,
+		Warmup:      *warmup,
+		Measure:     *measure,
+		Seed:        *seed,
+		Degree:      *degree,
+		SampleEvery: *sample,
+		CheckEvery:  *check,
+	}
+	rs.Normalize()
+	if err := rs.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "%v (use -list for benchmarks)\n", err)
 		os.Exit(2)
 	}
-	m := config.Default(*cores)
-	ws := make([]trace.Reader, *cores)
-	pfs := make([]prefetch.Prefetcher, *cores)
-	for c := 0; c < *cores; c++ {
-		ws[c] = spec.New(*seed+uint64(c)*104729, mem.Addr(c+1)<<40)
-		p, err := buildPF(*pfName, m, *degree)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
-		}
-		pfs[c] = p
-	}
 	var hooks *telemetry.Hooks
-	if *sample > 0 || *eventsOut != "" || *deadline > 0 || *stall > 0 {
+	if *sample > 0 || *eventsOut != "" || wd.Armed() {
 		hooks = &telemetry.Hooks{}
 		if *sample > 0 {
 			hooks.Sampler = telemetry.NewSampler(*sample)
@@ -170,51 +92,36 @@ func main() {
 		if *eventsOut != "" {
 			hooks.Events = telemetry.NewEventTrace(*eventCap)
 		}
-		if *deadline > 0 || *stall > 0 {
+		if wd.Armed() {
 			hooks.Watch = telemetry.NewRunWatch()
 		}
 	}
-	machine, err := sim.New(sim.Options{
-		Machine:             m,
-		Workloads:           ws,
-		Prefetchers:         pfs,
-		WarmupInstructions:  *warmup,
-		MeasureInstructions: *measure,
-		Telemetry:           hooks,
-		CheckEvery:          *check,
-	})
+	stopProf, err := prof.Start(os.Stderr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *cpuProfile != "" {
-		stop, err := telemetry.StartCPUProfile(*cpuProfile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer stop()
-	}
-	res, err := runGuarded(machine, hooks, *deadline, *stall)
+	res, err := runGuarded(rs, hooks, *wd.Deadline, *wd.Stall)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	if *memProfile != "" {
-		if err := telemetry.WriteHeapProfile(*memProfile); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-	}
+	stopProf()
 	if hooks != nil {
 		if err := writeTelemetry(hooks, *sampleOut, *eventsOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, experiments.EncodeResult(res), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
-	fmt.Printf("benchmark    : %s (x%d cores)\n", spec.Name, *cores)
-	fmt.Printf("prefetcher   : %s (degree %d)\n", *pfName, *degree)
+	fmt.Printf("benchmark    : %s (x%d cores)\n", rs.Bench, rs.Cores)
+	fmt.Printf("prefetcher   : %s (degree %d)\n", rs.PF, rs.Degree)
 	for c, cr := range res.Cores {
 		fmt.Printf("core %-2d      : IPC %.4f  (%d instr, %d cycles, %d loads, %d L2 misses, %.2f meta ways)\n",
 			c, cr.IPC(), cr.Instructions, cr.Cycles, cr.Loads, cr.L2DemandMisses, cr.AvgMetadataWays)
@@ -241,10 +148,10 @@ func main() {
 	}
 }
 
-// runGuarded executes the simulation under an optional watchdog,
-// converting a watchdog abort (or an invariant-check panic) into an
-// error instead of a raw panic.
-func runGuarded(machine *sim.Machine, hooks *telemetry.Hooks, deadline, stall time.Duration) (res sim.Result, err error) {
+// runGuarded executes the spec under an optional watchdog, converting
+// a watchdog abort (or an invariant-check panic) into an error instead
+// of a raw panic.
+func runGuarded(rs experiments.RunSpec, hooks *telemetry.Hooks, deadline, stall time.Duration) (res sim.Result, err error) {
 	if hooks != nil && hooks.Watch != nil {
 		defer telemetry.StartWatchdog(hooks.Watch, deadline, stall)()
 	}
@@ -260,7 +167,7 @@ func runGuarded(machine *sim.Machine, hooks *telemetry.Hooks, deadline, stall ti
 			}
 		}
 	}()
-	return machine.Run(), nil
+	return rs.Run(hooks)
 }
 
 // writeTelemetry flushes the sampled series and event trace to disk.

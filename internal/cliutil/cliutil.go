@@ -1,0 +1,111 @@
+// Package cliutil holds the flag wiring shared by the cmd tools
+// (experiments, sweep, triagesim, tracegen, triaged): pprof profiling,
+// watchdog deadlines, and the expvar debug endpoint. Before it
+// existed, each tool re-declared the same five flags with slightly
+// different help text and teardown order; registering them here keeps
+// the tools from drifting.
+package cliutil
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Profile bundles the -cpuprofile/-memprofile flags.
+type Profile struct {
+	CPU *string
+	Mem *string
+}
+
+// AddProfile registers the profiling flags on fs (pass
+// flag.CommandLine in a cmd).
+func AddProfile(fs *flag.FlagSet) *Profile {
+	return &Profile{
+		CPU: fs.String("cpuprofile", "", "write a CPU profile to this path"),
+		Mem: fs.String("memprofile", "", "write a heap profile to this path"),
+	}
+}
+
+// Start begins CPU profiling if requested. The returned stop func
+// (always non-nil; defer it) ends the CPU profile and writes the heap
+// profile if requested, reporting teardown problems to stderr — by
+// then the tool's real output is already complete.
+func (p *Profile) Start(stderr io.Writer) (stop func(), err error) {
+	var stopCPU func()
+	if *p.CPU != "" {
+		stopCPU, err = telemetry.StartCPUProfile(*p.CPU)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return func() {
+		if stopCPU != nil {
+			stopCPU()
+		}
+		if *p.Mem != "" {
+			if err := telemetry.WriteHeapProfile(*p.Mem); err != nil {
+				fmt.Fprintln(stderr, err)
+			}
+		}
+	}, nil
+}
+
+// Watchdog bundles the -deadline/-stall flags that bound individual
+// simulations (see telemetry.StartWatchdog).
+type Watchdog struct {
+	Deadline *time.Duration
+	Stall    *time.Duration
+}
+
+// AddWatchdog registers the watchdog flags on fs.
+func AddWatchdog(fs *flag.FlagSet) *Watchdog {
+	return &Watchdog{
+		Deadline: fs.Duration("deadline", 0, "per-run wall-clock deadline (0 = none); an overrunning simulation is aborted and its cell failed"),
+		Stall:    fs.Duration("stall", 0, "per-run stall timeout (0 = none); a simulation making no instruction progress for this long is aborted"),
+	}
+}
+
+// Armed reports whether either bound is set.
+func (w *Watchdog) Armed() bool { return *w.Deadline > 0 || *w.Stall > 0 }
+
+// DebugHTTP bundles the -debughttp flag serving live expvar counters.
+type DebugHTTP struct {
+	Addr *string
+}
+
+// AddDebugHTTP registers the flag on fs.
+func AddDebugHTTP(fs *flag.FlagSet) *DebugHTTP {
+	return &DebugHTTP{
+		Addr: fs.String("debughttp", "", "serve expvar live counters on this address (e.g. localhost:6060)"),
+	}
+}
+
+// publishOnce guards the process-global expvar name: tests (and a tool
+// that calls Serve twice) must not panic on re-Publish.
+var publishOnce sync.Once
+
+// Serve publishes prog under the process-global expvar name "pool" and
+// serves /debug/vars on the configured address from a background
+// goroutine. No-op when the flag is unset.
+func (d *DebugHTTP) Serve(prog *telemetry.PoolProgress, stderr io.Writer) {
+	if *d.Addr == "" {
+		return
+	}
+	publishOnce.Do(func() {
+		expvar.Publish("pool", expvar.Func(func() any { return prog.Snapshot() }))
+	})
+	addr := *d.Addr
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(stderr, "debughttp: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(stderr, "live counters: http://%s/debug/vars\n", addr)
+}

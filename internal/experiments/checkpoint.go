@@ -16,37 +16,62 @@ import (
 
 // checkpointVersion is bumped whenever the record layout (or the
 // meaning of sim.Result fields) changes; a store written by another
-// version is refused rather than silently misread.
-const checkpointVersion = 1
+// version is refused rather than silently misread. Version 2 added the
+// fingerprint header and blob records.
+const checkpointVersion = 2
 
 // checkpointFile is the store's single append-only log.
 const checkpointFile = "runs.jsonl"
 
+// checkpointHeader is the store's first line: the format version plus
+// the configuration fingerprint every record in the store was
+// simulated under. Folding the fingerprint into the store (instead of
+// trusting the caller to reuse the same flags) is what makes a resumed
+// run refuse — loudly — to restore results simulated under different
+// machine parameters, workloads, or instruction windows.
+type checkpointHeader struct {
+	V  int    `json:"v"`
+	FP string `json:"fp"`
+}
+
 // checkpointRecord is one completed run. sim.Result is plain exported
 // numeric data, so JSON round-trips it exactly (uint64s parse exactly;
 // float64 uses shortest-round-trip encoding) and a resumed sweep
-// reproduces byte-identical tables.
+// reproduces byte-identical tables. Blob records (the service's
+// figure-table payloads) carry an opaque payload instead of a Result.
 type checkpointRecord struct {
 	V       int        `json:"v"`
 	Key     string     `json:"key"`
 	Result  sim.Result `json:"result"`
 	Samples []byte     `json:"samples,omitempty"` // JSONL series, if sampled
+	Blob    []byte     `json:"blob,omitempty"`    // opaque payload (blob records)
+	IsBlob  bool       `json:"is_blob,omitempty"`
 }
 
-// Checkpoint is a versioned on-disk store of completed runs, keyed
-// like the single-flight cache ("bench/config"). Records are appended
-// as complete JSONL lines; on open, a torn tail (from a kill mid-
-// write) is truncated away so the next append cannot merge into it.
+// Checkpoint is a versioned, fingerprinted on-disk store of completed
+// runs, keyed like the single-flight cache ("bench/config"). Records
+// are appended as complete JSONL lines after a header naming the
+// configuration fingerprint; on open, a torn tail (from a kill mid-
+// write) is truncated away so the next append cannot merge into it,
+// and a store whose fingerprint does not match the caller's is refused
+// with an error instead of silently restoring stale results.
 type Checkpoint struct {
 	mu   sync.Mutex
 	f    *os.File
+	fp   string
 	seen map[string]checkpointRecord
 	err  error // first write error, reported at Close
 }
 
 // OpenCheckpoint opens (or creates) the store in dir, loading every
-// complete record already present.
-func OpenCheckpoint(dir string) (*Checkpoint, error) {
+// complete record already present. fingerprint stamps a fresh store
+// and is checked against an existing one: pass the output of
+// Params.Fingerprint (or ConfigFingerprint) for the configuration
+// whose results the store holds. A mismatch — the store was written
+// under different machine parameters, workloads, or windows — is an
+// error; delete the directory (or rerun with the original parameters)
+// to proceed.
+func OpenCheckpoint(dir, fingerprint string) (*Checkpoint, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -55,15 +80,34 @@ func OpenCheckpoint(dir string) (*Checkpoint, error) {
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return nil, err
 	}
-	c := &Checkpoint{seen: make(map[string]checkpointRecord)}
+	c := &Checkpoint{fp: fingerprint, seen: make(map[string]checkpointRecord)}
 	good := 0
+	first := true
 	for good < len(data) {
 		nl := bytes.IndexByte(data[good:], '\n')
 		if nl < 0 {
 			break // torn tail: record never finished writing
 		}
+		line := data[good : good+nl]
+		if first {
+			var hdr checkpointHeader
+			if json.Unmarshal(line, &hdr) != nil {
+				break // torn/corrupt header: treat the store as empty
+			}
+			if hdr.V != checkpointVersion {
+				return nil, fmt.Errorf("checkpoint %s: format version %d, this build writes %d (delete the directory to start over)",
+					path, hdr.V, checkpointVersion)
+			}
+			if hdr.FP != fingerprint {
+				return nil, fmt.Errorf("checkpoint %s holds results for a different configuration (fingerprint %.12s..., want %.12s...): it was written under different machine parameters, workloads, or instruction windows — delete the directory or rerun with the original parameters",
+					path, hdr.FP, fingerprint)
+			}
+			first = false
+			good += nl + 1
+			continue
+		}
 		var rec checkpointRecord
-		if json.Unmarshal(data[good:good+nl], &rec) != nil {
+		if json.Unmarshal(line, &rec) != nil {
 			break // torn or corrupt: drop this and everything after
 		}
 		if rec.V != checkpointVersion {
@@ -85,9 +129,24 @@ func OpenCheckpoint(dir string) (*Checkpoint, error) {
 		f.Close()
 		return nil, err
 	}
+	if good == 0 {
+		hdr, err := json.Marshal(checkpointHeader{V: checkpointVersion, FP: fingerprint})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		if _, err := f.Write(append(hdr, '\n')); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	c.f = f
 	return c, nil
 }
+
+// Fingerprint returns the configuration fingerprint the store was
+// opened with.
+func (c *Checkpoint) Fingerprint() string { return c.fp }
 
 // Put appends one completed run. Duplicate keys are ignored (the
 // single-flight cache already guarantees one simulation per key; a
@@ -95,7 +154,16 @@ func OpenCheckpoint(dir string) (*Checkpoint, error) {
 // are latched and surfaced by Err/Close rather than failing the run —
 // a broken checkpoint must not abort a healthy sweep.
 func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) {
-	rec := checkpointRecord{V: checkpointVersion, Key: key, Result: res, Samples: samples}
+	c.put(checkpointRecord{V: checkpointVersion, Key: key, Result: res, Samples: samples})
+}
+
+// PutBlob appends one opaque payload under key (the service's
+// figure-table results). Blob and run records share the key space.
+func (c *Checkpoint) PutBlob(key string, blob []byte) {
+	c.put(checkpointRecord{V: checkpointVersion, Key: key, Blob: blob, IsBlob: true})
+}
+
+func (c *Checkpoint) put(rec checkpointRecord) {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		c.mu.Lock()
@@ -108,7 +176,7 @@ func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) {
 	data = append(data, '\n')
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.seen[key]; ok {
+	if _, ok := c.seen[rec.Key]; ok {
 		return
 	}
 	if c.f != nil {
@@ -116,15 +184,38 @@ func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) {
 			c.err = err
 		}
 	}
-	c.seen[key] = rec
+	c.seen[rec.Key] = rec
 }
 
-// Get returns the stored result for key, if present.
+// Get returns the stored result for key, if present as a run record.
 func (c *Checkpoint) Get(key string) (sim.Result, []byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	rec, ok := c.seen[key]
+	if ok && rec.IsBlob {
+		return sim.Result{}, nil, false
+	}
 	return rec.Result, rec.Samples, ok
+}
+
+// GetBlob returns the stored payload for key, if present as a blob
+// record.
+func (c *Checkpoint) GetBlob(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rec, ok := c.seen[key]
+	if !ok || !rec.IsBlob {
+		return nil, false
+	}
+	return rec.Blob, true
+}
+
+// Has reports whether key is stored (run or blob record).
+func (c *Checkpoint) Has(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.seen[key]
+	return ok
 }
 
 // Len returns the number of stored runs.

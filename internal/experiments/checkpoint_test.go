@@ -6,14 +6,19 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/config"
 	"repro/internal/sim"
 )
+
+// testFP opens test checkpoints under the tiny-run fingerprint, the
+// same way cmd/experiments stamps a -resume directory.
+func testFP() string { return tinyParams().Fingerprint(config.Default(1)) }
 
 // runWithCheckpoint executes the given experiments with a checkpoint
 // attached, returning the concatenated CSV output and the runner.
 func runWithCheckpoint(t *testing.T, dir string, ids []string) ([]byte, *Runner) {
 	t.Helper()
-	ck, err := OpenCheckpoint(dir)
+	ck, err := OpenCheckpoint(dir, testFP())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +84,8 @@ func TestCheckpointPartialResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	records := bytes.Count(data, []byte("\n"))
+	// One line per run plus the fingerprint header.
+	records := bytes.Count(data, []byte("\n")) - 1
 	if uint64(records) != total {
 		t.Fatalf("checkpoint holds %d records for %d runs", records, total)
 	}
@@ -88,7 +94,7 @@ func TestCheckpointPartialResume(t *testing.T) {
 		t.Fatalf("need at least 2 records, have %d", records)
 	}
 	off := 0
-	for i := 0; i < keep; i++ {
+	for i := 0; i < keep+1; i++ { // +1 keeps the header line
 		off += bytes.IndexByte(data[off:], '\n') + 1
 	}
 	if err := os.WriteFile(path, data[:off], 0o644); err != nil {
@@ -112,7 +118,7 @@ func TestCheckpointPartialResume(t *testing.T) {
 // the complete records survive, and subsequent appends land cleanly.
 func TestCheckpointTornTail(t *testing.T) {
 	dir := t.TempDir()
-	ck, err := OpenCheckpoint(dir)
+	ck, err := OpenCheckpoint(dir, testFP())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,12 +134,12 @@ func TestCheckpointTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"v":1,"key":"torn`); err != nil {
+	if _, err := f.WriteString(`{"v":2,"key":"torn`); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
 
-	ck2, err := OpenCheckpoint(dir)
+	ck2, err := OpenCheckpoint(dir, testFP())
 	if err != nil {
 		t.Fatalf("torn tail rejected the whole checkpoint: %v", err)
 	}
@@ -152,7 +158,7 @@ func TestCheckpointTornTail(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ck3, err := OpenCheckpoint(dir)
+	ck3, err := OpenCheckpoint(dir, testFP())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +175,73 @@ func TestCheckpointTornTail(t *testing.T) {
 // format version is refused rather than silently misread.
 func TestCheckpointVersionMismatch(t *testing.T) {
 	dir := t.TempDir()
-	rec := `{"v":99,"key":"x","result":{}}` + "\n"
-	if err := os.WriteFile(filepath.Join(dir, checkpointFile), []byte(rec), 0o644); err != nil {
+	hdr := `{"v":99,"fp":"whatever"}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, checkpointFile), []byte(hdr), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenCheckpoint(dir); err == nil {
+	if _, err := OpenCheckpoint(dir, testFP()); err == nil {
 		t.Fatal("opened a checkpoint from a future format version")
+	}
+}
+
+// TestCheckpointFingerprintMismatch is the stale-result guard: a store
+// written under one configuration refuses to open under another, and
+// still opens under its own.
+func TestCheckpointFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.Put("a/b", sim.Result{}, nil)
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	other := FullParams().Fingerprint(config.Default(1))
+	if other == testFP() {
+		t.Fatal("test needs two distinct fingerprints")
+	}
+	if _, err := OpenCheckpoint(dir, other); err == nil {
+		t.Fatal("store opened under a different configuration fingerprint")
+	}
+	ck2, err := OpenCheckpoint(dir, testFP())
+	if err != nil {
+		t.Fatalf("store refused its own fingerprint: %v", err)
+	}
+	if !ck2.Has("a/b") {
+		t.Error("record lost across reopen")
+	}
+	ck2.Close()
+}
+
+// TestCheckpointBlobs covers the service's opaque payloads: blob and
+// run records share a key space but do not cross-read.
+func TestCheckpointBlobs(t *testing.T) {
+	dir := t.TempDir()
+	ck, err := OpenCheckpoint(dir, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck.PutBlob("fig/x", []byte(`{"table":1}`))
+	ck.Put("run/y", sim.Result{PrefetchesIssued: 3}, nil)
+	if err := ck.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := OpenCheckpoint(dir, testFP())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ck2.Close()
+	if blob, ok := ck2.GetBlob("fig/x"); !ok || string(blob) != `{"table":1}` {
+		t.Errorf("GetBlob = (%q, %t), want the persisted blob", blob, ok)
+	}
+	if _, _, ok := ck2.Get("fig/x"); ok {
+		t.Error("Get served a blob record as a run")
+	}
+	if _, ok := ck2.GetBlob("run/y"); ok {
+		t.Error("GetBlob served a run record as a blob")
+	}
+	if !ck2.Has("fig/x") || !ck2.Has("run/y") {
+		t.Error("Has missed a stored key")
 	}
 }

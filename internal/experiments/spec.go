@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/prefetch"
+	"repro/internal/prefetch/bo"
+	"repro/internal/prefetch/domino"
+	"repro/internal/prefetch/ghb"
+	"repro/internal/prefetch/hybrid"
+	"repro/internal/prefetch/isb"
+	"repro/internal/prefetch/markov"
+	"repro/internal/prefetch/misb"
+	"repro/internal/prefetch/nextline"
+	"repro/internal/prefetch/sms"
+	"repro/internal/prefetch/stms"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// RunSpec describes one ad-hoc simulation: a benchmark under one named
+// prefetcher configuration on a Table 1 machine, in rate mode when
+// Cores > 1 (N copies, one per core). It is the cmd/triagesim shape
+// promoted to a first-class, JSON-serializable job spec so the
+// simulation service, triagesim, and triagectl all run the exact same
+// machine for the same spec — byte-identical results by construction.
+type RunSpec struct {
+	Bench   string `json:"bench"`
+	PF      string `json:"pf"`
+	Cores   int    `json:"cores,omitempty"`
+	Warmup  uint64 `json:"warmup"`
+	Measure uint64 `json:"measure"`
+	Seed    uint64 `json:"seed,omitempty"`
+	Degree  int    `json:"degree,omitempty"`
+	// SampleEvery, when non-zero, attaches a telemetry sampler at this
+	// retired-instruction interval; the sampled series is part of the
+	// job's result (and of its identity — see Key).
+	SampleEvery uint64 `json:"sample_every,omitempty"`
+	// CheckEvery enables the simulator's structural invariant sweep
+	// (debug mode). It does not affect results and is excluded from Key.
+	CheckEvery uint64 `json:"check_every,omitempty"`
+}
+
+// Normalize fills the defaulted fields so that equivalent specs
+// compare (and hash) equal: an empty prefetcher means "none", and
+// core/degree counts below one are clamped to one.
+func (s *RunSpec) Normalize() {
+	if s.PF == "" {
+		s.PF = "none"
+	}
+	if s.Cores < 1 {
+		s.Cores = 1
+	}
+	if s.Degree < 1 {
+		s.Degree = 1
+	}
+}
+
+// Validate reports the first problem that would keep the spec from
+// simulating: an unknown benchmark or prefetcher, or an empty
+// measurement window. Call Normalize first.
+func (s RunSpec) Validate() error {
+	if _, ok := workload.ByName(s.Bench); !ok {
+		return fmt.Errorf("unknown benchmark %q", s.Bench)
+	}
+	if _, err := BuildPrefetcher(s.PF, config.Default(1), 1); err != nil {
+		return err
+	}
+	if s.Measure == 0 {
+		return fmt.Errorf("spec %s/%s: measure window is zero", s.Bench, s.PF)
+	}
+	return nil
+}
+
+// Key is the canonical identity of the spec's result: every field that
+// changes the simulation's outcome (or its sampled series) is folded
+// in; debug-only knobs (CheckEvery) are not. Two specs with equal keys
+// produce byte-identical results, which is what makes the service's
+// result store content-addressed.
+func (s RunSpec) Key() string {
+	k := fmt.Sprintf("%s/%s/x%d/w%d/m%d/s%d/d%d",
+		s.Bench, s.PF, s.Cores, s.Warmup, s.Measure, s.Seed, s.Degree)
+	if s.SampleEvery > 0 {
+		k += fmt.Sprintf("/t%d", s.SampleEvery)
+	}
+	return k
+}
+
+// Run executes the simulation. The machine construction mirrors
+// cmd/triagesim exactly (per-core seeds offset by 104729, disjoint
+// address spaces via (core+1)<<40), so a service job and a direct
+// triagesim run of the same spec return identical results. hooks may
+// be nil. Construction problems return an error; a watchdog abort or
+// invariant panic propagates as a panic for the caller's Guarded/
+// recover wrapper, like every other pooled run.
+func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
+	s.Normalize()
+	if err := s.Validate(); err != nil {
+		return sim.Result{}, err
+	}
+	spec, _ := workload.ByName(s.Bench)
+	m := config.Default(s.Cores)
+	ws := make([]trace.Reader, s.Cores)
+	pfs := make([]prefetch.Prefetcher, s.Cores)
+	for c := 0; c < s.Cores; c++ {
+		ws[c] = spec.New(s.Seed+uint64(c)*104729, mem.Addr(c+1)<<40)
+		p, err := BuildPrefetcher(s.PF, m, s.Degree)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		pfs[c] = p
+	}
+	machine, err := sim.New(sim.Options{
+		Machine:             m,
+		Workloads:           ws,
+		Prefetchers:         pfs,
+		WarmupInstructions:  s.Warmup,
+		MeasureInstructions: s.Measure,
+		Telemetry:           hooks,
+		CheckEvery:          s.CheckEvery,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return machine.Run(), nil
+}
+
+// BuildPrefetcher constructs the named prefetcher configuration for one
+// core of machine m: none, stride-only, nextline, ghb, markov, bo, sms,
+// stms, domino, isb, misb, triage-512k, triage-1m, triage-dyn,
+// triage-dynutil, triage-unlimited, or a '+'-joined hybrid such as
+// triage+bo ("triage" in a hybrid means triage-dyn). Every caller that
+// names prefetchers on a command line or over the wire resolves them
+// here, so the names cannot drift between tools.
+func BuildPrefetcher(name string, m config.Machine, degree int) (prefetch.Prefetcher, error) {
+	ticks := llcTicks(m)
+	mk := func(n string) (prefetch.Prefetcher, error) {
+		switch n {
+		case "none", "stride-only":
+			return nil, nil
+		case "bo":
+			return bo.New(), nil
+		case "sms":
+			return sms.New(), nil
+		case "stms":
+			return stms.New(), nil
+		case "domino":
+			return domino.New(), nil
+		case "misb":
+			return misb.New(), nil
+		case "isb":
+			return isb.New(), nil
+		case "markov":
+			return markov.New(1 << 20), nil
+		case "ghb":
+			return ghb.New(512), nil
+		case "nextline":
+			return nextline.New(1), nil
+		case "triage-512k":
+			return core.New(core.Config{Mode: core.Static, StaticBytes: 512 << 10, LLCLatencyTicks: ticks}), nil
+		case "triage-1m":
+			return core.New(core.Config{Mode: core.Static, StaticBytes: 1 << 20, LLCLatencyTicks: ticks}), nil
+		case "triage-dyn":
+			return core.New(core.Config{Mode: core.Dynamic, LLCLatencyTicks: ticks}), nil
+		case "triage-dynutil":
+			return core.New(core.Config{Mode: core.DynamicUtility, LLCLatencyTicks: ticks}), nil
+		case "triage-unlimited":
+			return core.New(core.Config{Mode: core.Unlimited, LLCLatencyTicks: ticks}), nil
+		default:
+			return nil, fmt.Errorf("unknown prefetcher %q", n)
+		}
+	}
+	if strings.Contains(name, "+") {
+		parts := strings.Split(name, "+")
+		var ps []prefetch.Prefetcher
+		for _, part := range parts {
+			if part == "triage" {
+				part = "triage-dyn"
+			}
+			p, err := mk(part)
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("cannot compose %q", part)
+			}
+			ps = append(ps, p)
+		}
+		return hybrid.New(ps...), nil
+	}
+	p, err := mk(name)
+	if err != nil {
+		return nil, err
+	}
+	if p != nil && degree > 1 {
+		if ds, ok := p.(prefetch.DegreeSetter); ok {
+			ds.SetDegree(degree)
+		}
+	}
+	return p, nil
+}
+
+// EncodeResult renders a sim.Result as indented JSON with a trailing
+// newline — the one wire/disk encoding shared by triagesim -json, the
+// service result store, and triagectl, so "byte-identical results"
+// is checkable with cmp(1). sim.Result round-trips exactly through
+// JSON (uint64s parse exactly, float64 uses shortest-round-trip
+// encoding), so decode+re-encode is byte-stable.
+func EncodeResult(res sim.Result) []byte {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		// sim.Result is plain exported numeric data; Marshal cannot fail.
+		panic(fmt.Sprintf("experiments: encoding sim.Result: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// fingerprintOf hashes the canonical JSON of v.
+func fingerprintOf(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: fingerprint: %v", err))
+	}
+	h := sha256.Sum256(b)
+	return hex.EncodeToString(h[:])
+}
+
+// ConfigFingerprint identifies the simulated universe results belong
+// to: the machine configuration (Table 1 parameters) plus the workload
+// suite identity. A checkpoint or result store stamped with it refuses
+// to serve results simulated under different parameters.
+func ConfigFingerprint(m config.Machine) string {
+	return fingerprintOf(struct {
+		Machine   config.Machine `json:"machine"`
+		Workloads []string       `json:"workloads"`
+	}{m, workload.Names()})
+}
+
+// Fingerprint extends ConfigFingerprint with the experiment-scale
+// parameters that shape results (instruction windows, mix count, seed,
+// sampling interval). Debug/fault knobs (Deadline, Stall, Retries,
+// CheckEvery, FaultHook) change nothing about a successful run's
+// output and are excluded.
+func (p Params) Fingerprint(m config.Machine) string {
+	return fingerprintOf(struct {
+		Machine      config.Machine `json:"machine"`
+		Workloads    []string       `json:"workloads"`
+		Warmup       uint64         `json:"warmup"`
+		Measure      uint64         `json:"measure"`
+		MultiWarmup  uint64         `json:"multi_warmup"`
+		MultiMeasure uint64         `json:"multi_measure"`
+		Mixes        int            `json:"mixes"`
+		Seed         uint64         `json:"seed"`
+		SampleEvery  uint64         `json:"sample_every"`
+	}{m, workload.Names(), p.Warmup, p.Measure, p.MultiWarmup, p.MultiMeasure, p.Mixes, p.Seed, p.SampleEvery})
+}

@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/jobs             submit a JobSpec    → SubmitResponse
+//	GET  /v1/jobs             list jobs           → []JobStatus
+//	GET  /v1/jobs/{id}        job status          → JobStatus
+//	GET  /v1/jobs/{id}/result finished result     → JobResult
+//	GET  /v1/jobs/{id}/events live progress       → SSE stream
+//	GET  /metrics             service counters    → JSON
+//	GET  /healthz             liveness            → 200 "ok"
+//
+// Submission maps dispositions and errors to status codes: 201 fresh
+// admission, 200 dedup or warm-store hit, 400 invalid spec, 429 queue
+// full (with Retry-After), 503 draining.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// httpError is the error wire format.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, httpError{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		return
+	}
+	j, disp, err := s.Submit(spec)
+	if err != nil {
+		var bad *BadSpecError
+		switch {
+		case errors.As(err, &bad):
+			writeError(w, http.StatusBadRequest, err.Error())
+		case errors.Is(err, ErrQueueFull):
+			// Backpressure, not failure: tell the client when to retry.
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusTooManyRequests, err.Error())
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	st := s.Status(j)
+	resp := SubmitResponse{
+		ID:      j.ID(),
+		Key:     st.Key,
+		State:   st.State,
+		Cached:  disp == DispCached,
+		Deduped: disp == DispDeduped,
+	}
+	code := http.StatusCreated
+	if disp != DispNew {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+// jobFor resolves {id}, writing a 404 when unknown.
+func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+	}
+	return j, ok
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.jobFor(w, r); ok {
+		writeJSON(w, http.StatusOK, s.Status(j))
+	}
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	st := s.Status(j)
+	switch st.State {
+	case StateDone:
+		payload, _ := s.Result(j)
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	case StateFailed:
+		writeError(w, http.StatusConflict, "job failed: "+st.Error)
+	default:
+		// Not done yet: poll again shortly (or follow /events instead).
+		w.Header().Set("Retry-After", "2")
+		writeError(w, http.StatusAccepted, "job is "+string(st.State))
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}

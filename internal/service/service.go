@@ -1,0 +1,594 @@
+package service
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/config"
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// queueFile persists admitted-but-unfinished jobs next to the result
+// store so a restart re-admits them.
+const queueFile = "queue.jsonl"
+
+// Config sizes a Server.
+type Config struct {
+	// StoreDir holds the content-addressed result store (runs.jsonl)
+	// and the admission log (queue.jsonl). Required.
+	StoreDir string
+	// QueueCap bounds the number of queued (not yet running) jobs;
+	// submissions beyond it are rejected with ErrQueueFull (HTTP 429).
+	// Default 64.
+	QueueCap int
+	// Workers bounds how many simulations run concurrently (the shared
+	// experiments.Pool) and how many jobs execute at once. Default
+	// GOMAXPROCS.
+	Workers int
+	// Deadline and Stall arm a per-job watchdog (see experiments
+	// Params); zero disables.
+	Deadline time.Duration
+	Stall    time.Duration
+	// Gate, when non-nil, is called on the worker goroutine right
+	// before a job's simulation starts. Test hook for holding workers
+	// at a deterministic point — leave nil in production.
+	Gate func(key string)
+}
+
+// Submission errors mapped to HTTP status codes by the handlers.
+var (
+	// ErrQueueFull is backpressure: the admission queue is at capacity.
+	ErrQueueFull = errors.New("admission queue full")
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("server is draining")
+)
+
+// BadSpecError wraps a spec validation failure (HTTP 400).
+type BadSpecError struct{ Err error }
+
+func (e *BadSpecError) Error() string { return e.Err.Error() }
+func (e *BadSpecError) Unwrap() error { return e.Err }
+
+// Disposition says how a submission was satisfied.
+type Disposition int
+
+// Submission dispositions.
+const (
+	// DispNew admitted a fresh job.
+	DispNew Disposition = iota
+	// DispDeduped joined an existing queued/running/done job with the
+	// same content key (single-flight).
+	DispDeduped
+	// DispCached materialized a done job straight from the warm result
+	// store without simulating.
+	DispCached
+)
+
+// Server is the simulation service: admission queue, worker pool,
+// content-addressed result store, and per-job telemetry fan-out.
+// Create with New, serve its Handler, stop with Drain then Close.
+type Server struct {
+	cfg  Config
+	fp   string
+	pool *experiments.Pool
+	prog *telemetry.PoolProgress
+	q    *jobQueue
+
+	mu       sync.Mutex
+	store    *experiments.Checkpoint
+	queueLog *os.File
+	jobs     map[string]*Job // by id
+	byKey    map[string]*Job
+	seq      uint64
+
+	draining atomic.Bool
+	wg       sync.WaitGroup
+	started  time.Time
+
+	// metrics are expvar counters (unpublished; cmd/triaged may
+	// additionally Publish the snapshot under a process-global name).
+	mSubmitted    expvar.Int
+	mDeduped      expvar.Int
+	mStoreHits    expvar.Int
+	mRejectedFull expvar.Int
+	mRejectedDrng expvar.Int
+	mCompleted    expvar.Int
+	mFailed       expvar.Int
+	mRunning      expvar.Int
+	mRestored     expvar.Int // queued jobs re-admitted at startup
+}
+
+// New opens (or creates) the store directory, re-admits any jobs that
+// were queued when the previous process stopped, and starts the
+// workers. The store is stamped with the configuration fingerprint
+// (Table 1 machine + workload suite); a directory written under
+// different parameters is refused.
+func New(cfg Config) (*Server, error) {
+	if cfg.StoreDir == "" {
+		return nil, errors.New("service: Config.StoreDir is required")
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	fp := experiments.ConfigFingerprint(config.Default(1))
+	store, err := experiments.OpenCheckpoint(cfg.StoreDir, fp)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		fp:      fp,
+		pool:    experiments.NewPool(cfg.Workers),
+		prog:    telemetry.NewPoolProgress(0),
+		q:       newJobQueue(),
+		store:   store,
+		jobs:    make(map[string]*Job),
+		byKey:   make(map[string]*Job),
+		started: time.Now(),
+	}
+	s.pool.SetProgress(s.prog)
+	if err := s.recoverQueue(); err != nil {
+		store.Close()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// idOf derives the content-addressed job id from the canonical key.
+// Deterministic, so ids survive restarts and re-submissions.
+func idOf(key string) string {
+	h := sha256.Sum256([]byte(key))
+	return "j" + hex.EncodeToString(h[:8])
+}
+
+// queueRecord is one admission-log line.
+type queueRecord struct {
+	Key  string  `json:"key"`
+	Spec JobSpec `json:"spec"`
+}
+
+// recoverQueue replays the admission log: every admitted job whose key
+// is not yet in the result store is re-admitted (queued, original
+// priority); finished ones are dropped. The log is then compacted to
+// the survivors, so it cannot grow without bound across restarts.
+func (s *Server) recoverQueue() error {
+	path := filepath.Join(s.cfg.StoreDir, queueFile)
+	data, err := os.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return err
+	}
+	var live []queueRecord
+	seen := make(map[string]bool)
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec queueRecord
+		if json.Unmarshal(line, &rec) != nil {
+			continue // torn tail from a kill mid-append
+		}
+		if seen[rec.Key] || s.store.Has(rec.Key) {
+			continue
+		}
+		if rec.Spec.normalize() != nil || rec.Spec.key() != rec.Key {
+			continue // log written by an incompatible build
+		}
+		seen[rec.Key] = true
+		live = append(live, rec)
+	}
+	// Compact: rewrite the log with only the survivors, atomically.
+	var buf bytes.Buffer
+	for _, rec := range live {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	s.queueLog = f
+	for _, rec := range live {
+		s.seq++
+		j := &Job{
+			id:    idOf(rec.Key),
+			key:   rec.Key,
+			spec:  rec.Spec,
+			seq:   s.seq,
+			state: StateQueued,
+			feed:  telemetry.NewJobFeed(),
+		}
+		s.jobs[j.id] = j
+		s.byKey[j.key] = j
+		s.q.push(j)
+		s.mRestored.Add(1)
+	}
+	return nil
+}
+
+// Submit validates and admits one job. The returned Disposition says
+// whether the submission created a fresh job, joined an existing one,
+// or was served from the warm store. Errors: *BadSpecError (400),
+// ErrDraining (503), ErrQueueFull (429), or an I/O failure persisting
+// the admission (500).
+func (s *Server) Submit(spec JobSpec) (*Job, Disposition, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, DispNew, &BadSpecError{Err: err}
+	}
+	key := spec.key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.byKey[key]; ok && j.state != StateFailed {
+		s.mDeduped.Add(1)
+		return j, DispDeduped, nil
+	}
+	if j, ok := s.jobFromStore(key, spec); ok {
+		s.mStoreHits.Add(1)
+		s.jobs[j.id] = j
+		s.byKey[key] = j
+		return j, DispCached, nil
+	}
+	if s.draining.Load() {
+		s.mRejectedDrng.Add(1)
+		return nil, DispNew, ErrDraining
+	}
+	if s.q.len() >= s.cfg.QueueCap {
+		s.mRejectedFull.Add(1)
+		return nil, DispNew, ErrQueueFull
+	}
+	// Persist the admission before acknowledging it: an accepted job
+	// survives any crash from here on (re-admitted by recoverQueue).
+	rec, err := json.Marshal(queueRecord{Key: key, Spec: spec})
+	if err != nil {
+		return nil, DispNew, err
+	}
+	if _, err := s.queueLog.Write(append(rec, '\n')); err != nil {
+		return nil, DispNew, fmt.Errorf("persisting admission: %w", err)
+	}
+	s.seq++
+	j := &Job{
+		id:    idOf(key),
+		key:   key,
+		spec:  spec,
+		seq:   s.seq,
+		state: StateQueued,
+		feed:  telemetry.NewJobFeed(),
+	}
+	s.jobs[j.id] = j
+	s.byKey[key] = j
+	s.q.push(j)
+	s.mSubmitted.Add(1)
+	return j, DispNew, nil
+}
+
+// jobFromStore materializes a done job from the warm result store.
+// Called with s.mu held.
+func (s *Server) jobFromStore(key string, spec JobSpec) (*Job, bool) {
+	var payload []byte
+	switch spec.Kind {
+	case KindFigure:
+		blob, ok := s.store.GetBlob(key)
+		if !ok {
+			return nil, false
+		}
+		payload = blob
+	default:
+		res, samples, ok := s.store.Get(key)
+		if !ok {
+			return nil, false
+		}
+		payload = marshalEnvelope(JobResult{Kind: KindSingle, Result: &res, SamplesJSONL: string(samples)})
+	}
+	s.seq++
+	j := &Job{
+		id:     idOf(key),
+		key:    key,
+		spec:   spec,
+		seq:    s.seq,
+		state:  StateDone,
+		cached: true,
+		result: payload,
+		feed:   telemetry.NewJobFeed(),
+	}
+	j.feed.Finish()
+	return j, true
+}
+
+// marshalEnvelope encodes a result envelope; the payload is plain
+// exported data, so Marshal cannot fail.
+func marshalEnvelope(env JobResult) []byte {
+	b, err := json.Marshal(env)
+	if err != nil {
+		panic(fmt.Sprintf("service: encoding job result: %v", err))
+	}
+	return b
+}
+
+// Lookup finds a job by id.
+func (s *Server) Lookup(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Status snapshots one job.
+func (s *Server) Status(j *Job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(j)
+}
+
+func (s *Server) statusLocked(j *Job) JobStatus {
+	st := JobStatus{
+		ID:       j.id,
+		Key:      j.key,
+		Kind:     j.spec.Kind,
+		State:    j.state,
+		Priority: j.spec.Priority,
+		Cached:   j.cached,
+		Error:    j.errMsg,
+		Failed:   j.failedTable,
+	}
+	if j.runner != nil {
+		st.Instructions = j.runner.SimulatedInstructions()
+	} else {
+		st.Instructions = j.feed.Instructions()
+	}
+	return st
+}
+
+// Jobs lists every known job in admission order.
+func (s *Server) Jobs() []JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]JobStatus, 0, len(s.jobs))
+	js := make([]*Job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	sort.Slice(js, func(i, k int) bool { return js[i].seq < js[k].seq })
+	for _, j := range js {
+		out = append(out, s.statusLocked(j))
+	}
+	return out
+}
+
+// Result returns a done job's marshaled JobResult envelope.
+func (s *Server) Result(j *Job) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.state != StateDone {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// worker executes jobs until the queue closes (drain).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.q.pop()
+		if j == nil {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+func (s *Server) setState(j *Job, st State) {
+	s.mu.Lock()
+	j.state = st
+	s.mu.Unlock()
+}
+
+func (s *Server) runJob(j *Job) {
+	s.setState(j, StateRunning)
+	s.mRunning.Add(1)
+	defer s.mRunning.Add(-1)
+	if gate := s.cfg.Gate; gate != nil {
+		gate(j.key)
+	}
+	switch j.spec.Kind {
+	case KindFigure:
+		s.runFigure(j)
+	default:
+		s.runSingle(j)
+	}
+}
+
+// runSingle executes one RunSpec on the shared pool under the
+// configured watchdog, streams progress and samples to the job's
+// feed, and persists the result in the content-addressed store.
+func (s *Server) runSingle(j *Job) {
+	spec := *j.spec.Run
+	var hooks *telemetry.Hooks
+	mkHooks := func() *telemetry.Hooks {
+		h := &telemetry.Hooks{Progress: telemetry.Tee(j.feed, s.prog)}
+		if spec.SampleEvery > 0 {
+			sam := telemetry.NewSampler(spec.SampleEvery)
+			sam.Stream(j.feed.OnSample)
+			h.Sampler = sam
+		}
+		hooks = h
+		return h
+	}
+	fut := experiments.Go(s.pool, func() sim.Result {
+		return experiments.Guarded(j.key, s.cfg.Deadline, s.cfg.Stall, mkHooks, func(h *telemetry.Hooks) sim.Result {
+			res, err := spec.Run(h)
+			if err != nil {
+				panic(err)
+			}
+			s.prog.RunDone()
+			return res
+		})
+	})
+	res, rerr := fut.Result()
+	if rerr != nil {
+		s.fail(j, rerr.Error())
+		return
+	}
+	var samples []byte
+	if hooks != nil && hooks.Sampler != nil {
+		var buf bytes.Buffer
+		if err := hooks.Sampler.WriteJSONL(&buf); err == nil {
+			samples = buf.Bytes()
+		}
+	}
+	s.store.Put(j.key, res, samples)
+	s.complete(j, marshalEnvelope(JobResult{Kind: KindSingle, Result: &res, SamplesJSONL: string(samples)}), false)
+}
+
+// runFigure executes one registry experiment with a fresh Runner on
+// the shared pool. A failed table (error rows) completes the job but
+// is never stored: a transient failure must not be served forever.
+func (s *Server) runFigure(j *Job) {
+	e, _ := experiments.ByID(j.spec.Figure)
+	p := j.spec.Scale.params()
+	p.Deadline, p.StallTimeout = s.cfg.Deadline, s.cfg.Stall
+	runner := experiments.NewRunnerPool(p, s.pool)
+	s.mu.Lock()
+	j.runner = runner
+	s.mu.Unlock()
+	table := experiments.RunOne(runner, e)
+	payload := marshalEnvelope(JobResult{Kind: KindFigure, Table: table})
+	if !table.Failed {
+		s.store.PutBlob(j.key, payload)
+	}
+	s.complete(j, payload, table.Failed)
+}
+
+func (s *Server) complete(j *Job, payload []byte, failedTable bool) {
+	s.mu.Lock()
+	j.state = StateDone
+	j.result = payload
+	j.failedTable = failedTable
+	s.mu.Unlock()
+	j.feed.Finish()
+	s.mCompleted.Add(1)
+}
+
+func (s *Server) fail(j *Job, msg string) {
+	s.mu.Lock()
+	j.state = StateFailed
+	j.errMsg = msg
+	s.mu.Unlock()
+	j.feed.Finish()
+	s.mFailed.Add(1)
+}
+
+// DrainStats reports what a drain left behind.
+type DrainStats struct {
+	// Finished is how many jobs completed or failed over the server's
+	// lifetime (in-flight ones included — Drain waits for them).
+	Finished int64
+	// Queued is how many admitted jobs remain persisted for the next
+	// process to re-admit.
+	Queued int
+}
+
+// Drain stops the server gracefully: new submissions are rejected
+// with ErrDraining, in-flight jobs run to completion (and their
+// results persist), and still-queued jobs are left in the admission
+// log for the next process. Blocks until every worker has stopped.
+func (s *Server) Drain() DrainStats {
+	s.draining.Store(true)
+	s.q.close()
+	s.wg.Wait()
+	return DrainStats{
+		Finished: s.mCompleted.Value() + s.mFailed.Value(),
+		Queued:   s.q.len(),
+	}
+}
+
+// Draining reports whether Drain has been requested.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Close releases the store and admission log. Call after Drain; any
+// latched store write error surfaces here.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var first error
+	if s.queueLog != nil {
+		if err := s.queueLog.Close(); err != nil {
+			first = err
+		}
+		s.queueLog = nil
+	}
+	if s.store != nil {
+		if err := s.store.Close(); err != nil && first == nil {
+			first = err
+		}
+		s.store = nil
+	}
+	return first
+}
+
+// Restored returns how many queued jobs the server re-admitted from a
+// previous process's admission log.
+func (s *Server) Restored() int64 { return s.mRestored.Value() }
+
+// MetricsSnapshot renders the service counters plus the live pool
+// snapshot (the /metrics payload, also publishable via expvar.Func).
+func (s *Server) MetricsSnapshot() map[string]any {
+	return map[string]any{
+		"submitted":         s.mSubmitted.Value(),
+		"deduped":           s.mDeduped.Value(),
+		"store_hits":        s.mStoreHits.Value(),
+		"rejected_full":     s.mRejectedFull.Value(),
+		"rejected_draining": s.mRejectedDrng.Value(),
+		"completed":         s.mCompleted.Value(),
+		"failed":            s.mFailed.Value(),
+		"running":           s.mRunning.Value(),
+		"restored":          s.mRestored.Value(),
+		"queued":            s.q.len(),
+		"queue_cap":         s.cfg.QueueCap,
+		"workers":           s.cfg.Workers,
+		"draining":          s.draining.Load(),
+		"uptime_seconds":    time.Since(s.started).Seconds(),
+		"store_len":         s.storeLen(),
+		"pool":              s.prog.Snapshot(),
+	}
+}
+
+func (s *Server) storeLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return 0
+	}
+	return s.store.Len()
+}

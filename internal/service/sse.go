@@ -1,0 +1,88 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// ssePollInterval paces the event stream. The feed is poll-based by
+// design: a slow client only slows its own stream, never the
+// simulation writing into the feed.
+const ssePollInterval = 150 * time.Millisecond
+
+// handleEvents streams a job's live telemetry as server-sent events:
+//
+//	event: progress  data: {"instructions": N}      (on change)
+//	event: sample    data: <telemetry.Sample JSON>  (each new sample)
+//	event: done      data: <JobStatus JSON>         (terminal, stream ends)
+//
+// Late subscribers receive the full recorded sample series first, so
+// the stream is a complete replay regardless of when the client
+// connects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobFor(w, r)
+	if !ok {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	var cursor int
+	var lastInstr uint64
+	flushNew := func() bool {
+		st := s.Status(j)
+		if st.Instructions != lastInstr {
+			lastInstr = st.Instructions
+			if !emit("progress", map[string]uint64{"instructions": lastInstr}) {
+				return false
+			}
+		}
+		for _, smp := range j.feed.SamplesSince(cursor) {
+			cursor++
+			if !emit("sample", smp) {
+				return false
+			}
+		}
+		return true
+	}
+
+	ticker := time.NewTicker(ssePollInterval)
+	defer ticker.Stop()
+	for {
+		if !flushNew() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-j.feed.Done():
+			// Drain anything recorded between the last poll and Finish,
+			// then close with the terminal status.
+			if flushNew() {
+				emit("done", s.Status(j))
+			}
+			return
+		case <-ticker.C:
+		}
+	}
+}

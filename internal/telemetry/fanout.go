@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// JobFeed fans one running simulation's live telemetry out to any
+// number of late-joining consumers (the service's SSE handlers): a
+// cumulative retired-instruction counter, the sampled time series as
+// it accumulates, and a done signal. It implements ProgressSink, so it
+// plugs straight into Hooks.Progress; attach the sampler side with
+// Sampler.Stream(feed.OnSample).
+//
+// Consumers poll rather than subscribe: Instructions is one atomic
+// load and SamplesSince copies only the unseen tail, so a slow SSE
+// client can never stall the simulation, and a client that connects
+// mid-run still sees the full series from interval zero.
+type JobFeed struct {
+	instr atomic.Uint64
+
+	mu      sync.Mutex
+	samples []Sample
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// NewJobFeed returns an empty feed.
+func NewJobFeed() *JobFeed { return &JobFeed{done: make(chan struct{})} }
+
+// Add implements ProgressSink: accumulate retired instructions.
+func (f *JobFeed) Add(instructions uint64) { f.instr.Add(instructions) }
+
+// Instructions returns the instructions retired so far.
+func (f *JobFeed) Instructions() uint64 { return f.instr.Load() }
+
+// OnSample records one interval sample; pass it to Sampler.Stream.
+func (f *JobFeed) OnSample(s Sample) {
+	f.mu.Lock()
+	f.samples = append(f.samples, s)
+	f.mu.Unlock()
+}
+
+// SamplesSince returns a copy of the samples recorded after the first
+// n (the consumer's cursor): call with 0 to catch up from the start,
+// then advance the cursor by len of the returned slice.
+func (f *JobFeed) SamplesSince(n int) []Sample {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n >= len(f.samples) {
+		return nil
+	}
+	out := make([]Sample, len(f.samples)-n)
+	copy(out, f.samples[n:])
+	return out
+}
+
+// Finish signals consumers that the job is over (done, failed, or
+// cancelled). Idempotent.
+func (f *JobFeed) Finish() { f.doneOnce.Do(func() { close(f.done) }) }
+
+// Done returns a channel closed by Finish.
+func (f *JobFeed) Done() <-chan struct{} { return f.done }
+
+// teeSink duplicates progress updates to several sinks.
+type teeSink []ProgressSink
+
+func (t teeSink) Add(instructions uint64) {
+	for _, s := range t {
+		s.Add(instructions)
+	}
+}
+
+// Tee returns a ProgressSink forwarding every Add to all of the given
+// sinks (nils are skipped); nil when none remain. The service uses it
+// to feed a job's own JobFeed and the server-wide pool counters from
+// one simulation.
+func Tee(sinks ...ProgressSink) ProgressSink {
+	var live teeSink
+	for _, s := range sinks {
+		if s != nil {
+			live = append(live, s)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return live
+}

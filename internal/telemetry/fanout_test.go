@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestJobFeedProgressAndSamples(t *testing.T) {
+	f := NewJobFeed()
+	f.Add(100)
+	f.Add(50)
+	if got := f.Instructions(); got != 150 {
+		t.Errorf("Instructions = %d, want 150", got)
+	}
+	f.OnSample(Sample{Interval: 0})
+	f.OnSample(Sample{Interval: 1})
+	first := f.SamplesSince(0)
+	if len(first) != 2 {
+		t.Fatalf("SamplesSince(0) = %d samples, want 2", len(first))
+	}
+	// Cursor semantics: only the unseen tail comes back.
+	f.OnSample(Sample{Interval: 2})
+	tail := f.SamplesSince(2)
+	if len(tail) != 1 || tail[0].Interval != 2 {
+		t.Errorf("SamplesSince(2) = %+v, want just interval 2", tail)
+	}
+	if got := f.SamplesSince(3); got != nil {
+		t.Errorf("SamplesSince past the end = %+v, want nil", got)
+	}
+}
+
+func TestJobFeedDoneIdempotent(t *testing.T) {
+	f := NewJobFeed()
+	select {
+	case <-f.Done():
+		t.Fatal("feed done before Finish")
+	default:
+	}
+	f.Finish()
+	f.Finish() // must not panic
+	select {
+	case <-f.Done():
+	default:
+		t.Fatal("Done not closed after Finish")
+	}
+}
+
+// TestJobFeedConcurrent exercises the write side against pollers under
+// -race: one producer, several consumers.
+func TestJobFeedConcurrent(t *testing.T) {
+	f := NewJobFeed()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			f.Add(10)
+			f.OnSample(Sample{Interval: i})
+		}
+		f.Finish()
+	}()
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cursor := 0
+			for {
+				cursor += len(f.SamplesSince(cursor))
+				f.Instructions()
+				select {
+				case <-f.Done():
+					if got := cursor + len(f.SamplesSince(cursor)); got != 500 {
+						t.Errorf("consumer saw %d samples, want 500", got)
+					}
+					return
+				default:
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+type countSink struct{ n uint64 }
+
+func (c *countSink) Add(instructions uint64) { c.n += instructions }
+
+func TestTee(t *testing.T) {
+	if Tee() != nil || Tee(nil, nil) != nil {
+		t.Error("Tee of no live sinks should be nil")
+	}
+	a := &countSink{}
+	if got := Tee(nil, a); got != a {
+		t.Error("Tee of one live sink should return it unwrapped")
+	}
+	b := &countSink{}
+	tee := Tee(a, nil, b)
+	tee.Add(7)
+	tee.Add(3)
+	if a.n != 10 || b.n != 10 {
+		t.Errorf("tee delivered a=%d b=%d, want 10/10", a.n, b.n)
+	}
+}
+
+func TestSamplerStream(t *testing.T) {
+	s := NewSampler(100)
+	var got []int
+	s.Stream(func(smp Sample) { got = append(got, smp.Interval) })
+	s.Add(Sample{Interval: 0})
+	s.Add(Sample{Interval: 1})
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("stream sink saw %v, want [0 1]", got)
+	}
+	if len(s.Samples()) != 2 {
+		t.Errorf("stored series has %d samples, want 2 (sink must not replace storage)", len(s.Samples()))
+	}
+}

@@ -63,6 +63,10 @@ type Sample struct {
 type Sampler struct {
 	every   uint64
 	samples []Sample
+	// sink, when non-nil, additionally receives every sample as it is
+	// recorded (live streaming to a JobFeed); called synchronously on
+	// the simulator goroutine.
+	sink func(Sample)
 }
 
 // NewSampler returns a sampler with the given interval in retired
@@ -75,7 +79,18 @@ func NewSampler(every uint64) *Sampler {
 func (s *Sampler) Every() uint64 { return s.every }
 
 // Add appends one snapshot.
-func (s *Sampler) Add(smp Sample) { s.samples = append(s.samples, smp) }
+func (s *Sampler) Add(smp Sample) {
+	s.samples = append(s.samples, smp)
+	if s.sink != nil {
+		s.sink(smp)
+	}
+}
+
+// Stream attaches a live sink invoked for every recorded sample, in
+// order, from the simulator goroutine. The sink must be fast or hand
+// off; it does not affect the stored series. Call before the run
+// starts.
+func (s *Sampler) Stream(sink func(Sample)) { s.sink = sink }
 
 // Samples returns the recorded series (not a copy; callers must not
 // mutate).

@@ -23,6 +23,7 @@ go test ./...
 go vet ./...
 go test -race ./internal/experiments ./internal/sim
 go test -race ./internal/cache ./internal/replacement
+go test -race ./internal/service
 
 # Fault-injection suite: panic isolation, watchdog deadlines, bounded
 # retry, checkpoint round-trips, and the invariant checkers.
@@ -55,3 +56,47 @@ go run ./cmd/triagesim -bench mcf -pf triage-1m -warmup 100000 -measure 200000 \
 test -s "$smokedir/samples.jsonl"
 test -s "$smokedir/events.jsonl"
 grep -q '"meta_ways"' "$smokedir/samples.jsonl"
+
+# Service smoke: the same job run directly (triagesim -json) and through
+# the triaged HTTP service (triagectl) must produce byte-identical
+# results and sampled series; a second submission must be served from
+# the warm store, still byte-identical; SIGTERM must drain cleanly.
+go build -o "$smokedir/triagesim" ./cmd/triagesim
+go build -o "$smokedir/triaged" ./cmd/triaged
+go build -o "$smokedir/triagectl" ./cmd/triagectl
+"$smokedir/triagesim" -bench mcf -pf triage-1m -warmup 100000 -measure 200000 \
+    -sample 50000 -sampleout "$smokedir/direct-samples.jsonl" \
+    -json "$smokedir/direct.json" >/dev/null
+"$smokedir/triaged" -listen 127.0.0.1:0 -portfile "$smokedir/port" \
+    -store "$smokedir/store" -queue 8 -workers 2 &
+triaged_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$smokedir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/triagectl" -addr "$addr" submit -bench mcf -pf triage-1m \
+    -warmup 100000 -measure 200000 -sample 50000 -wait \
+    -o "$smokedir/api.json" -telemetry "$smokedir/api-samples.jsonl"
+cmp "$smokedir/direct.json" "$smokedir/api.json"
+cmp "$smokedir/direct-samples.jsonl" "$smokedir/api-samples.jsonl"
+kill -TERM "$triaged_pid"
+wait "$triaged_pid" # graceful drain must exit 0
+# Restart on the same store: the resubmission must be served from the
+# warm result store (no re-simulation), still byte-identical.
+rm -f "$smokedir/port"
+"$smokedir/triaged" -listen 127.0.0.1:0 -portfile "$smokedir/port" \
+    -store "$smokedir/store" -queue 8 -workers 2 &
+triaged_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$smokedir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/triagectl" -addr "$addr" submit -bench mcf -pf triage-1m \
+    -warmup 100000 -measure 200000 -sample 50000 -wait \
+    -o "$smokedir/warm.json" 2>"$smokedir/warm.log"
+cmp "$smokedir/direct.json" "$smokedir/warm.json"
+grep -q "warm store" "$smokedir/warm.log"
+kill -TERM "$triaged_pid"
+wait "$triaged_pid"
