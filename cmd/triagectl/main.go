@@ -14,14 +14,17 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -42,13 +45,18 @@ func usage() error {
 func run(args []string) error {
 	global := flag.NewFlagSet("triagectl", flag.ContinueOnError)
 	addr := global.String("addr", "127.0.0.1:8080", "triaged address (HOST:PORT)")
+	maxRetries := global.Int("max-retries", 8, "retries for transient failures (connection refused/reset, 5xx) with capped exponential backoff")
 	if err := global.Parse(args); err != nil {
 		return err
 	}
 	if global.NArg() == 0 {
 		return usage()
 	}
-	c := &client{base: "http://" + *addr}
+	c := &client{
+		base:       "http://" + *addr,
+		maxRetries: *maxRetries,
+		rng:        rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
 	cmd, rest := global.Arg(0), global.Args()[1:]
 	switch cmd {
 	case "submit":
@@ -70,10 +78,107 @@ func run(args []string) error {
 	}
 }
 
-// client wraps the service HTTP API.
+// client wraps the service HTTP API. All requests go through do,
+// which retries transient failures: the server restarting (connection
+// refused/reset) or answering 5xx. Retrying a submit is safe because
+// job ids are content-addressed — resubmitting the same spec after an
+// ambiguous failure lands on the same job (deduped or served warm),
+// never a duplicate simulation.
 type client struct {
-	base string
-	http http.Client
+	base       string
+	http       http.Client
+	maxRetries int
+
+	mu  sync.Mutex // guards rng (cmdFigures retries concurrently)
+	rng *rand.Rand
+}
+
+// backoffBase and backoffCap bound the retry schedule:
+// backoffBase·2^attempt, capped, ±25% jitter.
+const (
+	backoffBase = 250 * time.Millisecond
+	backoffCap  = 5 * time.Second
+)
+
+// backoffDelay computes the capped exponential backoff with jitter for
+// the given retry attempt (0-based). The jitter keeps a fleet of
+// clients from hammering a recovering server in lockstep.
+func backoffDelay(attempt int, rng *rand.Rand) time.Duration {
+	d := backoffBase << uint(min(attempt, 20))
+	if d <= 0 || d > backoffCap {
+		d = backoffCap
+	}
+	// ±25%: uniform in [0.75d, 1.25d].
+	jitter := time.Duration(rng.Int63n(int64(d)/2+1)) - d/4
+	return d + jitter
+}
+
+// retryableNetErr reports whether err is a transient connection
+// failure worth retrying: the server may be restarting behind the
+// same address (refused), or it died mid-exchange (reset, abrupt EOF).
+func retryableNetErr(err error) bool {
+	return errors.Is(err, syscall.ECONNREFUSED) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, io.EOF) ||
+		errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// do issues one API request, retrying per the client's budget. 429
+// backpressure is not a failure and does not consume the budget — the
+// server asked us to wait, so we wait as long as it keeps asking.
+func (c *client) do(method, path string, body []byte) (*http.Response, error) {
+	attempt := 0
+	for {
+		var rdr io.Reader
+		if body != nil {
+			rdr = bytes.NewReader(body)
+		}
+		req, err := http.NewRequest(method, c.base+path, rdr)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http.Do(req)
+		switch {
+		case err != nil:
+			if !retryableNetErr(err) || attempt >= c.maxRetries {
+				return nil, err
+			}
+		case resp.StatusCode == http.StatusTooManyRequests:
+			delay := retryAfter(resp, 2*time.Second)
+			resp.Body.Close()
+			fmt.Fprintf(os.Stderr, "triagectl: queue full, retrying in %v\n", delay)
+			time.Sleep(delay)
+			continue
+		case resp.StatusCode < http.StatusInternalServerError:
+			return resp, nil
+		default:
+			if attempt >= c.maxRetries {
+				return resp, nil // caller renders the 5xx via apiError
+			}
+		}
+		c.mu.Lock()
+		delay := backoffDelay(attempt, c.rng)
+		c.mu.Unlock()
+		reason := ""
+		if err != nil {
+			reason = err.Error()
+		} else {
+			reason = resp.Status
+			// A degraded server hints when to come back; honor it if it
+			// is longer than our own schedule.
+			if ra := retryAfter(resp, 0); ra > delay {
+				delay = ra
+			}
+			resp.Body.Close()
+		}
+		attempt++
+		fmt.Fprintf(os.Stderr, "triagectl: %s %s: %s — retry %d/%d in %v\n",
+			method, path, reason, attempt, c.maxRetries, delay)
+		time.Sleep(delay)
+	}
 }
 
 // apiError decodes the service's error envelope into a Go error.
@@ -89,7 +194,7 @@ func apiError(resp *http.Response) error {
 }
 
 func (c *client) getJSON(path string, v any) error {
-	resp, err := c.http.Get(c.base + path)
+	resp, err := c.do(http.MethodGet, path, nil)
 	if err != nil {
 		return err
 	}
@@ -100,33 +205,24 @@ func (c *client) getJSON(path string, v any) error {
 	return json.NewDecoder(resp.Body).Decode(v)
 }
 
-// submit posts a job, retrying on 429 backpressure using the server's
-// Retry-After hint.
+// submit posts a job. Backpressure (429) and transient failures are
+// retried by do; resubmission is idempotent (content-addressed ids).
 func (c *client) submit(spec service.JobSpec) (service.SubmitResponse, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return service.SubmitResponse{}, err
 	}
-	for {
-		resp, err := c.http.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
-		if err != nil {
-			return service.SubmitResponse{}, err
-		}
-		if resp.StatusCode == http.StatusTooManyRequests {
-			delay := retryAfter(resp, 2*time.Second)
-			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "triagectl: queue full, retrying in %v\n", delay)
-			time.Sleep(delay)
-			continue
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
-			return service.SubmitResponse{}, apiError(resp)
-		}
-		var sr service.SubmitResponse
-		err = json.NewDecoder(resp.Body).Decode(&sr)
-		return sr, err
+	resp, err := c.do(http.MethodPost, "/v1/jobs", body)
+	if err != nil {
+		return service.SubmitResponse{}, err
 	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusCreated {
+		return service.SubmitResponse{}, apiError(resp)
+	}
+	var sr service.SubmitResponse
+	err = json.NewDecoder(resp.Body).Decode(&sr)
+	return sr, err
 }
 
 func retryAfter(resp *http.Response, fallback time.Duration) time.Duration {
@@ -158,7 +254,7 @@ func (c *client) wait(id string) (service.JobStatus, error) {
 // fetchResult downloads a finished job's result envelope.
 func (c *client) fetchResult(id string) (service.JobResult, error) {
 	var jr service.JobResult
-	resp, err := c.http.Get(c.base + "/v1/jobs/" + id + "/result")
+	resp, err := c.do(http.MethodGet, "/v1/jobs/"+id+"/result", nil)
 	if err != nil {
 		return jr, err
 	}

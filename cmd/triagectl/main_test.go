@@ -1,0 +1,221 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// TestBackoffDelaySchedule pins the retry schedule: exponential from
+// the base, capped, and always within the ±25% jitter band.
+func TestBackoffDelaySchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for attempt := 0; attempt < 16; attempt++ {
+		want := backoffBase << uint(attempt)
+		if want <= 0 || want > backoffCap {
+			want = backoffCap
+		}
+		for i := 0; i < 100; i++ {
+			got := backoffDelay(attempt, rng)
+			if got < want*3/4 || got > want*5/4 {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, got, want*3/4, want*5/4)
+			}
+		}
+	}
+	// Deep attempts must never overflow into negative or zero delays.
+	if d := backoffDelay(63, rng); d < backoffCap*3/4 {
+		t.Fatalf("attempt 63: delay %v, want ~%v (cap)", d, backoffCap)
+	}
+}
+
+// TestRetryableNetErr classifies transport errors the way the CLI
+// retries them: refused/reset (server restarting) retry, everything
+// else surfaces immediately.
+func TestRetryableNetErr(t *testing.T) {
+	wrapped := &url.Error{Op: "Post", URL: "http://x", Err: fmt.Errorf("dial: %w", syscall.ECONNREFUSED)}
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.ECONNREFUSED, true},
+		{syscall.ECONNRESET, true},
+		{wrapped, true},
+		{errors.New("no such host"), false},
+		{syscall.EACCES, false},
+	}
+	for _, c := range cases {
+		if got := retryableNetErr(c.err); got != c.want {
+			t.Errorf("retryableNetErr(%v) = %t, want %t", c.err, got, c.want)
+		}
+	}
+}
+
+// testClient builds a client with a tiny deterministic backoff so
+// retry tests run fast.
+func testClient(base string, retries int) *client {
+	return &client{base: base, maxRetries: retries, rng: rand.New(rand.NewSource(42))}
+}
+
+// TestDoRetries5xxThenSucceeds serves two 503s then a success and
+// verifies the client rides through them.
+func TestDoRetries5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 3)
+	start := time.Now()
+	resp, err := c.do(http.MethodGet, "/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d after retries, want 200", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 3 {
+		t.Errorf("server saw %d requests, want 3", n)
+	}
+	// Two waits: ~250ms + ~500ms, ±25%.
+	if e := time.Since(start); e < 500*time.Millisecond {
+		t.Errorf("retries finished in %v, want ≥ 500ms of backoff", e)
+	}
+}
+
+// TestDoGivesUpAfterBudget verifies the retry budget is honored and
+// the final 5xx is returned for error rendering.
+func TestDoGivesUpAfterBudget(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 1)
+	resp, err := c.do(http.MethodGet, "/", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want the final 500", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("server saw %d requests, want 2 (1 try + 1 retry)", n)
+	}
+}
+
+// TestDoRetriesConnectionRefused points the client at a dead address:
+// every attempt is refused, the budget is consumed, and the transport
+// error surfaces.
+func TestDoRetriesConnectionRefused(t *testing.T) {
+	// Bind-then-close guarantees an unused port that refuses.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := ts.URL
+	ts.Close()
+
+	c := testClient(dead, 2)
+	start := time.Now()
+	_, err := c.do(http.MethodGet, "/", nil)
+	if err == nil {
+		t.Fatal("dead server supposedly answered")
+	}
+	if !retryableNetErr(err) {
+		t.Fatalf("final error %v is not the refused/reset class that was retried", err)
+	}
+	// Two waits (~250ms, ~500ms ±25%) prove retries actually happened.
+	if e := time.Since(start); e < 500*time.Millisecond {
+		t.Errorf("gave up after %v, want ≥ 500ms of backoff (2 retries)", e)
+	}
+}
+
+// TestDoDoesNotRetryClientErrors pins that 4xx responses surface
+// immediately: retrying a bad spec wastes the budget and hides bugs.
+func TestDoDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"bad","code":"bad_spec"}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 5)
+	resp, err := c.do(http.MethodPost, "/v1/jobs", []byte(`{}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Errorf("server saw %d requests, want 1 (no retry on 4xx)", n)
+	}
+}
+
+// TestSubmitRetriesAcrossRestart simulates the server vanishing and
+// coming back between submit attempts: the submit eventually lands
+// and the job id is the content-addressed one — no duplicate job.
+func TestSubmitRetriesAcrossRestart(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable) // draining before "restart"
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"jdeadbeef","state":"queued"}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 3)
+	sr, err := c.submit(service.JobSpec{Kind: service.KindSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.ID != "jdeadbeef" {
+		t.Errorf("submit landed on job %q, want jdeadbeef", sr.ID)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("server saw %d submits, want 2", n)
+	}
+}
+
+// TestApiErrorRendersEnvelope checks the structured error envelope is
+// surfaced to the user, code included via the prose.
+func TestApiErrorRendersEnvelope(t *testing.T) {
+	resp := &http.Response{
+		Status:     "400 Bad Request",
+		StatusCode: http.StatusBadRequest,
+		Body:       http.NoBody,
+	}
+	resp.Body = httpBody(`{"error":"decoding job spec: boom","code":"bad_spec"}`)
+	err := apiError(resp)
+	if err == nil || !strings.Contains(err.Error(), "decoding job spec: boom") {
+		t.Fatalf("apiError = %v, want the envelope prose", err)
+	}
+}
+
+func httpBody(s string) *bodyReader { return &bodyReader{Reader: strings.NewReader(s)} }
+
+type bodyReader struct{ *strings.Reader }
+
+func (b *bodyReader) Close() error { return nil }

@@ -81,7 +81,18 @@ func run() error {
 	fmt.Fprintf(os.Stderr, "triaged: serving on http://%s (store %s, %d workers, queue %d)\n",
 		ln.Addr(), *store, *workers, *queueCap)
 
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	// Non-zero timeouts everywhere a slow or dead client could
+	// otherwise pin a connection: headers and bodies are small (submits
+	// are capped at 1 MiB), so generous-but-finite limits only ever
+	// bite misbehaving peers. SSE streams outlive WriteTimeout by
+	// re-arming a per-write deadline via http.ResponseController.
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"bytes"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"io/fs"
 	"os"
@@ -12,16 +14,32 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/vfs"
 )
 
 // checkpointVersion is bumped whenever the record layout (or the
-// meaning of sim.Result fields) changes; a store written by another
-// version is refused rather than silently misread. Version 2 added the
-// fingerprint header and blob records.
-const checkpointVersion = 2
+// meaning of sim.Result fields) changes. Version 2 added the
+// fingerprint header and blob records; version 3 frames every record
+// with a CRC32 so corruption anywhere in the file — not just a torn
+// tail — is detected and quarantined instead of silently served.
+// Version-2 stores are still readable: they are upgraded to v3 in
+// place (atomically) on open.
+const (
+	checkpointVersion   = 3
+	checkpointVersionV2 = 2
+)
 
-// checkpointFile is the store's single append-only log.
-const checkpointFile = "runs.jsonl"
+// checkpointFile is the store's single append-only log;
+// quarantineFile collects the raw bytes of any record that failed its
+// integrity check, for forensics.
+const (
+	checkpointFile = "runs.jsonl"
+	quarantineFile = "quarantine.jsonl"
+)
+
+// crcTable is the Castagnoli polynomial (hardware-accelerated on
+// amd64/arm64), the standard choice for storage checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // checkpointHeader is the store's first line: the format version plus
 // the configuration fingerprint every record in the store was
@@ -48,88 +66,231 @@ type checkpointRecord struct {
 	IsBlob  bool       `json:"is_blob,omitempty"`
 }
 
-// Checkpoint is a versioned, fingerprinted on-disk store of completed
-// runs, keyed like the single-flight cache ("bench/config"). Records
-// are appended as complete JSONL lines after a header naming the
-// configuration fingerprint; on open, a torn tail (from a kill mid-
-// write) is truncated away so the next append cannot merge into it,
-// and a store whose fingerprint does not match the caller's is refused
-// with an error instead of silently restoring stale results.
-type Checkpoint struct {
-	mu   sync.Mutex
-	f    *os.File
-	fp   string
-	seen map[string]checkpointRecord
-	err  error // first write error, reported at Close
+// frameRecord renders one v3 line: 8 hex digits of CRC32-C over the
+// JSON payload, a space, the payload, a newline. The checksum covers
+// exactly the bytes a reader will parse, so any mid-file bit flip,
+// overwrite, or merged line fails verification.
+func frameRecord(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+10)
+	var crc [4]byte
+	sum := crc32.Checksum(payload, crcTable)
+	crc[0], crc[1], crc[2], crc[3] = byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum)
+	out = append(out, hex.EncodeToString(crc[:])...)
+	out = append(out, ' ')
+	out = append(out, payload...)
+	out = append(out, '\n')
+	return out
 }
 
-// OpenCheckpoint opens (or creates) the store in dir, loading every
-// complete record already present. fingerprint stamps a fresh store
-// and is checked against an existing one: pass the output of
-// Params.Fingerprint (or ConfigFingerprint) for the configuration
-// whose results the store holds. A mismatch — the store was written
-// under different machine parameters, workloads, or windows — is an
-// error; delete the directory (or rerun with the original parameters)
-// to proceed.
-func OpenCheckpoint(dir, fingerprint string) (*Checkpoint, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
+// unframeRecord verifies and strips a v3 frame, returning the JSON
+// payload or an error describing why the line cannot be trusted.
+func unframeRecord(line []byte) ([]byte, error) {
+	if len(line) < 9 || line[8] != ' ' {
+		return nil, errors.New("missing CRC frame")
 	}
-	path := filepath.Join(dir, checkpointFile)
-	data, err := os.ReadFile(path)
-	if err != nil && !errors.Is(err, fs.ErrNotExist) {
-		return nil, err
+	var crc [4]byte
+	if _, err := hex.Decode(crc[:], line[:8]); err != nil {
+		return nil, errors.New("malformed CRC")
 	}
-	c := &Checkpoint{fp: fingerprint, seen: make(map[string]checkpointRecord)}
-	good := 0
+	want := uint32(crc[0])<<24 | uint32(crc[1])<<16 | uint32(crc[2])<<8 | uint32(crc[3])
+	payload := line[9:]
+	if got := crc32.Checksum(payload, crcTable); got != want {
+		return nil, fmt.Errorf("CRC mismatch (stored %08x, computed %08x)", want, got)
+	}
+	return payload, nil
+}
+
+// parsedStore is the outcome of scanning a store file: the surviving
+// records in file order, the length of the clean prefix (for the
+// truncate-only fast path), the raw bytes of quarantined lines, and
+// whether the file must be rewritten (legacy format or mid-file
+// corruption) rather than merely truncated.
+type parsedStore struct {
+	recs        []checkpointRecord
+	good        int
+	quarantined [][]byte
+	rewrite     bool
+}
+
+// parseStore scans one store file. It is a pure function of its
+// inputs (fuzzed directly in checkpoint_fuzz_test.go) and must never
+// panic on arbitrary bytes. A version or fingerprint mismatch in an
+// intact header is an error; corrupt records are quarantined, not
+// fatal; a torn tail (no trailing newline) is dropped.
+func parseStore(data []byte, fingerprint string) (parsedStore, error) {
+	var p parsedStore
+	legacy := false
 	first := true
-	for good < len(data) {
-		nl := bytes.IndexByte(data[good:], '\n')
+	for p.good < len(data) {
+		nl := bytes.IndexByte(data[p.good:], '\n')
 		if nl < 0 {
-			break // torn tail: record never finished writing
+			// Torn tail: the record never finished writing. Quarantine the
+			// fragment for forensics and stop.
+			p.quarantined = append(p.quarantined, append([]byte(nil), data[p.good:]...))
+			break
 		}
-		line := data[good : good+nl]
+		line := data[p.good : p.good+nl]
 		if first {
 			var hdr checkpointHeader
 			if json.Unmarshal(line, &hdr) != nil {
-				break // torn/corrupt header: treat the store as empty
+				if p.good+nl+1 >= len(data) {
+					// A lone corrupt header is a crash during store creation:
+					// nothing can have been acknowledged, start over.
+					p.quarantined = append(p.quarantined, append([]byte(nil), line...))
+					p.good = 0
+					p.rewrite = true
+					return p, nil
+				}
+				return p, fmt.Errorf("checkpoint header is corrupt but records follow; refusing to guess (quarantine or delete the store)")
 			}
-			if hdr.V != checkpointVersion {
-				return nil, fmt.Errorf("checkpoint %s: format version %d, this build writes %d (delete the directory to start over)",
-					path, hdr.V, checkpointVersion)
+			switch hdr.V {
+			case checkpointVersion:
+			case checkpointVersionV2:
+				legacy = true
+				p.rewrite = true // upgrade to v3 framing on open
+			default:
+				return p, fmt.Errorf("checkpoint format version %d, this build writes %d (delete the directory to start over)",
+					hdr.V, checkpointVersion)
 			}
 			if hdr.FP != fingerprint {
-				return nil, fmt.Errorf("checkpoint %s holds results for a different configuration (fingerprint %.12s..., want %.12s...): it was written under different machine parameters, workloads, or instruction windows — delete the directory or rerun with the original parameters",
-					path, hdr.FP, fingerprint)
+				return p, fmt.Errorf("checkpoint holds results for a different configuration (fingerprint %.12s..., want %.12s...): it was written under different machine parameters, workloads, or instruction windows — delete the directory or rerun with the original parameters",
+					hdr.FP, fingerprint)
 			}
 			first = false
-			good += nl + 1
+			p.good += nl + 1
 			continue
 		}
+		payload := line
+		wantV := checkpointVersionV2
+		if !legacy {
+			wantV = checkpointVersion
+			var err error
+			if payload, err = unframeRecord(line); err != nil {
+				p.quarantined = append(p.quarantined, append([]byte(nil), line...))
+				p.rewrite = true
+				p.good += nl + 1
+				continue
+			}
+		}
 		var rec checkpointRecord
-		if json.Unmarshal(line, &rec) != nil {
-			break // torn or corrupt: drop this and everything after
+		if json.Unmarshal(payload, &rec) != nil || rec.V != wantV || rec.Key == "" {
+			p.quarantined = append(p.quarantined, append([]byte(nil), line...))
+			p.rewrite = true
+			p.good += nl + 1
+			continue
 		}
-		if rec.V != checkpointVersion {
-			return nil, fmt.Errorf("checkpoint %s: record version %d, this build writes %d (delete the directory to start over)",
-				path, rec.V, checkpointVersion)
-		}
-		c.seen[rec.Key] = rec
-		good += nl + 1
+		rec.V = checkpointVersion
+		p.recs = append(p.recs, rec)
+		p.good += nl + 1
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	return p, nil
+}
+
+// Checkpoint is a versioned, fingerprinted, checksummed on-disk store
+// of completed runs, keyed like the single-flight cache
+// ("bench/config"). Records are appended as CRC32-framed JSONL lines
+// after a header naming the configuration fingerprint, and every
+// append is fsynced before it is acknowledged. On open, a torn tail
+// (from a kill mid-write) is truncated away, a mid-file record that
+// fails its checksum is quarantined to quarantine.jsonl (and the
+// store compacted) rather than served, and a store whose fingerprint
+// does not match the caller's is refused with an error instead of
+// silently restoring stale results.
+type Checkpoint struct {
+	mu          sync.Mutex
+	fsys        vfs.FS
+	dir         string
+	f           vfs.File
+	fp          string
+	seen        map[string]checkpointRecord
+	quarantined int
+	err         error // first write error, reported at Close
+}
+
+// OpenCheckpoint opens (or creates) the store in dir on the real
+// filesystem. See OpenCheckpointFS.
+func OpenCheckpoint(dir, fingerprint string) (*Checkpoint, error) {
+	return OpenCheckpointFS(vfs.OS{}, dir, fingerprint)
+}
+
+// OpenCheckpointFS opens (or creates) the store in dir on fsys,
+// loading every record that passes its integrity check. fingerprint
+// stamps a fresh store and is checked against an existing one: pass
+// the output of Params.Fingerprint (or ConfigFingerprint) for the
+// configuration whose results the store holds. A mismatch — the store
+// was written under different machine parameters, workloads, or
+// instruction windows — is an error; delete the directory (or rerun
+// with the original parameters) to proceed.
+func OpenCheckpointFS(fsys vfs.FS, dir, fingerprint string) (*Checkpoint, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, checkpointFile)
+	data, err := fsys.ReadFile(path)
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return nil, err
+	}
+	p, err := parseStore(data, fingerprint)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint %s: %w", path, err)
+	}
+	c := &Checkpoint{fsys: fsys, dir: dir, fp: fingerprint, seen: make(map[string]checkpointRecord, len(p.recs))}
+	for _, rec := range p.recs {
+		c.seen[rec.Key] = rec
+	}
+	if len(p.quarantined) > 0 {
+		c.quarantined = len(p.quarantined)
+		quarantine(fsys, dir, p.quarantined)
+	}
+	if p.rewrite {
+		// Legacy format or mid-file corruption: rewrite the store
+		// compacted to its surviving records, crash-atomically, so the
+		// next scan is clean and v3-framed throughout.
+		var buf bytes.Buffer
+		hdr, err := json.Marshal(checkpointHeader{V: checkpointVersion, FP: fingerprint})
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(hdr)
+		buf.WriteByte('\n')
+		for _, rec := range p.recs {
+			b, err := json.Marshal(rec)
+			if err != nil {
+				return nil, err
+			}
+			buf.Write(frameRecord(b))
+		}
+		if err := vfs.WriteFileAtomic(fsys, path, buf.Bytes(), 0o644); err != nil {
+			return nil, err
+		}
+		f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		c.f = f
+		return c, nil
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	if err := f.Truncate(int64(good)); err != nil {
+	if int64(p.good) < int64(len(data)) {
+		// Torn tail: cut it off and make the cut durable before the next
+		// append can merge into it.
+		if err := f.Truncate(int64(p.good)); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(p.good), io.SeekStart); err != nil {
 		f.Close()
 		return nil, err
 	}
-	if _, err := f.Seek(int64(good), io.SeekStart); err != nil {
-		f.Close()
-		return nil, err
-	}
-	if good == 0 {
+	if p.good == 0 {
 		hdr, err := json.Marshal(checkpointHeader{V: checkpointVersion, FP: fingerprint})
 		if err != nil {
 			f.Close()
@@ -139,31 +300,60 @@ func OpenCheckpoint(dir, fingerprint string) (*Checkpoint, error) {
 			f.Close()
 			return nil, err
 		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, err
+		}
 	}
 	c.f = f
 	return c, nil
+}
+
+// quarantine appends the raw bytes of rejected records to
+// quarantine.jsonl, one line each. Best effort: quarantine exists for
+// forensics, and a failure to write it must not block recovery of the
+// healthy records.
+func quarantine(fsys vfs.FS, dir string, lines [][]byte) {
+	f, err := fsys.OpenFile(filepath.Join(dir, quarantineFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	for _, line := range lines {
+		f.Write(append(line, '\n'))
+	}
+	f.Sync()
 }
 
 // Fingerprint returns the configuration fingerprint the store was
 // opened with.
 func (c *Checkpoint) Fingerprint() string { return c.fp }
 
-// Put appends one completed run. Duplicate keys are ignored (the
-// single-flight cache already guarantees one simulation per key; a
-// resumed run only writes keys it actually simulated). Write errors
-// are latched and surfaced by Err/Close rather than failing the run —
-// a broken checkpoint must not abort a healthy sweep.
-func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) {
-	c.put(checkpointRecord{V: checkpointVersion, Key: key, Result: res, Samples: samples})
+// Quarantined returns how many corrupt records were detected and
+// quarantined when the store was opened.
+func (c *Checkpoint) Quarantined() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.quarantined
+}
+
+// Put appends one completed run and fsyncs it; the record is durable
+// when Put returns nil. Duplicate keys are ignored (the single-flight
+// cache already guarantees one simulation per key; a resumed run only
+// writes keys it actually simulated). Errors are returned for callers
+// that must react (the service's degraded mode) and also latched for
+// Err/Close — a broken checkpoint must not abort a healthy sweep.
+func (c *Checkpoint) Put(key string, res sim.Result, samples []byte) error {
+	return c.put(checkpointRecord{V: checkpointVersion, Key: key, Result: res, Samples: samples})
 }
 
 // PutBlob appends one opaque payload under key (the service's
 // figure-table results). Blob and run records share the key space.
-func (c *Checkpoint) PutBlob(key string, blob []byte) {
-	c.put(checkpointRecord{V: checkpointVersion, Key: key, Blob: blob, IsBlob: true})
+func (c *Checkpoint) PutBlob(key string, blob []byte) error {
+	return c.put(checkpointRecord{V: checkpointVersion, Key: key, Blob: blob, IsBlob: true})
 }
 
-func (c *Checkpoint) put(rec checkpointRecord) {
+func (c *Checkpoint) put(rec checkpointRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		c.mu.Lock()
@@ -171,20 +361,42 @@ func (c *Checkpoint) put(rec checkpointRecord) {
 			c.err = err
 		}
 		c.mu.Unlock()
-		return
+		return err
 	}
-	data = append(data, '\n')
+	framed := frameRecord(data)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if _, ok := c.seen[rec.Key]; ok {
-		return
+		return nil
 	}
 	if c.f != nil {
-		if _, err := c.f.Write(data); err != nil && c.err == nil {
-			c.err = err
+		if _, err := c.f.Write(framed); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return err
+		}
+		if err := c.f.Sync(); err != nil {
+			if c.err == nil {
+				c.err = err
+			}
+			return err
 		}
 	}
 	c.seen[rec.Key] = rec
+	return nil
+}
+
+// Sync flushes the store file; a nil return means every acknowledged
+// record is on stable storage. Used by the service's recovery probe
+// to test whether a previously failing disk has healed.
+func (c *Checkpoint) Sync() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	return c.f.Sync()
 }
 
 // Get returns the stored result for key, if present as a run record.
@@ -230,6 +442,15 @@ func (c *Checkpoint) Err() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.err
+}
+
+// ClearErr drops the latched write error. The service calls this once
+// its recovery probe has re-persisted everything that failed, so an
+// already-recovered incident does not surface again at Close.
+func (c *Checkpoint) ClearErr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.err = nil
 }
 
 // Close flushes and closes the store, returning the first error seen.

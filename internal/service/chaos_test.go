@@ -1,0 +1,218 @@
+package service
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vfs"
+)
+
+// chaosSpecs is the workload the chaos harness pushes through every
+// cycle: distinct seeds give distinct content keys.
+func chaosSpecs() []JobSpec {
+	specs := make([]JobSpec, 6)
+	for i := range specs {
+		specs[i] = tinySpec(uint64(i + 1))
+	}
+	return specs
+}
+
+// keyOf canonicalizes a spec to its content key (test helper).
+func keyOf(t *testing.T, spec JobSpec) string {
+	t.Helper()
+	if err := spec.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	return spec.key()
+}
+
+// waitTerminal polls a job until done or failed.
+func waitTerminal(t *testing.T, srv *Server, j *Job) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		st := srv.Status(j)
+		if st.State == StateDone || st.State == StateFailed {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", j.ID())
+	return JobStatus{}
+}
+
+// TestChaosKillRestartLoop is the crash-consistency harness: the
+// service runs over a crashable in-memory disk with a seeded fault
+// schedule (failed and torn writes, failed fsyncs), and is killed —
+// power off, then a crash that keeps only fsynced bytes plus a random
+// torn prefix — and restarted, three times. Invariants checked across
+// every cycle:
+//
+//   - no acknowledged job is lost: after each restart, every job whose
+//     submission was acknowledged is either durably in the result
+//     store or re-admitted from the admission log;
+//   - no cell is simulated twice: once a key's result is durable in
+//     the store, no later cycle ever re-simulates it;
+//   - byte-identical results: after the disk heals, resubmitting the
+//     whole workload yields result payloads identical to a fault-free
+//     baseline run.
+func TestChaosKillRestartLoop(t *testing.T) {
+	specs := chaosSpecs()
+	keys := make([]string, len(specs))
+	for i, spec := range specs {
+		keys[i] = keyOf(t, spec)
+	}
+
+	// Fault-free baseline on a pristine in-memory disk.
+	baseline := make(map[string][]byte)
+	{
+		srv, err := New(Config{StoreDir: "store", FS: vfs.NewMem(7), Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, spec := range specs {
+			j, _, err := srv.Submit(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := waitTerminal(t, srv, j); st.State != StateDone {
+				t.Fatalf("baseline job %s failed: %s", keys[i], st.Error)
+			}
+			payload, ok := srv.Result(j)
+			if !ok {
+				t.Fatalf("baseline job %s has no result", keys[i])
+			}
+			baseline[keys[i]] = payload
+		}
+		srv.Drain()
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The chaos disk, shared across every restart.
+	mem := vfs.NewMem(1234)
+	faulty := vfs.NewFaulty(mem, vfs.Plan{Seed: 1234})
+
+	var mu sync.Mutex
+	acked := make(map[string]bool)   // submissions the server acknowledged
+	durable := make(map[string]bool) // keys seen in the store at a restart boundary
+	simCount := make(map[string]int) // simulations per key, across all cycles
+	gate := func(key string) {
+		mu.Lock()
+		defer mu.Unlock()
+		simCount[key]++
+		if durable[key] {
+			t.Errorf("key %s re-simulated after its result was durable", key)
+		}
+	}
+
+	const restarts = 3
+	for cycle := 0; cycle <= restarts; cycle++ {
+		// Every cycle starts on a healed disk (the fault schedule models
+		// a failing run, not a failing mount).
+		faulty.Heal()
+		srv, err := New(Config{
+			StoreDir:      "store",
+			FS:            faulty,
+			Workers:       2,
+			ProbeInterval: 25 * time.Millisecond,
+			Gate:          gate,
+		})
+		if err != nil {
+			t.Fatalf("cycle %d: reopening the store after a crash: %v", cycle, err)
+		}
+
+		// Invariants at the restart boundary: acknowledged jobs survived
+		// (either durable or re-admitted), and durable keys are recorded
+		// so the gate can catch any re-simulation.
+		mu.Lock()
+		for _, key := range keys {
+			if srv.store.Has(key) {
+				durable[key] = true
+			}
+		}
+		for key := range acked {
+			srv.mu.Lock()
+			_, inFlight := srv.byKey[key]
+			srv.mu.Unlock()
+			if !srv.store.Has(key) && !inFlight {
+				t.Errorf("cycle %d: acknowledged job %s lost across the crash", cycle, key)
+			}
+		}
+		mu.Unlock()
+
+		if cycle < restarts {
+			// Chaotic cycle: some writes and fsyncs fail (some torn), then
+			// the machine dies mid-flight.
+			faulty.SetPlan(vfs.Plan{Seed: int64(1000 + cycle), PWrite: 0.3, PSync: 0.3, ShortWrites: true})
+			var jobs []*Job
+			for _, spec := range specs {
+				j, _, err := srv.Submit(spec)
+				if err != nil {
+					continue // degraded/faulted submit: never acknowledged
+				}
+				mu.Lock()
+				acked[j.key] = true
+				mu.Unlock()
+				jobs = append(jobs, j)
+			}
+			// Let roughly half the work land, then pull the plug.
+			deadline := time.Now().Add(5 * time.Second)
+			for time.Now().Before(deadline) {
+				done := 0
+				for _, j := range jobs {
+					st := srv.Status(j)
+					if st.State == StateDone || st.State == StateFailed {
+						done++
+					}
+				}
+				if done >= len(jobs)/2 {
+					break
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+			faulty.PowerOff()
+			srv.Drain()
+			srv.Close() // error expected: the disk is "gone"
+			mem.Crash()
+			faulty.PowerOn()
+			continue
+		}
+
+		// Final cycle: healed disk, full workload, byte-exact results.
+		for i, spec := range specs {
+			j, _, err := srv.Submit(spec)
+			if err != nil {
+				t.Fatalf("final cycle: submitting %s: %v", keys[i], err)
+			}
+			if st := waitTerminal(t, srv, j); st.State != StateDone {
+				t.Fatalf("final cycle: job %s failed: %s", keys[i], st.Error)
+			}
+			payload, ok := srv.Result(j)
+			if !ok {
+				t.Fatalf("final cycle: job %s has no result", keys[i])
+			}
+			if !bytes.Equal(payload, baseline[keys[i]]) {
+				t.Errorf("final cycle: result for %s differs from the fault-free baseline", keys[i])
+			}
+		}
+		srv.Drain()
+		if err := srv.Close(); err != nil {
+			t.Fatalf("final cycle: close: %v", err)
+		}
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, key := range keys {
+		if simCount[key] < 1 {
+			t.Errorf("key %s was never simulated", key)
+		}
+	}
+	if fc := faulty.Counters(); fc["write"]+fc["sync"] == 0 {
+		t.Error("fault schedule injected nothing; the chaos run exercised no faults")
+	}
+}

@@ -6,6 +6,26 @@ import (
 	"net/http"
 )
 
+// maxSubmitBytes bounds a submission body. A RunSpec is a few hundred
+// bytes; anything near the cap is malformed or malicious, and the
+// limit keeps a misbehaving client from buffering unbounded JSON into
+// the decoder.
+const maxSubmitBytes = 1 << 20
+
+// Error codes carried in the error envelope, so clients can branch on
+// semantics instead of parsing prose.
+const (
+	codeBadSpec   = "bad_spec"
+	codeQueueFull = "queue_full"
+	codeDraining  = "draining"
+	codeDegraded  = "degraded"
+	codeTooLarge  = "body_too_large"
+	codeNotFound  = "not_found"
+	codeNotReady  = "not_ready"
+	codeJobFailed = "job_failed"
+	codeInternal  = "internal"
+)
+
 // Handler returns the service's HTTP API:
 //
 //	POST /v1/jobs             submit a JobSpec    → SubmitResponse
@@ -14,11 +34,12 @@ import (
 //	GET  /v1/jobs/{id}/result finished result     → JobResult
 //	GET  /v1/jobs/{id}/events live progress       → SSE stream
 //	GET  /metrics             service counters    → JSON
-//	GET  /healthz             liveness            → 200 "ok"
+//	GET  /healthz             liveness            → 200 "ok", 503 when degraded
 //
 // Submission maps dispositions and errors to status codes: 201 fresh
-// admission, 200 dedup or warm-store hit, 400 invalid spec, 429 queue
-// full (with Retry-After), 503 draining.
+// admission, 200 dedup or warm-store hit, 400 invalid spec (error
+// envelope carries code "bad_spec"), 413 oversized body, 429 queue
+// full (with Retry-After), 503 draining or degraded.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -27,15 +48,15 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Write([]byte("ok\n"))
-	})
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
 
-// httpError is the error wire format.
+// httpError is the error wire format: human-readable prose plus a
+// stable machine-readable code.
 type httpError struct {
 	Error string `json:"error"`
+	Code  string `json:"code,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -45,16 +66,22 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, httpError{Error: msg})
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, httpError{Error: msg, Code: code})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxSubmitBytes)
 	var spec JobSpec
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding job spec: "+err.Error())
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, codeTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, codeBadSpec, "decoding job spec: "+err.Error())
 		return
 	}
 	j, disp, err := s.Submit(spec)
@@ -62,15 +89,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		var bad *BadSpecError
 		switch {
 		case errors.As(err, &bad):
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeError(w, http.StatusBadRequest, codeBadSpec, err.Error())
 		case errors.Is(err, ErrQueueFull):
 			// Backpressure, not failure: tell the client when to retry.
 			w.Header().Set("Retry-After", "5")
-			writeError(w, http.StatusTooManyRequests, err.Error())
+			writeError(w, http.StatusTooManyRequests, codeQueueFull, err.Error())
 		case errors.Is(err, ErrDraining):
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeError(w, http.StatusServiceUnavailable, codeDraining, err.Error())
+		case errors.Is(err, ErrDegraded):
+			// Degraded is transient: the recovery probe may bring the
+			// store back, so give clients a retry hint like 429 does.
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, codeDegraded, err.Error())
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeError(w, http.StatusInternalServerError, codeInternal, err.Error())
 		}
 		return
 	}
@@ -97,7 +129,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) jobFor(w http.ResponseWriter, r *http.Request) (*Job, bool) {
 	j, ok := s.Lookup(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+		writeError(w, http.StatusNotFound, codeNotFound, "unknown job "+r.PathValue("id"))
 	}
 	return j, ok
 }
@@ -120,14 +152,29 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(payload)
 	case StateFailed:
-		writeError(w, http.StatusConflict, "job failed: "+st.Error)
+		writeError(w, http.StatusConflict, codeJobFailed, "job failed: "+st.Error)
 	default:
 		// Not done yet: poll again shortly (or follow /events instead).
 		w.Header().Set("Retry-After", "2")
-		writeError(w, http.StatusAccepted, "job is "+string(st.State))
+		writeError(w, http.StatusAccepted, codeNotReady, "job is "+string(st.State))
 	}
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// handleHealthz is the liveness/readiness probe: 200 while healthy,
+// 503 with the cause while the store is failing — load balancers stop
+// routing submissions, and the degraded flag is scrapeable without
+// parsing /metrics.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{
+			"status": "degraded",
+			"cause":  s.DegradedCause(),
+		})
+		return
+	}
+	w.Write([]byte("ok\n"))
 }

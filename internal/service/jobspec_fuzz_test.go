@@ -1,0 +1,58 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzJobSpecDecode throws arbitrary JSON at the submission path
+// (decode with unknown fields rejected, then normalize), mirroring
+// handleSubmit. Invariants: never panic; a spec that normalizes has a
+// non-empty content key; and canonicalization is a fixpoint — the
+// normalized spec re-marshals, re-decodes, and re-normalizes to the
+// same key, so equivalent submissions always dedup onto one job.
+func FuzzJobSpecDecode(f *testing.F) {
+	single, _ := json.Marshal(tinySpec(1))
+	f.Add(single)
+	f.Add([]byte(`{"kind":"figure","figure":"fig05"}`))
+	f.Add([]byte(`{"kind":"figure","figure":"fig05","scale":{"warmup":1,"mixes":2}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"kind":"single","run":{"bench":"mcf","pf":"none"}}`))
+	f.Add([]byte(`{"kind":"bogus"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"priority":-1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var spec JobSpec
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields()
+		if dec.Decode(&spec) != nil {
+			return
+		}
+		if spec.normalize() != nil {
+			return
+		}
+		key := spec.key()
+		if key == "" {
+			t.Fatal("normalized spec has an empty content key")
+		}
+		if idOf(key) == "" {
+			t.Fatal("content key maps to an empty job id")
+		}
+		again, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("normalized spec does not re-marshal: %v", err)
+		}
+		var spec2 JobSpec
+		if err := json.Unmarshal(again, &spec2); err != nil {
+			t.Fatalf("normalized spec does not re-decode: %v", err)
+		}
+		if err := spec2.normalize(); err != nil {
+			t.Fatalf("canonical spec fails its own validation: %v", err)
+		}
+		if spec2.key() != key {
+			t.Fatalf("canonicalization not a fixpoint: %q -> %q", key, spec2.key())
+		}
+	})
+}

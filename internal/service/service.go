@@ -21,6 +21,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/vfs"
 )
 
 // queueFile persists admitted-but-unfinished jobs next to the result
@@ -48,6 +49,16 @@ type Config struct {
 	// before a job's simulation starts. Test hook for holding workers
 	// at a deterministic point — leave nil in production.
 	Gate func(key string)
+	// FS is the filesystem the durable state (result store, admission
+	// log) is written through. Nil means the real filesystem; tests
+	// substitute a vfs.Faulty/vfs.Mem stack to inject disk faults and
+	// crashes.
+	FS vfs.FS
+	// ProbeInterval paces the degraded-mode recovery probe: while the
+	// store is failing, the server retries persisting the preserved
+	// in-memory results this often, and returns to service when the
+	// disk recovers. Default 2s.
+	ProbeInterval time.Duration
 }
 
 // Submission errors mapped to HTTP status codes by the handlers.
@@ -56,6 +67,10 @@ var (
 	ErrQueueFull = errors.New("admission queue full")
 	// ErrDraining rejects submissions during graceful shutdown.
 	ErrDraining = errors.New("server is draining")
+	// ErrDegraded rejects submissions while the store is failing: the
+	// server is read-only (existing jobs and warm results still serve)
+	// until the recovery probe sees the disk heal.
+	ErrDegraded = errors.New("store is failing; server is degraded (read-only)")
 )
 
 // BadSpecError wraps a spec validation failure (HTTP 400).
@@ -84,19 +99,25 @@ const (
 // Create with New, serve its Handler, stop with Drain then Close.
 type Server struct {
 	cfg  Config
+	fsys vfs.FS
 	fp   string
 	pool *experiments.Pool
 	prog *telemetry.PoolProgress
 	q    *jobQueue
 
-	mu       sync.Mutex
-	store    *experiments.Checkpoint
-	queueLog *os.File
-	jobs     map[string]*Job // by id
-	byKey    map[string]*Job
-	seq      uint64
+	mu            sync.Mutex
+	store         *experiments.Checkpoint
+	queueLog      vfs.File
+	jobs          map[string]*Job // by id
+	byKey         map[string]*Job
+	seq           uint64
+	pending       []pendingResult // completed but not yet persisted (degraded mode)
+	degradedCause string
 
 	draining atomic.Bool
+	degraded atomic.Bool
+	stopOnce sync.Once
+	stopc    chan struct{}
 	wg       sync.WaitGroup
 	started  time.Time
 
@@ -107,10 +128,27 @@ type Server struct {
 	mStoreHits    expvar.Int
 	mRejectedFull expvar.Int
 	mRejectedDrng expvar.Int
+	mRejectedDegr expvar.Int
 	mCompleted    expvar.Int
 	mFailed       expvar.Int
 	mRunning      expvar.Int
 	mRestored     expvar.Int // queued jobs re-admitted at startup
+	mStoreErrors  expvar.Int // store/admission-log write or sync failures
+	mDegradedIn   expvar.Int // transitions into degraded mode
+	mRecovered    expvar.Int // successful recoveries out of degraded mode
+}
+
+// pendingResult is one completed job whose durable write failed: the
+// result stays correct in memory (served to clients, deduped onto)
+// and the recovery probe re-attempts persistence until the disk
+// heals. A crash before that loses only work that was never durable —
+// the job is still in the admission log and re-simulates on restart.
+type pendingResult struct {
+	key     string
+	isBlob  bool
+	res     sim.Result
+	samples []byte
+	blob    []byte
 }
 
 // New opens (or creates) the store directory, re-admits any jobs that
@@ -128,13 +166,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.FS == nil {
+		cfg.FS = vfs.OS{}
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = 2 * time.Second
+	}
 	fp := experiments.ConfigFingerprint(config.Default(1))
-	store, err := experiments.OpenCheckpoint(cfg.StoreDir, fp)
+	store, err := experiments.OpenCheckpointFS(cfg.FS, cfg.StoreDir, fp)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
 		cfg:     cfg,
+		fsys:    cfg.FS,
 		fp:      fp,
 		pool:    experiments.NewPool(cfg.Workers),
 		prog:    telemetry.NewPoolProgress(0),
@@ -142,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 		store:   store,
 		jobs:    make(map[string]*Job),
 		byKey:   make(map[string]*Job),
+		stopc:   make(chan struct{}),
 		started: time.Now(),
 	}
 	s.pool.SetProgress(s.prog)
@@ -153,6 +199,7 @@ func New(cfg Config) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	go s.probeLoop()
 	return s, nil
 }
 
@@ -175,7 +222,7 @@ type queueRecord struct {
 // the survivors, so it cannot grow without bound across restarts.
 func (s *Server) recoverQueue() error {
 	path := filepath.Join(s.cfg.StoreDir, queueFile)
-	data, err := os.ReadFile(path)
+	data, err := s.fsys.ReadFile(path)
 	if err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
@@ -198,7 +245,8 @@ func (s *Server) recoverQueue() error {
 		seen[rec.Key] = true
 		live = append(live, rec)
 	}
-	// Compact: rewrite the log with only the survivors, atomically.
+	// Compact: rewrite the log with only the survivors, crash-
+	// atomically (write-tmp, fsync, rename, fsync-dir).
 	var buf bytes.Buffer
 	for _, rec := range live {
 		b, err := json.Marshal(rec)
@@ -208,14 +256,10 @@ func (s *Server) recoverQueue() error {
 		buf.Write(b)
 		buf.WriteByte('\n')
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	if err := vfs.WriteFileAtomic(s.fsys, path, buf.Bytes(), 0o644); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
-	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f, err := s.fsys.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return err
 	}
@@ -264,18 +308,29 @@ func (s *Server) Submit(spec JobSpec) (*Job, Disposition, error) {
 		s.mRejectedDrng.Add(1)
 		return nil, DispNew, ErrDraining
 	}
+	if s.degraded.Load() {
+		s.mRejectedDegr.Add(1)
+		return nil, DispNew, ErrDegraded
+	}
 	if s.q.len() >= s.cfg.QueueCap {
 		s.mRejectedFull.Add(1)
 		return nil, DispNew, ErrQueueFull
 	}
-	// Persist the admission before acknowledging it: an accepted job
-	// survives any crash from here on (re-admitted by recoverQueue).
+	// Persist the admission — write AND fsync — before acknowledging
+	// it: an accepted job survives any crash from here on (re-admitted
+	// by recoverQueue). A failing append flips the server into
+	// degraded mode instead of acknowledging a job the disk never saw.
 	rec, err := json.Marshal(queueRecord{Key: key, Spec: spec})
 	if err != nil {
 		return nil, DispNew, err
 	}
 	if _, err := s.queueLog.Write(append(rec, '\n')); err != nil {
-		return nil, DispNew, fmt.Errorf("persisting admission: %w", err)
+		s.enterDegradedLocked(fmt.Errorf("persisting admission: %w", err))
+		return nil, DispNew, fmt.Errorf("%w: %v", ErrDegraded, err)
+	}
+	if err := s.queueLog.Sync(); err != nil {
+		s.enterDegradedLocked(fmt.Errorf("syncing admission: %w", err))
+		return nil, DispNew, fmt.Errorf("%w: %v", ErrDegraded, err)
 	}
 	s.seq++
 	j := &Job{
@@ -467,7 +522,7 @@ func (s *Server) runSingle(j *Job) {
 			samples = buf.Bytes()
 		}
 	}
-	s.store.Put(j.key, res, samples)
+	s.persist(pendingResult{key: j.key, res: res, samples: samples})
 	s.complete(j, marshalEnvelope(JobResult{Kind: KindSingle, Result: &res, SamplesJSONL: string(samples)}), false)
 }
 
@@ -485,9 +540,127 @@ func (s *Server) runFigure(j *Job) {
 	table := experiments.RunOne(runner, e)
 	payload := marshalEnvelope(JobResult{Kind: KindFigure, Table: table})
 	if !table.Failed {
-		s.store.PutBlob(j.key, payload)
+		s.persist(pendingResult{key: j.key, isBlob: true, blob: payload})
 	}
 	s.complete(j, payload, table.Failed)
+}
+
+// persist writes one completed result to the store. On failure the
+// result is preserved in memory (the job still completes and serves)
+// and the server degrades to read-only until the recovery probe gets
+// it — and everything else pending — durably onto disk.
+func (s *Server) persist(p pendingResult) {
+	s.mu.Lock()
+	store := s.store
+	s.mu.Unlock()
+	if store == nil {
+		return
+	}
+	var err error
+	if p.isBlob {
+		err = store.PutBlob(p.key, p.blob)
+	} else {
+		err = store.Put(p.key, p.res, p.samples)
+	}
+	if err != nil {
+		s.mu.Lock()
+		s.pending = append(s.pending, p)
+		s.mu.Unlock()
+		s.enterDegraded(fmt.Errorf("persisting result %s: %w", p.key, err))
+	}
+}
+
+// enterDegraded flips the server read-only and records why. The
+// transition is sticky until tryRecover proves the disk healthy and
+// flushes every preserved result.
+func (s *Server) enterDegraded(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.enterDegradedLocked(cause)
+}
+
+// enterDegradedLocked is enterDegraded for callers already holding
+// s.mu (Submit fails mid-admission with the lock held).
+func (s *Server) enterDegradedLocked(cause error) {
+	s.mStoreErrors.Add(1)
+	s.degradedCause = cause.Error()
+	if s.degraded.CompareAndSwap(false, true) {
+		s.mDegradedIn.Add(1)
+	}
+}
+
+// Degraded reports whether the server is in read-only degraded mode.
+func (s *Server) Degraded() bool { return s.degraded.Load() }
+
+// DegradedCause returns the last store failure that degraded the
+// server (empty when it has never degraded).
+func (s *Server) DegradedCause() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.degradedCause
+}
+
+// probeLoop periodically attempts recovery while degraded. It runs
+// for the server's lifetime and stops at Close.
+func (s *Server) probeLoop() {
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			if s.degraded.Load() {
+				s.tryRecover()
+			}
+		}
+	}
+}
+
+// tryRecover probes the disk (store and admission-log fsync) and, if
+// it responds, re-persists the preserved results in completion order.
+// Only when everything pending is durable does the server return to
+// service; a mid-flush failure leaves it degraded for the next probe.
+func (s *Server) tryRecover() {
+	s.mu.Lock()
+	store, qlog := s.store, s.queueLog
+	pending := append([]pendingResult(nil), s.pending...)
+	s.mu.Unlock()
+	if store == nil {
+		return
+	}
+	if err := store.Sync(); err != nil {
+		return
+	}
+	if qlog != nil {
+		if err := qlog.Sync(); err != nil {
+			return
+		}
+	}
+	flushed := 0
+	for _, p := range pending {
+		var err error
+		if p.isBlob {
+			err = store.PutBlob(p.key, p.blob)
+		} else {
+			err = store.Put(p.key, p.res, p.samples)
+		}
+		if err != nil {
+			break
+		}
+		flushed++
+	}
+	s.mu.Lock()
+	s.pending = s.pending[flushed:]
+	remaining := len(s.pending)
+	s.mu.Unlock()
+	if flushed < len(pending) || remaining > 0 {
+		return
+	}
+	store.ClearErr()
+	if s.degraded.CompareAndSwap(true, false) {
+		s.mRecovered.Add(1)
+	}
 }
 
 func (s *Server) complete(j *Job, payload []byte, failedTable bool) {
@@ -536,9 +709,11 @@ func (s *Server) Drain() DrainStats {
 // Draining reports whether Drain has been requested.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// Close releases the store and admission log. Call after Drain; any
-// latched store write error surfaces here.
+// Close releases the store and admission log and stops the recovery
+// probe. Call after Drain; any latched store write error surfaces
+// here.
 func (s *Server) Close() error {
+	s.stopOnce.Do(func() { close(s.stopc) })
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var first error
@@ -561,15 +736,27 @@ func (s *Server) Close() error {
 // previous process's admission log.
 func (s *Server) Restored() int64 { return s.mRestored.Value() }
 
+// faultCounters is implemented by fault-injecting filesystems
+// (vfs.Faulty); when the configured FS has it, the injected-fault
+// counts ride along in /metrics so a chaos run's observability can be
+// asserted, not just its survival.
+type faultCounters interface {
+	Counters() map[string]int64
+}
+
 // MetricsSnapshot renders the service counters plus the live pool
 // snapshot (the /metrics payload, also publishable via expvar.Func).
 func (s *Server) MetricsSnapshot() map[string]any {
-	return map[string]any{
+	s.mu.Lock()
+	pendingN := len(s.pending)
+	s.mu.Unlock()
+	m := map[string]any{
 		"submitted":         s.mSubmitted.Value(),
 		"deduped":           s.mDeduped.Value(),
 		"store_hits":        s.mStoreHits.Value(),
 		"rejected_full":     s.mRejectedFull.Value(),
 		"rejected_draining": s.mRejectedDrng.Value(),
+		"rejected_degraded": s.mRejectedDegr.Value(),
 		"completed":         s.mCompleted.Value(),
 		"failed":            s.mFailed.Value(),
 		"running":           s.mRunning.Value(),
@@ -578,10 +765,20 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"queue_cap":         s.cfg.QueueCap,
 		"workers":           s.cfg.Workers,
 		"draining":          s.draining.Load(),
+		"degraded":          s.degraded.Load(),
+		"store_errors":      s.mStoreErrors.Value(),
+		"degraded_entered":  s.mDegradedIn.Value(),
+		"recovered":         s.mRecovered.Value(),
+		"pending_results":   pendingN,
+		"store_quarantined": s.storeQuarantined(),
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 		"store_len":         s.storeLen(),
 		"pool":              s.prog.Snapshot(),
 	}
+	if fc, ok := s.fsys.(faultCounters); ok {
+		m["fs_faults"] = fc.Counters()
+	}
+	return m
 }
 
 func (s *Server) storeLen() int {
@@ -591,4 +788,13 @@ func (s *Server) storeLen() int {
 		return 0
 	}
 	return s.store.Len()
+}
+
+func (s *Server) storeQuarantined() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return 0
+	}
+	return s.store.Quarantined()
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"time"
@@ -11,6 +12,14 @@ import (
 // design: a slow client only slows its own stream, never the
 // simulation writing into the feed.
 const ssePollInterval = 150 * time.Millisecond
+
+// sseWriteTimeout bounds each event write. A client that stopped
+// reading (dead TCP peer, full window) makes the write miss the
+// deadline and the handler returns, instead of pinning a goroutine —
+// and its feed cursor — for as long as the kernel keeps the socket.
+// The deadline is re-armed before every write, so a live stream can
+// run indefinitely even under the http.Server's WriteTimeout.
+const sseWriteTimeout = 15 * time.Second
 
 // handleEvents streams a job's live telemetry as server-sent events:
 //
@@ -28,16 +37,24 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		writeError(w, http.StatusInternalServerError, codeInternal, "streaming unsupported")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
+	rc := http.NewResponseController(w)
 	emit := func(event string, v any) bool {
 		b, err := json.Marshal(v)
 		if err != nil {
+			return false
+		}
+		// Re-arm the per-write deadline: a healthy client extends its
+		// stream forever, a dead one fails the write within
+		// sseWriteTimeout and frees this goroutine. Recorders and other
+		// deadline-less writers (tests) are allowed through.
+		if err := rc.SetWriteDeadline(time.Now().Add(sseWriteTimeout)); err != nil && !errors.Is(err, http.ErrNotSupported) {
 			return false
 		}
 		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, b); err != nil {

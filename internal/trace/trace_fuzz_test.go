@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// FuzzTraceDecode feeds arbitrary bytes to the binary trace decoder.
+// Invariants: never panic, never return an out-of-range op, and any
+// stream that decodes cleanly (EOF, no error) must round-trip — the
+// decoded records re-encode and re-decode to the identical sequence.
+func FuzzTraceDecode(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Write(Record{PC: 0x1000, Op: NonMem})
+	w.Write(Record{PC: 0x1004, Op: Load, Addr: mem.Addr(0x2000)})
+	w.Write(Record{PC: 0x1008, Op: Store, Addr: mem.Addr(0x3000)})
+	w.Write(Record{PC: 0x0ff0, Op: Load, Addr: mem.Addr(0x2040), LoadDep: 1})
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add(buf.Bytes()[:5]) // truncated mid-record
+	f.Add([]byte{})
+	f.Add([]byte("TRC\x01"))
+	f.Add([]byte("not a trace"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFileReader(bytes.NewReader(data))
+		var recs []Record
+		// One record consumes at least one byte, so len(data)+1 bounds
+		// the stream; more means the decoder is inventing records.
+		for len(recs) <= len(data) {
+			rec, ok := fr.Next()
+			if !ok {
+				break
+			}
+			if rec.Op > Store {
+				t.Fatalf("decoder returned out-of-range op %d", rec.Op)
+			}
+			recs = append(recs, rec)
+		}
+		if len(recs) > len(data) {
+			t.Fatalf("decoded %d records from %d bytes", len(recs), len(data))
+		}
+		if fr.Err() != nil {
+			return // corrupt input, rejected: nothing more to check
+		}
+		var out bytes.Buffer
+		w := NewWriter(&out)
+		for _, rec := range recs {
+			if err := w.Write(rec); err != nil {
+				t.Fatalf("re-encoding decoded record: %v", err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		fr2 := NewFileReader(bytes.NewReader(out.Bytes()))
+		for i, want := range recs {
+			got, ok := fr2.Next()
+			if !ok {
+				t.Fatalf("round-trip lost record %d (of %d): %v", i, len(recs), fr2.Err())
+			}
+			if got != want {
+				t.Fatalf("round-trip changed record %d: %+v -> %+v", i, want, got)
+			}
+		}
+		if _, ok := fr2.Next(); ok {
+			t.Fatal("round-trip invented extra records")
+		}
+	})
+}

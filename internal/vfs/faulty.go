@@ -1,0 +1,247 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"sync"
+	"syscall"
+)
+
+// InjectedError marks a fault delivered by a Faulty FS, so tests and
+// recovery code can tell injected faults from real ones. It unwraps
+// to the modelled errno (ENOSPC or EIO).
+type InjectedError struct {
+	Op  string
+	Err error
+}
+
+func (e *InjectedError) Error() string { return fmt.Sprintf("vfs: injected %s fault: %v", e.Op, e.Err) }
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// IsInjected reports whether err (or anything it wraps) was delivered
+// by a Faulty FS.
+func IsInjected(err error) bool {
+	var ie *InjectedError
+	return errors.As(err, &ie)
+}
+
+// ErrPoweredOff is what every operation returns after PowerOff: the
+// moment in a crash schedule after which no write can reach the disk.
+var ErrPoweredOff = errors.New("vfs: powered off")
+
+// Plan is a seeded fault schedule. Each probability is consulted, in
+// a deterministic rng order, on every operation of its class; a hit
+// injects ENOSPC or EIO (seeded pick). The zero Plan injects nothing.
+type Plan struct {
+	// Seed drives the schedule; the same seed replays the same faults
+	// for the same operation sequence.
+	Seed int64
+	// PWrite, PSync, PRename are per-operation fault probabilities.
+	PWrite, PSync, PRename float64
+	// ShortWrites makes a failing write first land a random prefix of
+	// the buffer — a torn write — instead of nothing.
+	ShortWrites bool
+}
+
+// Faulty wraps an FS with deterministic fault injection. Beyond the
+// probabilistic Plan it has two switches: PowerOff (every subsequent
+// operation fails, modelling the instant of a crash) and Heal (clear
+// the plan: the disk is healthy again), which together let tests
+// script disk-full incidents, recovery probes, and kill/restart
+// loops.
+type Faulty struct {
+	inner FS
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	plan     Plan
+	off      bool
+	counters map[string]int64
+}
+
+// NewFaulty wraps inner with the given plan.
+func NewFaulty(inner FS, plan Plan) *Faulty {
+	return &Faulty{
+		inner:    inner,
+		rng:      rand.New(rand.NewSource(plan.Seed)),
+		plan:     plan,
+		counters: make(map[string]int64),
+	}
+}
+
+// SetPlan swaps the fault schedule (rng state is kept).
+func (f *Faulty) SetPlan(plan Plan) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.plan = plan
+}
+
+// Heal clears the fault schedule: the disk behaves from now on.
+func (f *Faulty) Heal() { f.SetPlan(Plan{}) }
+
+// PowerOff makes every subsequent operation fail with ErrPoweredOff —
+// nothing written after this point can reach the disk. Pair with
+// Mem.Crash to model kill -9.
+func (f *Faulty) PowerOff() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.off = true
+}
+
+// PowerOn re-enables operations after PowerOff.
+func (f *Faulty) PowerOn() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.off = false
+}
+
+// Counters returns a copy of the per-class injected-fault counts
+// (keys: write, sync, rename, short_write, powered_off).
+func (f *Faulty) Counters() map[string]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]int64, len(f.counters))
+	for k, v := range f.counters {
+		out[k] = v
+	}
+	return out
+}
+
+// roll decides whether to inject a fault of class op with probability
+// p, returning the error to deliver (nil = proceed). The shortWrite
+// flag asks the caller to land a torn prefix first.
+func (f *Faulty) roll(op string, p float64) (err error, shortWrite bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.off {
+		f.counters["powered_off"]++
+		return &InjectedError{Op: op, Err: ErrPoweredOff}, false
+	}
+	if p <= 0 || f.rng.Float64() >= p {
+		return nil, false
+	}
+	errno := syscall.ENOSPC
+	if f.rng.Intn(2) == 1 {
+		errno = syscall.EIO
+	}
+	f.counters[op]++
+	short := op == "write" && f.plan.ShortWrites && f.rng.Intn(2) == 1
+	if short {
+		f.counters["short_write"]++
+	}
+	return &InjectedError{Op: op, Err: errno}, short
+}
+
+// shortLen picks how much of an n-byte torn write lands.
+func (f *Faulty) shortLen(n int) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if n == 0 {
+		return 0
+	}
+	return f.rng.Intn(n)
+}
+
+// MkdirAll implements FS.
+func (f *Faulty) MkdirAll(path string, perm fs.FileMode) error {
+	if err, _ := f.roll("mkdir", 0); err != nil {
+		return err
+	}
+	return f.inner.MkdirAll(path, perm)
+}
+
+// ReadFile implements FS.
+func (f *Faulty) ReadFile(path string) ([]byte, error) {
+	if err, _ := f.roll("read", 0); err != nil {
+		return nil, err
+	}
+	return f.inner.ReadFile(path)
+}
+
+// OpenFile implements FS.
+func (f *Faulty) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	if err, _ := f.roll("open", 0); err != nil {
+		return nil, err
+	}
+	inner, err := f.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fs: f, inner: inner}, nil
+}
+
+// Rename implements FS.
+func (f *Faulty) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	p := f.plan.PRename
+	f.mu.Unlock()
+	if err, _ := f.roll("rename", p); err != nil {
+		return err
+	}
+	return f.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *Faulty) Remove(path string) error {
+	if err, _ := f.roll("remove", 0); err != nil {
+		return err
+	}
+	return f.inner.Remove(path)
+}
+
+// faultyFile interposes on the write path of one open file.
+type faultyFile struct {
+	fs    *Faulty
+	inner File
+}
+
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	pw := ff.fs.plan.PWrite
+	ff.fs.mu.Unlock()
+	err, short := ff.fs.roll("write", pw)
+	if err != nil {
+		n := 0
+		if short {
+			n = ff.fs.shortLen(len(p))
+			if n > 0 {
+				ff.inner.Write(p[:n]) // torn: a prefix reached the disk
+			}
+		}
+		return n, err
+	}
+	return ff.inner.Write(p)
+}
+
+func (ff *faultyFile) Seek(offset int64, whence int) (int64, error) {
+	if err, _ := ff.fs.roll("seek", 0); err != nil {
+		return 0, err
+	}
+	return ff.inner.Seek(offset, whence)
+}
+
+func (ff *faultyFile) Sync() error {
+	ff.fs.mu.Lock()
+	ps := ff.fs.plan.PSync
+	ff.fs.mu.Unlock()
+	if err, _ := ff.fs.roll("sync", ps); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+func (ff *faultyFile) Truncate(size int64) error {
+	if err, _ := ff.fs.roll("truncate", 0); err != nil {
+		return err
+	}
+	return ff.inner.Truncate(size)
+}
+
+func (ff *faultyFile) Close() error {
+	if err, _ := ff.fs.roll("close", 0); err != nil {
+		return err
+	}
+	return ff.inner.Close()
+}

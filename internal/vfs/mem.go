@@ -1,0 +1,203 @@
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"math/rand"
+	"os"
+	"sync"
+)
+
+// Mem is a crashable in-memory FS. Every file keeps two views: the
+// bytes written so far (data) and the bytes known durable (the
+// snapshot taken at the last Sync). Crash models a kill -9 / power
+// loss: each file reverts to its durable view plus a seeded random
+// prefix of the unsynced tail — i.e. an un-fsynced append may survive
+// in full, in part (a torn write), or not at all, which is exactly
+// the disk state the torn-tail and quarantine recovery paths must
+// tolerate.
+//
+// The namespace itself (create, rename, remove) is modelled as
+// durable immediately; the production discipline pairs renames with a
+// parent-directory fsync (WriteFileAtomic), so this is the state a
+// correctly-written store would recover to.
+type Mem struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	files map[string]*memData
+	dirs  map[string]bool
+}
+
+type memData struct {
+	data    []byte
+	durable []byte
+}
+
+// NewMem returns an empty crashable FS; seed drives how much of each
+// unsynced tail survives a Crash.
+func NewMem(seed int64) *Mem {
+	return &Mem{
+		rng:   rand.New(rand.NewSource(seed)),
+		files: make(map[string]*memData),
+		dirs:  make(map[string]bool),
+	}
+}
+
+// MkdirAll implements FS.
+func (m *Mem) MkdirAll(path string, perm fs.FileMode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path] = true
+	return nil
+}
+
+// ReadFile implements FS.
+func (m *Mem) ReadFile(path string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+	}
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	return out, nil
+}
+
+// OpenFile implements FS for the write paths the stores use
+// (O_CREATE/O_WRONLY/O_TRUNC/O_APPEND).
+func (m *Mem) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: path, Err: fs.ErrNotExist}
+		}
+		f = &memData{}
+		m.files[path] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil
+	}
+	return &memFile{fs: m, d: f, append: flag&os.O_APPEND != 0}, nil
+}
+
+// Rename implements FS.
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+// Remove implements FS.
+func (m *Mem) Remove(path string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[path]; !ok {
+		return &fs.PathError{Op: "remove", Path: path, Err: fs.ErrNotExist}
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// Crash reverts every file to its last synced content plus a seeded
+// random prefix of whatever was written-but-not-synced since — the
+// on-disk state after a kill -9 between write and fsync. Open handles
+// must be discarded by the caller (the process they model is dead).
+func (m *Mem) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		if len(f.data) < len(f.durable) {
+			// An unsynced truncate: the old length comes back.
+			f.data = append([]byte(nil), f.durable...)
+			continue
+		}
+		tail := f.data[len(f.durable):]
+		keep := 0
+		if len(tail) > 0 {
+			keep = m.rng.Intn(len(tail) + 1)
+		}
+		f.data = append(append([]byte(nil), f.durable...), tail[:keep]...)
+		f.durable = append([]byte(nil), f.data...)
+	}
+}
+
+// Snapshot returns the current content of path (test helper).
+func (m *Mem) Snapshot(path string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), f.data...), true
+}
+
+// memFile is a write handle. Like a real fd it stays bound to the
+// file's data even across a rename of its path.
+type memFile struct {
+	fs     *Mem
+	d      *memData
+	off    int64
+	append bool
+}
+
+func (f *memFile) Write(p []byte) (int, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if f.append {
+		f.off = int64(len(f.d.data))
+	}
+	end := f.off + int64(len(p))
+	if int64(len(f.d.data)) < end {
+		grown := make([]byte, end)
+		copy(grown, f.d.data)
+		f.d.data = grown
+	}
+	copy(f.d.data[f.off:end], p)
+	f.off = end
+	return len(p), nil
+}
+
+func (f *memFile) Seek(offset int64, whence int) (int64, error) {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	switch whence {
+	case io.SeekStart:
+		f.off = offset
+	case io.SeekCurrent:
+		f.off += offset
+	case io.SeekEnd:
+		f.off = int64(len(f.d.data)) + offset
+	}
+	return f.off, nil
+}
+
+func (f *memFile) Sync() error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	f.d.durable = append([]byte(nil), f.d.data...)
+	return nil
+}
+
+func (f *memFile) Truncate(size int64) error {
+	f.fs.mu.Lock()
+	defer f.fs.mu.Unlock()
+	if int64(len(f.d.data)) > size {
+		f.d.data = f.d.data[:size]
+	}
+	if f.off > size {
+		f.off = size
+	}
+	return nil
+}
+
+func (f *memFile) Close() error { return nil }

@@ -1,0 +1,218 @@
+package vfs
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestOSAppendRoundTrip exercises the production FS against a real
+// temp directory: append, sync, reopen, read back.
+func TestOSAppendRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "log")
+	var fsys FS = OS{}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "hello\n" {
+		t.Fatalf("read back %q", data)
+	}
+}
+
+// TestWriteFileAtomic checks the replace discipline on both backends:
+// the target ends with exactly the new content and no .tmp remains.
+func TestWriteFileAtomic(t *testing.T) {
+	osDir := t.TempDir()
+	backends := []struct {
+		name string
+		fsys FS
+		path string
+	}{
+		{"os", OS{}, filepath.Join(osDir, "f")},
+		{"mem", NewMem(1), "store/f"},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			if err := WriteFileAtomic(b.fsys, b.path, []byte("one"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if err := WriteFileAtomic(b.fsys, b.path, []byte("two"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			data, err := b.fsys.ReadFile(b.path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != "two" {
+				t.Fatalf("content %q, want %q", data, "two")
+			}
+			if _, err := b.fsys.ReadFile(b.path + ".tmp"); err == nil {
+				t.Error("temporary file left behind")
+			}
+		})
+	}
+}
+
+// TestMemCrashKeepsSyncedDropsRest is the crash model: synced bytes
+// always survive, unsynced bytes survive only as a (possibly empty,
+// possibly torn) prefix.
+func TestMemCrashKeepsSyncedDropsRest(t *testing.T) {
+	sawTorn, sawFull, sawNone := false, false, false
+	for seed := int64(0); seed < 64; seed++ {
+		m := NewMem(seed)
+		f, err := m.OpenFile("log", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Write([]byte("durable|"))
+		f.Sync()
+		f.Write([]byte("volatile"))
+		m.Crash()
+		data, ok := m.Snapshot("log")
+		if !ok {
+			t.Fatal("file vanished in crash")
+		}
+		if !bytes.HasPrefix(data, []byte("durable|")) {
+			t.Fatalf("seed %d: synced prefix lost: %q", seed, data)
+		}
+		tail := data[len("durable|"):]
+		if !bytes.HasPrefix([]byte("volatile"), tail) {
+			t.Fatalf("seed %d: crash invented bytes: %q", seed, data)
+		}
+		switch len(tail) {
+		case 0:
+			sawNone = true
+		case len("volatile"):
+			sawFull = true
+		default:
+			sawTorn = true
+		}
+	}
+	if !sawTorn || !sawFull || !sawNone {
+		t.Errorf("crash outcomes not diverse: torn=%t full=%t none=%t", sawTorn, sawFull, sawNone)
+	}
+}
+
+// TestMemCrashRevertsUnsyncedTruncate: an unsynced truncate is rolled
+// back by a crash (the old length was the durable one).
+func TestMemCrashRevertsUnsyncedTruncate(t *testing.T) {
+	m := NewMem(7)
+	f, _ := m.OpenFile("log", os.O_CREATE|os.O_WRONLY, 0o644)
+	f.Write([]byte("0123456789"))
+	f.Sync()
+	f.Truncate(4)
+	m.Crash()
+	data, _ := m.Snapshot("log")
+	if string(data) != "0123456789" {
+		t.Fatalf("unsynced truncate survived crash: %q", data)
+	}
+}
+
+// TestFaultyDeterministic: the same plan over the same operation
+// sequence injects the same faults.
+func TestFaultyDeterministic(t *testing.T) {
+	run := func() []string {
+		f := NewFaulty(NewMem(1), Plan{Seed: 42, PWrite: 0.5, PSync: 0.5})
+		h, err := f.OpenFile("x", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var outcomes []string
+		for i := 0; i < 32; i++ {
+			if _, err := h.Write([]byte("abc")); err != nil {
+				outcomes = append(outcomes, "w-fail")
+			} else {
+				outcomes = append(outcomes, "w-ok")
+			}
+			if err := h.Sync(); err != nil {
+				outcomes = append(outcomes, "s-fail")
+			} else {
+				outcomes = append(outcomes, "s-ok")
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d: %s vs %s", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFaultyPowerOffAndHeal: after PowerOff everything fails with an
+// injected error; after PowerOn + Heal the disk behaves.
+func TestFaultyPowerOffAndHeal(t *testing.T) {
+	f := NewFaulty(NewMem(1), Plan{Seed: 1, PWrite: 1})
+	h, err := f.OpenFile("x", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("a")); err == nil {
+		t.Fatal("PWrite=1 let a write through")
+	} else if !IsInjected(err) {
+		t.Fatalf("fault not marked injected: %v", err)
+	}
+	f.PowerOff()
+	if _, err := f.ReadFile("x"); !errors.Is(err, ErrPoweredOff) {
+		t.Fatalf("powered-off read returned %v", err)
+	}
+	f.PowerOn()
+	f.Heal()
+	if _, err := h.Write([]byte("a")); err != nil {
+		t.Fatalf("healed write failed: %v", err)
+	}
+	if err := h.Sync(); err != nil {
+		t.Fatalf("healed sync failed: %v", err)
+	}
+	c := f.Counters()
+	if c["write"] == 0 || c["powered_off"] == 0 {
+		t.Errorf("counters missing injected classes: %v", c)
+	}
+}
+
+// TestFaultyShortWrite: with ShortWrites on, some failing writes land
+// a strict prefix — the torn-write model the store must detect.
+func TestFaultyShortWrite(t *testing.T) {
+	mem := NewMem(1)
+	f := NewFaulty(mem, Plan{Seed: 3, PWrite: 1, ShortWrites: true})
+	h, err := f.OpenFile("x", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawTorn := false
+	for i := 0; i < 64 && !sawTorn; i++ {
+		before, _ := mem.Snapshot("x")
+		n, err := h.Write([]byte("0123456789"))
+		if err == nil {
+			t.Fatal("PWrite=1 let a write through")
+		}
+		after, _ := mem.Snapshot("x")
+		if got := len(after) - len(before); got != n {
+			t.Fatalf("reported %d bytes written, disk grew %d", n, got)
+		}
+		if n > 0 && n < 10 {
+			sawTorn = true
+		}
+	}
+	if !sawTorn {
+		t.Error("no torn write in 64 attempts")
+	}
+}

@@ -30,6 +30,19 @@ go test -race ./internal/service
 go test -run 'TestFuture|TestPanic|TestRetry|TestDeadline|TestCheckpoint|TestInvariant|TestStoreCheck|TestTriageCheck|TestMapCheck|TestLRUCheck|TestCheckInvariants' \
     ./internal/experiments ./internal/sim ./internal/cache ./internal/flat ./internal/core ./internal/dram
 
+# Durability suite: the crashable/fault-injecting VFS, crash recovery
+# and quarantine in the checkpoint store, degraded read-only mode, and
+# the kill/restart chaos harness.
+go test ./internal/vfs
+go test -run 'TestCheckpointV2ReadCompat|TestCheckpointMidFile|TestCheckpointCrash|TestCheckpointPutReports' ./internal/experiments
+go test -run 'TestDegraded|TestSubmitRejected|TestChaos' ./internal/service
+
+# Fuzz the hostile-input parsers briefly: the checkpoint record
+# scanner, the job-spec decoder, and the binary trace decoder.
+go test -run '^$' -fuzz '^FuzzCheckpointParse$' -fuzztime 5s ./internal/experiments
+go test -run '^$' -fuzz '^FuzzJobSpecDecode$' -fuzztime 5s ./internal/service
+go test -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 5s ./internal/trace
+
 # End-to-end smoke: one small figure through the experiment driver, and
 # one telemetry-instrumented run producing sampled series + event trace.
 smokedir=$(mktemp -d)
