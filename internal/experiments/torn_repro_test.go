@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/vfs"
+)
+
+// Repro: a torn (short) append followed by a successful retry glues
+// the retried record onto the torn prefix; on reopen that record is
+// quarantined even though Put acknowledged it as durable.
+func TestTornAppendMergesIntoNextRecord(t *testing.T) {
+	mem := vfs.NewMem(1)
+	faulty := vfs.NewFaulty(mem, vfs.Plan{})
+	c, err := OpenCheckpointFS(faulty, "store", "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a seed whose first write-roll injects a SHORT write with a
+	// non-empty prefix.
+	var seed int64
+	for seed = 0; seed < 10000; seed++ {
+		f := vfs.NewFaulty(vfs.NewMem(0), vfs.Plan{Seed: seed, PWrite: 1, ShortWrites: true})
+		fh, _ := f.OpenFile("probe", 0x40|0x1, 0o644) // O_CREATE|O_WRONLY
+		n, err := fh.Write(make([]byte, 100))
+		if err != nil && n > 0 {
+			break
+		}
+	}
+	if seed == 10000 {
+		t.Skip("no short-write seed found")
+	}
+	faulty.SetPlan(vfs.Plan{Seed: seed, PWrite: 1, ShortWrites: true})
+	if err := c.Put("job-a", sim.Result{}, nil); err == nil {
+		t.Fatal("expected injected write failure")
+	}
+	faulty.Heal()
+	// Retry, as the service's recovery probe does. This is acknowledged
+	// as durable (nil error, fsynced).
+	if err := c.Put("job-a", sim.Result{}, nil); err != nil {
+		t.Fatalf("retry should succeed: %v", err)
+	}
+	if err := c.Close(); err == nil {
+		t.Log("close reported latched error or nil")
+	}
+	// Restart on the same bytes.
+	c2, err := OpenCheckpointFS(mem, "store", "fp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c2.Get("job-a"); !ok {
+		t.Fatalf("acknowledged-durable record lost after restart (quarantined=%d)", c2.Quarantined())
+	}
+}
