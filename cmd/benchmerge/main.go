@@ -1,0 +1,51 @@
+// Command benchmerge folds Go microbenchmark results into the
+// versioned BENCH_sim.json report next to the whole-experiment rows
+// written by cmd/experiments -bench:
+//
+//	go test -run '^$' -bench 'StepLoop|PrefetchDispatch|WarmupSnapshot' . |
+//	    go run ./cmd/benchmerge -file BENCH_sim.json -pkg repro
+//
+// Rows are keyed (package, benchmark name): re-running a suite updates
+// its rows in place, and a legacy bare-array report is upgraded to the
+// current schema on first merge.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/benchfile"
+)
+
+func main() {
+	var (
+		file = flag.String("file", "BENCH_sim.json", "report to update")
+		pkg  = flag.String("pkg", "", "package label for the parsed rows (required)")
+	)
+	flag.Parse()
+	if *pkg == "" {
+		fmt.Fprintln(os.Stderr, "benchmerge: -pkg is required")
+		os.Exit(2)
+	}
+	rows, err := benchfile.ParseGoBench(os.Stdin, *pkg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: parse: %v\n", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchmerge: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	f, err := benchfile.Read(*file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+		os.Exit(1)
+	}
+	f.MergeMicro(rows)
+	if err := f.Write(*file); err != nil {
+		fmt.Fprintf(os.Stderr, "benchmerge: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d microbenchmark rows into %s\n", len(rows), *file)
+}

@@ -31,7 +31,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/benchfile"
 	"repro/internal/cliutil"
 	"repro/internal/config"
 	"repro/internal/experiments"
@@ -193,30 +193,18 @@ func main() {
 	}
 }
 
-// benchEntry is one experiment's throughput record (BENCH_sim.json).
-type benchEntry struct {
-	Experiment       string  `json:"experiment"`
-	WallSeconds      float64 `json:"wall_seconds"`
-	Simulations      uint64  `json:"simulations"`
-	SimInstructions  uint64  `json:"sim_instructions"`
-	SimInstrPerSec   float64 `json:"sim_instructions_per_sec"`
-	Workers          int     `json:"workers"`
-	WarmupInstr      uint64  `json:"warmup_instructions"`
-	MeasureInstr     uint64  `json:"measure_instructions"`
-	MultiWarmupInstr uint64  `json:"multi_warmup_instructions"`
-	MultiMeasure     uint64  `json:"multi_measure_instructions"`
-	// Telemetry marks entries measured with the per-run sampler
-	// attached (-telemetry), so throughput numbers with and without
-	// instrumentation are comparable across reports.
-	Telemetry bool `json:"telemetry"`
-}
-
 // runBench times each experiment with a fresh runner (so cached work is
-// attributed to the experiment that caused it) and writes the JSON
-// report. Experiments run one at a time; their internal simulations
-// still fan out across the pool.
+// attributed to the experiment that caused it) and writes the versioned
+// JSON report (internal/benchfile). Experiments run one at a time;
+// their internal simulations still fan out across the pool. An existing
+// report's microbenchmark rows (appended by cmd/benchmerge) survive the
+// rewrite; the experiment rows are replaced wholesale.
 func runBench(path string, p experiments.Params, pool *experiments.Pool, selected []experiments.Experiment, csvDir string, withTel bool) error {
-	var entries []benchEntry
+	report, err := benchfile.Read(path)
+	if err != nil {
+		return err
+	}
+	report.Experiments = nil
 	var totalInstr, totalRuns uint64
 	benchStart := time.Now()
 	for _, e := range selected {
@@ -228,7 +216,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 		instr := runner.SimulatedInstructions()
 		totalInstr += instr
 		totalRuns += runner.Runs()
-		entries = append(entries, benchEntry{
+		report.Experiments = append(report.Experiments, benchfile.Experiment{
 			Experiment:       e.ID,
 			WallSeconds:      wall,
 			Simulations:      runner.Runs(),
@@ -249,7 +237,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 		fmt.Printf("(%s took %.1fs, %.2fM sim-instr/s)\n\n", e.ID, wall, float64(instr)/wall/1e6)
 	}
 	totalWall := time.Since(benchStart).Seconds()
-	entries = append(entries, benchEntry{
+	report.Experiments = append(report.Experiments, benchfile.Experiment{
 		Experiment:      "total",
 		WallSeconds:     totalWall,
 		Simulations:     totalRuns,
@@ -260,11 +248,7 @@ func runBench(path string, p experiments.Params, pool *experiments.Pool, selecte
 		MeasureInstr:    p.Measure,
 		Telemetry:       withTel,
 	})
-	data, err := json.MarshalIndent(entries, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return report.Write(path)
 }
 
 func writeCSV(dir, id string, t *experiments.Table) error {

@@ -132,9 +132,13 @@ func main() {
 		}
 	}
 
-	run := func(llcMB int, pf prefetch.Prefetcher, hooks *telemetry.Hooks) sim.Result {
+	run := func(llcMB int, pf prefetch.Prefetcher, cellKey string, hooks *telemetry.Hooks) sim.Result {
 		m := config.Default(1)
 		m.LLCBytesPerCore = llcMB << 20
+		// Cell keys already encode bench/LLC/store/degree/replacement;
+		// adding the warmup window and seed pins the full warm prefix, so
+		// repeated cells (e.g. service jobs in one process) can reuse the
+		// post-warmup snapshot. -check disables reuse inside the simulator.
 		machine, err := sim.New(sim.Options{
 			Machine:             m,
 			Workloads:           []trace.Reader{spec.New(*seed, 0)},
@@ -143,6 +147,7 @@ func main() {
 			MeasureInstructions: *measure,
 			Telemetry:           hooks,
 			CheckEvery:          *check,
+			WarmKey:             fmt.Sprintf("sweep/%s/w%d/s%d", cellKey, *warmup, *seed),
 		})
 		if err != nil {
 			panic(err) // recovered by the pool into the cell's RunError
@@ -185,7 +190,7 @@ func main() {
 		llcMB := llcMB
 		baseKey := fmt.Sprintf("%s/llc%dMB/base", *bench, llcMB)
 		baseFs[li] = schedule(baseKey, func(hooks *telemetry.Hooks) sim.Result {
-			return run(llcMB, nil, hooks)
+			return run(llcMB, nil, baseKey, hooks)
 		})
 		for si, sizeKB := range sizeList {
 			for di, d := range degreeList {
@@ -206,7 +211,7 @@ func main() {
 							Replacement:     r,
 							LLCLatencyTicks: uint64(m.LLCLatency) * dram.TicksPerCycle,
 						})
-						return run(llcMB, tri, hooks)
+						return run(llcMB, tri, key, hooks)
 					})
 				}
 			}

@@ -9,6 +9,12 @@
 // access that finds an in-flight fill (ReadyTick in the future) pays the
 // residual latency — this models MSHR merging and late prefetches
 // without an event queue.
+//
+// Layout: line state is held in parallel flat arrays indexed set*ways+
+// way (struct-of-arrays). The residency scan — the single hottest loop
+// in the simulator — touches only the tag array, 8 bytes per way, with
+// invalid ways holding a sentinel tag so no separate valid check is
+// needed.
 package cache
 
 import (
@@ -18,7 +24,8 @@ import (
 	"repro/internal/replacement"
 )
 
-// Line holds the per-line state of one cache way.
+// Line holds the per-line state of one cache way (the assembled view;
+// storage is struct-of-arrays).
 type Line struct {
 	Tag   uint64
 	Valid bool
@@ -36,6 +43,24 @@ type Line struct {
 	// stats and per-core partitioning).
 	Core int
 }
+
+// invalidTag marks an empty way in the tag array. Real tags are line
+// addresses shifted right by the set bits, far below 2^64-1.
+const invalidTag = ^uint64(0)
+
+// wayState is the non-tag state of one way (24 bytes).
+type wayState struct {
+	ready uint64 // fill-completion tick
+	pfPC  uint64 // trigger PC of a prefetch fill
+	core  int32  // installing core
+	meta  uint8  // flagDirty | flagPrefetched
+}
+
+// Per-way flag bits in the meta array.
+const (
+	flagDirty      = 1 << 0
+	flagPrefetched = 1 << 1
+)
 
 // Stats aggregates cache-level event counts.
 type Stats struct {
@@ -65,12 +90,29 @@ type Cache struct {
 	sets     int
 	ways     int
 	dataWays int // ways usable for data; rest reserved (metadata)
-	lines    [][]Line
-	policy   replacement.Policy
-	stats    Stats
+
+	setMask  uint64 // sets-1 (sets is a power of two)
+	tagShift uint   // log2(sets)
+
+	// Per-way state, indexed set*ways + way. Tags live alone so the
+	// residency scan touches 8 bytes per way; everything else is
+	// interleaved in one record so the hit/evict paths touch a single
+	// additional host cache line instead of four parallel arrays.
+	tags []uint64 // invalidTag when the way is empty
+	st   []wayState
+
+	policy replacement.Policy
+	stats  Stats
+	// live counts the valid lines per set. Steady-state sets are full,
+	// so Fill can hand the policy a constant all-valid view (allValid)
+	// instead of rebuilding one from the tag array on every victim
+	// selection.
+	live []uint16
 	// validScratch backs the per-fill valid-ways view handed to the
-	// policy; reused so Fill allocates nothing.
+	// policy when the set is not full; reused so Fill allocates
+	// nothing. allValid is permanently true.
 	validScratch []bool
+	allValid     []bool
 }
 
 // New returns a cache with the given geometry and replacement policy.
@@ -81,11 +123,23 @@ func New(name string, sets, ways int, policy replacement.Policy) *Cache {
 	if ways < 1 {
 		panic(fmt.Sprintf("cache %s: ways=%d", name, ways))
 	}
-	ls := make([][]Line, sets)
-	for i := range ls {
-		ls[i] = make([]Line, ways)
+	n := sets * ways
+	c := &Cache{
+		name: name, sets: sets, ways: ways, dataWays: ways,
+		setMask: uint64(sets - 1), tagShift: mem.Log2(sets),
+		tags:         make([]uint64, n),
+		st:           make([]wayState, n),
+		live:         make([]uint16, sets),
+		policy:       policy,
+		validScratch: make([]bool, ways), allValid: make([]bool, ways),
 	}
-	return &Cache{name: name, sets: sets, ways: ways, dataWays: ways, lines: ls, policy: policy, validScratch: make([]bool, ways)}
+	for i := range c.tags {
+		c.tags[i] = invalidTag
+	}
+	for i := range c.allValid {
+		c.allValid[i] = true
+	}
+	return c
 }
 
 // Name returns the cache's name.
@@ -106,15 +160,67 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the statistics (used after warmup).
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-func (c *Cache) set(l mem.Line) int    { return mem.SetIndex(l, c.sets) }
-func (c *Cache) tag(l mem.Line) uint64 { return mem.TagOf(l, c.sets) }
+func (c *Cache) set(l mem.Line) int    { return int(uint64(l) & c.setMask) }
+func (c *Cache) tag(l mem.Line) uint64 { return uint64(l) >> c.tagShift }
+
+// lineAt assembles the Line view of (s, w) (tests, invariants).
+func (c *Cache) lineAt(s, w int) Line {
+	i := s*c.ways + w
+	if c.tags[i] == invalidTag {
+		return Line{}
+	}
+	st := &c.st[i]
+	return Line{
+		Tag:        c.tags[i],
+		Valid:      true,
+		Dirty:      st.meta&flagDirty != 0,
+		Prefetched: st.meta&flagPrefetched != 0,
+		PrefetchPC: st.pfPC,
+		ReadyTick:  st.ready,
+		Core:       int(st.core),
+	}
+}
+
+// putLine overwrites (s, w) with ln (tests only), recounting the
+// set's live lines.
+func (c *Cache) putLine(s, w int, ln Line) {
+	i := s*c.ways + w
+	defer c.recount(s)
+	if !ln.Valid {
+		c.tags[i] = invalidTag
+		c.st[i].meta = 0
+		return
+	}
+	c.tags[i] = ln.Tag
+	var m uint8
+	if ln.Dirty {
+		m |= flagDirty
+	}
+	if ln.Prefetched {
+		m |= flagPrefetched
+	}
+	c.st[i] = wayState{meta: m, pfPC: ln.PrefetchPC, ready: ln.ReadyTick, core: int32(ln.Core)}
+}
+
+// recount recomputes live[s] from the tag array (test mutations only).
+func (c *Cache) recount(s int) {
+	base := s * c.ways
+	n := uint16(0)
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] != invalidTag {
+			n++
+		}
+	}
+	c.live[s] = n
+}
 
 // Probe reports whether l is resident without touching any state.
 func (c *Cache) Probe(l mem.Line) bool {
-	s, t := c.set(l), c.tag(l)
-	for w := 0; w < c.dataWays; w++ {
-		ln := &c.lines[s][w]
-		if ln.Valid && ln.Tag == t {
+	t := c.tag(l)
+	base := c.set(l) * c.ways
+	tags := c.tags[base : base+c.dataWays]
+	for w := range tags {
+		if tags[w] == t {
 			return true
 		}
 	}
@@ -141,25 +247,28 @@ type LookupResult struct {
 // line is promoted (policy Hit) and prefetch provenance is consumed.
 func (c *Cache) Access(l mem.Line, a replacement.Access, now uint64) LookupResult {
 	c.stats.Accesses++
-	s, t := c.set(l), c.tag(l)
-	for w := 0; w < c.dataWays; w++ {
-		ln := &c.lines[s][w]
-		if !ln.Valid || ln.Tag != t {
+	s := c.set(l)
+	t := c.tag(l)
+	base := s * c.ways
+	tags := c.tags[base : base+c.dataWays]
+	for w := range tags {
+		if tags[w] != t {
 			continue
 		}
+		st := &c.st[base+w]
 		c.stats.Hits++
-		res := LookupResult{Hit: true, ReadyTick: ln.ReadyTick}
-		if ln.Prefetched {
+		res := LookupResult{Hit: true, ReadyTick: st.ready}
+		if st.meta&flagPrefetched != 0 {
 			res.WasPrefetch = true
-			res.PrefetchPC = ln.PrefetchPC
-			ln.Prefetched = false
+			res.PrefetchPC = st.pfPC
+			st.meta &^= flagPrefetched
 			c.stats.PrefetchUsed++
-			if ln.ReadyTick > now {
+			if st.ready > now {
 				res.Late = true
 				c.stats.LatePrefetches++
 			}
 		}
-		if a.Prefetch && ln.ReadyTick > now {
+		if a.Prefetch && st.ready > now {
 			res.Late = true
 		}
 		c.policy.Hit(s, w, a)
@@ -173,77 +282,88 @@ func (c *Cache) Access(l mem.Line, a replacement.Access, now uint64) LookupResul
 // displaced line (if any) is returned so the caller can issue a
 // writeback. readyTick is when the fill data arrives.
 func (c *Cache) Fill(l mem.Line, a replacement.Access, dirty bool, readyTick uint64) Eviction {
-	s, t := c.set(l), c.tag(l)
+	s := c.set(l)
+	t := c.tag(l)
+	base := s * c.ways
 	// Refill of an already-resident line (e.g. a prefetch racing a
 	// demand fill): just update state.
-	for w := 0; w < c.dataWays; w++ {
-		ln := &c.lines[s][w]
-		if ln.Valid && ln.Tag == t {
-			if dirty {
-				ln.Dirty = true
-			}
-			if ln.ReadyTick > readyTick {
-				ln.ReadyTick = readyTick
-			}
-			return Eviction{}
+	tags := c.tags[base : base+c.dataWays]
+	for w := range tags {
+		if tags[w] != t {
+			continue
 		}
+		st := &c.st[base+w]
+		if dirty {
+			st.meta |= flagDirty
+		}
+		if st.ready > readyTick {
+			st.ready = readyTick
+		}
+		return Eviction{}
 	}
-	valid := c.validScratch[:c.dataWays]
-	for w := 0; w < c.dataWays; w++ {
-		valid[w] = c.lines[s][w].Valid
+	valid := c.allValid[:c.dataWays]
+	if int(c.live[s]) != c.dataWays {
+		valid = c.validScratch[:c.dataWays]
+		for w := range tags {
+			valid[w] = tags[w] != invalidTag
+		}
 	}
 	w := c.policy.Victim(s, a, valid)
 	if w < 0 || w >= c.dataWays {
 		panic(fmt.Sprintf("cache %s: policy %s returned way %d of %d", c.name, c.policy.Name(), w, c.dataWays))
 	}
 	ev := c.evict(s, w)
-	c.lines[s][w] = Line{
-		Tag:        t,
-		Valid:      true,
-		Dirty:      dirty,
-		Prefetched: a.Prefetch,
-		PrefetchPC: a.PC,
-		ReadyTick:  readyTick,
-		Core:       a.Core,
+	c.live[s]++
+	i := base + w
+	c.tags[i] = t
+	var m uint8
+	if dirty {
+		m = flagDirty
 	}
 	if a.Prefetch {
+		m |= flagPrefetched
 		c.stats.PrefetchFills++
 	}
+	c.st[i] = wayState{meta: m, pfPC: a.PC, ready: readyTick, core: int32(a.Core)}
 	c.policy.Fill(s, w, a)
 	return ev
 }
 
 // evict clears (s, w) and returns what was there.
 func (c *Cache) evict(s, w int) Eviction {
-	ln := &c.lines[s][w]
-	if !ln.Valid {
+	i := s*c.ways + w
+	if c.tags[i] == invalidTag {
 		return Eviction{}
 	}
+	st := &c.st[i]
 	ev := Eviction{
-		Line:     mem.Line(ln.Tag*uint64(c.sets) + uint64(s)),
-		Dirty:    ln.Dirty,
+		Line:     mem.Line(c.tags[i]<<c.tagShift | uint64(s)),
+		Dirty:    st.meta&flagDirty != 0,
 		Valid:    true,
-		Prefetch: ln.Prefetched,
-		Core:     ln.Core,
+		Prefetch: st.meta&flagPrefetched != 0,
+		Core:     int(st.core),
 	}
 	c.stats.Evictions++
-	if ln.Dirty {
+	c.live[s]--
+	if ev.Dirty {
 		c.stats.Writebacks++
 	}
-	if ln.Prefetched {
+	if ev.Prefetch {
 		c.stats.PrefetchUnused++
 	}
-	ln.Valid = false
+	c.tags[i] = invalidTag
+	st.meta = 0
 	return ev
 }
 
 // MarkDirty sets the dirty bit of a resident line (store hit).
 func (c *Cache) MarkDirty(l mem.Line) {
-	s, t := c.set(l), c.tag(l)
-	for w := 0; w < c.dataWays; w++ {
-		ln := &c.lines[s][w]
-		if ln.Valid && ln.Tag == t {
-			ln.Dirty = true
+	t := c.tag(l)
+	base := c.set(l) * c.ways
+	tags := c.tags[base : base+c.dataWays]
+	for w := range tags {
+		if tags[w] == t {
+			c.st[base+w].meta |= flagDirty
 			return
 		}
 	}
@@ -251,10 +371,11 @@ func (c *Cache) MarkDirty(l mem.Line) {
 
 // Invalidate removes line l if resident, returning its eviction record.
 func (c *Cache) Invalidate(l mem.Line) Eviction {
-	s, t := c.set(l), c.tag(l)
+	s := c.set(l)
+	t := c.tag(l)
+	base := s * c.ways
 	for w := 0; w < c.ways; w++ {
-		ln := &c.lines[s][w]
-		if ln.Valid && ln.Tag == t {
+		if c.tags[base+w] == t {
 			return c.evict(s, w)
 		}
 	}
@@ -287,9 +408,10 @@ func (c *Cache) SetDataWays(n int) []Eviction {
 // Occupancy returns the number of valid data lines (tests, debugging).
 func (c *Cache) Occupancy() int {
 	n := 0
-	for s := range c.lines {
+	for s := 0; s < c.sets; s++ {
+		base := s * c.ways
 		for w := 0; w < c.dataWays; w++ {
-			if c.lines[s][w].Valid {
+			if c.tags[base+w] != invalidTag {
 				n++
 			}
 		}

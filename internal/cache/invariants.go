@@ -11,29 +11,42 @@ func (c *Cache) CheckInvariants() error {
 	if c.dataWays < 1 || c.dataWays > c.ways {
 		return fmt.Errorf("cache %s: dataWays=%d of %d ways", c.name, c.dataWays, c.ways)
 	}
-	if len(c.lines) != c.sets || len(c.validScratch) != c.ways {
-		return fmt.Errorf("cache %s: %d line sets / %d scratch entries for %dx%d geometry",
-			c.name, len(c.lines), len(c.validScratch), c.sets, c.ways)
+	n := c.sets * c.ways
+	if len(c.tags) != n || len(c.st) != n || len(c.live) != c.sets || len(c.validScratch) != c.ways {
+		return fmt.Errorf("cache %s: state arrays inconsistent with %dx%d geometry",
+			c.name, c.sets, c.ways)
 	}
-	for s := range c.lines {
-		set := c.lines[s]
-		if len(set) != c.ways {
-			return fmt.Errorf("cache %s: set %d has %d ways, want %d", c.name, s, len(set), c.ways)
+	for i, v := range c.allValid {
+		if !v {
+			return fmt.Errorf("cache %s: allValid[%d] clobbered (policy wrote through the valid view?)", c.name, i)
+		}
+	}
+	for s := 0; s < c.sets; s++ {
+		base := s * c.ways
+		lv := uint16(0)
+		for w := 0; w < c.ways; w++ {
+			if c.tags[base+w] != invalidTag {
+				lv++
+			}
+		}
+		if lv != c.live[s] {
+			return fmt.Errorf("cache %s: set %d live count %d, actual %d", c.name, s, c.live[s], lv)
 		}
 		for w := c.dataWays; w < c.ways; w++ {
-			if set[w].Valid {
+			if c.tags[base+w] != invalidTag {
 				return fmt.Errorf("cache %s: set %d way %d valid inside reserved partition (dataWays=%d)",
 					c.name, s, w, c.dataWays)
 			}
 		}
 		for w := 0; w < c.dataWays; w++ {
-			if !set[w].Valid {
+			t := c.tags[base+w]
+			if t == invalidTag {
 				continue
 			}
 			for v := w + 1; v < c.dataWays; v++ {
-				if set[v].Valid && set[v].Tag == set[w].Tag {
+				if c.tags[base+v] == t {
 					return fmt.Errorf("cache %s: set %d ways %d and %d both hold tag %#x",
-						c.name, s, w, v, set[w].Tag)
+						c.name, s, w, v, t)
 				}
 			}
 		}

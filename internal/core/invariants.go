@@ -10,16 +10,16 @@ func (s *store) checkInvariants() error {
 	if s.assoc < 0 || s.assoc > s.maxAssoc {
 		return fmt.Errorf("triage store: assoc=%d of max %d", s.assoc, s.maxAssoc)
 	}
-	if len(s.sets) != metadataSets {
-		return fmt.Errorf("triage store: %d sets, want %d", len(s.sets), metadataSets)
+	want := metadataSets * s.maxAssoc
+	if len(s.trig) != want || len(s.nextSet) != want || len(s.nextTag) != want ||
+		len(s.conf) != want || len(s.rrpv) != want || len(s.pc) != want || len(s.stamp) != want {
+		return fmt.Errorf("triage store: backing arrays sized %d/%d/%d/%d/%d/%d/%d, want %d",
+			len(s.trig), len(s.nextSet), len(s.nextTag), len(s.conf), len(s.rrpv), len(s.pc), len(s.stamp), want)
 	}
-	for i := range s.sets {
-		set := s.sets[i]
-		if len(set) != s.maxAssoc {
-			return fmt.Errorf("triage store: set %d has %d ways, want %d", i, len(set), s.maxAssoc)
-		}
+	for i := 0; i < metadataSets; i++ {
+		base := i * s.maxAssoc
 		for w := s.assoc; w < s.maxAssoc; w++ {
-			if set[w].valid {
+			if s.trig[base+w] != invalidTrig {
 				return fmt.Errorf("triage store: set %d way %d valid beyond assoc=%d (resize leak)",
 					i, w, s.assoc)
 			}

@@ -16,7 +16,7 @@ func TestStoreCheckInvariants(t *testing.T) {
 	}
 	// A valid entry above the shrunk associativity means resize leaked
 	// state that lookups must never see.
-	s.sets[0][6].valid = true
+	s.trig[0*s.maxAssoc+6] = 3
 	err := s.checkInvariants()
 	if err == nil {
 		t.Fatal("resize leak passed the invariant check")

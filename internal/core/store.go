@@ -17,33 +17,31 @@ const metadataSets = 2048
 // (10b) + 1-bit confidence.
 const bytesPerEntry = 4
 
-// entry is one correlation record: trigger -> successor.
-type entry struct {
-	valid bool
-	// trigTag is the compressed tag of the trigger line.
-	trigTag uint32
-	// nextSet and nextTag encode the successor line (set_id plus
-	// compressed tag); decompression can fail if the tag table recycled
-	// the id, modeling the information loss of a real 10-bit tag.
-	nextSet uint32
-	nextTag uint32
-	// conf is the paper's 1-bit confidence counter: the successor is
-	// replaced only after two consecutive disagreements.
-	conf bool
-	// rrpv and pc are the Hawkeye replacement state.
-	rrpv uint8
-	pc   uint64
-	// stamp is the LRU timestamp (used when the store runs LRU).
-	stamp uint64
-}
+// invalidTrig marks an empty way in the trigger-tag array. Real
+// compressed tags are at most 31 bits wide, far below 2^32-1, so the
+// residency scan needs no separate valid flag.
+const invalidTrig = ^uint32(0)
 
 const storeMaxRRPV = 7
 
 // store is Triage's on-chip metadata table. Capacity is expressed in
 // entries per set; the sets mirror the LLC's set decomposition so that
 // each set maps onto metadata ways of the corresponding LLC sets.
+//
+// Layout: per-way state lives in parallel flat arrays indexed
+// set*maxAssoc + way (struct-of-arrays). The lookup scan — the hottest
+// loop of a Triage run — touches only the 4-byte trigger-tag array,
+// with empty ways holding the invalidTrig sentinel.
 type store struct {
-	sets         [][]entry
+	// Parallel per-way state, indexed set*maxAssoc + way.
+	trig    []uint32 // compressed trigger tag; invalidTrig when empty
+	nextSet []uint32 // successor set_id
+	nextTag []uint32 // successor compressed tag
+	conf    []bool   // 1-bit confidence: replace only after two misses
+	rrpv    []uint8  // Hawkeye replacement state
+	pc      []uint64 // PC that last touched the entry (Hawkeye)
+	stamp   []uint64 // LRU timestamp (used when the store runs LRU)
+
 	assoc        int // current entries per set
 	maxAssoc     int
 	useHawkeye   bool
@@ -58,8 +56,15 @@ type store struct {
 }
 
 func newStore(maxAssoc int, useHawkeye bool, pred *replacement.Predictor) *store {
+	n := metadataSets * maxAssoc
 	s := &store{
-		sets:       make([][]entry, metadataSets),
+		trig:       make([]uint32, n),
+		nextSet:    make([]uint32, n),
+		nextTag:    make([]uint32, n),
+		conf:       make([]bool, n),
+		rrpv:       make([]uint8, n),
+		pc:         make([]uint64, n),
+		stamp:      make([]uint64, n),
 		assoc:      maxAssoc,
 		maxAssoc:   maxAssoc,
 		useHawkeye: useHawkeye,
@@ -67,8 +72,8 @@ func newStore(maxAssoc int, useHawkeye bool, pred *replacement.Predictor) *store
 		trigComp:   mem.NewTagCompressor(10),
 		nextComp:   mem.NewTagCompressor(10),
 	}
-	for i := range s.sets {
-		s.sets[i] = make([]entry, maxAssoc)
+	for i := range s.trig {
+		s.trig[i] = invalidTrig
 	}
 	return s
 }
@@ -87,9 +92,10 @@ func (s *store) resize(assoc int) {
 		assoc = 0
 	}
 	if assoc < s.assoc {
-		for i := range s.sets {
+		for i := 0; i < metadataSets; i++ {
+			base := i * s.maxAssoc
 			for w := assoc; w < s.assoc; w++ {
-				s.sets[i][w].valid = false
+				s.trig[base+w] = invalidTrig
 			}
 		}
 	}
@@ -110,23 +116,24 @@ func (s *store) lookup(l mem.Line) (next mem.Line, way int, ok bool) {
 	if !okTag {
 		return 0, -1, false
 	}
-	set := s.sets[storeSet(l)]
-	for w := 0; w < s.assoc; w++ {
-		e := &set[w]
-		if !e.valid || e.trigTag != tag {
+	base := storeSet(l) * s.maxAssoc
+	trig := s.trig[base : base+s.assoc]
+	for w := range trig {
+		if trig[w] != tag {
 			continue
 		}
-		full, okNext := s.nextComp.Decompress(e.nextTag)
+		i := base + w
+		full, okNext := s.nextComp.Decompress(s.nextTag[i])
 		if !okNext {
 			// Successor tag recycled: the entry is stale.
-			e.valid = false
+			s.trig[i] = invalidTrig
 			return 0, -1, false
 		}
 		if s.trackReuse {
 			n, _ := s.reuse.Get(uint64(l))
 			s.reuse.Set(uint64(l), n+1)
 		}
-		return mem.Line(full<<11 | uint64(e.nextSet)), w, true
+		return mem.Line(full<<11 | uint64(s.nextSet[i])), w, true
 	}
 	return 0, -1, false
 }
@@ -136,15 +143,15 @@ func (s *store) promote(l mem.Line, way int, pc uint64) {
 	if way < 0 || way >= s.assoc {
 		return
 	}
-	e := &s.sets[storeSet(l)][way]
+	i := storeSet(l)*s.maxAssoc + way
 	s.clock++
-	e.stamp = s.clock
-	e.pc = pc
+	s.stamp[i] = s.clock
+	s.pc[i] = pc
 	if s.useHawkeye {
 		if s.pred.Friendly(pc) {
-			e.rrpv = 0
+			s.rrpv[i] = 0
 		} else {
-			e.rrpv = storeMaxRRPV
+			s.rrpv[i] = storeMaxRRPV
 		}
 	}
 }
@@ -158,42 +165,47 @@ func (s *store) insert(l, next mem.Line, pc uint64) {
 		return
 	}
 	setIdx := storeSet(l)
-	set := s.sets[setIdx]
+	base := setIdx * s.maxAssoc
 	trigTag := s.trigComp.Compress(storeTagOf(l))
 	nextTag := s.nextComp.Compress(storeTagOf(next))
 	nextSet := uint32(storeSet(next))
 
-	for w := 0; w < s.assoc; w++ {
-		e := &set[w]
-		if !e.valid || e.trigTag != trigTag {
+	trig := s.trig[base : base+s.assoc]
+	for w := range trig {
+		if trig[w] != trigTag {
 			continue
 		}
-		if e.nextTag == nextTag && e.nextSet == nextSet {
-			e.conf = true
-		} else if e.conf {
-			e.conf = false
+		i := base + w
+		if s.nextTag[i] == nextTag && s.nextSet[i] == nextSet {
+			s.conf[i] = true
+		} else if s.conf[i] {
+			s.conf[i] = false
 		} else {
-			e.nextTag, e.nextSet = nextTag, nextSet
-			e.conf = true
+			s.nextTag[i], s.nextSet[i] = nextTag, nextSet
+			s.conf[i] = true
 		}
-		s.touchOnInsert(e, pc)
+		s.touchOnInsert(i, pc)
 		return
 	}
 
 	// Miss: allocate a way.
 	w := s.victim(setIdx, pc)
-	e := &set[w]
-	if e.valid {
+	i := base + w
+	if s.trig[i] != invalidTrig {
 		s.replacements++
-		if s.useHawkeye && e.rrpv < storeMaxRRPV {
+		if s.useHawkeye && s.rrpv[i] < storeMaxRRPV {
 			// Evicting a metadata entry predicted useful detrains the
 			// PC that last touched it (Hawkeye's eviction feedback).
-			s.pred.TrainNegative(e.pc)
+			s.pred.TrainNegative(s.pc[i])
 		}
 	}
 	s.insertions++
-	*e = entry{valid: true, trigTag: trigTag, nextSet: nextSet, nextTag: nextTag, conf: true}
-	s.touchOnInsert(e, pc)
+	s.trig[i] = trigTag
+	s.nextSet[i] = nextSet
+	s.nextTag[i] = nextTag
+	s.conf[i] = true
+	s.rrpv[i] = 0
+	s.touchOnInsert(i, pc)
 	if s.trackReuse && s.reuse != nil {
 		if _, seen := s.reuse.Get(uint64(l)); !seen {
 			s.reuse.Set(uint64(l), 0)
@@ -201,24 +213,25 @@ func (s *store) insert(l, next mem.Line, pc uint64) {
 	}
 }
 
-func (s *store) touchOnInsert(e *entry, pc uint64) {
+func (s *store) touchOnInsert(i int, pc uint64) {
 	s.clock++
-	e.stamp = s.clock
-	e.pc = pc
+	s.stamp[i] = s.clock
+	s.pc[i] = pc
 	if s.useHawkeye {
 		if s.pred.Friendly(pc) {
-			e.rrpv = 0
+			s.rrpv[i] = 0
 		} else {
-			e.rrpv = storeMaxRRPV
+			s.rrpv[i] = storeMaxRRPV
 		}
 	}
 }
 
 // victim picks a way to replace in setIdx.
 func (s *store) victim(setIdx int, _ uint64) int {
-	set := s.sets[setIdx]
-	for w := 0; w < s.assoc; w++ {
-		if !set[w].valid {
+	base := setIdx * s.maxAssoc
+	trig := s.trig[base : base+s.assoc]
+	for w := range trig {
+		if trig[w] == invalidTrig {
 			return w
 		}
 	}
@@ -226,8 +239,8 @@ func (s *store) victim(setIdx int, _ uint64) int {
 		// LRU
 		victim, oldest := 0, ^uint64(0)
 		for w := 0; w < s.assoc; w++ {
-			if set[w].stamp < oldest {
-				oldest, victim = set[w].stamp, w
+			if s.stamp[base+w] < oldest {
+				oldest, victim = s.stamp[base+w], w
 			}
 		}
 		return victim
@@ -235,20 +248,20 @@ func (s *store) victim(setIdx int, _ uint64) int {
 	// Hawkeye: evict an averse entry (RRPV==max), else the oldest
 	// friendly one.
 	for w := 0; w < s.assoc; w++ {
-		if set[w].rrpv == storeMaxRRPV {
+		if s.rrpv[base+w] == storeMaxRRPV {
 			return w
 		}
 	}
 	victim, maxRRPV := 0, -1
 	for w := 0; w < s.assoc; w++ {
-		if int(set[w].rrpv) > maxRRPV {
-			maxRRPV, victim = int(set[w].rrpv), w
+		if int(s.rrpv[base+w]) > maxRRPV {
+			maxRRPV, victim = int(s.rrpv[base+w]), w
 		}
 	}
 	// Age friendly entries so they form an insertion order.
 	for w := 0; w < s.assoc; w++ {
-		if w != victim && set[w].rrpv < storeMaxRRPV-1 {
-			set[w].rrpv++
+		if w != victim && s.rrpv[base+w] < storeMaxRRPV-1 {
+			s.rrpv[base+w]++
 		}
 	}
 	return victim
@@ -263,9 +276,10 @@ func (s *store) enableReuseTracking() {
 // occupancy counts valid entries (tests).
 func (s *store) occupancy() int {
 	n := 0
-	for i := range s.sets {
+	for i := 0; i < metadataSets; i++ {
+		base := i * s.maxAssoc
 		for w := 0; w < s.assoc; w++ {
-			if s.sets[i][w].valid {
+			if s.trig[base+w] != invalidTrig {
 				n++
 			}
 		}

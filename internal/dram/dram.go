@@ -92,7 +92,7 @@ type DRAM struct {
 	// Each window accumulates recent busy-time; the queueing wait grows
 	// as utilization approaches 1 (M/D/1-style).
 	chanUtil []window
-	bankUtil [][]window
+	bankUtil []window // indexed channel*banks + bank
 
 	stats Stats
 }
@@ -149,10 +149,7 @@ func New(m config.Machine, detailed bool) *DRAM {
 	d.transferTicks = uint64(m.DRAMTransferCycles()) * TicksPerCycle * uint64(d.channels)
 	d.chanFree = make([]uint64, d.channels)
 	d.chanUtil = make([]window, d.channels)
-	d.bankUtil = make([][]window, d.channels)
-	for i := range d.bankUtil {
-		d.bankUtil[i] = make([]window, d.banks)
-	}
+	d.bankUtil = make([]window, d.channels*d.banks)
 	return d
 }
 
@@ -187,7 +184,7 @@ func (d *DRAM) Access(now uint64, l mem.Line, k Kind) uint64 {
 	if d.detailed {
 		start = now + d.chanUtil[ch].wait(now, d.transferTicks)
 		b := d.bankOf(l)
-		start += d.bankUtil[ch][b].wait(now, d.bankTicks)
+		start += d.bankUtil[ch*d.banks+b].wait(now, d.bankTicks)
 	} else {
 		// Single-core simple mode: a scalar next-free pipe (arrivals
 		// from one core are near-monotone, so no poisoning).

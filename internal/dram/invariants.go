@@ -10,21 +10,18 @@ func (d *DRAM) CheckInvariants() error {
 	if d.channels < 1 || d.banks < 1 {
 		return fmt.Errorf("dram: %d channels x %d banks", d.channels, d.banks)
 	}
-	if len(d.chanFree) != d.channels || len(d.chanUtil) != d.channels || len(d.bankUtil) != d.channels {
-		return fmt.Errorf("dram: tables sized %d/%d/%d for %d channels",
-			len(d.chanFree), len(d.chanUtil), len(d.bankUtil), d.channels)
+	if len(d.chanFree) != d.channels || len(d.chanUtil) != d.channels || len(d.bankUtil) != d.channels*d.banks {
+		return fmt.Errorf("dram: tables sized %d/%d/%d for %d channels x %d banks",
+			len(d.chanFree), len(d.chanUtil), len(d.bankUtil), d.channels, d.banks)
 	}
 	for ch := range d.chanUtil {
 		if d.chanUtil[ch].busy > windowTicks {
 			return fmt.Errorf("dram: channel %d busy %d exceeds window %d", ch, d.chanUtil[ch].busy, uint64(windowTicks))
 		}
-		if len(d.bankUtil[ch]) != d.banks {
-			return fmt.Errorf("dram: channel %d has %d bank windows, want %d", ch, len(d.bankUtil[ch]), d.banks)
-		}
-		for b := range d.bankUtil[ch] {
-			if d.bankUtil[ch][b].busy > windowTicks {
+		for b := 0; b < d.banks; b++ {
+			if d.bankUtil[ch*d.banks+b].busy > windowTicks {
 				return fmt.Errorf("dram: channel %d bank %d busy %d exceeds window %d",
-					ch, b, d.bankUtil[ch][b].busy, uint64(windowTicks))
+					ch, b, d.bankUtil[ch*d.banks+b].busy, uint64(windowTicks))
 			}
 		}
 	}

@@ -291,7 +291,7 @@ func (r *Runner) singleF(spec workload.Spec, cfg namedPF) *Future[sim.Result] {
 		} else {
 			f = Go(r.pool, func() sim.Result {
 				res := r.execute(key, func(hooks *telemetry.Hooks) sim.Result {
-					rr := r.record(runSingle(r.P, spec, cfg.f, nil, hooks))
+					rr := r.record(runSingle(r.P, spec, cfg.name, cfg.f, nil, hooks))
 					r.storeSamples(key, hooks)
 					return rr
 				})
@@ -326,31 +326,34 @@ func (r *Runner) checkpointPut(key string, res sim.Result) {
 }
 
 // runSingleF schedules an uncached single-core run (mutated machines,
-// one-off configurations) on the pool.
+// one-off configurations) on the pool. No warm-snapshot key: a mutated
+// machine's warm prefix has no stable process-wide name.
 func (r *Runner) runSingleF(spec workload.Spec, factory pfFactory, mutate func(*sim.Options)) *Future[sim.Result] {
 	key := spec.Name + "/adhoc"
 	return Go(r.pool, func() sim.Result {
 		return r.execute(key, func(hooks *telemetry.Hooks) sim.Result {
-			return r.record(runSingle(r.P, spec, factory, mutate, hooks))
+			return r.record(runSingle(r.P, spec, "", factory, mutate, hooks))
 		})
 	})
 }
 
-// runMixF schedules one multi-programmed mix on the pool.
-func (r *Runner) runMixF(mix workload.MixSpec, factory pfFactory) *Future[sim.Result] {
+// runMixF schedules one multi-programmed mix on the pool. pfName names
+// the prefetcher configuration for warm-snapshot reuse ("" disables).
+func (r *Runner) runMixF(mix workload.MixSpec, pfName string, factory pfFactory) *Future[sim.Result] {
 	return Go(r.pool, func() sim.Result {
 		return r.execute(mix.Name, func(hooks *telemetry.Hooks) sim.Result {
-			return r.record(runMix(r.P, mix, factory, hooks))
+			return r.record(runMix(r.P, mix, pfName, factory, hooks))
 		})
 	})
 }
 
-// runRateF schedules one N-copy server run on the pool.
-func (r *Runner) runRateF(spec workload.Spec, cores int, factory pfFactory) *Future[sim.Result] {
+// runRateF schedules one N-copy server run on the pool. pfName names
+// the prefetcher configuration for warm-snapshot reuse ("" disables).
+func (r *Runner) runRateF(spec workload.Spec, cores int, pfName string, factory pfFactory) *Future[sim.Result] {
 	key := fmt.Sprintf("%s/x%d", spec.Name, cores)
 	return Go(r.pool, func() sim.Result {
 		return r.execute(key, func(hooks *telemetry.Hooks) sim.Result {
-			return r.record(runRate(r.P, spec, cores, factory, hooks))
+			return r.record(runRate(r.P, spec, cores, pfName, factory, hooks))
 		})
 	})
 }

@@ -119,6 +119,9 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 		}
 		pfs[c] = p
 	}
+	// BuildPrefetcher resolves PF names canonically process-wide, and
+	// Degree parameterizes the build, so bench+pf+degree+cores+warmup+
+	// seed pins the complete warm prefix for snapshot reuse.
 	machine, err := sim.New(sim.Options{
 		Machine:             m,
 		Workloads:           ws,
@@ -127,6 +130,8 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 		MeasureInstructions: s.Measure,
 		Telemetry:           hooks,
 		CheckEvery:          s.CheckEvery,
+		WarmKey: warmKey("spec", s.Bench, fmt.Sprintf("%s/d%d", s.PF, s.Degree),
+			s.Cores, s.Warmup, s.Seed),
 	})
 	if err != nil {
 		return sim.Result{}, err

@@ -12,8 +12,9 @@ const fibMul = 0x9E3779B97F4A7C15
 
 // Map is an open-addressed uint64->uint64 hash map with linear probing.
 // The zero key is stored out of line so every table slot with key 0 is
-// unambiguously empty. Map never deletes; it grows by doubling when the
-// load factor reaches 3/4.
+// unambiguously empty. Deletion uses backward-shift (no tombstones), so
+// probe chains stay short; the table grows by doubling when the load
+// factor reaches 3/4 and never shrinks.
 type Map struct {
 	keys  []uint64
 	vals  []uint64
@@ -111,6 +112,53 @@ func (m *Map) grow() {
 		}
 		m.keys[j] = k
 		m.vals[j] = oldVals[i]
+	}
+}
+
+// Delete removes k if present, reporting whether it was. Backward-shift
+// deletion moves later entries of the probe chain up over the hole (the
+// same scheme as LRU.idxDelete), so lookups never meet a tombstone.
+func (m *Map) Delete(k uint64) bool {
+	if k == 0 {
+		had := m.hasZero
+		m.hasZero = false
+		m.zeroVal = 0
+		return had
+	}
+	mask := len(m.keys) - 1
+	i := m.home(k)
+	for {
+		switch m.keys[i] {
+		case k:
+			goto found
+		case 0:
+			return false
+		}
+		i = (i + 1) & mask
+	}
+found:
+	m.n--
+	for {
+		m.keys[i] = 0
+		m.vals[i] = 0
+		j := i
+		for {
+			j = (j + 1) & mask
+			kj := m.keys[j]
+			if kj == 0 {
+				return true
+			}
+			// Move the entry at j up to i only if its home position
+			// precedes the hole (cyclically): otherwise moving it would
+			// break its own probe chain.
+			h := m.home(kj)
+			if (j-h)&mask >= (j-i)&mask {
+				m.keys[i] = kj
+				m.vals[i] = m.vals[j]
+				i = j
+				break
+			}
+		}
 	}
 }
 

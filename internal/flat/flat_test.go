@@ -53,6 +53,67 @@ func TestMapGrowAndRandomized(t *testing.T) {
 	}
 }
 
+func TestMapDelete(t *testing.T) {
+	m := NewMap(0)
+	m.Set(42, 7)
+	m.Set(0, 9)
+	if !m.Delete(42) {
+		t.Fatal("Delete(42) = false for present key")
+	}
+	if _, ok := m.Get(42); ok {
+		t.Fatal("Get(42) found a deleted key")
+	}
+	if m.Delete(42) {
+		t.Fatal("Delete(42) = true for absent key")
+	}
+	if !m.Delete(0) {
+		t.Fatal("Delete(0) = false for present zero key")
+	}
+	if _, ok := m.Get(0); ok {
+		t.Fatal("Get(0) found the deleted zero key")
+	}
+	if m.Len() != 0 {
+		t.Fatalf("Len = %d want 0", m.Len())
+	}
+}
+
+// TestMapDeleteRandomized interleaves inserts and deletes against Go's
+// map, exercising backward-shift over colliding probe chains.
+func TestMapDeleteRandomized(t *testing.T) {
+	m := NewMap(0)
+	ref := map[uint64]uint64{}
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50000; i++ {
+		k := rng.Uint64() % 700 // small key space -> long shared chains
+		if rng.Intn(3) == 0 {
+			if got, want := m.Delete(k), ref[k] != 0 || hasKey(ref, k); got != want {
+				t.Fatalf("Delete(%d) = %v want %v", k, got, want)
+			}
+			delete(ref, k)
+		} else {
+			v := rng.Uint64()
+			m.Set(k, v)
+			ref[k] = v
+		}
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+	if m.Len() != len(ref) {
+		t.Fatalf("Len = %d want %d", m.Len(), len(ref))
+	}
+	for k, v := range ref {
+		if got, ok := m.Get(k); !ok || got != v {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", k, got, ok, v)
+		}
+	}
+}
+
+func hasKey(ref map[uint64]uint64, k uint64) bool {
+	_, ok := ref[k]
+	return ok
+}
+
 func TestMapReset(t *testing.T) {
 	m := NewMap(4)
 	m.Set(0, 1)

@@ -1,5 +1,7 @@
 package mem
 
+import "repro/internal/flat"
+
 // TagCompressor implements the compressed-tag lookup table of paper
 // §3.2. Each Triage metadata entry must fit in 4 bytes, so the full
 // address tag (everything above the set-index bits) is compressed to a
@@ -14,10 +16,10 @@ package mem
 // fixed-size compression table would suffer.
 type TagCompressor struct {
 	bits    uint
-	fwd     map[uint64]uint32 // full tag -> compressed id
-	rev     []uint64          // compressed id -> full tag
-	revOK   []bool            // id currently mapped
-	stamp   []uint64          // LRU timestamps per id
+	fwd     *flat.Map // full tag -> compressed id
+	rev     []uint64  // compressed id -> full tag
+	revOK   []bool    // id currently mapped
+	stamp   []uint64  // LRU timestamps per id
 	clock   uint64
 	recycle uint64 // number of ids recycled (stat)
 }
@@ -31,7 +33,7 @@ func NewTagCompressor(bits uint) *TagCompressor {
 	n := 1 << bits
 	return &TagCompressor{
 		bits:  bits,
-		fwd:   make(map[uint64]uint32, n),
+		fwd:   flat.NewMap(n),
 		rev:   make([]uint64, n),
 		revOK: make([]bool, n),
 		stamp: make([]uint64, n),
@@ -51,16 +53,17 @@ func (c *TagCompressor) Recycled() uint64 { return c.recycle }
 // possibly recycling) an id if the tag is not yet in the table.
 func (c *TagCompressor) Compress(tag uint64) uint32 {
 	c.clock++
-	if id, ok := c.fwd[tag]; ok {
+	if v, ok := c.fwd.Get(tag); ok {
+		id := uint32(v)
 		c.stamp[id] = c.clock
 		return id
 	}
 	id := c.allocate()
 	if c.revOK[id] {
-		delete(c.fwd, c.rev[id])
+		c.fwd.Delete(c.rev[id])
 		c.recycle++
 	}
-	c.fwd[tag] = id
+	c.fwd.Set(tag, uint64(id))
 	c.rev[id] = tag
 	c.revOK[id] = true
 	c.stamp[id] = c.clock
@@ -69,7 +72,8 @@ func (c *TagCompressor) Compress(tag uint64) uint32 {
 
 // Lookup returns the compressed id for tag without allocating.
 func (c *TagCompressor) Lookup(tag uint64) (uint32, bool) {
-	id, ok := c.fwd[tag]
+	v, ok := c.fwd.Get(tag)
+	id := uint32(v)
 	if ok {
 		c.clock++
 		c.stamp[id] = c.clock

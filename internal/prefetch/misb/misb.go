@@ -88,11 +88,16 @@ func WithCacheBytes(b int) Option {
 
 // New returns a MISB prefetcher.
 func New(opts ...Option) *Prefetcher {
+	// PS/SP grow to one entry per correlated line — hundreds of
+	// thousands over a few million trained instructions. Pre-sizing
+	// them skips the long ladder of doubling rehashes on the way up
+	// (measurably hot in multi-core figures); 1<<16 slots is 1MB per
+	// map, far below one simulated LLC.
 	p := &Prefetcher{
 		env:      prefetch.NopEnv{},
-		ps:       flat.NewMap(0),
-		sp:       flat.NewMap(0),
-		lastAddr: flat.NewMap(0),
+		ps:       flat.NewMap(1 << 16),
+		sp:       flat.NewMap(1 << 16),
+		lastAddr: flat.NewMap(1 << 12),
 		cache:    newBlockCache(48 << 10 / mem.LineSize),
 		degree:   1,
 	}

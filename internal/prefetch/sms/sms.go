@@ -10,6 +10,7 @@
 package sms
 
 import (
+	"repro/internal/flat"
 	"repro/internal/mem"
 	"repro/internal/prefetch"
 )
@@ -21,15 +22,17 @@ type generation struct {
 	pc        uint64
 	trigger   int // offset of the first access
 	footprint uint32
-	lastUse   uint64
 }
 
 // Prefetcher implements SMS.
 type Prefetcher struct {
-	// active generation table: region -> in-flight footprint
-	agt    map[uint64]*generation
+	// Active generation table: region -> in-flight footprint. The
+	// flat.LRU's recency order matches the previous explicit lastUse
+	// clock exactly (every access promotes, every use is unique), so
+	// eviction picks the same victim the old min-scan did — in O(1)
+	// instead of a full table walk per new generation.
+	agt    *flat.LRU[generation]
 	agtCap int
-	clock  uint64
 
 	// pattern history table: (pc, trigger offset) -> footprint
 	pht    map[uint64]uint32
@@ -50,7 +53,6 @@ func WithTableSizes(agt, pht int) Option {
 // PHT, footprint replay capped at 8 lines).
 func New(opts ...Option) *Prefetcher {
 	p := &Prefetcher{
-		agt:    make(map[uint64]*generation),
 		agtCap: 64,
 		pht:    make(map[uint64]uint32),
 		phtCap: 16384,
@@ -59,6 +61,7 @@ func New(opts ...Option) *Prefetcher {
 	for _, o := range opts {
 		o(p)
 	}
+	p.agt = flat.NewLRU[generation](p.agtCap)
 	return p
 }
 
@@ -78,12 +81,11 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 	if !ev.Miss && !ev.PrefetchHit {
 		return nil
 	}
-	p.clock++
 	region := mem.RegionOf(ev.Line, RegionLines)
 	off := mem.RegionOffset(ev.Line, RegionLines)
-	if g, ok := p.agt[region]; ok {
-		g.footprint |= 1 << uint(off)
-		g.lastUse = p.clock
+	if slot, ok := p.agt.Find(region); ok {
+		p.agt.At(slot).footprint |= 1 << uint(off)
+		p.agt.TouchFront(slot)
 		return nil
 	}
 	// New generation: first access to the region is the trigger.
@@ -113,31 +115,18 @@ func (p *Prefetcher) Train(ev prefetch.Event) []prefetch.Request {
 // openGeneration starts tracking a region, retiring the LRU generation
 // into the PHT when the AGT is full.
 func (p *Prefetcher) openGeneration(region uint64, pc uint64, off int) {
-	if len(p.agt) >= p.agtCap {
-		var lruRegion uint64
-		lruClock := ^uint64(0)
-		for r, g := range p.agt {
-			if g.lastUse < lruClock {
-				lruClock, lruRegion = g.lastUse, r
-			}
-		}
-		p.retire(lruRegion)
-	}
-	p.agt[region] = &generation{
+	_, ev, evicted := p.agt.Insert(region, generation{
 		pc:        pc,
 		trigger:   off,
 		footprint: 1 << uint(off),
-		lastUse:   p.clock,
+	})
+	if evicted {
+		p.retire(ev)
 	}
 }
 
 // retire moves a finished generation's footprint into the PHT.
-func (p *Prefetcher) retire(region uint64) {
-	g := p.agt[region]
-	delete(p.agt, region)
-	if g == nil {
-		return
-	}
+func (p *Prefetcher) retire(g generation) {
 	key := phtKey(g.pc, g.trigger)
 	if _, ok := p.pht[key]; ok && g.footprint == 1<<uint(g.trigger) {
 		// The generation ended before any spatial neighbor was touched

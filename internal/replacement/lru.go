@@ -3,17 +3,13 @@ package replacement
 // LRU is the classic least-recently-used policy.
 type LRU struct {
 	ways  int
-	stamp [][]uint64 // [set][way] last-use timestamps
+	stamp []uint64 // last-use timestamps, indexed set*ways + way
 	clock uint64
 }
 
 // NewLRU returns an LRU policy for a sets x ways cache.
 func NewLRU(sets, ways int) *LRU {
-	s := make([][]uint64, sets)
-	for i := range s {
-		s[i] = make([]uint64, ways)
-	}
-	return &LRU{ways: ways, stamp: s}
+	return &LRU{ways: ways, stamp: make([]uint64, sets*ways)}
 }
 
 // Name implements Policy.
@@ -27,7 +23,7 @@ func (p *LRU) Fill(set, way int, _ Access) { p.touch(set, way) }
 
 func (p *LRU) touch(set, way int) {
 	p.clock++
-	p.stamp[set][way] = p.clock
+	p.stamp[set*p.ways+way] = p.clock
 }
 
 // Victim implements Policy.
@@ -35,9 +31,10 @@ func (p *LRU) Victim(set int, _ Access, valid []bool) int {
 	if w := preferInvalid(valid); w >= 0 {
 		return w
 	}
+	stamp := p.stamp[set*p.ways : set*p.ways+len(valid)]
 	victim, oldest := 0, ^uint64(0)
-	for w := 0; w < len(valid); w++ {
-		if s := p.stamp[set][w]; s < oldest {
+	for w := range stamp {
+		if s := stamp[w]; s < oldest {
 			oldest, victim = s, w
 		}
 	}

@@ -20,30 +20,41 @@ type mshrRing struct {
 	head  int
 }
 
-func newMSHRRing(k int) *mshrRing { return &mshrRing{slots: make([]uint64, k)} }
+func newMSHRRing(k int) mshrRing { return mshrRing{slots: make([]uint64, k)} }
 
 // admit returns the earliest start time for a request arriving at t,
-// plus a commit func the caller invokes with the request's completion.
-func (m *mshrRing) admit(t uint64) (start uint64, commit func(done uint64)) {
-	if f := m.slots[m.head]; f > t {
+// plus the reserved slot index the caller passes to commit with the
+// request's completion. Returning an index instead of a commit closure
+// keeps the demand path allocation-free.
+func (m *mshrRing) admit(t uint64) (start uint64, slot int) {
+	h := m.head
+	if f := m.slots[h]; f > t {
 		t = f
 	}
-	h := m.head
-	m.head = (m.head + 1) % len(m.slots)
-	return t, func(done uint64) { m.slots[h] = done }
+	m.head = h + 1
+	if m.head == len(m.slots) {
+		m.head = 0
+	}
+	return t, h
 }
+
+// commit records the completion tick of the request holding slot.
+func (m *mshrRing) commit(slot int, done uint64) { m.slots[slot] = done }
 
 // tryAdmit is the non-blocking variant used for prefetches: when every
 // slot is busy at t the request is rejected (ChampSim drops prefetches
 // on a full prefetch queue rather than delaying them — a delayed
 // prefetch would be worse than the demand miss it replaces).
-func (m *mshrRing) tryAdmit(t uint64) (commit func(done uint64), ok bool) {
-	if m.slots[m.head] > t {
-		return nil, false
-	}
+func (m *mshrRing) tryAdmit(t uint64) (slot int, ok bool) {
 	h := m.head
-	m.head = (m.head + 1) % len(m.slots)
-	return func(done uint64) { m.slots[h] = done }, true
+	if m.slots[h] > t {
+		return -1, false
+	}
+	m.head = h + 1
+	if m.head == len(m.slots) {
+		m.head = 0
+	}
+	return h, true
 }
 
 // hierarchy owns the caches, DRAM and prefetchers of one machine.
@@ -58,11 +69,20 @@ type hierarchy struct {
 	l1pf []*stride.Prefetcher  // optional per-core L1 stride prefetcher
 	l2pf []prefetch.Prefetcher // per-core L2 prefetcher (may be nil)
 
+	// Devirtualized per-core prefetcher hooks, resolved once in
+	// newHierarchy (and again after a warm-state restore): the Train
+	// entry point as a bound function value and the optional observer
+	// interfaces. The hot path never repeats the type assertions.
+	l2train []func(prefetch.Event) []prefetch.Request
+	l2oo    []prefetch.OutcomeObserver
+	l2fo    []prefetch.FillObserver
+
 	// Per-core queueing: demand MSHRs at L1 and L2, and the prefetch
 	// queue below the L2 (finite MLP; what makes prefetching matter).
-	l1mshr []*mshrRing
-	l2mshr []*mshrRing
-	pfq    []*mshrRing
+	// Stored by value so the rings live in three contiguous arrays.
+	l1mshr []mshrRing
+	l2mshr []mshrRing
+	pfq    []mshrRing
 
 	// Latencies in ticks.
 	l1Lat, l2Lat, llcLat uint64
@@ -100,21 +120,30 @@ type partsProvider interface {
 	Parts() []prefetch.Prefetcher
 }
 
-func findPartitioners(p prefetch.Prefetcher) []metadataPartitioner {
+// walkParts visits the leaf prefetchers of p, unwrapping hybrids. It is
+// the one traversal shared by every construction-time interface probe
+// (partitioners, invariant checkers, event-trace binders, estimators).
+func walkParts(p prefetch.Prefetcher, fn func(prefetch.Prefetcher)) {
 	if p == nil {
-		return nil
+		return
 	}
 	if pp, ok := p.(partsProvider); ok {
-		var out []metadataPartitioner
 		for _, part := range pp.Parts() {
-			out = append(out, findPartitioners(part)...)
+			walkParts(part, fn)
 		}
-		return out
+		return
 	}
-	if mp, ok := p.(metadataPartitioner); ok {
-		return []metadataPartitioner{mp}
-	}
-	return nil
+	fn(p)
+}
+
+func findPartitioners(p prefetch.Prefetcher) []metadataPartitioner {
+	var out []metadataPartitioner
+	walkParts(p, func(leaf prefetch.Prefetcher) {
+		if mp, ok := leaf.(metadataPartitioner); ok {
+			out = append(out, mp)
+		}
+	})
+	return out
 }
 
 func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy string, detailedDRAM, noCapacityLoss bool, tr *telemetry.EventTrace) *hierarchy {
@@ -151,15 +180,40 @@ func newHierarchy(cfg config.Machine, l2pf []prefetch.Prefetcher, llcPolicy stri
 		pol = replacement.NewLRU(llcSets, cfg.LLCWays)
 	}
 	h.llc = cache.New("llc", llcSets, cfg.LLCWays, pol)
-	h.partitioners = make([][]metadataPartitioner, cfg.Cores)
-	for c, p := range l2pf {
-		h.partitioners[c] = findPartitioners(p)
+	for _, p := range l2pf {
 		if eu, ok := p.(prefetch.EnvUser); ok {
 			eu.Bind(h)
 		}
 	}
+	h.resolveHooks()
 	h.applyPartition(0)
 	return h
+}
+
+// resolveHooks builds the devirtualized dispatch tables from the
+// current per-core prefetcher set. It runs once at construction and
+// once after a warm-state restore replaces the prefetcher objects;
+// bound function values must be rebuilt then because they capture the
+// receiver they were resolved against.
+func (h *hierarchy) resolveHooks() {
+	cores := len(h.l2pf)
+	h.l2train = make([]func(prefetch.Event) []prefetch.Request, cores)
+	h.l2oo = make([]prefetch.OutcomeObserver, cores)
+	h.l2fo = make([]prefetch.FillObserver, cores)
+	h.partitioners = make([][]metadataPartitioner, cores)
+	for c, p := range h.l2pf {
+		if p == nil {
+			continue
+		}
+		h.l2train[c] = p.Train
+		if oo, ok := p.(prefetch.OutcomeObserver); ok {
+			h.l2oo[c] = oo
+		}
+		if fo, ok := p.(prefetch.FillObserver); ok {
+			h.l2fo[c] = fo
+		}
+		h.partitioners[c] = findPartitioners(p)
+	}
 }
 
 // --- prefetch.Env ---
@@ -260,7 +314,7 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 	h.trainL1(c, pc, line, now)
 
 	// L1 miss: allocate an L1 MSHR; it is held until the fill arrives.
-	t, commitL1 := h.l1mshr[c].admit(now)
+	t, slotL1 := h.l1mshr[c].admit(now)
 	var ready uint64
 
 	if r := h.l2[c].Access(line, acc, t); r.Hit {
@@ -269,7 +323,7 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 			ready = r.ReadyTick
 		}
 		h.fill(h.l1[c], c, line, acc, false, ready)
-		commitL1(ready)
+		h.l1mshr[c].commit(slotL1, ready)
 		if r.WasPrefetch {
 			if h.tr != nil {
 				h.tr.Emit(telemetry.Event{Tick: t, Kind: telemetry.EvUsed, Core: int32(c), Level: 2, Line: uint64(line), PC: pc})
@@ -282,7 +336,7 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 
 	// L2 demand miss: training event regardless of LLC outcome.
 	ev := prefetch.Event{PC: pc, Line: line, Core: c, Miss: true, Tick: t}
-	t2, commitL2 := h.l2mshr[c].admit(t)
+	t2, slotL2 := h.l2mshr[c].admit(t)
 	if r := h.llc.Access(line, acc, t2); r.Hit {
 		ready = t2 + h.llcLat
 		if r.ReadyTick > ready {
@@ -295,11 +349,11 @@ func (h *hierarchy) load(c int, pc uint64, line mem.Line, now uint64) uint64 {
 		ready = h.ram.Access(t2, line, dram.DemandRead)
 		h.fill(h.llc, c, line, acc, false, ready)
 	}
-	commitL2(ready)
+	h.l2mshr[c].commit(slotL2, ready)
 	h.fill(h.l2[c], c, line, acc, false, ready)
 	h.observeL2Fill(c, line, false, ready)
 	h.fill(h.l1[c], c, line, acc, false, ready)
-	commitL1(ready)
+	h.l1mshr[c].commit(slotL1, ready)
 	h.trainL2(c, ev)
 	return ready
 }
@@ -314,14 +368,14 @@ func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
 		return
 	}
 	h.trainL1(c, pc, line, now)
-	t, commitL1 := h.l1mshr[c].admit(now)
+	t, slotL1 := h.l1mshr[c].admit(now)
 	if r := h.l2[c].Access(line, acc, t); r.Hit {
 		ready := t + h.l2Lat
 		if r.ReadyTick > ready {
 			ready = r.ReadyTick
 		}
 		h.fill(h.l1[c], c, line, acc, true, ready)
-		commitL1(ready)
+		h.l1mshr[c].commit(slotL1, ready)
 		if r.WasPrefetch {
 			if h.tr != nil {
 				h.tr.Emit(telemetry.Event{Tick: t, Kind: telemetry.EvUsed, Core: int32(c), Level: 2, Line: uint64(line), PC: pc})
@@ -331,7 +385,7 @@ func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
 		return
 	}
 	ev := prefetch.Event{PC: pc, Line: line, Core: c, Miss: true, Store: true, Tick: t}
-	t2, commitL2 := h.l2mshr[c].admit(t)
+	t2, slotL2 := h.l2mshr[c].admit(t)
 	var ready uint64
 	if r := h.llc.Access(line, acc, t2); r.Hit {
 		ready = t2 + h.llcLat
@@ -339,11 +393,11 @@ func (h *hierarchy) store(c int, pc uint64, line mem.Line, now uint64) {
 		ready = h.ram.Access(t2, line, dram.DemandRead) // write-allocate fetch
 		h.fill(h.llc, c, line, acc, false, ready)
 	}
-	commitL2(ready)
+	h.l2mshr[c].commit(slotL2, ready)
 	h.fill(h.l2[c], c, line, acc, false, ready)
 	h.observeL2Fill(c, line, false, ready)
 	h.fill(h.l1[c], c, line, acc, true, ready)
-	commitL1(ready)
+	h.l1mshr[c].commit(slotL1, ready)
 	h.trainL2(c, ev)
 }
 
@@ -394,7 +448,7 @@ func (h *hierarchy) trainL1(c int, pc uint64, line mem.Line, now uint64) {
 			h.fill(h.l1[c], c, req.Line, acc, false, now+h.l2Lat)
 			continue
 		}
-		commit, ok := h.pfq[c].tryAdmit(now)
+		slot, ok := h.pfq[c].tryAdmit(now)
 		if !ok {
 			continue
 		}
@@ -407,20 +461,22 @@ func (h *hierarchy) trainL1(c int, pc uint64, line mem.Line, now uint64) {
 			h.fill(h.llc, c, req.Line, acc, false, ready)
 			h.fill(h.l2[c], c, req.Line, acc, false, ready)
 		}
-		commit(ready)
+		h.pfq[c].commit(slot, ready)
 		h.fill(h.l1[c], c, req.Line, acc, false, ready)
 	}
 }
 
 // trainL2 feeds one training event to the core's L2 prefetcher and
-// issues the resulting requests.
+// issues the resulting requests. The Train entry point and the outcome
+// observer are the tables resolveHooks built, so the per-event cost is
+// one function-value call with no interface assertions.
 func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
-	p := h.l2pf[c]
-	if p == nil {
+	train := h.l2train[c]
+	if train == nil {
 		return
 	}
-	reqs := p.Train(ev)
-	oo, _ := p.(prefetch.OutcomeObserver)
+	reqs := train(ev)
+	oo := h.l2oo[c]
 	maxDelay := uint64(h.cfg.DRAMLatencyCycles()) * dram.TicksPerCycle
 	for _, req := range reqs {
 		if h.tr != nil {
@@ -453,7 +509,7 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 			continue
 		}
 		acc := replacement.Access{Line: req.Line, PC: req.PC, Core: c, Prefetch: true}
-		commit, ok := h.pfq[c].tryAdmit(issueAt)
+		slot, ok := h.pfq[c].tryAdmit(issueAt)
 		if !ok {
 			// Prefetch queue full: drop (never issued, so Triage's
 			// delayed training treats it like a redundant prefetch).
@@ -482,7 +538,7 @@ func (h *hierarchy) trainL2(c int, ev prefetch.Event) {
 			ready = h.ram.Access(issueAt, req.Line, dram.PrefetchRead)
 			h.fill(h.llc, c, req.Line, acc, false, ready)
 		}
-		commit(ready)
+		h.pfq[c].commit(slot, ready)
 		h.fill(h.l2[c], c, req.Line, acc, false, ready)
 		if h.tr != nil {
 			h.tr.Emit(telemetry.Event{Tick: ready, Kind: telemetry.EvFilled, Core: int32(c), Level: 2, Line: uint64(req.Line), PC: req.PC})
@@ -507,10 +563,8 @@ const (
 
 // observeL2Fill notifies FillObserver prefetchers (BO's RR table).
 func (h *hierarchy) observeL2Fill(c int, line mem.Line, prefetched bool, tick uint64) {
-	if p := h.l2pf[c]; p != nil {
-		if fo, ok := p.(prefetch.FillObserver); ok {
-			fo.ObserveFill(line, prefetched, tick)
-		}
+	if fo := h.l2fo[c]; fo != nil {
+		fo.ObserveFill(line, prefetched, tick)
 	}
 }
 

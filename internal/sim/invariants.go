@@ -16,20 +16,13 @@ type invariantChecker interface {
 // findCheckers unwraps hybrid prefetchers to find the parts that can
 // self-check (mirrors findPartitioners).
 func findCheckers(p prefetch.Prefetcher) []invariantChecker {
-	if p == nil {
-		return nil
-	}
-	if pp, ok := p.(partsProvider); ok {
-		var out []invariantChecker
-		for _, part := range pp.Parts() {
-			out = append(out, findCheckers(part)...)
+	var out []invariantChecker
+	walkParts(p, func(leaf prefetch.Prefetcher) {
+		if ic, ok := leaf.(invariantChecker); ok {
+			out = append(out, ic)
 		}
-		return out
-	}
-	if ic, ok := p.(invariantChecker); ok {
-		return []invariantChecker{ic}
-	}
-	return nil
+	})
+	return out
 }
 
 // CheckInvariants sweeps the machine's structural invariants: every
@@ -50,13 +43,13 @@ func (h *hierarchy) checkInvariants() error {
 		if err := h.l2[c].CheckInvariants(); err != nil {
 			return fmt.Errorf("core %d: %w", c, err)
 		}
-		if err := checkRing(h.l1mshr[c], h.cfg.L1MSHRs); err != nil {
+		if err := checkRing(&h.l1mshr[c], h.cfg.L1MSHRs); err != nil {
 			return fmt.Errorf("core %d l1 mshr: %w", c, err)
 		}
-		if err := checkRing(h.l2mshr[c], h.cfg.L2MSHRs); err != nil {
+		if err := checkRing(&h.l2mshr[c], h.cfg.L2MSHRs); err != nil {
 			return fmt.Errorf("core %d l2 mshr: %w", c, err)
 		}
-		if err := checkRing(h.pfq[c], h.cfg.PrefetchQueue); err != nil {
+		if err := checkRing(&h.pfq[c], h.cfg.PrefetchQueue); err != nil {
 			return fmt.Errorf("core %d prefetch queue: %w", c, err)
 		}
 		for _, ic := range findCheckers(h.l2pf[c]) {

@@ -56,7 +56,7 @@ func TestInvariantCatchesMSHRCorruption(t *testing.T) {
 // leak) and verifies detection.
 func TestInvariantCatchesMSHRLeak(t *testing.T) {
 	m := freshMachine(t)
-	r := m.hier.l1mshr[0]
+	r := &m.hier.l1mshr[0]
 	r.slots = r.slots[:len(r.slots)-1]
 	err := m.CheckInvariants()
 	if err == nil {

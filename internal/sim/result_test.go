@@ -93,14 +93,14 @@ func TestMSHRRingSerialization(t *testing.T) {
 	if s1 != 100 || s2 != 100 {
 		t.Fatalf("starts %d,%d want 100,100", s1, s2)
 	}
-	c1(500)
-	c2(700)
+	m.commit(c1, 500)
+	m.commit(c2, 700)
 	// Third admit must wait for the first completion.
 	s3, c3 := m.admit(100)
 	if s3 != 500 {
 		t.Errorf("third admit start = %d, want 500", s3)
 	}
-	c3(900)
+	m.commit(c3, 900)
 	// Fourth waits for the second.
 	s4, _ := m.admit(100)
 	if s4 != 700 {
@@ -110,11 +110,11 @@ func TestMSHRRingSerialization(t *testing.T) {
 
 func TestMSHRRingTryAdmit(t *testing.T) {
 	m := newMSHRRing(1)
-	commit, ok := m.tryAdmit(10)
+	slot, ok := m.tryAdmit(10)
 	if !ok {
 		t.Fatal("empty ring rejected")
 	}
-	commit(100)
+	m.commit(slot, 100)
 	if _, ok := m.tryAdmit(50); ok {
 		t.Error("busy ring admitted at t=50 (busy until 100)")
 	}

@@ -53,6 +53,18 @@ type Options struct {
 	// sink, and/or run watch to the run. Nil (or nil fields) disables
 	// each piece at the cost of one predictable branch per instruction.
 	Telemetry *telemetry.Hooks
+	// WarmKey, when non-empty, enables warm-state snapshot reuse: the
+	// post-warmup machine state is cached process-wide under this key,
+	// and a later run with the same key restores it instead of
+	// re-simulating warmup. The key MUST identify the complete warm
+	// prefix — machine configuration, workload construction (generator,
+	// seed, address base), prefetcher configuration, and warmup window;
+	// two runs with equal keys must warm up to identical state. The
+	// simulator independently verifies the machine-shape part of that
+	// contract (see warmSignature) and falls back to a cold warmup on
+	// any mismatch. Reuse is disabled automatically when an event trace
+	// is attached or CheckEvery is set (see warmEligible).
+	WarmKey string
 	// CheckEvery, when non-zero, asserts the structural invariants of
 	// every simulated component (caches, MSHR rings, DRAM tables, Triage
 	// metadata store, flat LRU chains) every CheckEvery stepped
@@ -89,6 +101,7 @@ type coreState struct {
 
 	// loadDone is a ring of the completion ticks of the most recent
 	// loads, consulted by LoadDep-serialized loads (pointer chases).
+	// Its length is a power of two so the dependency lookup is a mask.
 	loadDone [16]uint64
 	loadHead int
 
@@ -96,6 +109,7 @@ type coreState struct {
 	loads        uint64
 	loadLatTicks uint64 // summed post-dependency load latencies
 	startTick    uint64 // measurement window start
+	consumed     uint64 // trace records drawn from reader, all phases
 	finished     bool
 	exhausted    bool
 
@@ -141,11 +155,27 @@ type Machine struct {
 	progress        telemetry.ProgressSink
 	watch           *telemetry.RunWatch
 	progressPending uint64
+	trackProgress   bool // progress != nil || watch != nil, hoisted
 
 	// checkCountdown counts down to the next invariant sweep; 0 while
 	// invariant checking is off (same one-compare idle cost as sampling).
 	checkCountdown uint64
+
+	// Interface views of the prefetcher graph, resolved once in New
+	// (and again after a warm restore) so result collection and the
+	// sampler never repeat per-call type assertions.
+	estimators   []estimator
+	metaCounters []metaCounter
+	lookupFns    [][]lookupCounter // per core
 }
+
+// estimator is implemented by idealized prefetchers that report
+// estimated metadata traffic (STMS, ISB idealized models).
+type estimator interface{ EstimatedMetadataTransfers() uint64 }
+
+// metaCounter is implemented by MISB, which counts its off-chip
+// metadata accesses.
+type metaCounter interface{ OffChipMetadataAccesses() uint64 }
 
 // Aborted is the panic value of a run cancelled through its RunWatch
 // (deadline or stall watchdog). The experiment engine recovers it and
@@ -196,6 +226,7 @@ func New(opts Options) (*Machine, error) {
 			}
 		}
 	}
+	m.trackProgress = m.progress != nil || m.watch != nil
 	m.checkCountdown = opts.CheckEvery
 	for c := 0; c < opts.Machine.Cores; c++ {
 		m.cores = append(m.cores, &coreState{
@@ -203,7 +234,32 @@ func New(opts Options) (*Machine, error) {
 			retire: make([]uint64, opts.Machine.ROBEntries),
 		})
 	}
+	m.resolveProbes()
 	return m, nil
+}
+
+// resolveProbes walks the prefetcher graph once and caches the
+// interface views collect() and the sampler consult, replacing the
+// recursive per-call probes that previously ran at every sample point
+// and at result collection.
+func (m *Machine) resolveProbes() {
+	m.estimators = m.estimators[:0]
+	m.metaCounters = m.metaCounters[:0]
+	m.lookupFns = make([][]lookupCounter, len(m.hier.l2pf))
+	for c, p := range m.hier.l2pf {
+		c := c
+		walkParts(p, func(leaf prefetch.Prefetcher) {
+			if e, ok := leaf.(estimator); ok {
+				m.estimators = append(m.estimators, e)
+			}
+			if mc, ok := leaf.(metaCounter); ok {
+				m.metaCounters = append(m.metaCounters, mc)
+			}
+			if lc, ok := leaf.(lookupCounter); ok {
+				m.lookupFns[c] = append(m.lookupFns[c], lc)
+			}
+		})
+	}
 }
 
 // Run executes warmup then measurement and returns the results. Each
@@ -215,17 +271,25 @@ func (m *Machine) Run() Result {
 	warm := m.opts.WarmupInstructions
 	measure := m.opts.MeasureInstructions
 
-	// Warmup phase: early finishers simply stop (no stats involved).
-	if warm > 0 {
-		m.phase(warm, false)
-	}
-	m.hier.resetStats()
-	for _, cs := range m.cores {
-		cs.instructions = 0
-		cs.loads = 0
-		cs.loadLatTicks = 0
-		cs.startTick = cs.lastRetire
-		cs.finished = false
+	// Warmup phase: early finishers simply stop (no stats involved). A
+	// cached warm-state snapshot (same WarmKey) replaces the whole
+	// phase; a cold warmup under a WarmKey leaves a snapshot behind.
+	reuse := m.warmEligible()
+	if !(reuse && m.tryRestoreWarm()) {
+		if warm > 0 {
+			m.phase(warm, false)
+		}
+		m.hier.resetStats()
+		for _, cs := range m.cores {
+			cs.instructions = 0
+			cs.loads = 0
+			cs.loadLatTicks = 0
+			cs.startTick = cs.lastRetire
+			cs.finished = false
+		}
+		if reuse {
+			m.saveWarm()
+		}
 	}
 
 	m.startSampling()
@@ -257,6 +321,15 @@ func (m *Machine) Run() Result {
 // next, which keeps shared-resource timestamps coherent — until every
 // core has executed target instructions. With sustain, cores that reach
 // the target keep executing until the last core arrives.
+//
+// The scheduler picks a core and then lets it run a whole batch: while
+// core i executes, every other core's dispatch clock is frozen, so i
+// stays the pick exactly until its own clock passes the smallest other
+// eligible clock (ties go to the lowest index, matching the ascending
+// strict-< selection scan). Computing that budget once per batch
+// amortizes the selection scan over runs of instructions without
+// changing the instruction interleaving at all; a single-core machine
+// runs each phase as one batch.
 func (m *Machine) phase(target uint64, sustain bool) {
 	remaining := 0
 	for c, cs := range m.cores {
@@ -270,112 +343,147 @@ func (m *Machine) phase(target uint64, sustain bool) {
 	}
 	for remaining > 0 {
 		// Pick the core with the earliest dispatch time among those
-		// still allowed to run.
+		// still allowed to run, and — in the same pass — the earliest
+		// dispatch clock among the other eligible cores (the batch
+		// budget: their clocks cannot move while the pick runs, so the
+		// pick stays the scheduler's choice until it passes the budget,
+		// or meets it with a higher index). Both minima use the same
+		// ascending strict-< tie-break the two separate scans had.
 		var next *coreState
 		idx := -1
 		minT := ^uint64(0)
+		budget := ^uint64(0)
+		budgetIdx := -1
 		for i, cs := range m.cores {
 			if cs.exhausted || (cs.finished && !sustain) {
 				continue
 			}
-			if cs.lastDispatch < minT {
-				minT, next, idx = cs.lastDispatch, cs, i
+			if d := cs.lastDispatch; d < minT {
+				budget, budgetIdx = minT, idx
+				minT, next, idx = d, cs, i
+			} else if d < budget {
+				budget, budgetIdx = d, i
 			}
 		}
 		if next == nil {
 			return
 		}
-		if !m.step(idx, next) {
+		if budgetIdx < 0 {
+			budgetIdx = len(m.cores)
+		}
+		switch m.runBatch(idx, next, target, budget, idx < budgetIdx) {
+		case batchExhausted:
 			next.exhausted = true
 			if !next.finished {
 				next.freeze(m.hier.l2[idx].Stats().Misses)
 				remaining--
 			}
-			continue
-		}
-		if !next.finished && next.instructions >= target {
-			next.freeze(m.hier.l2[idx].Stats().Misses)
+		case batchFroze:
 			remaining--
+		case batchYield:
+			// Budget exceeded: fall through to reselect.
 		}
 	}
 }
 
-// step executes one instruction on core c; it returns false when the
-// trace is exhausted.
-func (m *Machine) step(c int, cs *coreState) bool {
-	rec, ok := cs.reader.Next()
-	if !ok {
-		return false
-	}
-	// Dispatch: one tick (quarter cycle) after the previous dispatch,
-	// gated by ROB availability.
-	d := cs.lastDispatch + 1
-	if robGate := cs.retire[cs.head]; robGate > d {
-		d = robGate
-	}
-	var complete uint64
-	switch rec.Op {
-	case trace.Load:
-		start := d
-		if dep := int(rec.LoadDep); dep > 0 {
-			// Pointer chase: the address depends on the dep-th most
-			// recent load; execution cannot start before it completes.
-			if dep > len(cs.loadDone) {
-				dep = len(cs.loadDone)
+// batchOutcome reports why runBatch stopped stepping its core.
+type batchOutcome int
+
+const (
+	batchYield     batchOutcome = iota // dispatch clock passed the budget
+	batchFroze                         // crossed the phase target and froze
+	batchExhausted                     // trace ended
+)
+
+// runBatch steps core c until it crosses the phase target, its trace
+// ends, or its dispatch clock passes budget. Counters that must fire at
+// exact global instruction counts — progress chunks, telemetry sample
+// intervals, invariant-checker sweeps — are maintained per instruction
+// inside the loop, so batching never shifts a polling point.
+func (m *Machine) runBatch(c int, cs *coreState, target, budget uint64, tieOK bool) batchOutcome {
+	hier := m.hier
+	for {
+		rec, ok := cs.reader.Next()
+		if !ok {
+			return batchExhausted
+		}
+		cs.consumed++
+		// Dispatch: one tick (quarter cycle) after the previous
+		// dispatch, gated by ROB availability.
+		d := cs.lastDispatch + 1
+		if robGate := cs.retire[cs.head]; robGate > d {
+			d = robGate
+		}
+		var complete uint64
+		switch rec.Op {
+		case trace.Load:
+			start := d
+			if dep := int(rec.LoadDep); dep > 0 {
+				// Pointer chase: the address depends on the dep-th most
+				// recent load; execution cannot start before it completes.
+				if dep > len(cs.loadDone) {
+					dep = len(cs.loadDone)
+				}
+				i := (cs.loadHead - dep + len(cs.loadDone)) & (len(cs.loadDone) - 1)
+				if t := cs.loadDone[i]; t > start {
+					start = t
+				}
 			}
-			idx := (cs.loadHead - dep + 2*len(cs.loadDone)) % len(cs.loadDone)
-			if t := cs.loadDone[idx]; t > start {
-				start = t
+			complete = hier.load(c, rec.PC, mem.LineOf(rec.Addr), start)
+			cs.loadLatTicks += complete - start
+			cs.loadDone[cs.loadHead] = complete
+			cs.loadHead = (cs.loadHead + 1) & (len(cs.loadDone) - 1)
+			cs.loads++
+		case trace.Store:
+			hier.store(c, rec.PC, mem.LineOf(rec.Addr), d)
+			complete = d + dram.TicksPerCycle
+		default:
+			complete = d + dram.TicksPerCycle
+		}
+		// In-order retirement, up to 4 per cycle (1 per tick).
+		r := complete
+		if min := cs.lastRetire + 1; min > r {
+			r = min
+		}
+		cs.retire[cs.head] = r
+		cs.head++
+		if cs.head == len(cs.retire) {
+			cs.head = 0
+		}
+		cs.lastDispatch = d
+		cs.lastRetire = r
+		cs.instructions++
+		m.steps++
+		if m.trackProgress {
+			m.progressPending++
+			if m.progressPending >= progressChunk {
+				m.flushProgress()
 			}
 		}
-		complete = m.hier.load(c, rec.PC, mem.LineOf(rec.Addr), start)
-		cs.loadLatTicks += complete - start
-		cs.loadDone[cs.loadHead] = complete
-		cs.loadHead = (cs.loadHead + 1) % len(cs.loadDone)
-		cs.loads++
-	case trace.Store:
-		m.hier.store(c, rec.PC, mem.LineOf(rec.Addr), d)
-		complete = d + dram.TicksPerCycle
-	default:
-		complete = d + dram.TicksPerCycle
-	}
-	// In-order retirement, up to 4 per cycle (1 per tick).
-	r := complete
-	if min := cs.lastRetire + 1; min > r {
-		r = min
-	}
-	cs.retire[cs.head] = r
-	cs.head++
-	if cs.head == len(cs.retire) {
-		cs.head = 0
-	}
-	cs.lastDispatch = d
-	cs.lastRetire = r
-	cs.instructions++
-	m.steps++
-	if m.progress != nil || m.watch != nil {
-		m.progressPending++
-		if m.progressPending >= progressChunk {
-			m.flushProgress()
-		}
-	}
-	if m.sampleCountdown > 0 {
-		m.sampleCountdown--
-		if m.sampleCountdown == 0 {
-			m.takeSample()
-			m.sampleCountdown = m.sampler.Every()
-		}
-	}
-	if m.checkCountdown > 0 {
-		m.checkCountdown--
-		if m.checkCountdown == 0 {
-			m.checkCountdown = m.opts.CheckEvery
-			if err := m.CheckInvariants(); err != nil {
-				panic(err)
+		if m.sampleCountdown > 0 {
+			m.sampleCountdown--
+			if m.sampleCountdown == 0 {
+				m.takeSample()
+				m.sampleCountdown = m.sampler.Every()
 			}
 		}
+		if m.checkCountdown > 0 {
+			m.checkCountdown--
+			if m.checkCountdown == 0 {
+				m.checkCountdown = m.opts.CheckEvery
+				if err := m.CheckInvariants(); err != nil {
+					panic(err)
+				}
+			}
+		}
+		if !cs.finished && cs.instructions >= target {
+			cs.freeze(hier.l2[c].Stats().Misses)
+			return batchFroze
+		}
+		if d > budget || (d == budget && !tieOK) {
+			return batchYield
+		}
 	}
-	return true
 }
 
 // flushProgress reports the pending instruction chunk to the progress
@@ -428,49 +536,11 @@ func (m *Machine) collect() Result {
 		})
 		res.PrefetchesUseful += l2.PrefetchUsed
 	}
-	for _, p := range m.opts.Prefetchers {
-		res.MISBOffChipMetadataAccesses += misbMetaAccesses(p)
-		res.EstimatedMetadataTransfers += estimatedMeta(p)
+	for _, mc := range m.metaCounters {
+		res.MISBOffChipMetadataAccesses += mc.OffChipMetadataAccesses()
+	}
+	for _, e := range m.estimators {
+		res.EstimatedMetadataTransfers += e.EstimatedMetadataTransfers()
 	}
 	return res
-}
-
-// estimatedMeta extracts idealized prefetchers' estimated metadata
-// traffic, unwrapping hybrids.
-func estimatedMeta(p prefetch.Prefetcher) uint64 {
-	type estimator interface{ EstimatedMetadataTransfers() uint64 }
-	if p == nil {
-		return 0
-	}
-	if pp, ok := p.(partsProvider); ok {
-		var n uint64
-		for _, part := range pp.Parts() {
-			n += estimatedMeta(part)
-		}
-		return n
-	}
-	if e, ok := p.(estimator); ok {
-		return e.EstimatedMetadataTransfers()
-	}
-	return 0
-}
-
-// misbMetaAccesses extracts MISB's off-chip metadata access count,
-// unwrapping hybrids.
-func misbMetaAccesses(p prefetch.Prefetcher) uint64 {
-	type metaCounter interface{ OffChipMetadataAccesses() uint64 }
-	if p == nil {
-		return 0
-	}
-	if pp, ok := p.(partsProvider); ok {
-		var n uint64
-		for _, part := range pp.Parts() {
-			n += misbMetaAccesses(part)
-		}
-		return n
-	}
-	if mc, ok := p.(metaCounter); ok {
-		return mc.OffChipMetadataAccesses()
-	}
-	return 0
 }

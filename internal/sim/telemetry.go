@@ -30,18 +30,11 @@ type traceBinder interface {
 
 // bindEventTrace attaches tr to p, unwrapping hybrids.
 func bindEventTrace(p prefetch.Prefetcher, tr *telemetry.EventTrace) {
-	if p == nil {
-		return
-	}
-	if pp, ok := p.(partsProvider); ok {
-		for _, part := range pp.Parts() {
-			bindEventTrace(part, tr)
+	walkParts(p, func(leaf prefetch.Prefetcher) {
+		if tb, ok := leaf.(traceBinder); ok {
+			tb.BindEventTrace(tr)
 		}
-		return
-	}
-	if tb, ok := p.(traceBinder); ok {
-		tb.BindEventTrace(tr)
-	}
+	})
 }
 
 // lookupCounter is implemented by prefetchers with a metadata store
@@ -50,24 +43,15 @@ type lookupCounter interface {
 	LookupCounts() (lookups, hits uint64)
 }
 
-// lookupCounts extracts cumulative metadata lookups/hits, unwrapping
-// hybrids.
-func lookupCounts(p prefetch.Prefetcher) (lookups, hits uint64) {
-	if p == nil {
-		return 0, 0
+// lookupCountsFor sums core c's cumulative metadata lookups/hits over
+// the counters resolveProbes cached at construction.
+func (m *Machine) lookupCountsFor(c int) (lookups, hits uint64) {
+	for _, lc := range m.lookupFns[c] {
+		l, h := lc.LookupCounts()
+		lookups += l
+		hits += h
 	}
-	if pp, ok := p.(partsProvider); ok {
-		for _, part := range pp.Parts() {
-			l, h := lookupCounts(part)
-			lookups += l
-			hits += h
-		}
-		return lookups, hits
-	}
-	if lc, ok := p.(lookupCounter); ok {
-		return lc.LookupCounts()
-	}
-	return 0, 0
+	return lookups, hits
 }
 
 // now returns the machine's current time: the max retire tick across
@@ -93,7 +77,7 @@ func (m *Machine) startSampling() {
 	m.sampleIdx = 0
 	m.prevCores = make([]corePrev, len(m.cores))
 	for c, cs := range m.cores {
-		lk, ht := lookupCounts(m.hier.l2pf[c])
+		lk, ht := m.lookupCountsFor(c)
 		m.prevCores[c] = corePrev{
 			instr:   cs.instructions,
 			tick:    cs.lastRetire,
@@ -118,7 +102,7 @@ func (m *Machine) takeSample() {
 	for c, cs := range m.cores {
 		prev := &m.prevCores[c]
 		l2 := m.hier.l2[c].Stats()
-		lk, ht := lookupCounts(m.hier.l2pf[c])
+		lk, ht := m.lookupCountsFor(c)
 
 		dInstr := cs.instructions - prev.instr
 		dTicks := cs.lastRetire - prev.tick

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# bench-compare.sh — throughput regression gate.
+#
+# Reruns a quick subset of the figure suite in -bench mode and compares
+# per-experiment simulation throughput (sim_instructions_per_sec)
+# against the committed BENCH_sim.json. Exits nonzero if any compared
+# experiment slows down by more than the threshold.
+#
+# The committed numbers are machine-dependent: the gate is meaningful
+# on hardware comparable to the machine that wrote BENCH_sim.json, so
+# it is opt-in (BENCH_COMPARE=1 ./scripts/verify.sh) rather than part
+# of the default verify run. The rerun copies the instruction windows
+# and worker count from the committed report so the comparison is
+# like-for-like.
+#
+# Environment:
+#   BENCH_COMPARE_FIGS       experiments to rerun (default fig05)
+#   BENCH_COMPARE_THRESHOLD  allowed slowdown in percent (default 10)
+#   BENCH_COMPARE_FILE       committed baseline (default BENCH_sim.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=${BENCH_COMPARE_FILE:-BENCH_sim.json}
+figs=${BENCH_COMPARE_FIGS:-fig05}
+threshold=${BENCH_COMPARE_THRESHOLD:-10}
+
+if [ ! -f "$baseline" ]; then
+    echo "bench-compare: no baseline $baseline" >&2
+    exit 2
+fi
+
+fresh=$(mktemp)
+trap 'rm -f "$fresh"' EXIT
+
+# Pull the run configuration out of the committed total row so the
+# fresh run measures the same thing. Handles both the legacy bare-array
+# schema and the current versioned one.
+read -r warmup measure mwarmup mmeasure workers < <(python3 - "$baseline" <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))
+rows = d if isinstance(d, list) else d.get("experiments", [])
+total = next((r for r in rows if r.get("experiment") == "total"), None)
+if total is None:
+    sys.exit("bench-compare: baseline has no 'total' row")
+def u(k, dflt):
+    v = total.get(k, 0) or 0
+    return v if v else dflt
+print(u("warmup_instructions", 1000000), u("measure_instructions", 1000000),
+      u("multi_warmup_instructions", 500000), u("multi_measure_instructions", 400000),
+      u("workers", 1))
+PY
+)
+
+echo "bench-compare: rerunning $figs (warmup=$warmup measure=$measure, -j $workers)..."
+go run ./cmd/experiments -bench "$fresh" -fig "$figs" \
+    -warmup "$warmup" -measure "$measure" \
+    -mwarmup "$mwarmup" -mmeasure "$mmeasure" \
+    -j "$workers" >/dev/null
+
+python3 - "$baseline" "$fresh" "$threshold" <<'PY'
+import json, sys
+
+def rows(path):
+    d = json.load(open(path))
+    lst = d if isinstance(d, list) else d.get("experiments", [])
+    return {r["experiment"]: r for r in lst}
+
+base, fresh, threshold = rows(sys.argv[1]), rows(sys.argv[2]), float(sys.argv[3])
+failed = False
+for name, row in fresh.items():
+    if name == "total" or name not in base:
+        continue
+    b, n = base[name]["sim_instructions_per_sec"], row["sim_instructions_per_sec"]
+    drop = (b - n) / b * 100 if b > 0 else 0.0
+    status = "ok"
+    if drop > threshold:
+        status, failed = "REGRESSION", True
+    print(f"bench-compare: {name}: baseline {b/1e6:.2f}M instr/s, "
+          f"now {n/1e6:.2f}M instr/s ({-drop:+.1f}%) {status}")
+if failed:
+    sys.exit(f"bench-compare: throughput dropped more than {threshold:.0f}%")
+PY
+echo "bench-compare: ok"

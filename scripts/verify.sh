@@ -113,3 +113,9 @@ cmp "$smokedir/direct.json" "$smokedir/warm.json"
 grep -q "warm store" "$smokedir/warm.log"
 kill -TERM "$triaged_pid"
 wait "$triaged_pid"
+
+# Throughput regression gate (opt-in: the committed baseline numbers
+# are machine-dependent, so only run where they are comparable).
+if [ "${BENCH_COMPARE:-0}" = "1" ]; then
+    ./scripts/bench-compare.sh
+fi
