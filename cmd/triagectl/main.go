@@ -39,7 +39,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: triagectl [-addr HOST:PORT] {submit|status|wait|result|jobs|figures|metrics} ...")
+	return fmt.Errorf("usage: triagectl [-addr HOST:PORT] {submit|status|wait|result|jobs|figures|metrics|trace} ...")
 }
 
 func run(args []string) error {
@@ -73,6 +73,8 @@ func run(args []string) error {
 		return c.cmdFigures(rest)
 	case "metrics":
 		return c.cmdMetrics(rest)
+	case "trace":
+		return c.cmdTrace(rest)
 	default:
 		return fmt.Errorf("unknown command %q\n%v", cmd, usage())
 	}
@@ -127,7 +129,7 @@ func retryableNetErr(err error) bool {
 // backpressure is not a failure and does not consume the budget — the
 // server asked us to wait, so we wait as long as it keeps asking.
 func (c *client) do(method, path string, body []byte) (*http.Response, error) {
-	attempt := 0
+	attempt, waits429 := 0, 0
 	for {
 		var rdr io.Reader
 		if body != nil {
@@ -149,7 +151,9 @@ func (c *client) do(method, path string, body []byte) (*http.Response, error) {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			delay := retryAfter(resp, 2*time.Second)
 			resp.Body.Close()
-			fmt.Fprintf(os.Stderr, "triagectl: queue full, retrying in %v\n", delay)
+			waits429++
+			fmt.Fprintf(os.Stderr, "triagectl: %s %s: queue full — waiting %v per Retry-After (attempt %d)\n",
+				method, path, delay, waits429)
 			time.Sleep(delay)
 			continue
 		case resp.StatusCode < http.StatusInternalServerError:
@@ -162,7 +166,7 @@ func (c *client) do(method, path string, body []byte) (*http.Response, error) {
 		c.mu.Lock()
 		delay := backoffDelay(attempt, c.rng)
 		c.mu.Unlock()
-		reason := ""
+		reason, src := "", "backoff"
 		if err != nil {
 			reason = err.Error()
 		} else {
@@ -170,13 +174,13 @@ func (c *client) do(method, path string, body []byte) (*http.Response, error) {
 			// A degraded server hints when to come back; honor it if it
 			// is longer than our own schedule.
 			if ra := retryAfter(resp, 0); ra > delay {
-				delay = ra
+				delay, src = ra, "Retry-After"
 			}
 			resp.Body.Close()
 		}
 		attempt++
-		fmt.Fprintf(os.Stderr, "triagectl: %s %s: %s — retry %d/%d in %v\n",
-			method, path, reason, attempt, c.maxRetries, delay)
+		fmt.Fprintf(os.Stderr, "triagectl: %s %s: %s — retry %d/%d in %v (%s)\n",
+			method, path, reason, attempt, c.maxRetries, delay, src)
 		time.Sleep(delay)
 	}
 }
@@ -347,7 +351,7 @@ func (c *client) cmdSubmit(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "triagectl: job %s %s (state %s)\n", sr.ID, disposition(sr), sr.State)
+	fmt.Fprintf(os.Stderr, "triagectl: job %s %s (state %s, trace %s)\n", sr.ID, disposition(sr), sr.State, sr.Trace)
 	if !*wait {
 		fmt.Println(sr.ID)
 		return nil
@@ -503,11 +507,77 @@ func fileInDir(dir, id string) string {
 }
 
 func (c *client) cmdMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ContinueOnError)
+	prom := fs.Bool("prom", false, "print the Prometheus text exposition instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *prom {
+		resp, err := c.do(http.MethodGet, "/metrics?format=prometheus", nil)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return apiError(resp)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
 	var m map[string]any
 	if err := c.getJSON("/metrics", &m); err != nil {
 		return err
 	}
 	b, _ := json.MarshalIndent(m, "", "  ")
 	fmt.Println(string(b))
+	return nil
+}
+
+// cmdTrace fetches a job's span record from the flight recorder and
+// renders it as a timeline relative to the first span.
+func (c *client) cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	raw := fs.Bool("json", false, "print the raw trace dump instead of the timeline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: triagectl trace [-json] {JOB-ID | TRACE-ID}")
+	}
+	var d struct {
+		TraceID string `json:"trace_id"`
+		JobID   string `json:"job_id"`
+		Spans   []struct {
+			Name  string            `json:"name"`
+			Start int64             `json:"start_ns"`
+			End   int64             `json:"end_ns,omitempty"`
+			Attrs map[string]string `json:"attrs,omitempty"`
+		} `json:"spans"`
+	}
+	if err := c.getJSON("/debug/trace/"+fs.Arg(0), &d); err != nil {
+		return err
+	}
+	if *raw {
+		b, _ := json.MarshalIndent(d, "", "  ")
+		fmt.Println(string(b))
+		return nil
+	}
+	fmt.Printf("trace %s (job %s)\n", d.TraceID, d.JobID)
+	if len(d.Spans) == 0 {
+		return nil
+	}
+	t0 := d.Spans[0].Start
+	for _, sp := range d.Spans {
+		dur := ""
+		if sp.End != 0 {
+			dur = fmt.Sprintf("  [%v]", time.Duration(sp.End-sp.Start))
+		}
+		line := fmt.Sprintf("  %12v  %s%s", time.Duration(sp.Start-t0), sp.Name, dur)
+		if len(sp.Attrs) > 0 {
+			b, _ := json.Marshal(sp.Attrs)
+			line += "  " + string(b)
+		}
+		fmt.Println(line)
+	}
 	return nil
 }

@@ -3,10 +3,12 @@ package main
 import (
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -196,6 +198,119 @@ func TestSubmitRetriesAcrossRestart(t *testing.T) {
 	}
 	if n := calls.Load(); n != 2 {
 		t.Errorf("server saw %d submits, want 2", n)
+	}
+}
+
+// captureFd swaps the given *os.File (os.Stdout/os.Stderr) for a pipe
+// while fn runs and returns everything written to it.
+func captureFd(t *testing.T, fd **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := *fd
+	*fd = w
+	defer func() { *fd = old }()
+	fn()
+	w.Close()
+	b, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDo429HonorsRetryAfter pins the backpressure path: a 429 with
+// Retry-After is waited out (without consuming the retry budget), and
+// the log line surfaces both the wait and the attempt count.
+func TestDo429HonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 0) // zero budget: the 429 wait must not need it
+	start := time.Now()
+	logged := captureFd(t, &os.Stderr, func() {
+		resp, err := c.do(http.MethodPost, "/v1/jobs", []byte(`{}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d after the 429 wait, want 200", resp.StatusCode)
+		}
+	})
+	if e := time.Since(start); e < time.Second {
+		t.Errorf("request finished in %v, want ≥ 1s (Retry-After honored)", e)
+	}
+	if !strings.Contains(logged, "waiting 1s per Retry-After") || !strings.Contains(logged, "(attempt 1)") {
+		t.Errorf("429 log line missing the wait or attempt count: %q", logged)
+	}
+}
+
+// TestCmdMetricsProm pins the -prom flag: the raw Prometheus text is
+// passed through to stdout untouched.
+func TestCmdMetricsProm(t *testing.T) {
+	const exposition = "# TYPE triaged_submitted_total counter\ntriaged_submitted_total 3\n"
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" || r.URL.Query().Get("format") != "prometheus" {
+			t.Errorf("unexpected request %s", r.URL)
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprint(w, exposition)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 0)
+	out := captureFd(t, &os.Stdout, func() {
+		if err := c.cmdMetrics([]string{"-prom"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if out != exposition {
+		t.Errorf("metrics -prom output = %q, want the exposition verbatim", out)
+	}
+}
+
+// TestCmdTraceTimeline pins the trace rendering: spans appear in order
+// with offsets relative to the first span and durations for ended ones.
+func TestCmdTraceTimeline(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/trace/j1" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, `{"trace_id":"t000001","job_id":"j1","spans":[
+			{"name":"admit","start_ns":1000,"attrs":{"disposition":"new"}},
+			{"name":"queue-wait","start_ns":1000,"end_ns":2001000},
+			{"name":"run","start_ns":2001000,"end_ns":5001000}]}`)
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 0)
+	out := captureFd(t, &os.Stdout, func() {
+		if err := c.cmdTrace([]string{"j1"}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, want := range []string{
+		"trace t000001 (job j1)",
+		"admit",
+		`{"disposition":"new"}`,
+		"queue-wait  [2ms]",
+		"run  [3ms]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace timeline missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -41,8 +41,10 @@ func run() error {
 	queueCap := flag.Int("queue", 64, "admission queue capacity; submissions beyond it get 429")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts using port 0)")
+	traceCap := flag.Int("tracecap", 256, "flight-recorder capacity (traces held for /debug/trace)")
 	prof := cliutil.AddProfile(flag.CommandLine)
 	wd := cliutil.AddWatchdog(flag.CommandLine)
+	dbg := cliutil.AddDebugHTTP(flag.CommandLine)
 	flag.Parse()
 
 	stopProf, err := prof.Start(os.Stderr)
@@ -57,6 +59,11 @@ func run() error {
 		Workers:  *workers,
 		Deadline: *wd.Deadline,
 		Stall:    *wd.Stall,
+		TraceCap: *traceCap,
+		// Degraded-mode entries dump the flight recorder to stderr so the
+		// trace timeline around a store fault survives even a crash
+		// before anyone scrapes /debug/trace.
+		TraceLog: os.Stderr,
 	})
 	if err != nil {
 		return err
@@ -64,10 +71,14 @@ func run() error {
 	if n := srv.Restored(); n > 0 {
 		fmt.Fprintf(os.Stderr, "triaged: re-admitted %d queued job(s) from %s\n", n, *store)
 	}
-	// Surface the service counters on the process-global expvar page
-	// (/debug/vars is not routed by our mux, but other tooling may
-	// scrape expvar via the runtime's default handlers).
+	// Surface the service counters on the process-global expvar page:
+	// the whole snapshot under "service" (legacy shape) and the
+	// individual counters under the "triaged." namespace, so a
+	// -debughttp listener's /debug/vars shows them alongside the
+	// runtime's (memstats, cmdline).
 	expvar.Publish("service", expvar.Func(func() any { return srv.MetricsSnapshot() }))
+	srv.PublishExpvars()
+	dbg.Serve(srv.PoolProgress(), os.Stderr)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+)
+
+// arrival is one scheduled submission: an offset from the scenario
+// start and the job to submit. Dup arrivals reuse an earlier spec and
+// exercise the service's dedup/warm-store path.
+type arrival struct {
+	At   time.Duration
+	Spec service.JobSpec
+	Dup  bool
+}
+
+// genConfig parameterizes the arrival schedule. Everything downstream
+// of the seed is deterministic: the same config always generates the
+// same schedule, which is what makes -clock virtual byte-identical.
+type genConfig struct {
+	Process string  // poisson | bursty | diurnal
+	Rate    float64 // mean arrivals per second
+	Jobs    int
+	Seed    uint64
+	Dedup   float64       // fraction of arrivals resubmitting an earlier spec
+	Bench   string        // workload every job runs
+	PF      string        // prefetcher every job runs
+	Period  time.Duration // modulation period (bursty/diurnal)
+}
+
+// sizeMix is the job-size distribution: mostly small cells with a
+// medium and a heavy tail, like a figure suite's spec spread.
+var sizeMix = []struct {
+	p       float64
+	warmup  uint64
+	measure uint64
+}{
+	{0.60, 2_000, 20_000},
+	{0.30, 5_000, 50_000},
+	{0.10, 10_000, 120_000},
+}
+
+// lambda is the instantaneous arrival rate at offset t.
+//
+//	poisson: flat.
+//	bursty:  square wave — 3× the mean for the first quarter of each
+//	         period, ⅓× for the rest (mean preserved).
+//	diurnal: sinusoidal ±80% swing around the mean.
+func (g genConfig) lambda(t time.Duration) float64 {
+	switch g.Process {
+	case "poisson":
+		return g.Rate
+	case "bursty":
+		phase := float64(t%g.Period) / float64(g.Period)
+		if phase < 0.25 {
+			return 3 * g.Rate
+		}
+		return g.Rate / 3
+	case "diurnal":
+		phase := float64(t) / float64(g.Period)
+		return g.Rate * (1 + 0.8*math.Sin(2*math.Pi*phase))
+	}
+	return g.Rate
+}
+
+// lambdaMax bounds the instantaneous rate, for thinning.
+func (g genConfig) lambdaMax() float64 {
+	switch g.Process {
+	case "bursty":
+		return 3 * g.Rate
+	case "diurnal":
+		return 1.8 * g.Rate
+	}
+	return g.Rate
+}
+
+// generate builds the arrival schedule: a non-homogeneous Poisson
+// process via Lewis-Shedler thinning (candidates at the peak rate,
+// accepted with probability λ(t)/λmax), with each accepted arrival
+// drawing a job size and, with probability Dedup, reusing an earlier
+// spec instead of a fresh seed.
+func generate(g genConfig) ([]arrival, error) {
+	switch g.Process {
+	case "poisson", "bursty", "diurnal":
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson, bursty, or diurnal)", g.Process)
+	}
+	if g.Rate <= 0 {
+		return nil, fmt.Errorf("rate must be positive, got %g", g.Rate)
+	}
+	if g.Period <= 0 {
+		g.Period = 4 * time.Second
+	}
+	rng := rand.New(rand.NewSource(int64(g.Seed)))
+	lmax := g.lambdaMax()
+	var (
+		arr   []arrival
+		fresh []service.JobSpec // specs eligible for dup reuse
+		t     time.Duration
+		seq   uint64
+	)
+	for len(arr) < g.Jobs {
+		t += time.Duration(rng.ExpFloat64() / lmax * float64(time.Second))
+		if rng.Float64()*lmax > g.lambda(t) {
+			continue // thinned candidate
+		}
+		a := arrival{At: t}
+		if len(fresh) > 0 && rng.Float64() < g.Dedup {
+			a.Dup = true
+			a.Spec = fresh[rng.Intn(len(fresh))]
+		} else {
+			seq++
+			sz := pickSize(rng)
+			a.Spec = service.JobSpec{
+				Kind: service.KindSingle,
+				Run: &experiments.RunSpec{
+					Bench:   g.Bench,
+					PF:      g.PF,
+					Cores:   1,
+					Warmup:  sz.warmup,
+					Measure: sz.measure,
+					Seed:    g.Seed<<20 | seq, // unique per fresh arrival
+					Degree:  1,
+				},
+			}
+			fresh = append(fresh, a.Spec)
+		}
+		arr = append(arr, a)
+	}
+	return arr, nil
+}
+
+func pickSize(rng *rand.Rand) struct {
+	p       float64
+	warmup  uint64
+	measure uint64
+} {
+	u := rng.Float64()
+	for _, s := range sizeMix {
+		if u < s.p {
+			return s
+		}
+		u -= s.p
+	}
+	return sizeMix[len(sizeMix)-1]
+}
+
+// specCost is the virtual service time of a job: a fixed per-
+// instruction cost over the whole simulated window. 100ns/instr makes
+// the small cell ~2.2ms, the heavy one ~13ms.
+func specCost(spec service.JobSpec) time.Duration {
+	r := spec.Run
+	instr := (r.Warmup + r.Measure) * uint64(max(r.Cores, 1))
+	return time.Duration(instr) * 100 * time.Nanosecond
+}

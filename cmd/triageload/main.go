@@ -1,0 +1,256 @@
+// Command triageload is the capacity harness for the triaged service:
+// an open-loop load generator with seeded stochastic arrival processes
+// (Poisson, bursty, diurnal) that publishes service-level results —
+// latency quantiles, max throughput, queue high-water marks, dedup
+// rate, rejection counts — as BENCH_service.json rows.
+//
+// Two clocks:
+//
+//	-clock wall     drives a real server (in-process by default, or a
+//	                live triaged via -addr) in real time; numbers come
+//	                from the wall clock.
+//	-clock virtual  replays the same schedule through a deterministic
+//	                discrete-event model of the admission pipeline
+//	                (same queue cap, worker count, dedup and warm-store
+//	                semantics), so a fixed seed yields byte-identical
+//	                output — the mode CI pins with cmp.
+//
+// Either way the run ends with a validation pass against a real
+// server: a sample of jobs is executed in-process (or read back from
+// -addr), each job's trace is checked for monotonic spans, and the
+// Prometheus exposition is parsed. A scenario that produces numbers
+// but breaks observability fails.
+//
+//	triageload -scenario steady -process poisson -rate 200 -jobs 400 -o -
+//	triageload -scenario rush -process bursty -clock wall -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/benchfile"
+	"repro/internal/obs"
+	"repro/internal/service"
+	"repro/internal/vfs"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "triageload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("triageload", flag.ContinueOnError)
+	var (
+		scenario = fs.String("scenario", "", "row name in the report (default: the process name)")
+		process  = fs.String("process", "poisson", "arrival process: poisson, bursty, or diurnal")
+		rate     = fs.Float64("rate", 200, "mean arrival rate, jobs/sec")
+		jobs     = fs.Int("jobs", 200, "number of arrivals to generate")
+		seed     = fs.Uint64("seed", 42, "schedule RNG seed")
+		dedup    = fs.Float64("dedup", 0.15, "fraction of arrivals resubmitting an earlier spec")
+		bench    = fs.String("bench", "mcf", "workload every job runs")
+		pf       = fs.String("pf", "none", "prefetcher every job runs")
+		period   = fs.Duration("period", 4*time.Second, "modulation period for bursty/diurnal")
+		clock    = fs.String("clock", "virtual", "virtual (deterministic DES) or wall (real time)")
+		addr     = fs.String("addr", "", "drive a live triaged at HOST:PORT instead of in-process (wall clock only)")
+		workers  = fs.Int("workers", 4, "in-process server worker count (and DES server count)")
+		queueCap = fs.Int("queue", 64, "in-process server queue capacity (and DES queue cap)")
+		validate = fs.Int("validate", 8, "jobs to run through the real service path for trace/metrics validation (0 = skip)")
+		out      = fs.String("o", "BENCH_service.json", "write the report here (- for stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *scenario == "" {
+		*scenario = *process
+	}
+
+	arr, err := generate(genConfig{
+		Process: *process, Rate: *rate, Jobs: *jobs, Seed: *seed,
+		Dedup: *dedup, Bench: *bench, PF: *pf, Period: *period,
+	})
+	if err != nil {
+		return err
+	}
+
+	var row benchfile.ServiceRow
+	switch *clock {
+	case "virtual":
+		if *addr != "" {
+			return fmt.Errorf("-addr needs -clock wall (the virtual clock cannot pace a remote server)")
+		}
+		row = runVirtual(arr, *workers, *queueCap)
+		if err := validateVirtual(arr, *validate, *seed); err != nil {
+			return fmt.Errorf("service-path validation: %w", err)
+		}
+	case "wall":
+		tg, closeTg, err := wallTarget(*addr, *workers, *queueCap, *seed)
+		if err != nil {
+			return err
+		}
+		var jobIDs []string
+		row, jobIDs, err = runWall(tg, arr)
+		if err != nil {
+			closeTg()
+			return err
+		}
+		if err := validateTarget(tg, sampleIDs(jobIDs, *validate)); err != nil {
+			closeTg()
+			return fmt.Errorf("service-path validation: %w", err)
+		}
+		closeTg()
+	default:
+		return fmt.Errorf("unknown clock %q (want virtual or wall)", *clock)
+	}
+
+	row.Scenario = *scenario
+	row.Process = *process
+	row.Clock = *clock
+	row.Seed = *seed
+	row.RatePerSec = *rate
+	row.Workers = *workers
+	row.QueueCap = *queueCap
+	row.DedupFrac = *dedup
+
+	report := &benchfile.ServiceFile{}
+	report.MergeService([]benchfile.ServiceRow{row})
+	if *out == "-" {
+		data, err := report.Encode()
+		if err != nil {
+			return err
+		}
+		_, err = stdout.Write(data)
+		return err
+	}
+	if err := report.Write(*out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triageload: %s (%s clock): %d jobs, %d completed, p99 %.3fms — wrote %s\n",
+		*scenario, *clock, row.Jobs, row.Completed, row.P99Ms, *out)
+	return nil
+}
+
+// wallTarget builds the wall-clock target: a fresh in-process server
+// over an in-memory disk, or a live triaged at addr.
+func wallTarget(addr string, workers, queueCap int, seed uint64) (target, func(), error) {
+	if addr != "" {
+		return &httpTarget{base: "http://" + addr}, func() {}, nil
+	}
+	srv, err := service.New(service.Config{
+		StoreDir: "store",
+		FS:       vfs.NewMem(int64(seed)),
+		Workers:  workers,
+		QueueCap: queueCap,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &inprocTarget{srv: srv}, func() { srv.Drain(); srv.Close() }, nil
+}
+
+// validateVirtual exercises the real service path the DES modeled:
+// the first n unique specs of the schedule run through an in-process
+// server, every trace must be monotonic and complete, and the
+// Prometheus exposition must parse.
+func validateVirtual(arr []arrival, n int, seed uint64) error {
+	if n == 0 {
+		return nil
+	}
+	tg, closeTg, err := wallTarget("", 2, max(n, 1), seed)
+	if err != nil {
+		return err
+	}
+	defer closeTg()
+	seen := make(map[string]bool)
+	var ids []string
+	for _, a := range arr {
+		if len(ids) >= n {
+			break
+		}
+		key := keyOf(a.Spec)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out, err := tg.submit(a.Spec)
+		if err != nil {
+			return err
+		}
+		if err := tg.waitDone(out.jobID); err != nil {
+			return err
+		}
+		ids = append(ids, out.jobID)
+	}
+	return validateTarget(tg, ids)
+}
+
+// validateTarget checks the observability contract on a live server:
+// every sampled job has a fetchable trace whose spans are monotonic
+// and reach a terminal mark, and /metrics emits parseable Prometheus.
+func validateTarget(tg target, jobIDs []string) error {
+	for _, id := range jobIDs {
+		d, err := tg.trace(id)
+		if err != nil {
+			return err
+		}
+		if err := traceMonotonic(d); err != nil {
+			return fmt.Errorf("job %s: %w", id, err)
+		}
+	}
+	text, err := tg.prometheus()
+	if err != nil {
+		return err
+	}
+	if err := obs.ValidatePrometheus(strings.NewReader(text)); err != nil {
+		return fmt.Errorf("/metrics exposition: %w", err)
+	}
+	return nil
+}
+
+// traceMonotonic asserts the span record is causally ordered: starts
+// never go backwards, no span ends before it starts, and the trace
+// reaches a terminal mark (done or failed).
+func traceMonotonic(d obs.TraceDump) error {
+	var last int64
+	terminal := false
+	for _, sp := range d.Spans {
+		if sp.Start < last {
+			return fmt.Errorf("span %q starts at %d, before the previous span's %d", sp.Name, sp.Start, last)
+		}
+		last = sp.Start
+		if sp.End != 0 && sp.End < sp.Start {
+			return fmt.Errorf("span %q ends before it starts", sp.Name)
+		}
+		if sp.Name == "done" || sp.Name == "failed" {
+			terminal = true
+		}
+	}
+	if len(d.Spans) == 0 {
+		return fmt.Errorf("trace %s has no spans", d.TraceID)
+	}
+	if !terminal {
+		return fmt.Errorf("trace %s never reached a terminal mark", d.TraceID)
+	}
+	return nil
+}
+
+// sampleIDs picks up to n ids, evenly spread across the (sorted) set.
+func sampleIDs(ids []string, n int) []string {
+	if n <= 0 || len(ids) == 0 {
+		return nil
+	}
+	if len(ids) <= n {
+		return ids
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, ids[i*len(ids)/n])
+	}
+	return out
+}

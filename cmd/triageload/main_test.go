@@ -1,0 +1,176 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/benchfile"
+)
+
+func testGen(t *testing.T, mutate func(*genConfig)) []arrival {
+	t.Helper()
+	g := genConfig{Process: "poisson", Rate: 500, Jobs: 80, Seed: 7, Dedup: 0.2, Bench: "mcf", PF: "none"}
+	if mutate != nil {
+		mutate(&g)
+	}
+	arr, err := generate(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return arr
+}
+
+// TestGenerateDeterministic pins the schedule generator: the same seed
+// reproduces the schedule exactly, a different seed does not.
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := testGen(t, nil), testGen(t, nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed generated different schedules")
+	}
+	c := testGen(t, func(g *genConfig) { g.Seed = 8 })
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds generated the same schedule")
+	}
+}
+
+// TestGenerateSchedules pins structural invariants for every process:
+// requested length, non-decreasing arrival times, dup arrivals reuse a
+// spec some earlier fresh arrival introduced.
+func TestGenerateSchedules(t *testing.T) {
+	for _, proc := range []string{"poisson", "bursty", "diurnal"} {
+		arr := testGen(t, func(g *genConfig) { g.Process = proc; g.Period = time.Second })
+		if len(arr) != 80 {
+			t.Fatalf("%s: generated %d arrivals, want 80", proc, len(arr))
+		}
+		seen := make(map[string]bool)
+		var last time.Duration
+		dups := 0
+		for _, a := range arr {
+			if a.At < last {
+				t.Fatalf("%s: arrival times go backwards (%v after %v)", proc, a.At, last)
+			}
+			last = a.At
+			key := keyOf(a.Spec)
+			if a.Dup {
+				dups++
+				if !seen[key] {
+					t.Fatalf("%s: dup arrival reuses a spec never introduced", proc)
+				}
+			}
+			seen[key] = true
+		}
+		if dups == 0 {
+			t.Errorf("%s: 20%% dedup produced no dup arrivals in 80", proc)
+		}
+	}
+	if _, err := generate(genConfig{Process: "lumpy", Rate: 1, Jobs: 1}); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+// TestVirtualAccounting pins DES bookkeeping: every arrival is either
+// completed or rejected, HWMs respect the configured caps, and
+// latency quantiles are ordered.
+func TestVirtualAccounting(t *testing.T) {
+	arr := testGen(t, func(g *genConfig) { g.Rate = 2000; g.Jobs = 200 })
+	row := runVirtual(arr, 2, 8)
+	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
+		t.Errorf("accounting leak: %d completed + %d rejected != %d jobs",
+			row.Completed, row.Rejected429+row.Rejected503, row.Jobs)
+	}
+	if row.QueueDepthHWM > 8 {
+		t.Errorf("queue HWM %d exceeds cap 8", row.QueueDepthHWM)
+	}
+	if row.InflightHWM > 2 {
+		t.Errorf("inflight HWM %d exceeds 2 workers", row.InflightHWM)
+	}
+	if row.Rejected429 == 0 {
+		t.Error("2000 jobs/sec against 2 workers and queue 8 produced no backpressure")
+	}
+	if !(row.P50Ms <= row.P99Ms && row.P99Ms <= row.P999Ms && row.P999Ms <= row.MaxMs) {
+		t.Errorf("quantiles out of order: p50 %g p99 %g p999 %g max %g",
+			row.P50Ms, row.P99Ms, row.P999Ms, row.MaxMs)
+	}
+	if row.WallSeconds <= 0 || row.ThroughputJobsPerSec <= 0 {
+		t.Errorf("degenerate wall/throughput: %+v", row)
+	}
+}
+
+// TestVirtualByteIdentical pins the determinism contract end to end
+// through the CLI: two full runs (validation pass included) write
+// byte-identical reports.
+func TestVirtualByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		err := run([]string{
+			"-scenario", "pin", "-process", "diurnal", "-rate", "400",
+			"-jobs", "40", "-seed", "11", "-validate", "2", "-o", p,
+		}, os.Stdout)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := os.ReadFile(paths[0])
+	b, _ := os.ReadFile(paths[1])
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("fixed-seed runs differ:\n%s\nvs\n%s", a, b)
+	}
+	f, err := benchfile.ReadService(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := f.Row("pin"); !ok || r.Completed == 0 {
+		t.Fatalf("report row missing or empty: %+v", f)
+	}
+}
+
+// TestWallInproc drives a real in-process server in real time and
+// checks the same accounting invariant plus the observability
+// validation (traces monotonic, Prometheus parseable).
+func TestWallInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-time load run skipped in -short mode")
+	}
+	arr := testGen(t, func(g *genConfig) { g.Jobs = 24; g.Rate = 800 })
+	tg, closeTg, err := wallTarget("", 2, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeTg()
+	row, ids, err := runWall(tg, arr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
+		t.Errorf("accounting leak: %+v", row)
+	}
+	if row.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if row.QueueDepthHWM == 0 && row.InflightHWM == 0 {
+		t.Error("server HWM gauges never advanced")
+	}
+	if err := validateTarget(tg, sampleIDs(ids, 4)); err != nil {
+		t.Errorf("observability validation: %v", err)
+	}
+}
+
+// TestSampleIDs pins the even spread and edge cases.
+func TestSampleIDs(t *testing.T) {
+	ids := []string{"a", "b", "c", "d", "e", "f"}
+	if got := sampleIDs(ids, 0); got != nil {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := sampleIDs(ids, 10); len(got) != 6 {
+		t.Errorf("n>len: %v", got)
+	}
+	got := sampleIDs(ids, 3)
+	if len(got) != 3 || got[0] != "a" {
+		t.Errorf("n=3: %v", got)
+	}
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"container/heap"
+	"sort"
+	"time"
+
+	"repro/internal/benchfile"
+	"repro/internal/service"
+)
+
+// The virtual clock runs the scenario as a deterministic discrete-
+// event simulation of the service's admission pipeline: the same FIFO
+// queue semantics, queue cap, worker count, in-flight dedup, and warm
+// store the real server implements, with each job's service time given
+// by the specCost model instead of the wall clock. Identical seeds
+// therefore produce byte-identical BENCH_service.json rows — that is
+// the mode verify.sh pins with cmp — while the real service path is
+// exercised separately by the validation pass in main.go.
+
+// desJob is one in-flight (queued or running) virtual job.
+type desJob struct {
+	key     string
+	waiters []time.Duration // arrival offsets awaiting this result
+}
+
+// completion is a worker finishing at a virtual instant.
+type completion struct {
+	at  time.Duration
+	seq int // FIFO tie-break so equal times resolve deterministically
+	job *desJob
+}
+
+type completionHeap []completion
+
+func (h completionHeap) Len() int { return len(h) }
+func (h completionHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h completionHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *completionHeap) Push(x any)         { *h = append(*h, x.(completion)) }
+func (h *completionHeap) Pop() any           { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+func (h completionHeap) peek() time.Duration { return h[0].at }
+
+// runVirtual plays the schedule through the DES and returns the
+// scenario row (latency quantiles in virtual time) plus the dedup keys
+// observed, so callers can sanity-check against the generator.
+func runVirtual(arr []arrival, workers, queueCap int) benchfile.ServiceRow {
+	var (
+		comps     completionHeap
+		queue     []*desJob
+		inflight  = make(map[string]*desJob) // queued or running
+		store     = make(map[string]bool)    // virtually durable results
+		cost      = make(map[string]time.Duration)
+		latencies []time.Duration
+		row       benchfile.ServiceRow
+		running   int
+		seq       int
+		now       time.Duration
+	)
+	qHWM, iHWM := 0, 0
+	start := func(j *desJob) {
+		running++
+		if running > iHWM {
+			iHWM = running
+		}
+		seq++
+		heap.Push(&comps, completion{at: now + cost[j.key], seq: seq, job: j})
+	}
+	finish := func(c completion) {
+		running--
+		store[c.job.key] = true
+		delete(inflight, c.job.key)
+		for _, at := range c.job.waiters {
+			latencies = append(latencies, now-at)
+			row.Completed++
+		}
+		if len(queue) > 0 {
+			j := queue[0]
+			queue = queue[1:]
+			start(j)
+		}
+	}
+	admit := func(a arrival) {
+		key := keyOf(a.Spec)
+		if j, ok := inflight[key]; ok {
+			row.Deduped++
+			j.waiters = append(j.waiters, a.At)
+			return
+		}
+		if store[key] {
+			row.StoreHits++
+			row.Completed++
+			latencies = append(latencies, 0) // served warm, no queueing
+			return
+		}
+		if len(queue) >= queueCap {
+			row.Rejected429++
+			return
+		}
+		j := &desJob{key: key, waiters: []time.Duration{a.At}}
+		inflight[key] = j
+		cost[key] = specCost(a.Spec)
+		if running < workers {
+			start(j)
+			return
+		}
+		queue = append(queue, j)
+		if len(queue) > qHWM {
+			qHWM = len(queue)
+		}
+	}
+
+	i := 0
+	for i < len(arr) || comps.Len() > 0 {
+		// Completions at t run before arrivals at t: the real server
+		// frees the queue slot before the next Submit can observe it.
+		if comps.Len() > 0 && (i >= len(arr) || comps.peek() <= arr[i].At) {
+			c := heap.Pop(&comps).(completion)
+			now = c.at
+			finish(c)
+			continue
+		}
+		now = arr[i].At
+		admit(arr[i])
+		i++
+	}
+
+	row.Jobs = len(arr)
+	row.QueueDepthHWM = qHWM
+	row.InflightHWM = iHWM
+	row.WallSeconds = now.Seconds()
+	if row.WallSeconds > 0 {
+		row.ThroughputJobsPerSec = round3(float64(row.Completed) / row.WallSeconds)
+	}
+	if row.Jobs > 0 {
+		row.DedupRate = round3(float64(row.Deduped+row.StoreHits) / float64(row.Jobs))
+	}
+	row.WallSeconds = round3(row.WallSeconds)
+	fillQuantiles(&row, latencies)
+	return row
+}
+
+// keyOf canonicalizes a spec to its content key (the same identity the
+// service dedups on).
+func keyOf(spec service.JobSpec) string { return spec.Run.Key() }
+
+// fillQuantiles computes exact latency quantiles from the sample set
+// (sorted, nearest-rank) in milliseconds.
+func fillQuantiles(row *benchfile.ServiceRow, lat []time.Duration) {
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	q := func(p float64) float64 {
+		i := int(float64(len(lat))*p+0.9999999) - 1
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(lat) {
+			i = len(lat) - 1
+		}
+		return round3(float64(lat[i]) / float64(time.Millisecond))
+	}
+	row.P50Ms = q(0.50)
+	row.P99Ms = q(0.99)
+	row.P999Ms = q(0.999)
+	row.MaxMs = round3(float64(lat[len(lat)-1]) / float64(time.Millisecond))
+}
+
+// round3 trims float noise to 3 decimals so reports stay readable and
+// byte-stable.
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

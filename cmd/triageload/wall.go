@@ -1,0 +1,295 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/benchfile"
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// outcome is one submission's fate against a real server.
+type outcome struct {
+	jobID  string
+	dedup  bool // joined an in-flight job or served warm
+	warm   bool
+	status int // 429, 503, or 0 for admitted
+}
+
+// target abstracts where the load lands: an in-process server over an
+// in-memory disk (the default, and the only option for -clock virtual)
+// or a live triaged reached over HTTP (-addr).
+type target interface {
+	submit(spec service.JobSpec) (outcome, error)
+	waitDone(jobID string) error
+	prometheus() (string, error)
+	trace(jobID string) (obs.TraceDump, error)
+	obsGauge(name string) (float64, error)
+}
+
+// --- in-process target ---
+
+type inprocTarget struct{ srv *service.Server }
+
+func (t *inprocTarget) submit(spec service.JobSpec) (outcome, error) {
+	// Dup arrivals share the generator's *RunSpec; the server
+	// normalizes specs in place, so each in-process submission gets its
+	// own copy (the HTTP path copies implicitly by marshaling).
+	if spec.Run != nil {
+		r := *spec.Run
+		spec.Run = &r
+	}
+	j, disp, err := t.srv.Submit(spec)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		return outcome{status: 429}, nil
+	case errors.Is(err, service.ErrDraining), errors.Is(err, service.ErrDegraded):
+		return outcome{status: 503}, nil
+	case err != nil:
+		return outcome{}, err
+	}
+	return outcome{
+		jobID: j.ID(),
+		dedup: disp == service.DispDeduped,
+		warm:  disp == service.DispCached,
+	}, nil
+}
+
+func (t *inprocTarget) waitDone(jobID string) error {
+	j, ok := t.srv.Lookup(jobID)
+	if !ok {
+		return fmt.Errorf("job %s vanished", jobID)
+	}
+	for {
+		st := t.srv.Status(j)
+		switch st.State {
+		case service.StateDone:
+			return nil
+		case service.StateFailed:
+			return fmt.Errorf("job %s failed: %s", jobID, st.Error)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (t *inprocTarget) prometheus() (string, error) {
+	var buf bytes.Buffer
+	if err := t.srv.Registry().WritePrometheus(&buf); err != nil {
+		return "", err
+	}
+	return buf.String(), nil
+}
+
+func (t *inprocTarget) trace(jobID string) (obs.TraceDump, error) {
+	tr, ok := t.srv.FlightRecorder().Get(jobID)
+	if !ok {
+		return obs.TraceDump{}, fmt.Errorf("no trace for job %s", jobID)
+	}
+	return tr.Dump(), nil
+}
+
+func (t *inprocTarget) obsGauge(name string) (float64, error) {
+	v, ok := t.srv.Registry().Snapshot()[name]
+	if !ok {
+		return 0, fmt.Errorf("gauge %s not registered", name)
+	}
+	return toFloat(v)
+}
+
+// --- HTTP target ---
+
+type httpTarget struct {
+	base string
+	hc   http.Client
+}
+
+func (t *httpTarget) submit(spec service.JobSpec) (outcome, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return outcome{}, err
+	}
+	resp, err := t.hc.Post(t.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return outcome{}, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return outcome{status: 429}, nil
+	case http.StatusServiceUnavailable:
+		return outcome{status: 503}, nil
+	case http.StatusOK, http.StatusCreated:
+	default:
+		b, _ := io.ReadAll(resp.Body)
+		return outcome{}, fmt.Errorf("submit: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	var sr service.SubmitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return outcome{}, err
+	}
+	return outcome{jobID: sr.ID, dedup: sr.Deduped, warm: sr.Cached}, nil
+}
+
+func (t *httpTarget) waitDone(jobID string) error {
+	for {
+		var st service.JobStatus
+		if err := t.getJSON("/v1/jobs/"+jobID, &st); err != nil {
+			return err
+		}
+		switch st.State {
+		case service.StateDone:
+			return nil
+		case service.StateFailed:
+			return fmt.Errorf("job %s failed: %s", jobID, st.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func (t *httpTarget) prometheus() (string, error) {
+	resp, err := t.hc.Get(t.base + "/metrics?format=prometheus")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (t *httpTarget) trace(jobID string) (obs.TraceDump, error) {
+	var d obs.TraceDump
+	err := t.getJSON("/debug/trace/"+jobID, &d)
+	return d, err
+}
+
+func (t *httpTarget) obsGauge(name string) (float64, error) {
+	var m struct {
+		Obs map[string]any `json:"obs"`
+	}
+	if err := t.getJSON("/metrics", &m); err != nil {
+		return 0, err
+	}
+	v, ok := m.Obs[name]
+	if !ok {
+		return 0, fmt.Errorf("gauge %s missing from /metrics", name)
+	}
+	return toFloat(v)
+}
+
+func (t *httpTarget) getJSON(path string, v any) error {
+	resp, err := t.hc.Get(t.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("GET %s: %s: %s", path, resp.Status, bytes.TrimSpace(b))
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func toFloat(v any) (float64, error) {
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int64:
+		return float64(n), nil
+	case int:
+		return float64(n), nil
+	}
+	return 0, fmt.Errorf("metric value %T is not numeric", v)
+}
+
+// runWall plays the schedule against a real server in real time: an
+// open-loop driver that submits on schedule regardless of completions
+// (late responses do not throttle the offered load) and measures each
+// accepted job's submit-to-done latency. Returns the scenario row and
+// the completed job ids (for trace validation).
+func runWall(tg target, arr []arrival) (benchfile.ServiceRow, []string, error) {
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		jobIDs    []string
+		row       benchfile.ServiceRow
+		firstErr  error
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for _, a := range arr {
+		if d := time.Until(start.Add(a.At)); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(a arrival) {
+			defer wg.Done()
+			issued := time.Now()
+			out, err := tg.submit(a.Spec)
+			mu.Lock()
+			switch {
+			case err != nil:
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			case out.status == 429:
+				row.Rejected429++
+				mu.Unlock()
+				return
+			case out.status == 503:
+				row.Rejected503++
+				mu.Unlock()
+				return
+			}
+			if out.dedup {
+				row.Deduped++
+			}
+			if out.warm {
+				row.StoreHits++
+			}
+			mu.Unlock()
+			if err := tg.waitDone(out.jobID); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			row.Completed++
+			latencies = append(latencies, time.Since(issued))
+			jobIDs = append(jobIDs, out.jobID)
+			mu.Unlock()
+		}(a)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	row.Jobs = len(arr)
+	row.WallSeconds = round3(wall.Seconds())
+	if wall > 0 {
+		row.ThroughputJobsPerSec = round3(float64(row.Completed) / wall.Seconds())
+	}
+	if row.Jobs > 0 {
+		row.DedupRate = round3(float64(row.Deduped+row.StoreHits) / float64(row.Jobs))
+	}
+	fillQuantiles(&row, latencies)
+	if q, err := tg.obsGauge("triaged_queue_depth_hwm"); err == nil {
+		row.QueueDepthHWM = int(q)
+	}
+	if q, err := tg.obsGauge("triaged_inflight_hwm"); err == nil {
+		row.InflightHWM = int(q)
+	}
+	sort.Strings(jobIDs)
+	return row, jobIDs, firstErr
+}

@@ -1,0 +1,132 @@
+package benchfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ServiceSchemaVersion is the current BENCH_service.json schema. The
+// file is born versioned (no legacy shape to upgrade).
+const ServiceSchemaVersion = 1
+
+// ServiceFile is one BENCH_service.json report: service-level capacity
+// rows written by cmd/triageload, one per load scenario.
+type ServiceFile struct {
+	SchemaVersion int          `json:"schema_version"`
+	Service       []ServiceRow `json:"service"`
+}
+
+// ServiceRow is one load-scenario result. Latency quantiles come from
+// the service's submit-to-result histogram over exactly the jobs this
+// scenario issued; rates are jobs per second of scenario wall time.
+type ServiceRow struct {
+	Scenario   string  `json:"scenario"`
+	Process    string  `json:"process"` // poisson | bursty | diurnal
+	Clock      string  `json:"clock"`   // wall | virtual
+	Seed       uint64  `json:"seed"`
+	RatePerSec float64 `json:"rate_per_sec"`
+	// Enough of the run configuration to rerun the scenario
+	// like-for-like (the bench-compare gate replays virtual rows).
+	Workers   int     `json:"workers"`
+	QueueCap  int     `json:"queue_cap"`
+	DedupFrac float64 `json:"dedup_frac"`
+
+	Jobs        int `json:"jobs"`
+	Completed   int `json:"completed"`
+	Deduped     int `json:"deduped"`
+	StoreHits   int `json:"store_hits"`
+	Rejected429 int `json:"rejected_429"`
+	Rejected503 int `json:"rejected_503"`
+
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+	MaxMs  float64 `json:"max_ms"`
+
+	ThroughputJobsPerSec float64 `json:"throughput_jobs_per_sec"`
+	DedupRate            float64 `json:"dedup_rate"`
+	QueueDepthHWM        int     `json:"queue_depth_hwm"`
+	InflightHWM          int     `json:"inflight_hwm"`
+	WallSeconds          float64 `json:"wall_seconds"`
+}
+
+// ReadService loads a BENCH_service.json report. Missing or empty
+// files yield an empty current-schema report, matching Read.
+func ReadService(path string) (*ServiceFile, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &ServiceFile{SchemaVersion: ServiceSchemaVersion}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(strings.TrimSpace(string(data))) == 0 {
+		return &ServiceFile{SchemaVersion: ServiceSchemaVersion}, nil
+	}
+	return DecodeService(data)
+}
+
+// DecodeService parses a report, rejecting files written by a newer
+// schema than this build understands.
+func DecodeService(data []byte) (*ServiceFile, error) {
+	var f ServiceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("benchfile: service report: %w", err)
+	}
+	if f.SchemaVersion > ServiceSchemaVersion {
+		return nil, fmt.Errorf("benchfile: service schema_version %d is newer than supported %d",
+			f.SchemaVersion, ServiceSchemaVersion)
+	}
+	f.SchemaVersion = ServiceSchemaVersion
+	return &f, nil
+}
+
+// Write persists the report with a trailing newline, byte-stable for a
+// given row set (key order is struct order, indentation fixed).
+func (f *ServiceFile) Write(path string) error {
+	data, err := f.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Encode renders the report deterministically.
+func (f *ServiceFile) Encode() ([]byte, error) {
+	f.SchemaVersion = ServiceSchemaVersion
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// MergeService inserts rows, replacing any existing row with the same
+// scenario name so re-running a scenario updates in place.
+func (f *ServiceFile) MergeService(rows []ServiceRow) {
+	for _, r := range rows {
+		replaced := false
+		for i := range f.Service {
+			if f.Service[i].Scenario == r.Scenario {
+				f.Service[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			f.Service = append(f.Service, r)
+		}
+	}
+}
+
+// Row returns the named scenario's row, if present.
+func (f *ServiceFile) Row(scenario string) (ServiceRow, bool) {
+	for _, r := range f.Service {
+		if r.Scenario == scenario {
+			return r, true
+		}
+	}
+	return ServiceRow{}, false
+}

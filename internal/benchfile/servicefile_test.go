@@ -1,0 +1,105 @@
+package benchfile
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func sampleRow(scenario string, p99 float64) ServiceRow {
+	return ServiceRow{
+		Scenario: scenario, Process: "poisson", Clock: "virtual", Seed: 1,
+		RatePerSec: 50, Jobs: 100, Completed: 98, Deduped: 2,
+		P50Ms: 3.1, P99Ms: p99, P999Ms: p99 * 1.5, MaxMs: p99 * 2,
+		ThroughputJobsPerSec: 49.2, DedupRate: 0.02, QueueDepthHWM: 7,
+		WallSeconds: 2.0,
+	}
+}
+
+// TestServiceRoundTrip pins the schema: write, read back, identical
+// rows and version stamped.
+func TestServiceRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_service.json")
+	f := &ServiceFile{}
+	f.MergeService([]ServiceRow{sampleRow("steady", 12.5)})
+	if err := f.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadService(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.SchemaVersion != ServiceSchemaVersion {
+		t.Errorf("schema_version %d, want %d", g.SchemaVersion, ServiceSchemaVersion)
+	}
+	if len(g.Service) != 1 || g.Service[0] != f.Service[0] {
+		t.Errorf("round-trip mismatch: %+v vs %+v", g.Service, f.Service)
+	}
+}
+
+// TestServiceMergeReplacesByScenario pins in-place updates: re-running
+// a scenario replaces its row, others are untouched, order is stable.
+func TestServiceMergeReplacesByScenario(t *testing.T) {
+	f := &ServiceFile{}
+	f.MergeService([]ServiceRow{sampleRow("steady", 10), sampleRow("burst", 40)})
+	f.MergeService([]ServiceRow{sampleRow("steady", 11)})
+	if len(f.Service) != 2 {
+		t.Fatalf("merge grew to %d rows, want 2", len(f.Service))
+	}
+	if f.Service[0].Scenario != "steady" || f.Service[0].P99Ms != 11 {
+		t.Errorf("steady row not replaced in place: %+v", f.Service[0])
+	}
+	if r, ok := f.Row("burst"); !ok || r.P99Ms != 40 {
+		t.Errorf("burst row disturbed by an unrelated merge: %+v", r)
+	}
+}
+
+// TestServiceReadMissingAndEmpty pins the incremental-build contract:
+// missing and empty files both read as empty current-schema reports.
+func TestServiceReadMissingAndEmpty(t *testing.T) {
+	dir := t.TempDir()
+	for name, setup := range map[string]func(string){
+		"missing": func(string) {},
+		"empty":   func(p string) { os.WriteFile(p, []byte("\n"), 0o644) },
+	} {
+		p := filepath.Join(dir, name+".json")
+		setup(p)
+		f, err := ReadService(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if f.SchemaVersion != ServiceSchemaVersion || len(f.Service) != 0 {
+			t.Errorf("%s: got %+v, want empty current-schema report", name, f)
+		}
+	}
+}
+
+// TestServiceRejectsNewerSchema guards against silently misreading a
+// future report.
+func TestServiceRejectsNewerSchema(t *testing.T) {
+	if _, err := DecodeService([]byte(`{"schema_version": 99, "service": []}`)); err == nil {
+		t.Fatal("decoded a schema_version 99 report without error")
+	}
+}
+
+// TestServiceEncodeDeterministic pins byte-stable output for identical
+// row sets — verify.sh compares two triageload runs with cmp.
+func TestServiceEncodeDeterministic(t *testing.T) {
+	mk := func() []byte {
+		f := &ServiceFile{}
+		f.MergeService([]ServiceRow{sampleRow("steady", 10), sampleRow("burst", 40)})
+		b, err := f.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Error("identical reports encoded differently")
+	}
+	if a[len(a)-1] != '\n' {
+		t.Error("report does not end in a newline")
+	}
+}

@@ -205,6 +205,13 @@ type Checkpoint struct {
 	seen        map[string]checkpointRecord
 	quarantined int
 	err         error // first write error, reported at Close
+	// off is the end offset of the last durable record; dirty marks a
+	// failed append that may have left torn bytes past off. The next
+	// append first truncates back to off, so a retried Put can never
+	// glue its record onto a torn prefix (which would corrupt the
+	// *retried* — acknowledged! — record on the next open).
+	off   int64
+	dirty bool
 }
 
 // OpenCheckpoint opens (or creates) the store in dir on the real
@@ -268,6 +275,7 @@ func OpenCheckpointFS(fsys vfs.FS, dir, fingerprint string) (*Checkpoint, error)
 			return nil, err
 		}
 		c.f = f
+		c.off = int64(buf.Len())
 		return c, nil
 	}
 	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
@@ -290,6 +298,7 @@ func OpenCheckpointFS(fsys vfs.FS, dir, fingerprint string) (*Checkpoint, error)
 		f.Close()
 		return nil, err
 	}
+	c.off = int64(p.good)
 	if p.good == 0 {
 		hdr, err := json.Marshal(checkpointHeader{V: checkpointVersion, FP: fingerprint})
 		if err != nil {
@@ -304,6 +313,7 @@ func OpenCheckpointFS(fsys vfs.FS, dir, fingerprint string) (*Checkpoint, error)
 			f.Close()
 			return nil, err
 		}
+		c.off = int64(len(hdr) + 1)
 	}
 	c.f = f
 	return c, nil
@@ -370,20 +380,51 @@ func (c *Checkpoint) put(rec checkpointRecord) error {
 		return nil
 	}
 	if c.f != nil {
+		if c.dirty {
+			if err := c.repairLocked(); err != nil {
+				if c.err == nil {
+					c.err = err
+				}
+				return err
+			}
+		}
 		if _, err := c.f.Write(framed); err != nil {
+			c.dirty = true
 			if c.err == nil {
 				c.err = err
 			}
 			return err
 		}
 		if err := c.f.Sync(); err != nil {
+			// The bytes are complete but not durable; treat them as torn
+			// so the retry rewrites them from the known-good offset.
+			c.dirty = true
 			if c.err == nil {
 				c.err = err
 			}
 			return err
 		}
+		c.off += int64(len(framed))
 	}
 	c.seen[rec.Key] = rec
+	return nil
+}
+
+// repairLocked cuts a possibly-torn tail back to the last durable
+// record and makes the cut durable, so the next append starts on a
+// clean record boundary. Called with c.mu held, before any append
+// that follows a failed one.
+func (c *Checkpoint) repairLocked() error {
+	if err := c.f.Truncate(c.off); err != nil {
+		return err
+	}
+	if _, err := c.f.Seek(c.off, io.SeekStart); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.dirty = false
 	return nil
 }
 

@@ -110,17 +110,21 @@ func Go[T any](p *Pool, fn func() T) *Future[T] {
 // Guarded runs one simulation under the watchdog configured by
 // deadline and stall (either may be zero). mkHooks builds the run's
 // telemetry hooks; when a watchdog is armed the hooks gain a RunWatch
-// so the simulator can observe the cancellation. A panic (including a
-// watchdog abort) is re-thrown as a *RunError tagged with key.
+// so the simulator can observe the cancellation — a Watch already
+// attached by mkHooks is reused, so callers that bridge cancellation
+// elsewhere (the service annotates the job's trace span) keep their
+// registration. A panic (including a watchdog abort) is re-thrown as
+// a *RunError tagged with key.
 func Guarded(key string, deadline, stall time.Duration, mkHooks func() *telemetry.Hooks, run func(*telemetry.Hooks) sim.Result) sim.Result {
 	hooks := mkHooks()
 	if deadline > 0 || stall > 0 {
 		if hooks == nil {
 			hooks = &telemetry.Hooks{}
 		}
-		w := telemetry.NewRunWatch()
-		hooks.Watch = w
-		defer telemetry.StartWatchdog(w, deadline, stall)()
+		if hooks.Watch == nil {
+			hooks.Watch = telemetry.NewRunWatch()
+		}
+		defer telemetry.StartWatchdog(hooks.Watch, deadline, stall)()
 	}
 	defer func() {
 		if rec := recover(); rec != nil {

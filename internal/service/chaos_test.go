@@ -174,6 +174,22 @@ func TestChaosKillRestartLoop(t *testing.T) {
 				}
 				time.Sleep(2 * time.Millisecond)
 			}
+			// Observability invariant: if this cycle's faults degraded the
+			// server, the flight recorder must hold the triggering fault
+			// as a degraded-enter incident with a cause.
+			if srv.mDegradedIn.Value() > 0 {
+				found := false
+				for _, d := range srv.FlightRecorder().DumpAll() {
+					for _, sp := range d.Spans {
+						if sp.Name == "degraded-enter" && sp.Attrs["cause"] != "" {
+							found = true
+						}
+					}
+				}
+				if !found {
+					t.Errorf("cycle %d: server degraded but the flight recorder captured no incident", cycle)
+				}
+			}
 			faulty.PowerOff()
 			srv.Drain()
 			srv.Close() // error expected: the disk is "gone"

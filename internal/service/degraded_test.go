@@ -1,15 +1,36 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/vfs"
 )
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing the
+// flight-recorder dump the server writes on degraded entry.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
 
 // TestDegradedModeAndRecovery walks the whole degraded-mode lifecycle:
 // a healthy server persists normally; when the disk starts failing, a
@@ -34,10 +55,12 @@ func TestDegradedModeAndRecovery(t *testing.T) {
 		}
 	}()
 
+	var flightDump syncBuffer
 	srv := newTestServer(t, func(c *Config) {
 		c.FS = faulty
 		c.ProbeInterval = 20 * time.Millisecond
 		c.Workers = 1
+		c.TraceLog = &flightDump
 		c.Gate = func(key string) {
 			if key == key2 {
 				<-gate2
@@ -118,6 +141,46 @@ func TestDegradedModeAndRecovery(t *testing.T) {
 		t.Error("metrics omit fs_faults although the FS injects faults")
 	}
 
+	// The flight recorder captured the triggering fault as an incident
+	// carrying the cause, and the whole recorder was dumped to the
+	// configured TraceLog at the moment of entry.
+	var sawIncident bool
+	for _, d := range srv.FlightRecorder().DumpAll() {
+		for _, sp := range d.Spans {
+			if sp.Name == "degraded-enter" && sp.Attrs["cause"] != "" {
+				sawIncident = true
+			}
+		}
+	}
+	if !sawIncident {
+		t.Error("flight recorder holds no degraded-enter incident with a cause")
+	}
+	dump := flightDump.String()
+	if !strings.Contains(dump, "flight-recorder-dump") || !strings.Contains(dump, "degraded-enter") {
+		t.Errorf("degraded entry did not dump the flight recorder to TraceLog:\n%.400s", dump)
+	}
+
+	// degraded_seconds_total is live while degraded: /metrics exposes
+	// it in both formats and it grows with wall time.
+	if m["degraded_seconds_total"].(float64) < 0 {
+		t.Error("degraded_seconds_total negative")
+	}
+	time.Sleep(20 * time.Millisecond)
+	if s2 := srv.MetricsSnapshot()["degraded_seconds_total"].(float64); s2 <= 0 {
+		t.Errorf("degraded_seconds_total = %v after 20ms degraded, want > 0", s2)
+	}
+	promReq, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	promReq.Header.Set("Accept", "text/plain")
+	promResp, err := ts.Client().Do(promReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promText := string(readAll(t, promResp))
+	if !strings.Contains(promText, "triaged_degraded_seconds_total") ||
+		!strings.Contains(promText, "triaged_degraded 1") {
+		t.Errorf("Prometheus /metrics while degraded misses degraded series:\n%.400s", promText)
+	}
+
 	// Heal the disk: the probe flushes the preserved result and
 	// restores service.
 	faulty.Heal()
@@ -134,6 +197,23 @@ func TestDegradedModeAndRecovery(t *testing.T) {
 	m = srv.MetricsSnapshot()
 	if m["pending_results"].(int) != 0 || m["recovered"].(int64) != 1 {
 		t.Errorf("post-recovery metrics %v", m)
+	}
+	// The episode's duration is folded into the total, which stops
+	// growing once healthy, and the recovery left its own incident.
+	recoveredSecs := m["degraded_seconds_total"].(float64)
+	if recoveredSecs <= 0 {
+		t.Error("degraded_seconds_total did not accumulate the episode")
+	}
+	var sawRecovery bool
+	for _, d := range srv.FlightRecorder().DumpAll() {
+		for _, sp := range d.Spans {
+			if sp.Name == "degraded-recovered" {
+				sawRecovery = true
+			}
+		}
+	}
+	if !sawRecovery {
+		t.Error("flight recorder holds no degraded-recovered incident")
 	}
 	hz2, err := ts.Client().Get(ts.URL + "/healthz")
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strings"
 )
 
 // maxSubmitBytes bounds a submission body. A RunSpec is a few hundred
@@ -33,7 +34,13 @@ const (
 //	GET  /v1/jobs/{id}        job status          → JobStatus
 //	GET  /v1/jobs/{id}/result finished result     → JobResult
 //	GET  /v1/jobs/{id}/events live progress       → SSE stream
-//	GET  /metrics             service counters    → JSON
+//	GET  /metrics             service counters    → JSON, or Prometheus
+//	                          text when the Accept header asks for
+//	                          text/plain or openmetrics (what a
+//	                          Prometheus scraper sends) or the query
+//	                          says ?format=prometheus
+//	GET  /debug/trace         flight recorder     → all held traces
+//	GET  /debug/trace/{id}    one trace           → by trace or job id
 //	GET  /healthz             liveness            → 200 "ok", 503 when degraded
 //
 // Submission maps dispositions and errors to status codes: 201 fresh
@@ -48,6 +55,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTraceAll)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
 }
@@ -113,6 +122,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		State:   st.State,
 		Cached:  disp == DispCached,
 		Deduped: disp == DispDeduped,
+		Trace:   j.TraceID(),
 	}
 	code := http.StatusCreated
 	if disp != DispNew {
@@ -149,6 +159,12 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	switch st.State {
 	case StateDone:
 		payload, _ := s.Result(j)
+		// The first successful fetch closes the job's trace: the span
+		// sequence ends at result-served, not at completion, so the
+		// trace covers the client-visible latency.
+		if j.trace != nil {
+			j.servedOnce.Do(func() { j.trace.Mark("result-served", nil) })
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(payload)
 	case StateFailed:
@@ -160,8 +176,46 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// wantsPrometheus decides the /metrics render format. JSON is the
+// default (the original wire format, kept for existing clients and
+// tests); Prometheus text is opt-in via Accept or ?format=.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.obs.reg.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// handleTrace serves one trace from the flight recorder, addressable
+// by trace id or job id.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	t, ok := s.obs.rec.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, codeNotFound,
+			"no trace for "+id+" (evicted from the flight recorder, or never admitted)")
+		return
+	}
+	writeJSON(w, http.StatusOK, t.Dump())
+}
+
+// handleTraceAll dumps the whole flight recorder, oldest first.
+func (s *Server) handleTraceAll(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.obs.rec.DumpAll())
 }
 
 // handleHealthz is the liveness/readiness probe: 200 while healthy,

@@ -12,8 +12,10 @@ package service
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
@@ -157,11 +159,30 @@ type Job struct {
 
 	feed   *telemetry.JobFeed
 	runner *experiments.Runner // figure jobs: instruction-count source
+
+	// trace is the job's span record (admit → queue-wait → run →
+	// store-put → result-served), held by the server's flight recorder.
+	// queueSpan is opened at admission and closed by the worker;
+	// admittedNS stamps admission for the latency histograms;
+	// servedOnce marks the result-served span exactly once.
+	trace      *obs.Trace
+	queueSpan  obs.SpanRef
+	admittedNS int64
+	servedOnce sync.Once
 }
 
 // ID returns the job's content-addressed id (stable across restarts
 // and re-submissions of the same spec).
 func (j *Job) ID() string { return j.id }
+
+// TraceID returns the job's trace id ("" when the job predates the
+// recorder or tracing is off).
+func (j *Job) TraceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return j.trace.ID()
+}
 
 // JobStatus is the status wire format.
 type JobStatus struct {
@@ -179,6 +200,8 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 	// Failed marks a done figure job whose table carries error rows.
 	Failed bool `json:"failed,omitempty"`
+	// Trace is the job's trace id, fetchable at /debug/trace/{trace}.
+	Trace string `json:"trace,omitempty"`
 }
 
 // SubmitResponse is the submission wire format: the job's id plus how
@@ -190,6 +213,10 @@ type SubmitResponse struct {
 	State   State  `json:"state"`
 	Cached  bool   `json:"cached,omitempty"`
 	Deduped bool   `json:"deduped,omitempty"`
+	// Trace is the trace id assigned at admission; the span record is
+	// fetchable at /debug/trace/{trace} (or by job id) while the
+	// flight recorder still holds it.
+	Trace string `json:"trace,omitempty"`
 }
 
 // JobResult is the result wire format. Single jobs carry the

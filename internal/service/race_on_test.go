@@ -1,0 +1,8 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which inflates instrumented-path timings and makes
+// wall-clock overhead guards meaningless.
+const raceEnabled = true

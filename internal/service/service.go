@@ -8,6 +8,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/vfs"
@@ -59,6 +61,14 @@ type Config struct {
 	// in-memory results this often, and returns to service when the
 	// disk recovers. Default 2s.
 	ProbeInterval time.Duration
+	// TraceCap bounds the flight recorder (traces held for
+	// /debug/trace). Default 256.
+	TraceCap int
+	// TraceLog, when non-nil, receives a JSON dump of the whole flight
+	// recorder on every transition into degraded mode, so the trace
+	// timeline leading up to a store fault survives a crash. cmd/triaged
+	// points it at stderr; leave nil to disable.
+	TraceLog io.Writer
 }
 
 // Submission errors mapped to HTTP status codes by the handlers.
@@ -104,6 +114,7 @@ type Server struct {
 	pool *experiments.Pool
 	prog *telemetry.PoolProgress
 	q    *jobQueue
+	obs  *serverObs
 
 	mu            sync.Mutex
 	store         *experiments.Checkpoint
@@ -172,6 +183,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = 2 * time.Second
 	}
+	if cfg.TraceCap <= 0 {
+		cfg.TraceCap = 256
+	}
 	fp := experiments.ConfigFingerprint(config.Default(1))
 	store, err := experiments.OpenCheckpointFS(cfg.FS, cfg.StoreDir, fp)
 	if err != nil {
@@ -191,6 +205,7 @@ func New(cfg Config) (*Server, error) {
 		started: time.Now(),
 	}
 	s.pool.SetProgress(s.prog)
+	s.obs = newServerObs(s)
 	if err := s.recoverQueue(); err != nil {
 		store.Close()
 		return nil, err
@@ -208,6 +223,21 @@ func New(cfg Config) (*Server, error) {
 func idOf(key string) string {
 	h := sha256.Sum256([]byte(key))
 	return "j" + hex.EncodeToString(h[:8])
+}
+
+// admitTrace creates and registers a job's trace: an "admit" mark
+// carrying the disposition, plus — for jobs that will actually queue —
+// the open queue-wait span the worker closes. Called with s.mu held
+// (j.seq was just assigned, making the trace id unique per admission).
+func (s *Server) admitTrace(j *Job, disposition string, queued bool) {
+	tr := obs.NewTrace(fmt.Sprintf("t%06d", j.seq), j.id)
+	j.trace = tr
+	j.admittedNS = time.Now().UnixNano()
+	tr.Mark("admit", map[string]string{"disposition": disposition, "kind": j.spec.Kind})
+	if queued {
+		j.queueSpan = tr.Start("queue-wait")
+	}
+	s.obs.rec.Add(tr)
 }
 
 // queueRecord is one admission-log line.
@@ -276,7 +306,9 @@ func (s *Server) recoverQueue() error {
 		}
 		s.jobs[j.id] = j
 		s.byKey[j.key] = j
+		s.admitTrace(j, "restored", true)
 		s.q.push(j)
+		s.obs.gQueueHWM.SetMax(int64(s.q.len()))
 		s.mRestored.Add(1)
 	}
 	return nil
@@ -296,12 +328,16 @@ func (s *Server) Submit(spec JobSpec) (*Job, Disposition, error) {
 	defer s.mu.Unlock()
 	if j, ok := s.byKey[key]; ok && j.state != StateFailed {
 		s.mDeduped.Add(1)
+		if j.trace != nil {
+			j.trace.Mark("admit", map[string]string{"disposition": "deduped"})
+		}
 		return j, DispDeduped, nil
 	}
 	if j, ok := s.jobFromStore(key, spec); ok {
 		s.mStoreHits.Add(1)
 		s.jobs[j.id] = j
 		s.byKey[key] = j
+		s.admitTrace(j, "cached", false)
 		return j, DispCached, nil
 	}
 	if s.draining.Load() {
@@ -343,7 +379,9 @@ func (s *Server) Submit(spec JobSpec) (*Job, Disposition, error) {
 	}
 	s.jobs[j.id] = j
 	s.byKey[key] = j
+	s.admitTrace(j, "new", true)
 	s.q.push(j)
+	s.obs.gQueueHWM.SetMax(int64(s.q.len()))
 	s.mSubmitted.Add(1)
 	return j, DispNew, nil
 }
@@ -416,6 +454,7 @@ func (s *Server) statusLocked(j *Job) JobStatus {
 		Cached:   j.cached,
 		Error:    j.errMsg,
 		Failed:   j.failedTable,
+		Trace:    j.TraceID(),
 	}
 	if j.runner != nil {
 		st.Instructions = j.runner.SimulatedInstructions()
@@ -473,33 +512,62 @@ func (s *Server) runJob(j *Job) {
 	s.setState(j, StateRunning)
 	s.mRunning.Add(1)
 	defer s.mRunning.Add(-1)
+	s.obs.gInflightHWM.SetMax(s.mRunning.Value())
+	j.queueSpan.End()
+	if j.admittedNS > 0 {
+		s.obs.hQueueWait.Observe(uint64(time.Now().UnixNano() - j.admittedNS))
+	}
 	if gate := s.cfg.Gate; gate != nil {
 		gate(j.key)
 	}
+	var runSpan obs.SpanRef
+	if j.trace != nil {
+		runSpan = j.trace.Start("run")
+		runSpan.Annotate("kind", j.spec.Kind)
+	}
 	switch j.spec.Kind {
 	case KindFigure:
-		s.runFigure(j)
+		s.runFigure(j, runSpan)
 	default:
-		s.runSingle(j)
+		s.runSingle(j, runSpan)
 	}
 }
 
 // runSingle executes one RunSpec on the shared pool under the
 // configured watchdog, streams progress and samples to the job's
-// feed, and persists the result in the content-addressed store.
-func (s *Server) runSingle(j *Job) {
+// feed, and persists the result in the content-addressed store. The
+// run span records the warmup→measure boundary (the sampler's first
+// streamed sample, which the simulator emits only inside the
+// measurement window) and any watchdog cancellation.
+func (s *Server) runSingle(j *Job, runSpan obs.SpanRef) {
 	spec := *j.spec.Run
 	var hooks *telemetry.Hooks
 	mkHooks := func() *telemetry.Hooks {
 		h := &telemetry.Hooks{Progress: telemetry.Tee(j.feed, s.prog)}
 		if spec.SampleEvery > 0 {
 			sam := telemetry.NewSampler(spec.SampleEvery)
-			sam.Stream(j.feed.OnSample)
+			if tr := j.trace; tr != nil {
+				var measured sync.Once
+				sam.Stream(func(smp telemetry.Sample) {
+					measured.Do(func() { tr.Mark("measure-start", nil) })
+					j.feed.OnSample(smp)
+				})
+			} else {
+				sam.Stream(j.feed.OnSample)
+			}
 			h.Sampler = sam
+		}
+		if s.cfg.Deadline > 0 || s.cfg.Stall > 0 {
+			// Pre-attach the watch (Guarded reuses it) so a watchdog
+			// abort lands on the run span with its reason.
+			w := telemetry.NewRunWatch()
+			w.NotifyCancel(func(reason string) { runSpan.Annotate("cancelled", reason) })
+			h.Watch = w
 		}
 		hooks = h
 		return h
 	}
+	runStart := time.Now()
 	fut := experiments.Go(s.pool, func() sim.Result {
 		return experiments.Guarded(j.key, s.cfg.Deadline, s.cfg.Stall, mkHooks, func(h *telemetry.Hooks) sim.Result {
 			res, err := spec.Run(h)
@@ -511,6 +579,8 @@ func (s *Server) runSingle(j *Job) {
 		})
 	})
 	res, rerr := fut.Result()
+	s.obs.hRun.Observe(uint64(time.Since(runStart)))
+	runSpan.End()
 	if rerr != nil {
 		s.fail(j, rerr.Error())
 		return
@@ -522,14 +592,14 @@ func (s *Server) runSingle(j *Job) {
 			samples = buf.Bytes()
 		}
 	}
-	s.persist(pendingResult{key: j.key, res: res, samples: samples})
+	s.persistTraced(j, pendingResult{key: j.key, res: res, samples: samples})
 	s.complete(j, marshalEnvelope(JobResult{Kind: KindSingle, Result: &res, SamplesJSONL: string(samples)}), false)
 }
 
 // runFigure executes one registry experiment with a fresh Runner on
 // the shared pool. A failed table (error rows) completes the job but
 // is never stored: a transient failure must not be served forever.
-func (s *Server) runFigure(j *Job) {
+func (s *Server) runFigure(j *Job, runSpan obs.SpanRef) {
 	e, _ := experiments.ByID(j.spec.Figure)
 	p := j.spec.Scale.params()
 	p.Deadline, p.StallTimeout = s.cfg.Deadline, s.cfg.Stall
@@ -537,12 +607,31 @@ func (s *Server) runFigure(j *Job) {
 	s.mu.Lock()
 	j.runner = runner
 	s.mu.Unlock()
+	runStart := time.Now()
 	table := experiments.RunOne(runner, e)
+	s.obs.hRun.Observe(uint64(time.Since(runStart)))
+	if table.Failed {
+		runSpan.Annotate("failed_table", "true")
+	}
+	runSpan.End()
 	payload := marshalEnvelope(JobResult{Kind: KindFigure, Table: table})
 	if !table.Failed {
-		s.persist(pendingResult{key: j.key, isBlob: true, blob: payload})
+		s.persistTraced(j, pendingResult{key: j.key, isBlob: true, blob: payload})
 	}
 	s.complete(j, payload, table.Failed)
+}
+
+// persistTraced wraps persist in the job's store-put span and latency
+// histogram.
+func (s *Server) persistTraced(j *Job, p pendingResult) {
+	var span obs.SpanRef
+	if j.trace != nil {
+		span = j.trace.Start("store-put")
+	}
+	start := time.Now()
+	s.persist(p)
+	s.obs.hStorePut.Observe(uint64(time.Since(start)))
+	span.End()
 }
 
 // persist writes one completed result to the store. On failure the
@@ -586,6 +675,13 @@ func (s *Server) enterDegradedLocked(cause error) {
 	s.degradedCause = cause.Error()
 	if s.degraded.CompareAndSwap(false, true) {
 		s.mDegradedIn.Add(1)
+		s.obs.degradeEnter()
+		// The incident joins the flight recorder's timeline, then the
+		// whole recorder is dumped (if configured): the trace context
+		// around a store fault should survive even if the process dies
+		// before anyone scrapes /debug/trace.
+		s.obs.rec.Incident("degraded-enter", map[string]string{"cause": cause.Error()})
+		s.obs.dumpFlight(s.cfg.TraceLog, cause.Error())
 	}
 }
 
@@ -660,6 +756,9 @@ func (s *Server) tryRecover() {
 	store.ClearErr()
 	if s.degraded.CompareAndSwap(true, false) {
 		s.mRecovered.Add(1)
+		s.obs.degradeExit()
+		s.obs.rec.Incident("degraded-recovered",
+			map[string]string{"flushed": fmt.Sprintf("%d", flushed)})
 	}
 }
 
@@ -671,6 +770,12 @@ func (s *Server) complete(j *Job, payload []byte, failedTable bool) {
 	s.mu.Unlock()
 	j.feed.Finish()
 	s.mCompleted.Add(1)
+	if j.admittedNS > 0 {
+		s.obs.hSubmitToResult.Observe(uint64(time.Now().UnixNano() - j.admittedNS))
+	}
+	if j.trace != nil {
+		j.trace.Mark("done", nil)
+	}
 }
 
 func (s *Server) fail(j *Job, msg string) {
@@ -680,6 +785,12 @@ func (s *Server) fail(j *Job, msg string) {
 	s.mu.Unlock()
 	j.feed.Finish()
 	s.mFailed.Add(1)
+	if j.admittedNS > 0 {
+		s.obs.hSubmitToResult.Observe(uint64(time.Now().UnixNano() - j.admittedNS))
+	}
+	if j.trace != nil {
+		j.trace.Mark("failed", map[string]string{"error": msg})
+	}
 }
 
 // DrainStats reports what a drain left behind.
@@ -774,6 +885,11 @@ func (s *Server) MetricsSnapshot() map[string]any {
 		"uptime_seconds":    time.Since(s.started).Seconds(),
 		"store_len":         s.storeLen(),
 		"pool":              s.prog.Snapshot(),
+		// degraded_seconds_total and the obs section are the registry's
+		// metrics (latency histograms, HWM gauges) rendered as JSON —
+		// the same series /metrics serves as Prometheus text.
+		"degraded_seconds_total": s.obs.degradedSeconds(),
+		"obs":                    s.obs.reg.Snapshot(),
 	}
 	if fc, ok := s.fsys.(faultCounters); ok {
 		m["fs_faults"] = fc.Counters()

@@ -14,8 +14,9 @@ import (
 // still stepping can be stopped — a goroutine wedged outside the step
 // loop cannot be killed from the outside in Go.
 type RunWatch struct {
-	instr  atomic.Uint64
-	reason atomic.Pointer[string]
+	instr    atomic.Uint64
+	reason   atomic.Pointer[string]
+	onCancel atomic.Pointer[func(string)]
 }
 
 // NewRunWatch returns a fresh, uncancelled watch.
@@ -27,10 +28,21 @@ func (w *RunWatch) Add(instructions uint64) { w.instr.Add(instructions) }
 // Instructions returns the instructions reported so far.
 func (w *RunWatch) Instructions() uint64 { return w.instr.Load() }
 
+// NotifyCancel registers fn to run once if the watch is ever
+// cancelled, from whichever goroutine wins the cancel (the watchdog
+// or a test). The service bridges this into the job's trace so an
+// aborted run's span records why it was killed. Register before the
+// run starts; a late registration after cancel never fires.
+func (w *RunWatch) NotifyCancel(fn func(reason string)) { w.onCancel.Store(&fn) }
+
 // Cancel requests the run stop with the given reason. The first cancel
 // wins; later calls are no-ops.
 func (w *RunWatch) Cancel(reason string) {
-	w.reason.CompareAndSwap(nil, &reason)
+	if w.reason.CompareAndSwap(nil, &reason) {
+		if fn := w.onCancel.Load(); fn != nil {
+			(*fn)(reason)
+		}
+	}
 }
 
 // Cancelled reports whether the run was cancelled, and why.

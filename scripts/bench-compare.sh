@@ -80,4 +80,44 @@ for name, row in fresh.items():
 if failed:
     sys.exit(f"bench-compare: throughput dropped more than {threshold:.0f}%")
 PY
+
+# Service-level p99 gate: replay every virtual-clock scenario of the
+# committed BENCH_service.json (the row carries its full run config)
+# and compare submit-to-result p99. Virtual rows are deterministic, so
+# any drift beyond the threshold means the admission pipeline's
+# modeled behavior changed, not the machine.
+service_baseline=${BENCH_COMPARE_SERVICE_FILE:-BENCH_service.json}
+if [ -f "$service_baseline" ]; then
+    svc_fresh=$(mktemp -d)
+    trap 'rm -f "$fresh"; rm -rf "$svc_fresh"' EXIT
+    go build -o "$svc_fresh/triageload" ./cmd/triageload
+    while read -r scenario process rate jobs seed dedup workers queue p99; do
+        "$svc_fresh/triageload" -scenario "$scenario" -process "$process" \
+            -rate "$rate" -jobs "$jobs" -seed "$seed" -dedup "$dedup" \
+            -workers "$workers" -queue "$queue" -clock virtual -validate 0 \
+            -o "$svc_fresh/$scenario.json" 2>/dev/null
+        now=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['service'][0]['p99_ms'])" \
+            "$svc_fresh/$scenario.json")
+        python3 - "$scenario" "$p99" "$now" "$threshold" <<'PY'
+import sys
+scenario, base, now, threshold = sys.argv[1], float(sys.argv[2]), float(sys.argv[3]), float(sys.argv[4])
+drift = abs(now - base) / base * 100 if base > 0 else 0.0
+status = "ok" if drift <= threshold else "REGRESSION"
+print(f"bench-compare: service {scenario}: baseline p99 {base:.3f}ms, now {now:.3f}ms ({drift:.1f}% drift) {status}")
+if status != "ok":
+    sys.exit(f"bench-compare: service p99 drifted more than {threshold:.0f}%")
+PY
+    done < <(python3 - "$service_baseline" <<'PY'
+import json, sys
+f = json.load(open(sys.argv[1]))
+for r in f.get("service", []):
+    if r.get("clock") != "virtual":
+        continue
+    print(r["scenario"], r["process"], r["rate_per_sec"], r["jobs"], r["seed"],
+          r["dedup_frac"], r["workers"], r["queue_cap"], r["p99_ms"])
+PY
+)
+else
+    echo "bench-compare: no $service_baseline; skipping the service p99 gate"
+fi
 echo "bench-compare: ok"

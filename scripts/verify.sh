@@ -24,6 +24,7 @@ go vet ./...
 go test -race ./internal/experiments ./internal/sim
 go test -race ./internal/cache ./internal/replacement
 go test -race ./internal/service
+go test -race ./internal/obs ./cmd/triageload
 
 # Fault-injection suite: panic isolation, watchdog deadlines, bounded
 # retry, checkpoint round-trips, and the invariant checkers.
@@ -93,6 +94,18 @@ addr=$(cat "$smokedir/port")
     -o "$smokedir/api.json" -telemetry "$smokedir/api-samples.jsonl"
 cmp "$smokedir/direct.json" "$smokedir/api.json"
 cmp "$smokedir/direct-samples.jsonl" "$smokedir/api-samples.jsonl"
+# Observability smoke against the live server: /metrics must serve a
+# parseable Prometheus exposition carrying the service counters, and
+# the finished job must have a fetchable trace reaching result-served.
+"$smokedir/triagectl" -addr "$addr" metrics -prom >"$smokedir/metrics.prom"
+grep -q '^triaged_submitted_total 1$' "$smokedir/metrics.prom"
+grep -q '^# TYPE triaged_run_seconds histogram$' "$smokedir/metrics.prom"
+jobid=$("$smokedir/triagectl" -addr "$addr" submit -bench mcf -pf triage-1m \
+    -warmup 100000 -measure 200000 -sample 50000)
+"$smokedir/triagectl" -addr "$addr" result -o "$smokedir/traced.json" "$jobid"
+"$smokedir/triagectl" -addr "$addr" trace "$jobid" >"$smokedir/trace.txt"
+grep -q 'admit' "$smokedir/trace.txt"
+grep -q 'result-served' "$smokedir/trace.txt"
 kill -TERM "$triaged_pid"
 wait "$triaged_pid" # graceful drain must exit 0
 # Restart on the same store: the resubmission must be served from the
@@ -113,6 +126,21 @@ cmp "$smokedir/direct.json" "$smokedir/warm.json"
 grep -q "warm store" "$smokedir/warm.log"
 kill -TERM "$triaged_pid"
 wait "$triaged_pid"
+
+# Capacity-harness smoke: with a fixed seed and the virtual clock,
+# two triageload runs (in-memory store, real-service validation pass
+# included) must produce byte-identical BENCH_service.json rows, and
+# benchmerge -service must fold them into a report.
+go build -o "$smokedir/triageload" ./cmd/triageload
+go build -o "$smokedir/benchmerge" ./cmd/benchmerge
+"$smokedir/triageload" -scenario smoke -process poisson -rate 500 -jobs 60 \
+    -seed 7 -validate 4 -o "$smokedir/svc-a.json"
+"$smokedir/triageload" -scenario smoke -process poisson -rate 500 -jobs 60 \
+    -seed 7 -validate 4 -o "$smokedir/svc-b.json"
+cmp "$smokedir/svc-a.json" "$smokedir/svc-b.json"
+"$smokedir/benchmerge" -service -file "$smokedir/BENCH_service.json" \
+    <"$smokedir/svc-a.json"
+grep -q '"scenario": "smoke"' "$smokedir/BENCH_service.json"
 
 # Throughput regression gate (opt-in: the committed baseline numbers
 # are machine-dependent, so only run where they are comparable).
