@@ -1,0 +1,112 @@
+// ChampSim trace import: the de-facto interchange format for cache
+// and prefetcher studies. A ChampSim trace is a flat sequence of
+// fixed-size 64-byte little-endian records, one per retired
+// instruction, usually compressed. The container here understands raw
+// and gzip streams (sniffed by magic, so the filename does not
+// matter); xz-compressed traces must be decompressed externally since
+// the toolchain has no xz support and this repo adds no dependencies.
+
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// champsimRecordSize is the fixed on-disk size of one input
+// instruction: ip(8) + is_branch(1) + branch_taken(1) +
+// destination_registers(2) + source_registers(4) +
+// destination_memory(2*8) + source_memory(4*8).
+const champsimRecordSize = 64
+
+// champsimReader converts ChampSim instructions into trace.Records,
+// streaming: one instruction expands to one record per memory operand
+// (sources become Loads, destinations become Stores) or a single
+// NonMem record when the instruction touches no memory. LoadDep is
+// left zero — the format does not carry the pointer-chain signal, so
+// imported traces exercise the address stream only.
+type champsimReader struct {
+	r       *bufio.Reader
+	buf     [champsimRecordSize]byte
+	pending []trace.Record
+	insns   uint64
+	err     error
+}
+
+// newChampSimReader wraps r, transparently ungzipping when the stream
+// starts with the gzip magic.
+func newChampSimReader(r io.Reader) (*champsimReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	if magic, err := br.Peek(2); err == nil && magic[0] == 0x1f && magic[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("tracegen: opening gzip stream: %w", err)
+		}
+		br = bufio.NewReaderSize(zr, 1<<16)
+	}
+	return &champsimReader{r: br}, nil
+}
+
+// Next implements trace.Reader.
+func (cr *champsimReader) Next() (trace.Record, bool) {
+	for {
+		if len(cr.pending) > 0 {
+			rec := cr.pending[0]
+			cr.pending = cr.pending[1:]
+			return rec, true
+		}
+		if cr.err != nil {
+			return trace.Record{}, false
+		}
+		if _, err := io.ReadFull(cr.r, cr.buf[:]); err != nil {
+			if !errors.Is(err, io.EOF) {
+				// A partial final record is a truncated input, not a clean
+				// end — surface it like the trace decoders do.
+				if errors.Is(err, io.ErrUnexpectedEOF) {
+					err = fmt.Errorf("tracegen: champsim input truncated mid-instruction (%d whole instructions): %w",
+						cr.insns, io.ErrUnexpectedEOF)
+				}
+				cr.err = err
+			}
+			return trace.Record{}, false
+		}
+		cr.insns++
+		cr.expand()
+	}
+}
+
+// Err reports the first decode failure, nil on a clean end.
+func (cr *champsimReader) Err() error { return cr.err }
+
+// Instructions returns the count of whole input instructions consumed.
+func (cr *champsimReader) Instructions() uint64 { return cr.insns }
+
+// expand decodes the buffered instruction into pending records.
+func (cr *champsimReader) expand() {
+	pc := binary.LittleEndian.Uint64(cr.buf[0:8])
+	// Layout offsets: 8 is_branch, 9 branch_taken, 10..11 dest regs,
+	// 12..15 source regs, 16..31 destination_memory, 32..63 source_memory.
+	cr.pending = cr.pending[:0]
+	for i := 0; i < 4; i++ {
+		addr := binary.LittleEndian.Uint64(cr.buf[32+8*i : 40+8*i])
+		if addr != 0 {
+			cr.pending = append(cr.pending, trace.Record{PC: pc, Op: trace.Load, Addr: mem.Addr(addr)})
+		}
+	}
+	for i := 0; i < 2; i++ {
+		addr := binary.LittleEndian.Uint64(cr.buf[16+8*i : 24+8*i])
+		if addr != 0 {
+			cr.pending = append(cr.pending, trace.Record{PC: pc, Op: trace.Store, Addr: mem.Addr(addr)})
+		}
+	}
+	if len(cr.pending) == 0 {
+		cr.pending = append(cr.pending, trace.Record{PC: pc, Op: trace.NonMem})
+	}
+}

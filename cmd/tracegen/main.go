@@ -1,12 +1,16 @@
 // Command tracegen materializes a synthetic benchmark into a binary
-// trace file (the compact delta-encoded format of internal/trace), or
+// trace file (TRC2, the CRC-framed block-compressed container of
+// internal/trace, or the legacy v1 delta format), ingests traces into
+// a content-addressed corpus, imports external ChampSim traces, or
 // inspects an existing trace. Materialized traces decouple workload
 // generation from simulation and make runs byte-reproducible.
 //
 // Usage:
 //
-//	tracegen -bench mcf -n 5000000 -o mcf.trace     # generate
-//	tracegen -inspect mcf.trace                      # summarize
+//	tracegen -bench mcf -n 5000000 -o mcf.trc2           # generate
+//	tracegen -bench mcf -n 5000000 -corpus traces/       # ingest; prints sha256:<hex>
+//	tracegen -import champsim -in cloud.xz.gz -corpus traces/
+//	tracegen -inspect mcf.trc2                           # summarize (v1 or v2)
 package main
 
 import (
@@ -35,8 +39,12 @@ func main() {
 	}()
 	var (
 		bench   = flag.String("bench", "mcf", "benchmark to materialize")
-		n       = flag.Uint64("n", 5_000_000, "number of instructions")
+		n       = flag.Uint64("n", 5_000_000, "number of instructions (cap when importing)")
 		out     = flag.String("o", "", "output file (default <bench>.trace)")
+		format  = flag.String("format", "v2", "output container: v2 (TRC2, checksummed+compressed) or v1 (legacy)")
+		corpus  = flag.String("corpus", "", "ingest into this content-addressed corpus directory instead of -o; prints the trace id on stdout")
+		imp     = flag.String("import", "", "import an external trace instead of generating (formats: champsim)")
+		in      = flag.String("in", "", "input file for -import (gzip is detected by sniffing)")
 		seed    = flag.Uint64("seed", 42, "generator seed")
 		base    = flag.Uint64("base", 0, "address-space base")
 		inspect = flag.String("inspect", "", "summarize an existing trace file and exit")
@@ -68,41 +76,158 @@ func main() {
 		return
 	}
 
-	spec, ok := workload.ByName(*bench)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown benchmark %q (use -list)\n", *bench)
-		os.Exit(2)
-	}
-	path := *out
-	if path == "" {
-		path = *bench + ".trace"
-	}
-	f, err := os.Create(path)
+	src, closeSrc, err := openSource(*imp, *in, *bench, *seed, *base)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		os.Exit(2)
 	}
-	defer f.Close()
+	defer closeSrc()
 
-	w := trace.NewWriter(f)
-	r := spec.New(*seed, mem.Addr(*base))
-	for i := uint64(0); i < *n; i++ {
-		rec, ok := r.Next()
-		if !ok {
-			break
-		}
-		if err := w.Write(rec); err != nil {
+	if *corpus != "" {
+		if err := ingestCorpus(*corpus, src, *n); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		return
 	}
-	if err := w.Flush(); err != nil {
+
+	path := *out
+	if path == "" {
+		if *imp != "" {
+			fmt.Fprintln(os.Stderr, "tracegen: -import to a file requires -o (or use -corpus)")
+			os.Exit(2)
+		}
+		path = *bench + ".trace"
+	}
+	if err := writeFile(path, *format, src, *n); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// source is a record stream with a terminal error: a workload
+// generator (never fails) or an external-format importer.
+type source interface {
+	Next() (trace.Record, bool)
+	Err() error
+}
+
+// generatorSource adapts an endless workload generator.
+type generatorSource struct{ trace.Reader }
+
+func (generatorSource) Err() error { return nil }
+
+func openSource(imp, in, bench string, seed, base uint64) (source, func(), error) {
+	switch imp {
+	case "":
+		spec, ok := workload.ByName(bench)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown benchmark %q (use -list)", bench)
+		}
+		return generatorSource{spec.New(seed, mem.Addr(base))}, func() {}, nil
+	case "champsim":
+		if in == "" {
+			return nil, nil, fmt.Errorf("tracegen: -import champsim requires -in FILE")
+		}
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr, err := newChampSimReader(f)
+		if err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return cr, func() { f.Close() }, nil
+	default:
+		return nil, nil, fmt.Errorf("tracegen: unknown import format %q (supported: champsim)", imp)
+	}
+}
+
+// ingestCorpus streams up to n records into the corpus and prints the
+// canonical content id on stdout (stats go to stderr, so scripts can
+// capture the id alone). A source error aborts the ingest: a torn
+// input must never be published under a valid content address.
+func ingestCorpus(dir string, src source, n uint64) error {
+	c, err := trace.OpenCorpus(dir)
+	if err != nil {
+		return err
+	}
+	cw, err := c.Create()
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < n; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := cw.Write(rec); err != nil {
+			cw.Abort()
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		cw.Abort()
+		return err
+	}
+	if cw.Count() == 0 {
+		cw.Abort()
+		return fmt.Errorf("tracegen: source yielded no records; refusing to ingest an empty trace")
+	}
+	count := cw.Count()
+	id, err := cw.Commit()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ingested %d records into %s\n", count, dir)
+	fmt.Println(id)
+	return nil
+}
+
+// writeFile streams up to n records into a standalone trace file in
+// the requested container format.
+func writeFile(path, format string, src source, n uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var (
+		write func(trace.Record) error
+		seal  func() error
+		count func() uint64
+	)
+	switch format {
+	case "v1":
+		tw := trace.NewWriter(f)
+		write, seal, count = tw.Write, tw.Flush, tw.Count
+	case "v2":
+		tw := trace.NewWriterV2(f)
+		write, seal, count = tw.Write, tw.Close, tw.Count
+	default:
+		return fmt.Errorf("tracegen: unknown format %q (want v1 or v2)", format)
+	}
+	for i := uint64(0); i < n; i++ {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := write(rec); err != nil {
+			return err
+		}
+	}
+	if err := src.Err(); err != nil {
+		return err
+	}
+	if err := seal(); err != nil {
+		return err
+	}
 	st, _ := f.Stat()
 	fmt.Printf("wrote %d records to %s (%.1f MB, %.2f bytes/record)\n",
-		w.Count(), path, float64(st.Size())/(1<<20), float64(st.Size())/float64(w.Count()))
+		count(), path, float64(st.Size())/(1<<20), float64(st.Size())/float64(max64(count(), 1)))
+	return nil
 }
 
 // summary is the -inspect report, split from its printing so tests
@@ -122,7 +247,7 @@ func summarize(path string) (summary, error) {
 		return summary{}, err
 	}
 	defer f.Close()
-	r := trace.NewFileReader(f)
+	r := trace.NewDecoder(f)
 	var s summary
 	pcs := map[uint64]struct{}{}
 	lines := map[mem.Line]struct{}{}

@@ -310,6 +310,7 @@ func writeResult(jr service.JobResult, out, telem string) error {
 func (c *client) cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	bench := fs.String("bench", "", "workload name (single job)")
+	traceID := fs.String("trace", "", "replay this corpus trace (sha256:<hex>) instead of a -bench generator; the server must run with -corpus")
 	pf := fs.String("pf", "none", "prefetcher configuration (single job)")
 	cores := fs.Int("cores", 1, "number of cores (rate mode when > 1)")
 	warmup := fs.Uint64("warmup", 1_000_000, "warmup instructions per core")
@@ -329,8 +330,8 @@ func (c *client) cmdSubmit(args []string) error {
 	if *figure != "" {
 		spec = service.JobSpec{Kind: service.KindFigure, Figure: *figure, Priority: *priority}
 	} else {
-		if *bench == "" {
-			return fmt.Errorf("submit: need -bench (single job) or -figure (figure job)")
+		if *bench == "" && *traceID == "" {
+			return fmt.Errorf("submit: need -bench or -trace (single job) or -figure (figure job)")
 		}
 		spec = service.JobSpec{
 			Kind: service.KindSingle,
@@ -342,6 +343,7 @@ func (c *client) cmdSubmit(args []string) error {
 				Measure:     *measure,
 				Seed:        *seed,
 				Degree:      *degree,
+				Trace:       *traceID,
 				SampleEvery: *sample,
 			},
 			Priority: *priority,

@@ -42,6 +42,7 @@ func run() error {
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent simulations")
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts using port 0)")
 	traceCap := flag.Int("tracecap", 256, "flight-recorder capacity (traces held for /debug/trace)")
+	corpus := flag.String("corpus", "", "content-addressed trace corpus directory; enables jobs that replay traces by hash")
 	prof := cliutil.AddProfile(flag.CommandLine)
 	wd := cliutil.AddWatchdog(flag.CommandLine)
 	dbg := cliutil.AddDebugHTTP(flag.CommandLine)
@@ -54,12 +55,13 @@ func run() error {
 	defer stopProf()
 
 	srv, err := service.New(service.Config{
-		StoreDir: *store,
-		QueueCap: *queueCap,
-		Workers:  *workers,
-		Deadline: *wd.Deadline,
-		Stall:    *wd.Stall,
-		TraceCap: *traceCap,
+		StoreDir:  *store,
+		QueueCap:  *queueCap,
+		Workers:   *workers,
+		Deadline:  *wd.Deadline,
+		Stall:     *wd.Stall,
+		TraceCap:  *traceCap,
+		CorpusDir: *corpus,
 		// Degraded-mode entries dump the flight recorder to stderr so the
 		// trace timeline around a store fault survives even a crash
 		// before anyone scrapes /debug/trace.

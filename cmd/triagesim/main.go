@@ -5,6 +5,7 @@
 // Usage:
 //
 //	triagesim -bench mcf -pf triage-dyn [-cores 1] [-warmup N] [-measure N] [-degree D]
+//	triagesim -corpus traces/ -trace sha256:<hex> -pf triage-dyn ...  # replay a materialized trace
 //
 // Prefetchers: none, stride-only, nextline, ghb, markov, bo, sms,
 // stms, domino, isb, misb, triage-512k, triage-1m, triage-dyn,
@@ -47,6 +48,8 @@ func main() {
 		measure = flag.Uint64("measure", 2_000_000, "measured instructions per core")
 		degree  = flag.Int("degree", 1, "prefetch degree")
 		seed    = flag.Uint64("seed", 42, "workload seed")
+		traceID = flag.String("trace", "", "replay this corpus trace (sha256:<hex>) instead of the -bench generator; requires -corpus")
+		corpus  = flag.String("corpus", "", "content-addressed trace corpus directory (see tracegen -corpus)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 
 		check = flag.Uint64("check", 0, "assert simulator structural invariants every N instructions (debug mode, 0 = off)")
@@ -67,6 +70,12 @@ func main() {
 		}
 		return
 	}
+	if *corpus != "" {
+		if err := experiments.SetTraceCorpus(*corpus); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 	rs := experiments.RunSpec{
 		Bench:       *bench,
 		PF:          *pfName,
@@ -75,8 +84,22 @@ func main() {
 		Measure:     *measure,
 		Seed:        *seed,
 		Degree:      *degree,
+		Trace:       *traceID,
 		SampleEvery: *sample,
 		CheckEvery:  *check,
+	}
+	if *traceID != "" {
+		// -bench is only a display label on a replay; unless the user set
+		// it explicitly, let Normalize derive one from the content hash.
+		benchSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "bench" {
+				benchSet = true
+			}
+		})
+		if !benchSet {
+			rs.Bench = ""
+		}
 	}
 	rs.Normalize()
 	if err := rs.Validate(); err != nil {

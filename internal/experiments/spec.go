@@ -41,6 +41,13 @@ type RunSpec struct {
 	Measure uint64 `json:"measure"`
 	Seed    uint64 `json:"seed,omitempty"`
 	Degree  int    `json:"degree,omitempty"`
+	// Trace, when non-empty, replays a materialized corpus trace
+	// ("sha256:<hex>", see trace.Corpus) instead of the Bench
+	// generator: each core streams the same trace in an endless loop,
+	// data addresses offset per core. Bench becomes a display label
+	// (defaulted from the hash); Seed does not perturb a replay but
+	// remains part of the identity for key-shape uniformity.
+	Trace string `json:"trace,omitempty"`
 	// SampleEvery, when non-zero, attaches a telemetry sampler at this
 	// retired-instruction interval; the sampled series is part of the
 	// job's result (and of its identity — see Key).
@@ -51,8 +58,10 @@ type RunSpec struct {
 }
 
 // Normalize fills the defaulted fields so that equivalent specs
-// compare (and hash) equal: an empty prefetcher means "none", and
-// core/degree counts below one are clamped to one.
+// compare (and hash) equal: an empty prefetcher means "none",
+// core/degree counts below one are clamped to one, a trace id is
+// canonicalized (bare hex gains its sha256: prefix), and a trace-
+// backed spec with no bench label gets one derived from the hash.
 func (s *RunSpec) Normalize() {
 	if s.PF == "" {
 		s.PF = "none"
@@ -63,13 +72,30 @@ func (s *RunSpec) Normalize() {
 	if s.Degree < 1 {
 		s.Degree = 1
 	}
+	if s.Trace != "" {
+		if canon, err := trace.CanonicalTraceID(s.Trace); err == nil {
+			s.Trace = canon
+		}
+		if s.Bench == "" {
+			hexPart := strings.TrimPrefix(s.Trace, "sha256:")
+			if len(hexPart) > 12 {
+				hexPart = hexPart[:12]
+			}
+			s.Bench = "trace-" + hexPart
+		}
+	}
 }
 
 // Validate reports the first problem that would keep the spec from
-// simulating: an unknown benchmark or prefetcher, or an empty
+// simulating: an unknown benchmark or prefetcher, a trace id that is
+// malformed or missing from the configured corpus, or an empty
 // measurement window. Call Normalize first.
 func (s RunSpec) Validate() error {
-	if _, ok := workload.ByName(s.Bench); !ok {
+	if s.Trace != "" {
+		if _, err := resolveTrace(s.Trace); err != nil {
+			return err
+		}
+	} else if _, ok := workload.ByName(s.Bench); !ok {
 		return fmt.Errorf("unknown benchmark %q", s.Bench)
 	}
 	if _, err := BuildPrefetcher(s.PF, config.Default(1), 1); err != nil {
@@ -87,8 +113,15 @@ func (s RunSpec) Validate() error {
 // produce byte-identical results, which is what makes the service's
 // result store content-addressed.
 func (s RunSpec) Key() string {
+	bench := s.Bench
+	if s.Trace != "" {
+		// A trace-backed run's workload identity is the content hash,
+		// not the display label: two submissions of the same trace under
+		// different labels dedup onto one simulation.
+		bench = s.Trace
+	}
 	k := fmt.Sprintf("%s/%s/x%d/w%d/m%d/s%d/d%d",
-		s.Bench, s.PF, s.Cores, s.Warmup, s.Measure, s.Seed, s.Degree)
+		bench, s.PF, s.Cores, s.Warmup, s.Measure, s.Seed, s.Degree)
 	if s.SampleEvery > 0 {
 		k += fmt.Sprintf("/t%d", s.SampleEvery)
 	}
@@ -107,12 +140,31 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 	if err := s.Validate(); err != nil {
 		return sim.Result{}, err
 	}
-	spec, _ := workload.ByName(s.Bench)
+	var spec workload.Spec
+	warmBench := s.Bench
+	if s.Trace != "" {
+		id, err := resolveTrace(s.Trace)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		// Replay: every core streams the trace from disk in a loop.
+		// Core 0 replays raw addresses; higher cores offset by c<<40 for
+		// the disjoint address spaces rate mode assumes. The content
+		// hash — not the display label — names the warm prefix.
+		spec = workload.Replay(s.Bench, TraceCorpus(), id, workload.Server)
+		warmBench = id
+	} else {
+		spec, _ = workload.ByName(s.Bench)
+	}
 	m := config.Default(s.Cores)
 	ws := make([]trace.Reader, s.Cores)
 	pfs := make([]prefetch.Prefetcher, s.Cores)
 	for c := 0; c < s.Cores; c++ {
-		ws[c] = spec.New(s.Seed+uint64(c)*104729, mem.Addr(c+1)<<40)
+		if s.Trace != "" {
+			ws[c] = spec.New(0, mem.Addr(c)<<40)
+		} else {
+			ws[c] = spec.New(s.Seed+uint64(c)*104729, mem.Addr(c+1)<<40)
+		}
 		p, err := BuildPrefetcher(s.PF, m, s.Degree)
 		if err != nil {
 			return sim.Result{}, err
@@ -121,7 +173,8 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 	}
 	// BuildPrefetcher resolves PF names canonically process-wide, and
 	// Degree parameterizes the build, so bench+pf+degree+cores+warmup+
-	// seed pins the complete warm prefix for snapshot reuse.
+	// seed pins the complete warm prefix for snapshot reuse (the trace
+	// content hash stands in for bench on replays).
 	machine, err := sim.New(sim.Options{
 		Machine:             m,
 		Workloads:           ws,
@@ -130,7 +183,7 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 		MeasureInstructions: s.Measure,
 		Telemetry:           hooks,
 		CheckEvery:          s.CheckEvery,
-		WarmKey: warmKey("spec", s.Bench, fmt.Sprintf("%s/d%d", s.PF, s.Degree),
+		WarmKey: warmKey("spec", warmBench, fmt.Sprintf("%s/d%d", s.PF, s.Degree),
 			s.Cores, s.Warmup, s.Seed),
 	})
 	if err != nil {

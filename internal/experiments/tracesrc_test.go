@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// withTestCorpus points the process-wide trace corpus at a fresh temp
+// directory for the duration of one test, restoring the previous
+// corpus (possibly nil) afterwards.
+func withTestCorpus(t *testing.T) *trace.Corpus {
+	t.Helper()
+	traceCorpusMu.Lock()
+	prev := traceCorpus
+	traceCorpusMu.Unlock()
+	t.Cleanup(func() {
+		traceCorpusMu.Lock()
+		traceCorpus = prev
+		traceCorpusMu.Unlock()
+	})
+	if err := SetTraceCorpus(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	return TraceCorpus()
+}
+
+// ingest materializes the first n records of a benchmark generator
+// (seeded, based) into the corpus and returns the canonical trace id.
+func ingest(t *testing.T, c *trace.Corpus, bench string, seed uint64, base mem.Addr, n int) string {
+	t.Helper()
+	spec, ok := workload.ByName(bench)
+	if !ok {
+		t.Fatalf("unknown benchmark %s", bench)
+	}
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := spec.New(seed, base)
+	for i := 0; i < n; i++ {
+		rec, ok := r.Next()
+		if !ok {
+			t.Fatalf("generator %s ended after %d records", bench, i)
+		}
+		if err := cw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestRunSpecTraceNormalizeAndKey(t *testing.T) {
+	hexID := strings.Repeat("ab", 32)
+	a := RunSpec{Trace: hexID, Warmup: 1, Measure: 2}
+	a.Normalize()
+	if a.Trace != "sha256:"+hexID {
+		t.Errorf("bare hex not canonicalized: %q", a.Trace)
+	}
+	if a.Bench != "trace-"+hexID[:12] {
+		t.Errorf("bench label not defaulted from hash: %q", a.Bench)
+	}
+	// The display label must not leak into the identity: two
+	// submissions of the same trace dedup onto one result.
+	b := RunSpec{Trace: "sha256:" + hexID, Bench: "my-label", PF: "none", Cores: 1, Warmup: 1, Measure: 2, Degree: 1}
+	b.Normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("display label changed the key: %q vs %q", a.Key(), b.Key())
+	}
+	// ...and a trace spec must not collide with a generator spec.
+	g := RunSpec{Bench: "mcf", PF: "none", Cores: 1, Warmup: 1, Measure: 2, Degree: 1}
+	if g.Key() == b.Key() {
+		t.Error("trace spec keyed like a generator spec")
+	}
+}
+
+func TestRunSpecTraceValidate(t *testing.T) {
+	unknown := "sha256:" + strings.Repeat("0", 64)
+	spec := RunSpec{Trace: unknown, Bench: "x", PF: "none", Cores: 1, Measure: 1, Degree: 1}
+
+	// Without a configured corpus the spec must fail loudly.
+	traceCorpusMu.Lock()
+	prev := traceCorpus
+	traceCorpus = nil
+	traceCorpusMu.Unlock()
+	err := spec.Validate()
+	traceCorpusMu.Lock()
+	traceCorpus = prev
+	traceCorpusMu.Unlock()
+	if err == nil || !strings.Contains(err.Error(), "corpus") {
+		t.Errorf("no-corpus validation: %v", err)
+	}
+
+	c := withTestCorpus(t)
+	if err := spec.Validate(); err == nil {
+		t.Error("unknown hash validated against empty corpus")
+	}
+	malformed := RunSpec{Trace: "sha256:zzzz", Bench: "x", PF: "none", Cores: 1, Measure: 1, Degree: 1}
+	if err := malformed.Validate(); err == nil {
+		t.Error("malformed trace id validated")
+	}
+	id := ingest(t, c, "mcf", 1, 0, 16)
+	ok := RunSpec{Trace: id, PF: "none", Cores: 1, Measure: 1, Degree: 1}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("ingested trace failed validation: %v", err)
+	}
+}
+
+// TestRunSpecTraceReplayMatchesGenerator pins the tentpole acceptance
+// property: a trace captured from a generator and replayed from the
+// corpus drives the simulator to the byte-identical encoded result the
+// generator produces, provided the capture uses the generator's core-0
+// base (1<<40; replay core 0 adds no offset) and is long enough that
+// the loop never wraps within the simulated window.
+func TestRunSpecTraceReplayMatchesGenerator(t *testing.T) {
+	c := withTestCorpus(t)
+	const (
+		bench = "mcf"
+		seed  = 42
+		warm  = 10_000
+		meas  = 20_000
+		n     = 100_000
+	)
+	id := ingest(t, c, bench, seed, mem.Addr(1)<<40, n)
+
+	gen := RunSpec{Bench: bench, PF: "nextline", Cores: 1, Warmup: warm, Measure: meas, Seed: seed, Degree: 1}
+	rep := RunSpec{Trace: id, PF: "nextline", Cores: 1, Warmup: warm, Measure: meas, Seed: seed, Degree: 1}
+	rg, err := gen.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := rep.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, br := EncodeResult(rg), EncodeResult(rr)
+	if !bytes.Equal(bg, br) {
+		t.Errorf("replay diverged from generator:\ngen: %s\nrep: %s", bg, br)
+	}
+	// Replay is deterministic on its own, too (exercises the warm
+	// snapshot path keyed by content hash on the second run).
+	rr2, err := rep.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(br, EncodeResult(rr2)) {
+		t.Error("same trace spec produced different encoded results")
+	}
+}

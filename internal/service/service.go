@@ -56,6 +56,12 @@ type Config struct {
 	// substitute a vfs.Faulty/vfs.Mem stack to inject disk faults and
 	// crashes.
 	FS vfs.FS
+	// CorpusDir, when non-empty, opens (creating if needed) the
+	// content-addressed trace corpus there and makes it the process-
+	// wide trace source, so submitted RunSpecs may name materialized
+	// traces by hash (RunSpec.Trace). Unknown hashes are rejected at
+	// admission, not at run time.
+	CorpusDir string
 	// ProbeInterval paces the degraded-mode recovery probe: while the
 	// store is failing, the server retries persisting the preserved
 	// in-memory results this often, and returns to service when the
@@ -185,6 +191,11 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.TraceCap <= 0 {
 		cfg.TraceCap = 256
+	}
+	if cfg.CorpusDir != "" {
+		if err := experiments.SetTraceCorpus(cfg.CorpusDir); err != nil {
+			return nil, err
+		}
 	}
 	fp := experiments.ConfigFingerprint(config.Default(1))
 	store, err := experiments.OpenCheckpointFS(cfg.FS, cfg.StoreDir, fp)

@@ -1,0 +1,66 @@
+package service
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+// TestTraceJobs covers the service side of the trace ecosystem: a
+// server opened with Config.CorpusDir rejects specs naming unknown
+// hashes at admission (400, not a queued failure) and runs a spec
+// naming an ingested trace to completion.
+func TestTraceJobs(t *testing.T) {
+	corpusDir := t.TempDir()
+	srv := newTestServer(t, func(c *Config) { c.CorpusDir = corpusDir })
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	traceSpec := func(id string) JobSpec {
+		return JobSpec{Kind: KindSingle, Run: &experiments.RunSpec{
+			Trace: id, PF: "none", Cores: 1, Warmup: 0, Measure: 10_000, Degree: 1,
+		}}
+	}
+
+	// Unknown hash: rejected before it reaches the queue.
+	resp, _ := postJob(t, ts, traceSpec("sha256:"+strings.Repeat("0", 64)))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown trace hash: status %d, want 400", resp.StatusCode)
+	}
+
+	// Ingest a small synthetic trace (long enough that the measure
+	// window never wraps the loop) and run it end to end.
+	c, err := trace.OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30_000; i++ {
+		rec := trace.Record{PC: 0x1000 + uint64(i%16)*4, Op: trace.Load,
+			Addr: mem.Addr(0x10000 + (i%512)*64)}
+		if err := cw.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, sr := postJob(t, ts, traceSpec(id))
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("ingested trace: status %d, want 201", resp.StatusCode)
+	}
+	st := waitDone(t, ts, sr.ID)
+	if st.State != StateDone {
+		t.Fatalf("trace job ended %s: %s", st.State, st.Error)
+	}
+}

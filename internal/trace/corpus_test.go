@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestCorpusRoundTrip(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(10, 3000)
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(id, "sha256:") || len(id) != 7+64 {
+		t.Fatalf("bad id %q", id)
+	}
+	if !c.Has(id) {
+		t.Fatal("Has = false right after Commit")
+	}
+	// Reopen by hash and replay: identical records, verified end.
+	f, err := c.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, want := range recs {
+		got, ok := f.Next()
+		if !ok {
+			t.Fatalf("record %d: premature end: %v", i, f.Err())
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, ok := f.Next(); ok {
+		t.Fatal("extra records")
+	}
+	if f.Err() != nil {
+		t.Fatal(f.Err())
+	}
+	// The bare-hex spelling names the same entry.
+	if !c.Has(strings.TrimPrefix(id, "sha256:")) {
+		t.Error("bare-hex id not accepted")
+	}
+	ids, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != id {
+		t.Fatalf("List = %v, want [%s]", ids, id)
+	}
+}
+
+func TestCorpusDedup(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(11, 500)
+	put := func() string {
+		cw, err := c.Create()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if err := cw.Write(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+		id, err := cw.Commit()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return id
+	}
+	a, b := put(), put()
+	if a != b {
+		t.Fatalf("same records, different ids: %s vs %s", a, b)
+	}
+	ids, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 {
+		t.Fatalf("dedup left %d entries", len(ids))
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(c.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestCorpusOpenMissing(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := "sha256:" + strings.Repeat("ab", 32)
+	if _, err := c.Open(id); err == nil {
+		t.Fatal("Open of a missing trace succeeded")
+	}
+	if _, err := c.OpenLoop(id); err == nil {
+		t.Fatal("OpenLoop of a missing trace succeeded")
+	}
+	if _, err := c.Open("not-a-hash"); err == nil {
+		t.Fatal("Open of a malformed id succeeded")
+	}
+}
+
+func TestCorpusLoop(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(12, 100)
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.OpenLoop(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*len(recs)+7; i++ {
+		got, ok := lr.Next()
+		if !ok {
+			t.Fatalf("loop reader ended at %d", i)
+		}
+		if want := recs[i%len(recs)]; got != want {
+			t.Fatalf("loop record %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// TestCorpusLoopDetectsCorruption: a corpus entry corrupted on disk
+// panics the replay (which the experiment engine's panic isolation
+// turns into a per-cell failure) instead of feeding garbage to the
+// simulator.
+func TestCorpusLoopDetectsCorruption(t *testing.T) {
+	c, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range genRecords(13, 200) {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := c.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lr, err := c.OpenLoop(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("loop over a corrupted trace did not panic")
+		}
+	}()
+	for i := 0; i < 1000; i++ {
+		if _, ok := lr.Next(); !ok {
+			t.Fatal("loop reader returned not-ok instead of panicking")
+		}
+	}
+}
+
+func TestCanonicalTraceID(t *testing.T) {
+	hex64 := strings.Repeat("0123456789abcdef", 4)
+	for _, tc := range []struct {
+		in, want string
+	}{
+		{hex64, "sha256:" + hex64},
+		{"sha256:" + hex64, "sha256:" + hex64},
+	} {
+		got, err := CanonicalTraceID(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("CanonicalTraceID(%q) = %q, %v", tc.in, got, err)
+		}
+	}
+	for _, bad := range []string{"", "abc", "sha256:xyz", strings.Repeat("G", 64), "sha256:" + hex64 + "00"} {
+		if _, err := CanonicalTraceID(bad); err == nil {
+			t.Errorf("CanonicalTraceID(%q) accepted", bad)
+		}
+	}
+}

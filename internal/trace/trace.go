@@ -166,8 +166,18 @@ func (tw *Writer) Write(r Record) error {
 	return nil
 }
 
-// Flush flushes buffered output.
-func (tw *Writer) Flush() error { return tw.w.Flush() }
+// Flush writes the magic header if no record has yet (a zero-record
+// trace must still be a self-identifying file, not a zero-byte one)
+// and flushes buffered output.
+func (tw *Writer) Flush() error {
+	if !tw.header {
+		if _, err := tw.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("trace: writing header: %w", err)
+		}
+		tw.header = true
+	}
+	return tw.w.Flush()
+}
 
 // Count returns the number of records written.
 func (tw *Writer) Count() uint64 { return tw.n }
@@ -183,7 +193,11 @@ type FileReader struct {
 // NewFileReader returns a Reader decoding from r.
 func NewFileReader(r io.Reader) *FileReader { return &FileReader{r: bufio.NewReader(r)} }
 
-// Err returns the first decoding error, if any (io.EOF is not an error).
+// Err returns the first decoding error, if any. A clean EOF — the
+// stream ends exactly at a record boundary after an intact header — is
+// not an error; truncation anywhere else (an empty stream, a partial
+// header, a record cut mid-encoding) surfaces io.ErrUnexpectedEOF so a
+// torn file can never silently pass for a shorter trace.
 func (fr *FileReader) Err() error { return fr.err }
 
 // Next implements Reader.
@@ -194,7 +208,10 @@ func (fr *FileReader) Next() (Record, bool) {
 	if !fr.header {
 		var got [4]byte
 		if _, err := io.ReadFull(fr.r, got[:]); err != nil {
-			fr.fail(err)
+			// Every written trace starts with the magic (Writer.Flush
+			// emits it even for zero records), so an empty stream is a
+			// truncated file, not an empty trace.
+			fr.failMid("header", err)
 			return Record{}, false
 		}
 		if got != magic {
@@ -205,7 +222,11 @@ func (fr *FileReader) Next() (Record, bool) {
 	}
 	opByte, err := fr.r.ReadByte()
 	if err != nil {
-		fr.fail(err)
+		// EOF on the first byte of a record is the one clean end of a
+		// v1 stream; anything else is a real error.
+		if !errors.Is(err, io.EOF) {
+			fr.err = fmt.Errorf("trace: decoding: %w", err)
+		}
 		return Record{}, false
 	}
 	var rec Record
@@ -217,14 +238,14 @@ func (fr *FileReader) Next() (Record, bool) {
 	if opByte&0x80 != 0 {
 		dep, err := fr.r.ReadByte()
 		if err != nil {
-			fr.fail(err)
+			fr.failMid("record", err)
 			return Record{}, false
 		}
 		rec.LoadDep = dep
 	}
 	dpc, err := binary.ReadVarint(fr.r)
 	if err != nil {
-		fr.fail(err)
+		fr.failMid("record", err)
 		return Record{}, false
 	}
 	fr.lastPC = uint64(int64(fr.lastPC) + dpc)
@@ -232,7 +253,7 @@ func (fr *FileReader) Next() (Record, bool) {
 	if rec.Op != NonMem {
 		addr, err := binary.ReadUvarint(fr.r)
 		if err != nil {
-			fr.fail(err)
+			fr.failMid("record", err)
 			return Record{}, false
 		}
 		rec.Addr = mem.Addr(addr)
@@ -240,8 +261,64 @@ func (fr *FileReader) Next() (Record, bool) {
 	return rec, true
 }
 
-func (fr *FileReader) fail(err error) {
-	if !errors.Is(err, io.EOF) {
-		fr.err = fmt.Errorf("trace: decoding: %w", err)
+// Decoder is a streaming trace decoder: a Reader whose exhaustion can
+// be distinguished from failure. Both file codecs (v1 FileReader, v2
+// ReaderV2) implement it; NewDecoder picks the right one by magic.
+type Decoder interface {
+	Reader
+	// Err returns the first decoding error, nil after a clean end.
+	Err() error
+}
+
+// NewDecoder sniffs the 4-byte magic and returns the matching decoder:
+// the v1 raw-varint FileReader for TRC\x01 files, the framed
+// block-compressed ReaderV2 for TRC2 files. Unknown or short magic is
+// left to the v1 reader, which reports it as a header error.
+func NewDecoder(r io.Reader) Decoder {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
 	}
+	hdr, _ := br.Peek(4)
+	if len(hdr) == 4 && [4]byte(hdr) == magicV2 {
+		return NewReaderV2(br)
+	}
+	return NewFileReader(br)
+}
+
+// Offset wraps r, adding base to the data address of every memory
+// record (PCs are left alone: per-core prefetchers localize on them
+// independently). It is how one materialized trace replays on several
+// cores with the disjoint address spaces the multi-core runs assume.
+func Offset(r Reader, base mem.Addr) Reader {
+	if base == 0 {
+		return r
+	}
+	return &offsetReader{r: r, base: base}
+}
+
+type offsetReader struct {
+	r    Reader
+	base mem.Addr
+}
+
+// Next implements Reader.
+func (o *offsetReader) Next() (Record, bool) {
+	rec, ok := o.r.Next()
+	if ok && rec.Op != NonMem {
+		rec.Addr += o.base
+	}
+	return rec, ok
+}
+
+// failMid records a failure at a point where the stream cannot
+// legitimately end: past the op byte of a record, or inside the
+// header. io.EOF here means truncation and is reported as
+// io.ErrUnexpectedEOF rather than swallowed.
+func (fr *FileReader) failMid(where string, err error) {
+	if errors.Is(err, io.EOF) {
+		fr.err = fmt.Errorf("trace: truncated %s: %w", where, io.ErrUnexpectedEOF)
+		return
+	}
+	fr.err = fmt.Errorf("trace: decoding %s: %w", where, err)
 }

@@ -132,10 +132,14 @@ func TestCodecTruncated(t *testing.T) {
 		t.Fatal(err)
 	}
 	full := buf.Bytes()
-	// Chop mid-record: reader must stop without panicking.
+	// Chop mid-record: reader must stop AND report the truncation —
+	// a torn file must never pass for a clean, shorter trace.
 	fr := NewFileReader(bytes.NewReader(full[:len(full)-1]))
 	if _, ok := fr.Next(); ok {
 		t.Error("decoded a record from truncated input")
+	}
+	if fr.Err() == nil {
+		t.Error("Err = nil for a mid-record truncation")
 	}
 }
 

@@ -1,0 +1,444 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+// genRecords builds a deterministic pseudo-random record stream with
+// the shapes the generators emit: clustered PCs, mixed ops, occasional
+// dependence markers.
+func genRecords(seed int64, n int) []Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]Record, n)
+	pc := uint64(0x400000)
+	for i := range recs {
+		pc += uint64(rng.Intn(16)) * 4
+		if rng.Intn(64) == 0 {
+			pc = 0x400000 + uint64(rng.Intn(1<<20)) // far jump
+		}
+		op := Op(rng.Intn(3))
+		r := Record{PC: pc, Op: op}
+		if op != NonMem {
+			r.Addr = mem.Addr(rng.Uint64() >> uint(rng.Intn(40)))
+			r.LoadDep = uint8(rng.Intn(4))
+		}
+		recs[i] = r
+	}
+	return recs
+}
+
+// encodeV2 packs recs into a TRC2 container with the given block size.
+func encodeV2(t *testing.T, recs []Record, blockRecords int) ([]byte, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriterV2(&buf)
+	if blockRecords > 0 {
+		w.SetBlockRecords(blockRecords)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatalf("WriteV2: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("CloseV2: %v", err)
+	}
+	if w.Count() != uint64(len(recs)) {
+		t.Fatalf("Count = %d, want %d", w.Count(), len(recs))
+	}
+	return buf.Bytes(), w.ContentHash()
+}
+
+// decodeV2 drains a TRC2 stream, returning records and final error.
+func decodeV2(data []byte) ([]Record, error) {
+	fr := NewReaderV2(bytes.NewReader(data))
+	var recs []Record
+	for {
+		rec, ok := fr.Next()
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+	}
+	return recs, fr.Err()
+}
+
+func TestV2RoundTrip(t *testing.T) {
+	recs := genRecords(1, 10_000)
+	data, hash := encodeV2(t, recs, 777) // multiple blocks, ragged final block
+	got, err := decodeV2(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	// The reader's recomputed content hash matches the writer's.
+	fr := NewReaderV2(bytes.NewReader(data))
+	for {
+		if _, ok := fr.Next(); !ok {
+			break
+		}
+	}
+	if fr.Err() != nil {
+		t.Fatal(fr.Err())
+	}
+	if fr.ContentHash() != hash {
+		t.Errorf("reader hash %s, writer hash %s", fr.ContentHash(), hash)
+	}
+	if fr.Count() != uint64(len(recs)) {
+		t.Errorf("reader count %d, want %d", fr.Count(), len(recs))
+	}
+}
+
+func TestV2ZeroRecords(t *testing.T) {
+	data, hash := encodeV2(t, nil, 0)
+	if len(data) == 0 {
+		t.Fatal("zero-record TRC2 is a zero-byte file")
+	}
+	if !bytes.HasPrefix(data, magicV2[:]) {
+		t.Fatal("zero-record TRC2 lacks magic")
+	}
+	got, err := decodeV2(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d records from an empty trace", len(got))
+	}
+	if hash == "" {
+		t.Fatal("empty trace has no content hash")
+	}
+}
+
+// TestV1ZeroRecordsHeader pins the satellite fix: a zero-record v1
+// trace flushed without any Write must still carry the magic header,
+// and read back as an empty — not invalid — trace.
+func TestV1ZeroRecordsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.Bytes(); !bytes.Equal(got, magic[:]) {
+		t.Fatalf("zero-record v1 file = %v, want just the magic %v", got, magic)
+	}
+	fr := NewFileReader(&buf)
+	if _, ok := fr.Next(); ok {
+		t.Fatal("decoded a record from an empty trace")
+	}
+	if fr.Err() != nil {
+		t.Fatalf("Err = %v, want nil for a headered empty trace", fr.Err())
+	}
+}
+
+// TestV1EmptyInputIsError pins the other half of the satellite fix:
+// since every written trace has a header, a zero-byte stream is a
+// truncated file, not an empty trace.
+func TestV1EmptyInputIsError(t *testing.T) {
+	fr := NewFileReader(bytes.NewReader(nil))
+	if _, ok := fr.Next(); ok {
+		t.Fatal("decoded a record from empty input")
+	}
+	if !errors.Is(fr.Err(), io.ErrUnexpectedEOF) {
+		t.Fatalf("Err = %v, want io.ErrUnexpectedEOF", fr.Err())
+	}
+}
+
+// TestV1MidRecordTruncation pins the headline v1 bugfix: EOF past a
+// record's op byte must surface io.ErrUnexpectedEOF instead of
+// decoding as a clean, shorter trace.
+func TestV1MidRecordTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write(Record{PC: 100, Op: Load, Addr: 0x123456, LoadDep: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(full) - 1; cut > 4; cut-- { // every mid-record cut
+		fr := NewFileReader(bytes.NewReader(full[:cut]))
+		if _, ok := fr.Next(); ok {
+			t.Fatalf("cut %d: decoded a record from a truncated stream", cut)
+		}
+		if !errors.Is(fr.Err(), io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: Err = %v, want io.ErrUnexpectedEOF", cut, fr.Err())
+		}
+	}
+}
+
+// TestV1TruncationTable checks every prefix of a valid v1 file: it
+// must either decode cleanly to an exact prefix of the original
+// records (a cut at a record boundary — all v1's framing can offer) or
+// report an error. No prefix may silently decode to anything else.
+func TestV1TruncationTable(t *testing.T) {
+	recs := genRecords(2, 300)
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	cleanCuts := 0
+	for cut := 0; cut <= len(full); cut++ {
+		fr := NewFileReader(bytes.NewReader(full[:cut]))
+		var got []Record
+		for {
+			rec, ok := fr.Next()
+			if !ok {
+				break
+			}
+			got = append(got, rec)
+		}
+		if err := fr.Err(); err != nil {
+			continue // detected: fine
+		}
+		cleanCuts++
+		// Clean decode: must be an exact record-boundary prefix.
+		if len(got) > len(recs) {
+			t.Fatalf("cut %d: decoded %d records from a %d-record trace", cut, len(got), len(recs))
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				t.Fatalf("cut %d: record %d diverged: got %+v want %+v", cut, i, got[i], recs[i])
+			}
+		}
+		if cut == len(full) && len(got) != len(recs) {
+			t.Fatalf("full file decoded %d of %d records", len(got), len(recs))
+		}
+	}
+	if cleanCuts == 0 {
+		t.Fatal("no prefix decoded cleanly, not even the full file")
+	}
+}
+
+// TestV2CorruptionHarness is the acceptance-criteria harness: over a
+// seeded multi-block container, flipping any single byte or truncating
+// at any offset must never yield a silent wrong decode — every
+// mutation either reports an error or (vacuously) decodes to the
+// byte-identical record stream.
+func TestV2CorruptionHarness(t *testing.T) {
+	recs := genRecords(3, 1200)
+	data, _ := encodeV2(t, recs, 128) // ~10 blocks + footer
+	want, err := decodeV2(data)
+	if err != nil {
+		t.Fatalf("pristine decode: %v", err)
+	}
+
+	same := func(got []Record) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Every truncation, including the empty prefix, must be detected:
+	// unlike v1, a TRC2 file cannot end anywhere but after its footer.
+	for cut := 0; cut < len(data); cut++ {
+		got, err := decodeV2(data[:cut])
+		if err == nil {
+			t.Fatalf("truncation at %d/%d decoded cleanly (%d records)", cut, len(data), len(got))
+		}
+	}
+
+	// Every single-byte flip must be detected (CRC32-C catches any
+	// burst <= 32 bits inside a payload; framing fields are caught by
+	// structure checks, the kind whitelist, and the footer totals).
+	corrupted := append([]byte(nil), data...)
+	for off := 0; off < len(data); off++ {
+		orig := corrupted[off]
+		corrupted[off] = orig ^ 0xFF
+		got, err := decodeV2(corrupted)
+		if err == nil && !same(got) {
+			t.Fatalf("byte flip at %d/%d decoded cleanly to a different stream (%d records, want %d)",
+				off, len(data), len(got), len(want))
+		}
+		corrupted[off] = orig
+	}
+}
+
+// TestV2SingleBitFlips samples single-bit (rather than whole-byte)
+// mutations across the file, the classic storage-rot shape.
+func TestV2SingleBitFlips(t *testing.T) {
+	recs := genRecords(4, 600)
+	data, _ := encodeV2(t, recs, 100)
+	want, err := decodeV2(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := append([]byte(nil), data...)
+	for off := 0; off < len(data); off++ {
+		bit := byte(1 << (off % 8))
+		corrupted[off] ^= bit
+		got, err := decodeV2(corrupted)
+		if err == nil {
+			if len(got) != len(want) {
+				t.Fatalf("bit flip at %d: silent wrong-length decode (%d vs %d)", off, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("bit flip at %d: silent record corruption at %d", off, i)
+				}
+			}
+		}
+		corrupted[off] ^= bit
+	}
+}
+
+// TestV2TrailingGarbage: bytes after the footer are an error, not
+// ignored.
+func TestV2TrailingGarbage(t *testing.T) {
+	data, _ := encodeV2(t, genRecords(5, 50), 0)
+	if _, err := decodeV2(append(data, 0x00)); err == nil {
+		t.Fatal("trailing garbage after footer decoded cleanly")
+	}
+}
+
+// TestV2HostileLength: a frame announcing a giant payload is rejected
+// before allocation.
+func TestV2HostileLength(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magicV2[:])
+	hdr := make([]byte, 9)
+	hdr[0] = frameBlock
+	binary.LittleEndian.PutUint32(hdr[1:], 0xFFFFFFF0)
+	buf.Write(hdr)
+	if _, err := decodeV2(buf.Bytes()); err == nil {
+		t.Fatal("hostile length prefix accepted")
+	}
+}
+
+// TestV1V2Equivalence: the same records round-trip identically through
+// both codecs — routing a generator through the v2 container cannot
+// change what a simulation replays (which is what keeps the figure
+// CSVs byte-identical).
+func TestV1V2Equivalence(t *testing.T) {
+	recs := genRecords(6, 5000)
+	var v1 bytes.Buffer
+	w1 := NewWriter(&v1)
+	for _, r := range recs {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := encodeV2(t, recs, 0)
+
+	d1 := NewDecoder(bytes.NewReader(v1.Bytes()))
+	d2 := NewDecoder(bytes.NewReader(v2))
+	if _, ok := d1.(*FileReader); !ok {
+		t.Fatalf("NewDecoder picked %T for a v1 file", d1)
+	}
+	if _, ok := d2.(*ReaderV2); !ok {
+		t.Fatalf("NewDecoder picked %T for a v2 file", d2)
+	}
+	for i := 0; ; i++ {
+		r1, ok1 := d1.Next()
+		r2, ok2 := d2.Next()
+		if ok1 != ok2 {
+			t.Fatalf("record %d: v1 ok=%v, v2 ok=%v", i, ok1, ok2)
+		}
+		if !ok1 {
+			break
+		}
+		if r1 != r2 {
+			t.Fatalf("record %d: v1 %+v, v2 %+v", i, r1, r2)
+		}
+		if r1 != recs[i] {
+			t.Fatalf("record %d: decoded %+v, want %+v", i, r1, recs[i])
+		}
+	}
+	if d1.Err() != nil || d2.Err() != nil {
+		t.Fatalf("decoder errors: v1=%v v2=%v", d1.Err(), d2.Err())
+	}
+}
+
+// TestV2Compactness: the compressed container should beat the already
+// compact v1 encoding on generator-like streams.
+func TestV2Compactness(t *testing.T) {
+	var recs []Record
+	for i := 0; i < 20_000; i++ {
+		op := NonMem
+		if i%4 == 0 {
+			op = Load
+		}
+		recs = append(recs, Record{PC: 0x400000 + uint64(i%64)*4, Op: op, Addr: mem.Addr(i * 64)})
+	}
+	var v1 bytes.Buffer
+	w1 := NewWriter(&v1)
+	for _, r := range recs {
+		if err := w1.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := encodeV2(t, recs, 0)
+	if len(v2) >= v1.Len() {
+		t.Errorf("TRC2 %d bytes >= v1 %d bytes on a compressible stream", len(v2), v1.Len())
+	}
+}
+
+func TestOffsetReader(t *testing.T) {
+	recs := []Record{
+		{PC: 1, Op: NonMem, Addr: 0},
+		{PC: 2, Op: Load, Addr: 0x100},
+		{PC: 3, Op: Store, Addr: 0x200},
+	}
+	r := Offset(NewSliceReader(recs), 1<<40)
+	got := Collect(r, 10)
+	if len(got) != 3 {
+		t.Fatalf("collected %d records", len(got))
+	}
+	if got[0].Addr != 0 {
+		t.Errorf("NonMem addr offset applied: %x", got[0].Addr)
+	}
+	if got[1].Addr != 0x100+1<<40 || got[2].Addr != 0x200+1<<40 {
+		t.Errorf("memory addrs not offset: %x %x", got[1].Addr, got[2].Addr)
+	}
+	if Offset(NewSliceReader(recs), 0).(*SliceReader) == nil {
+		t.Error("zero offset should return the reader unchanged")
+	}
+}
+
+// TestV2WriteAfterClose: the writer refuses records after Close.
+func TestV2WriteAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriterV2(&buf)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(Record{}); err == nil {
+		t.Fatal("Write after Close succeeded")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}

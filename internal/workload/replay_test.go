@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/mem"
+	"repro/internal/trace"
+)
+
+func TestReplaySpec(t *testing.T) {
+	c, err := trace.OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, err := c.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []trace.Record{
+		{PC: 0x10, Op: trace.Load, Addr: 0x100},
+		{PC: 0x14, Op: trace.NonMem},
+		{PC: 0x18, Op: trace.Store, Addr: 0x200},
+		{PC: 0x1c, Op: trace.Load, Addr: 0x140, LoadDep: 1},
+	}
+	for _, r := range recs {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := Replay("my-trace", c, id, Server)
+	if spec.Name != "my-trace" || spec.Class != Server {
+		t.Fatalf("spec = %+v", spec)
+	}
+	base := mem.Addr(3) << 40
+	r := spec.New(99, base) // seed is ignored: replay is content-addressed
+	// Two passes: the reader must loop, re-applying the base offset to
+	// memory operations only (PCs and NonMem records pass through raw).
+	for pass := 0; pass < 2; pass++ {
+		for i, want := range recs {
+			if want.Op != trace.NonMem {
+				want.Addr += base
+			}
+			got, ok := r.Next()
+			if !ok {
+				t.Fatalf("pass %d: reader ended at record %d", pass, i)
+			}
+			if got != want {
+				t.Fatalf("pass %d record %d: got %+v, want %+v", pass, i, got, want)
+			}
+		}
+	}
+
+	if _, err := c.OpenLoop("sha256:" + string(bytes.Repeat([]byte{'0'}, 64))); err == nil {
+		t.Error("OpenLoop of a missing trace did not error")
+	}
+}
+
+// TestAllBenchmarksV2RoundTrip streams a prefix of every named
+// benchmark generator through the TRC2 codec and back: the decoded
+// stream must be record-identical, which is what keeps every figure
+// byte-identical when its workload is routed through a v2 trace.
+func TestAllBenchmarksV2RoundTrip(t *testing.T) {
+	const n = 4096
+	for _, name := range Names() {
+		spec, ok := ByName(name)
+		if !ok {
+			t.Fatalf("ByName(%s) missing", name)
+		}
+		recs := trace.Collect(spec.New(7, mem.Addr(1)<<40), n)
+		if len(recs) != n {
+			t.Fatalf("%s: generator yielded %d of %d records", name, len(recs), n)
+		}
+		var buf bytes.Buffer
+		w := trace.NewWriterV2(&buf)
+		for _, r := range recs {
+			if err := w.Write(r); err != nil {
+				t.Fatalf("%s: encode: %v", name, err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		fr := trace.NewReaderV2(bytes.NewReader(buf.Bytes()))
+		for i, want := range recs {
+			got, ok := fr.Next()
+			if !ok {
+				t.Fatalf("%s: decode lost record %d: %v", name, i, fr.Err())
+			}
+			if got != want {
+				t.Fatalf("%s: record %d changed: %+v -> %+v", name, i, want, got)
+			}
+		}
+		if _, ok := fr.Next(); ok {
+			t.Fatalf("%s: decoder invented extra records", name)
+		}
+		if err := fr.Err(); err != nil {
+			t.Fatalf("%s: clean stream errored: %v", name, err)
+		}
+		if fr.ContentHash() != w.ContentHash() {
+			t.Fatalf("%s: content hash mismatch: %s vs %s", name, fr.ContentHash(), w.ContentHash())
+		}
+	}
+}

@@ -52,6 +52,25 @@ func mixSpec(name string, class Class, cp ChaseParams, sp StrideParams, wChase, 
 	}}
 }
 
+// Replay wraps a materialized corpus trace as a benchmark Spec: New
+// streams the trace from disk in an endless loop (traces never fully
+// materialize in memory), offsetting data addresses by base so one
+// trace can replay on several cores with the disjoint address spaces
+// multi-core runs assume. The generator seed is ignored — a trace is
+// already a fixed instruction stream; its content hash is its
+// identity. Construction with an id missing from the corpus panics
+// (callers validate first via Corpus.Has; the experiment engine's
+// panic isolation turns a late loss into a per-cell failure).
+func Replay(name string, c *trace.Corpus, id string, class Class) Spec {
+	return Spec{Name: name, Class: class, New: func(_ uint64, base mem.Addr) trace.Reader {
+		r, err := c.OpenLoop(id)
+		if err != nil {
+			panic(fmt.Errorf("workload: replaying %s: %w", id, err))
+		}
+		return trace.Offset(r, base)
+	}}
+}
+
 func hashName(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {

@@ -39,10 +39,11 @@ go test -run 'TestCheckpointV2ReadCompat|TestCheckpointMidFile|TestCheckpointCra
 go test -run 'TestDegraded|TestSubmitRejected|TestChaos' ./internal/service
 
 # Fuzz the hostile-input parsers briefly: the checkpoint record
-# scanner, the job-spec decoder, and the binary trace decoder.
+# scanner, the job-spec decoder, and both binary trace decoders.
 go test -run '^$' -fuzz '^FuzzCheckpointParse$' -fuzztime 5s ./internal/experiments
 go test -run '^$' -fuzz '^FuzzJobSpecDecode$' -fuzztime 5s ./internal/service
 go test -run '^$' -fuzz '^FuzzTraceDecode$' -fuzztime 5s ./internal/trace
+go test -run '^$' -fuzz '^FuzzTraceV2Decode$' -fuzztime 5s ./internal/trace
 
 # End-to-end smoke: one small figure through the experiment driver, and
 # one telemetry-instrumented run producing sampled series + event trace.
@@ -126,6 +127,23 @@ cmp "$smokedir/direct.json" "$smokedir/warm.json"
 grep -q "warm store" "$smokedir/warm.log"
 kill -TERM "$triaged_pid"
 wait "$triaged_pid"
+
+# Trace-corpus smoke: materialize a generator prefix into a content-
+# addressed corpus (tracegen prints the sha256 id on stdout), replay it
+# by hash through triagesim, and require the byte-identical result the
+# live generator produces; -inspect must read the TRC2 entry. The
+# capture uses the generator's core-0 base (1<<40) and is long enough
+# that the replay loop never wraps inside the simulated window.
+go build -o "$smokedir/tracegen" ./cmd/tracegen
+tid=$("$smokedir/tracegen" -bench mcf -seed 42 -n 700000 -base $((1<<40)) \
+    -corpus "$smokedir/corpus")
+"$smokedir/tracegen" -inspect "$smokedir/corpus/sha256-${tid#sha256:}.trc2" \
+    | grep -q 'records      : 700000'
+"$smokedir/triagesim" -bench mcf -pf triage-1m -seed 42 \
+    -warmup 100000 -measure 200000 -json "$smokedir/gen.json" >/dev/null
+"$smokedir/triagesim" -corpus "$smokedir/corpus" -trace "$tid" -pf triage-1m \
+    -warmup 100000 -measure 200000 -json "$smokedir/replay.json" >/dev/null
+cmp "$smokedir/gen.json" "$smokedir/replay.json"
 
 # Capacity-harness smoke: with a fixed seed and the virtual clock,
 # two triageload runs (in-memory store, real-service validation pass
