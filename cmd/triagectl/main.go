@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/service"
 )
@@ -311,6 +312,7 @@ func (c *client) cmdSubmit(args []string) error {
 	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 	bench := fs.String("bench", "", "workload name (single job)")
 	traceID := fs.String("trace", "", "replay this corpus trace (sha256:<hex>) instead of a -bench generator; the server must run with -corpus")
+	mix := fs.String("mix", "", "comma-separated per-core workload mix; entries are bench names or sha256:<hex> corpus traces (overrides -bench/-trace/-cores)")
 	pf := fs.String("pf", "none", "prefetcher configuration (single job)")
 	cores := fs.Int("cores", 1, "number of cores (rate mode when > 1)")
 	warmup := fs.Uint64("warmup", 1_000_000, "warmup instructions per core")
@@ -330,8 +332,8 @@ func (c *client) cmdSubmit(args []string) error {
 	if *figure != "" {
 		spec = service.JobSpec{Kind: service.KindFigure, Figure: *figure, Priority: *priority}
 	} else {
-		if *bench == "" && *traceID == "" {
-			return fmt.Errorf("submit: need -bench or -trace (single job) or -figure (figure job)")
+		if *bench == "" && *traceID == "" && *mix == "" {
+			return fmt.Errorf("submit: need -bench, -trace, or -mix (single job) or -figure (figure job)")
 		}
 		spec = service.JobSpec{
 			Kind: service.KindSingle,
@@ -344,9 +346,13 @@ func (c *client) cmdSubmit(args []string) error {
 				Seed:        *seed,
 				Degree:      *degree,
 				Trace:       *traceID,
+				Mix:         splitMix(*mix),
 				SampleEvery: *sample,
 			},
 			Priority: *priority,
+		}
+		if *mix != "" {
+			spec.Run.Bench, spec.Run.Trace = "", ""
 		}
 	}
 	sr, err := c.submit(spec)
@@ -368,6 +374,21 @@ func (c *client) cmdSubmit(args []string) error {
 	return writeResult(jr, *out, *telem)
 }
 
+// splitMix parses the comma-separated -mix value into RunSpec.Mix
+// entries, trimming whitespace and dropping empties.
+func splitMix(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var mix []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			mix = append(mix, e)
+		}
+	}
+	return mix
+}
+
 func disposition(sr service.SubmitResponse) string {
 	switch {
 	case sr.Cached:
@@ -379,8 +400,11 @@ func disposition(sr service.SubmitResponse) string {
 }
 
 func (c *client) cmdStatus(args []string) error {
+	if len(args) == 0 {
+		return c.clusterStatus()
+	}
 	if len(args) != 1 {
-		return fmt.Errorf("usage: triagectl status JOB-ID")
+		return fmt.Errorf("usage: triagectl status [JOB-ID]  (no argument: cluster view)")
 	}
 	var st service.JobStatus
 	if err := c.getJSON("/v1/jobs/"+args[0], &st); err != nil {
@@ -388,6 +412,36 @@ func (c *client) cmdStatus(args []string) error {
 	}
 	b, _ := json.MarshalIndent(st, "", "  ")
 	fmt.Println(string(b))
+	return nil
+}
+
+// clusterStatus renders the coordinator's cluster view: registered
+// workers, active leases, and in-flight cells. Against a triaged
+// started without -cluster the endpoint does not exist (404).
+func (c *client) clusterStatus() error {
+	var sv cluster.StatusView
+	if err := c.getJSON("/cluster/v1/status", &sv); err != nil {
+		return fmt.Errorf("cluster status (is triaged running with -cluster?): %w", err)
+	}
+	fmt.Printf("workers: %d    queued: %d  assigned: %d  requeued: %d  leases expired: %d\n",
+		len(sv.Workers), sv.Queued, sv.Assigned, sv.Requeued, sv.Expired)
+	for _, wv := range sv.Workers {
+		live := "live"
+		if !wv.Live {
+			live = "stale"
+		}
+		fmt.Printf("  %-6s %-24s slots %d  inflight %d  last seen %5dms ago  %s\n",
+			wv.ID, wv.Name, wv.Slots, wv.Inflight, wv.LastSeenMillis, live)
+	}
+	if len(sv.Leases) == 0 {
+		fmt.Println("leases: none (no cells in flight)")
+		return nil
+	}
+	fmt.Printf("leases: %d\n", len(sv.Leases))
+	for _, lv := range sv.Leases {
+		fmt.Printf("  %s on %-6s expires in %5dms  age %6dms  %s\n",
+			lv.JobID, lv.Worker, lv.ExpiresInMillis, lv.AgeMillis, lv.Key)
+	}
 	return nil
 }
 
@@ -439,8 +493,22 @@ func (c *client) cmdFigures(args []string) error {
 	j := fs.Int("j", 2, "max figures in flight at once")
 	outDir := fs.String("o", "", "write each figure's table to DIR/<id>.txt (default stdout)")
 	priority := fs.Int("priority", 0, "admission priority for the whole batch")
+	warmup := fs.Uint64("warmup", 0, "override single-core warmup instructions (0 = server default)")
+	measure := fs.Uint64("measure", 0, "override single-core measured instructions (0 = server default)")
+	mwarmup := fs.Uint64("mwarmup", 0, "override multi-core warmup instructions (0 = server default)")
+	mmeasure := fs.Uint64("mmeasure", 0, "override multi-core measured instructions (0 = server default)")
+	mixes := fs.Int("mixes", 0, "override the number of multi-programmed mixes (0 = server default)")
+	seed := fs.Uint64("seed", 0, "override the experiment seed (0 = server default)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var scale *service.FigureScale
+	if *warmup != 0 || *measure != 0 || *mwarmup != 0 || *mmeasure != 0 || *mixes != 0 || *seed != 0 {
+		scale = &service.FigureScale{
+			Warmup: *warmup, Measure: *measure,
+			MultiWarmup: *mwarmup, MultiMeasure: *mmeasure,
+			Mixes: *mixes, Seed: *seed,
+		}
 	}
 	ids := fs.Args()
 	if len(ids) == 1 && ids[0] == "all" {
@@ -468,7 +536,7 @@ func (c *client) cmdFigures(args []string) error {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			errs[i] = func() error {
-				sr, err := c.submit(service.JobSpec{Kind: service.KindFigure, Figure: id, Priority: *priority})
+				sr, err := c.submit(service.JobSpec{Kind: service.KindFigure, Figure: id, Scale: scale, Priority: *priority})
 				if err != nil {
 					return err
 				}

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/cluster"
 	"repro/internal/service"
 )
 
@@ -43,6 +44,8 @@ func run() error {
 	portFile := flag.String("portfile", "", "write the bound address to this file once listening (for scripts using port 0)")
 	traceCap := flag.Int("tracecap", 256, "flight-recorder capacity (traces held for /debug/trace)")
 	corpus := flag.String("corpus", "", "content-addressed trace corpus directory; enables jobs that replay traces by hash")
+	clusterMode := flag.Bool("cluster", false, "coordinator mode: jobs run on triageworker processes instead of in-process goroutines")
+	lease := flag.Duration("lease", 10*time.Second, "cluster mode: worker lease TTL; a job whose worker stops heartbeating this long is requeued")
 	prof := cliutil.AddProfile(flag.CommandLine)
 	wd := cliutil.AddWatchdog(flag.CommandLine)
 	dbg := cliutil.AddDebugHTTP(flag.CommandLine)
@@ -55,13 +58,14 @@ func run() error {
 	defer stopProf()
 
 	srv, err := service.New(service.Config{
-		StoreDir:  *store,
-		QueueCap:  *queueCap,
-		Workers:   *workers,
-		Deadline:  *wd.Deadline,
-		Stall:     *wd.Stall,
-		TraceCap:  *traceCap,
-		CorpusDir: *corpus,
+		StoreDir:   *store,
+		QueueCap:   *queueCap,
+		Workers:    *workers,
+		Deadline:   *wd.Deadline,
+		Stall:      *wd.Stall,
+		TraceCap:   *traceCap,
+		CorpusDir:  *corpus,
+		RemoteExec: *clusterMode,
 		// Degraded-mode entries dump the flight recorder to stderr so the
 		// trace timeline around a store fault survives even a crash
 		// before anyone scrapes /debug/trace.
@@ -72,6 +76,14 @@ func run() error {
 	}
 	if n := srv.Restored(); n > 0 {
 		fmt.Fprintf(os.Stderr, "triaged: re-admitted %d queued job(s) from %s\n", n, *store)
+	}
+	var coord *cluster.Coordinator
+	if *clusterMode {
+		coord, err = cluster.New(cluster.Config{Server: srv, LeaseTTL: *lease})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "triaged: cluster coordinator enabled (lease %v) — start triageworker processes to execute jobs\n", *lease)
 	}
 	// Surface the service counters on the process-global expvar page:
 	// the whole snapshot under "service" (legacy shape) and the
@@ -99,8 +111,12 @@ func run() error {
 	// are capped at 1 MiB), so generous-but-finite limits only ever
 	// bite misbehaving peers. SSE streams outlive WriteTimeout by
 	// re-arming a per-write deadline via http.ResponseController.
+	handler := http.Handler(srv.Handler())
+	if coord != nil {
+		handler = coord.Handler(handler)
+	}
 	httpSrv := &http.Server{
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		WriteTimeout:      60 * time.Second,
@@ -122,6 +138,11 @@ func run() error {
 	// client that was mid-submit gets a clean 503 rather than a reset,
 	// then stop the HTTP listener.
 	stats := srv.Drain()
+	if coord != nil {
+		// Drain closed the queue, so the dispatcher has exited; Stop
+		// joins it and closes the assignment log.
+		coord.Stop()
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	httpSrv.Shutdown(ctx)

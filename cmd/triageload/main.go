@@ -48,27 +48,32 @@ func main() {
 func run(args []string, stdout *os.File) error {
 	fs := flag.NewFlagSet("triageload", flag.ContinueOnError)
 	var (
-		scenario = fs.String("scenario", "", "row name in the report (default: the process name)")
-		process  = fs.String("process", "poisson", "arrival process: poisson, bursty, or diurnal")
-		rate     = fs.Float64("rate", 200, "mean arrival rate, jobs/sec")
-		jobs     = fs.Int("jobs", 200, "number of arrivals to generate")
-		seed     = fs.Uint64("seed", 42, "schedule RNG seed")
-		dedup    = fs.Float64("dedup", 0.15, "fraction of arrivals resubmitting an earlier spec")
-		bench    = fs.String("bench", "mcf", "workload every job runs")
-		pf       = fs.String("pf", "none", "prefetcher every job runs")
-		period   = fs.Duration("period", 4*time.Second, "modulation period for bursty/diurnal")
-		clock    = fs.String("clock", "virtual", "virtual (deterministic DES) or wall (real time)")
-		addr     = fs.String("addr", "", "drive a live triaged at HOST:PORT instead of in-process (wall clock only)")
-		workers  = fs.Int("workers", 4, "in-process server worker count (and DES server count)")
-		queueCap = fs.Int("queue", 64, "in-process server queue capacity (and DES queue cap)")
-		validate = fs.Int("validate", 8, "jobs to run through the real service path for trace/metrics validation (0 = skip)")
-		out      = fs.String("o", "BENCH_service.json", "write the report here (- for stdout)")
+		scenario   = fs.String("scenario", "", "row name in the report (default: the process name)")
+		process    = fs.String("process", "poisson", "arrival process: poisson, bursty, or diurnal")
+		rate       = fs.Float64("rate", 200, "mean arrival rate, jobs/sec")
+		jobs       = fs.Int("jobs", 200, "number of arrivals to generate")
+		seed       = fs.Uint64("seed", 42, "schedule RNG seed")
+		dedup      = fs.Float64("dedup", 0.15, "fraction of arrivals resubmitting an earlier spec")
+		bench      = fs.String("bench", "mcf", "workload every job runs")
+		pf         = fs.String("pf", "none", "prefetcher every job runs")
+		period     = fs.Duration("period", 4*time.Second, "modulation period for bursty/diurnal")
+		clock      = fs.String("clock", "virtual", "virtual (deterministic DES) or wall (real time)")
+		addr       = fs.String("addr", "", "drive a live triaged at HOST:PORT instead of in-process (wall clock only)")
+		workers    = fs.Int("workers", 4, "in-process server worker count (and DES server count)")
+		queueCap   = fs.Int("queue", 64, "in-process server queue capacity (and DES queue cap)")
+		validate   = fs.Int("validate", 8, "jobs to run through the real service path for trace/metrics validation (0 = skip)")
+		faultAfter = fs.Int("faultafter", 0, "degraded-mode window: the result store starts failing at this arrival index (0 = no fault)")
+		faultFor   = fs.Int("faultfor", 0, "degraded-mode window: the store heals this many arrivals after -faultafter")
+		out        = fs.String("o", "BENCH_service.json", "write the report here (- for stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *scenario == "" {
 		*scenario = *process
+	}
+	if *faultAfter > 0 && *faultFor <= 0 {
+		return fmt.Errorf("-faultafter needs a positive -faultfor window")
 	}
 
 	arr, err := generate(genConfig{
@@ -79,23 +84,28 @@ func run(args []string, stdout *os.File) error {
 		return err
 	}
 
+	fw := faultWindow{after: *faultAfter, dur: *faultFor}
 	var row benchfile.ServiceRow
 	switch *clock {
 	case "virtual":
 		if *addr != "" {
 			return fmt.Errorf("-addr needs -clock wall (the virtual clock cannot pace a remote server)")
 		}
-		row = runVirtual(arr, *workers, *queueCap)
+		row = runVirtual(arr, *workers, *queueCap, fw)
 		if err := validateVirtual(arr, *validate, *seed); err != nil {
 			return fmt.Errorf("service-path validation: %w", err)
 		}
 	case "wall":
-		tg, closeTg, err := wallTarget(*addr, *workers, *queueCap, *seed)
+		if *addr != "" && fw.active() {
+			return fmt.Errorf("-faultafter needs an in-process server (cannot inject disk faults into a remote triaged)")
+		}
+		tg, faulty, closeTg, err := wallTarget(*addr, *workers, *queueCap, *seed, fw.active())
 		if err != nil {
 			return err
 		}
+		fw.faulty, fw.seed = faulty, int64(*seed)
 		var jobIDs []string
-		row, jobIDs, err = runWall(tg, arr)
+		row, jobIDs, err = runWall(tg, arr, fw)
 		if err != nil {
 			closeTg()
 			return err
@@ -117,8 +127,18 @@ func run(args []string, stdout *os.File) error {
 	row.Workers = *workers
 	row.QueueCap = *queueCap
 	row.DedupFrac = *dedup
+	row.FaultAfter = *faultAfter
+	row.FaultFor = *faultFor
 
+	// Merge into the existing report (scenario rows update in place)
+	// so accumulating scenarios into one BENCH_service.json works the
+	// way cmd/experiments -bench accumulates figures.
 	report := &benchfile.ServiceFile{}
+	if *out != "-" {
+		if report, err = benchfile.ReadService(*out); err != nil {
+			return err
+		}
+	}
 	report.MergeService([]benchfile.ServiceRow{row})
 	if *out == "-" {
 		data, err := report.Encode()
@@ -137,21 +157,35 @@ func run(args []string, stdout *os.File) error {
 }
 
 // wallTarget builds the wall-clock target: a fresh in-process server
-// over an in-memory disk, or a live triaged at addr.
-func wallTarget(addr string, workers, queueCap int, seed uint64) (target, func(), error) {
+// over an in-memory disk, or a live triaged at addr. With injectFaults
+// the in-memory disk is wrapped in a vfs.Faulty (initially healthy) so
+// the scenario can fail the store mid-run, and the recovery probe is
+// tightened so the server heals within the scenario rather than long
+// after it.
+func wallTarget(addr string, workers, queueCap int, seed uint64, injectFaults bool) (target, *vfs.Faulty, func(), error) {
 	if addr != "" {
-		return &httpTarget{base: "http://" + addr}, func() {}, nil
+		return &httpTarget{base: "http://" + addr}, nil, func() {}, nil
 	}
-	srv, err := service.New(service.Config{
+	var (
+		fsys   vfs.FS = vfs.NewMem(int64(seed))
+		faulty *vfs.Faulty
+	)
+	cfg := service.Config{
 		StoreDir: "store",
-		FS:       vfs.NewMem(int64(seed)),
 		Workers:  workers,
 		QueueCap: queueCap,
-	})
-	if err != nil {
-		return nil, nil, err
 	}
-	return &inprocTarget{srv: srv}, func() { srv.Drain(); srv.Close() }, nil
+	if injectFaults {
+		faulty = vfs.NewFaulty(fsys, vfs.Plan{})
+		fsys = faulty
+		cfg.ProbeInterval = 25 * time.Millisecond
+	}
+	cfg.FS = fsys
+	srv, err := service.New(cfg)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return &inprocTarget{srv: srv}, faulty, func() { srv.Drain(); srv.Close() }, nil
 }
 
 // validateVirtual exercises the real service path the DES modeled:
@@ -162,7 +196,7 @@ func validateVirtual(arr []arrival, n int, seed uint64) error {
 	if n == 0 {
 		return nil
 	}
-	tg, closeTg, err := wallTarget("", 2, max(n, 1), seed)
+	tg, _, closeTg, err := wallTarget("", 2, max(n, 1), seed, false)
 	if err != nil {
 		return err
 	}

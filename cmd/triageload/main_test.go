@@ -77,7 +77,7 @@ func TestGenerateSchedules(t *testing.T) {
 // latency quantiles are ordered.
 func TestVirtualAccounting(t *testing.T) {
 	arr := testGen(t, func(g *genConfig) { g.Rate = 2000; g.Jobs = 200 })
-	row := runVirtual(arr, 2, 8)
+	row := runVirtual(arr, 2, 8, faultWindow{})
 	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
 		t.Errorf("accounting leak: %d completed + %d rejected != %d jobs",
 			row.Completed, row.Rejected429+row.Rejected503, row.Jobs)
@@ -129,6 +129,29 @@ func TestVirtualByteIdentical(t *testing.T) {
 	}
 }
 
+// TestVirtualFaultWindow pins the degraded-mode model: a store-fault
+// window sheds fresh admissions with 503 (dedup joins and warm hits
+// still succeed, matching the real Submit order), accounting still
+// balances, and the run stays deterministic.
+func TestVirtualFaultWindow(t *testing.T) {
+	arr := testGen(t, func(g *genConfig) { g.Rate = 2000; g.Jobs = 200 })
+	fw := faultWindow{after: 50, dur: 60}
+	row := runVirtual(arr, 2, 8, fw)
+	if row.Rejected503 == 0 {
+		t.Fatal("a 60-arrival fault window shed nothing")
+	}
+	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
+		t.Errorf("accounting leak under faults: %+v", row)
+	}
+	healthy := runVirtual(arr, 2, 8, faultWindow{})
+	if healthy.Rejected503 != 0 {
+		t.Errorf("healthy run counted 503s: %+v", healthy)
+	}
+	if again := runVirtual(arr, 2, 8, fw); !reflect.DeepEqual(row, again) {
+		t.Error("fault-window run is not deterministic")
+	}
+}
+
 // TestWallInproc drives a real in-process server in real time and
 // checks the same accounting invariant plus the observability
 // validation (traces monotonic, Prometheus parseable).
@@ -137,12 +160,12 @@ func TestWallInproc(t *testing.T) {
 		t.Skip("real-time load run skipped in -short mode")
 	}
 	arr := testGen(t, func(g *genConfig) { g.Jobs = 24; g.Rate = 800 })
-	tg, closeTg, err := wallTarget("", 2, 64, 1)
+	tg, _, closeTg, err := wallTarget("", 2, 64, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer closeTg()
-	row, ids, err := runWall(tg, arr)
+	row, ids, err := runWall(tg, arr, faultWindow{})
 	if err != nil {
 		t.Fatal(err)
 	}

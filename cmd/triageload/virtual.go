@@ -48,7 +48,12 @@ func (h completionHeap) peek() time.Duration { return h[0].at }
 // runVirtual plays the schedule through the DES and returns the
 // scenario row (latency quantiles in virtual time) plus the dedup keys
 // observed, so callers can sanity-check against the generator.
-func runVirtual(arr []arrival, workers, queueCap int) benchfile.ServiceRow {
+// A fault window (fw) models degraded mode the way the real server
+// sequences it: dedup joins and warm-store hits still succeed while
+// degraded (Submit checks them before the degraded gate), fresh
+// admissions shed with 503. The window opens and closes on arrival
+// index, mirroring the wall clock's SetPlan/Heal points.
+func runVirtual(arr []arrival, workers, queueCap int, fw faultWindow) benchfile.ServiceRow {
 	var (
 		comps     completionHeap
 		queue     []*desJob
@@ -84,7 +89,7 @@ func runVirtual(arr []arrival, workers, queueCap int) benchfile.ServiceRow {
 			start(j)
 		}
 	}
-	admit := func(a arrival) {
+	admit := func(i int, a arrival) {
 		key := keyOf(a.Spec)
 		if j, ok := inflight[key]; ok {
 			row.Deduped++
@@ -95,6 +100,10 @@ func runVirtual(arr []arrival, workers, queueCap int) benchfile.ServiceRow {
 			row.StoreHits++
 			row.Completed++
 			latencies = append(latencies, 0) // served warm, no queueing
+			return
+		}
+		if fw.degraded(i) {
+			row.Rejected503++
 			return
 		}
 		if len(queue) >= queueCap {
@@ -125,7 +134,7 @@ func runVirtual(arr []arrival, workers, queueCap int) benchfile.ServiceRow {
 			continue
 		}
 		now = arr[i].At
-		admit(arr[i])
+		admit(i, arr[i])
 		i++
 	}
 

@@ -14,6 +14,7 @@ import (
 	"repro/internal/benchfile"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/vfs"
 )
 
 // outcome is one submission's fate against a real server.
@@ -209,12 +210,45 @@ func toFloat(v any) (float64, error) {
 	return 0, fmt.Errorf("metric value %T is not numeric", v)
 }
 
+// faultWindow is a store-fault injection window in arrival indices:
+// the disk starts failing writes at arrival `after` and heals `dur`
+// arrivals later. On the wall clock it drives a real vfs.Faulty; on
+// the virtual clock the DES models the resulting degraded mode
+// deterministically. Inactive when after == 0.
+type faultWindow struct {
+	after  int
+	dur    int
+	seed   int64
+	faulty *vfs.Faulty // wall clock only
+}
+
+func (fw faultWindow) active() bool { return fw.after > 0 }
+
+// degraded reports whether arrival index i lands inside the window.
+func (fw faultWindow) degraded(i int) bool {
+	return fw.active() && i >= fw.after && i < fw.after+fw.dur
+}
+
+// apply drives the real disk across the window boundary before
+// arrival i is submitted (wall clock only).
+func (fw faultWindow) apply(i int) {
+	if fw.faulty == nil || !fw.active() {
+		return
+	}
+	switch i {
+	case fw.after:
+		fw.faulty.SetPlan(vfs.Plan{Seed: fw.seed, PWrite: 1, PSync: 1})
+	case fw.after + fw.dur:
+		fw.faulty.Heal()
+	}
+}
+
 // runWall plays the schedule against a real server in real time: an
 // open-loop driver that submits on schedule regardless of completions
 // (late responses do not throttle the offered load) and measures each
 // accepted job's submit-to-done latency. Returns the scenario row and
 // the completed job ids (for trace validation).
-func runWall(tg target, arr []arrival) (benchfile.ServiceRow, []string, error) {
+func runWall(tg target, arr []arrival, fw faultWindow) (benchfile.ServiceRow, []string, error) {
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -224,10 +258,11 @@ func runWall(tg target, arr []arrival) (benchfile.ServiceRow, []string, error) {
 		wg        sync.WaitGroup
 	)
 	start := time.Now()
-	for _, a := range arr {
+	for i, a := range arr {
 		if d := time.Until(start.Add(a.At)); d > 0 {
 			time.Sleep(d)
 		}
+		fw.apply(i)
 		wg.Add(1)
 		go func(a arrival) {
 			defer wg.Done()

@@ -49,6 +49,7 @@ func main() {
 		degree  = flag.Int("degree", 1, "prefetch degree")
 		seed    = flag.Uint64("seed", 42, "workload seed")
 		traceID = flag.String("trace", "", "replay this corpus trace (sha256:<hex>) instead of the -bench generator; requires -corpus")
+		mix     = flag.String("mix", "", "comma-separated per-core workload mix; entries are bench names or sha256:<hex> corpus traces (overrides -bench/-trace/-cores)")
 		corpus  = flag.String("corpus", "", "content-addressed trace corpus directory (see tracegen -corpus)")
 		list    = flag.Bool("list", false, "list benchmarks and exit")
 
@@ -88,7 +89,16 @@ func main() {
 		SampleEvery: *sample,
 		CheckEvery:  *check,
 	}
-	if *traceID != "" {
+	if *mix != "" {
+		for _, e := range strings.Split(*mix, ",") {
+			if e = strings.TrimSpace(e); e != "" {
+				rs.Mix = append(rs.Mix, e)
+			}
+		}
+		// The mix supplies both the workloads and the core count; the
+		// -bench default and -trace must not ride along.
+		rs.Bench, rs.Trace = "", ""
+	} else if *traceID != "" {
 		// -bench is only a display label on a replay; unless the user set
 		// it explicitly, let Normalize derive one from the content hash.
 		benchSet := false

@@ -1,0 +1,105 @@
+// Command triageworker is the cluster worker: it registers with a
+// triaged coordinator (started with -cluster), long-polls for
+// simulation jobs, executes them on a local pool, streams progress
+// back, and uploads results into the coordinator's content-addressed
+// store. Traces a job names that the worker lacks are fetched from
+// the coordinator by content hash and verified on ingest.
+//
+// On SIGTERM/SIGINT the worker stops polling, finishes (and uploads)
+// its in-flight jobs, and exits. A worker that dies instead simply
+// stops heartbeating: the coordinator requeues its leased jobs on
+// another worker, and nothing is lost.
+//
+//	triageworker -coordinator 127.0.0.1:8080 -slots 2 -corpus worker.corpus
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+
+	"repro/internal/cliutil"
+	"repro/internal/cluster"
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "triageworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	coord := flag.String("coordinator", "", "coordinator base URL or host:port (required)")
+	name := flag.String("name", defaultName(), "worker display name")
+	slots := flag.Int("slots", 1, "jobs executed concurrently")
+	poolWorkers := flag.Int("poolworkers", runtime.GOMAXPROCS(0), "simulation pool size a figure job fans out over")
+	corpusDir := flag.String("corpus", "", "local trace corpus directory; missing traces are fetched from the coordinator by hash")
+	prof := cliutil.AddProfile(flag.CommandLine)
+	wd := cliutil.AddWatchdog(flag.CommandLine)
+	flag.Parse()
+
+	if *coord == "" {
+		return fmt.Errorf("-coordinator is required")
+	}
+	stopProf, err := prof.Start(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer stopProf()
+
+	cfg := cluster.WorkerConfig{
+		Coordinator: *coord,
+		Name:        *name,
+		Slots:       *slots,
+		PoolWorkers: *poolWorkers,
+		Deadline:    *wd.Deadline,
+		Stall:       *wd.Stall,
+		Log:         os.Stderr,
+	}
+	if *corpusDir != "" {
+		// The local corpus doubles as the process-wide trace source, so
+		// fetched traces resolve when the spec validates and runs.
+		if err := experiments.SetTraceCorpus(*corpusDir); err != nil {
+			return err
+		}
+		c, err := trace.OpenCorpus(*corpusDir)
+		if err != nil {
+			return err
+		}
+		cfg.Corpus = c
+	}
+	w, err := cluster.NewWorker(cfg)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	go func() {
+		sig := <-sigc
+		fmt.Fprintf(os.Stderr, "triageworker: %v — finishing in-flight jobs, then exiting\n", sig)
+		cancel()
+	}()
+
+	if err := w.Run(ctx); err != nil && ctx.Err() == nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "triageworker: done (%d job(s) uploaded)\n", w.JobsDone())
+	return nil
+}
+
+func defaultName() string {
+	host, err := os.Hostname()
+	if err != nil || host == "" {
+		host = "worker"
+	}
+	return fmt.Sprintf("%s-%d", host, os.Getpid())
+}

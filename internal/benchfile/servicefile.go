@@ -32,6 +32,12 @@ type ServiceRow struct {
 	Workers   int     `json:"workers"`
 	QueueCap  int     `json:"queue_cap"`
 	DedupFrac float64 `json:"dedup_frac"`
+	// FaultAfter/FaultFor describe a store-fault window by arrival
+	// index: the store starts failing at arrival FaultAfter and heals
+	// FaultFor arrivals later, so the scenario measures degraded-mode
+	// behavior (503 shedding) under sustained load. Zero = no fault.
+	FaultAfter int `json:"fault_after,omitempty"`
+	FaultFor   int `json:"fault_for,omitempty"`
 
 	Jobs        int `json:"jobs"`
 	Completed   int `json:"completed"`

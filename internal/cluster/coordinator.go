@@ -1,0 +1,501 @@
+// Package cluster splits the simulation service across machines: a
+// coordinator embedded in triaged (behind -cluster) owns admission,
+// dedup, and the content-addressed result store, while any number of
+// triageworker processes register over HTTP, hold heartbeat leases,
+// long-poll for jobs, stream progress/sample events back, and upload
+// results. The store stays the single source of truth, so no cell
+// with the same config fingerprint is ever simulated twice
+// cluster-wide; a worker that dies mid-job loses its lease and the
+// job requeues; a coordinator that dies re-admits queued and leased
+// jobs from the admission log (queue.jsonl) — job ids are derived
+// from content keys, so a surviving worker's upload still lands.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/vfs"
+)
+
+// assignFile is the coordinator's assignment audit log, next to the
+// store's queue.jsonl. One JSON line per assign/complete/fail/
+// expire/requeue event, written through the server's vfs (so chaos
+// tests exercise it under injected faults). Durability of jobs does
+// not depend on it — that is queue.jsonl's contract — but it records
+// which worker ran what, survives restarts, and is cheap to grep.
+const assignFile = "assign.jsonl"
+
+// Config sizes a Coordinator.
+type Config struct {
+	// Server is the underlying service (created with RemoteExec: true).
+	// Required.
+	Server *service.Server
+	// LeaseTTL is how long a job assignment survives without a
+	// heartbeat before the sweep requeues it. Default 10s.
+	LeaseTTL time.Duration
+	// SweepEvery paces the lease-expiry sweep. Default LeaseTTL/4.
+	SweepEvery time.Duration
+	// PollWindow bounds how long a worker's poll blocks waiting for
+	// work before returning 204. Default 25s.
+	PollWindow time.Duration
+}
+
+// Coordinator dispatches the server's queue to registered workers.
+type Coordinator struct {
+	cfg  Config
+	srv  *service.Server
+	fsys vfs.FS
+
+	mu        sync.Mutex
+	workers   map[string]*workerState
+	leases    map[string]*lease // by job id
+	jobAcc    map[string]int    // samples accepted into each job's feed
+	gauges    map[string]bool   // per-worker gauge names already registered
+	assignLog vfs.File
+	workerSeq int
+
+	dispatch chan *service.Job
+	stopOnce sync.Once
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+
+	mAssigned  atomic.Int64
+	mRequeued  atomic.Int64
+	mExpired   atomic.Int64
+	mResults   atomic.Int64
+	mDupedUp   atomic.Int64 // duplicate uploads (first result won)
+	mLogErrors atomic.Int64
+}
+
+// workerState is one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	slots    int
+	lastSeen time.Time
+	inflight map[string]bool // job ids under lease
+}
+
+// lease is one assignment.
+type lease struct {
+	job     *service.Job
+	worker  string // worker id
+	started time.Time
+	expires time.Time
+	// lastInstr is the worker's last absolute instruction count, so
+	// event batches fold into the feed as deltas.
+	lastInstr uint64
+	// samplesSeen counts samples received under this lease; together
+	// with the job's accepted count it dedups re-streamed samples
+	// after a requeue.
+	samplesSeen int
+}
+
+// New starts a coordinator over a RemoteExec server: the dispatcher
+// pulls queued jobs (skipping any already durable cluster-wide), the
+// sweeper requeues expired leases, and cluster metrics register on
+// the server's registry. Call Stop (after draining the server) to
+// shut down.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Server == nil {
+		return nil, fmt.Errorf("cluster: Config.Server is required")
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = cfg.LeaseTTL / 4
+	}
+	if cfg.PollWindow <= 0 {
+		cfg.PollWindow = 25 * time.Second
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		srv:      cfg.Server,
+		fsys:     cfg.Server.VFS(),
+		workers:  make(map[string]*workerState),
+		leases:   make(map[string]*lease),
+		jobAcc:   make(map[string]int),
+		gauges:   make(map[string]bool),
+		dispatch: make(chan *service.Job),
+		stopc:    make(chan struct{}),
+	}
+	path := filepath.Join(cfg.Server.StoreDirPath(), assignFile)
+	f, err := c.fsys.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: opening assignment log: %w", err)
+	}
+	c.assignLog = f
+	c.registerMetrics()
+	c.wg.Add(2)
+	go c.dispatchLoop()
+	go c.sweepLoop()
+	return c, nil
+}
+
+// Stop shuts the coordinator down: dispatcher and sweeper exit and
+// the assignment log closes. Drain the server first — the dispatcher
+// unblocks from the queue when Drain closes it. Leased jobs keep
+// their admission-log entries, so nothing is lost across a restart.
+func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopc) })
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.assignLog != nil {
+		c.assignLog.Close()
+		c.assignLog = nil
+	}
+}
+
+// dispatchLoop feeds the queue to polling workers, completing
+// already-durable cells from the store instead of assigning them.
+func (c *Coordinator) dispatchLoop() {
+	defer c.wg.Done()
+	for {
+		j := c.srv.Take()
+		if j == nil {
+			close(c.dispatch)
+			return
+		}
+		// Cluster-wide dedup at dispatch: the key may have become
+		// durable after this job queued (an identical cell finished on
+		// another worker, or a pre-loaded store). Serve it, don't
+		// simulate it.
+		if st := c.srv.StateOf(j); st == service.StateDone || st == service.StateFailed {
+			continue
+		}
+		if c.srv.HasDurable(j.Key()) && c.srv.CompleteFromStore(j) {
+			continue
+		}
+		select {
+		case c.dispatch <- j:
+		case <-c.stopc:
+			// Shutting down with a job in hand: it stays admitted in
+			// queue.jsonl and re-admits on the next start.
+			return
+		}
+	}
+}
+
+// sweepLoop requeues jobs whose lease lapsed without a heartbeat.
+func (c *Coordinator) sweepLoop() {
+	defer c.wg.Done()
+	t := time.NewTicker(c.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stopc:
+			return
+		case <-t.C:
+			c.sweep(time.Now())
+		}
+	}
+}
+
+// sweep expires lapsed leases and requeues their jobs.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	var lapsed []*lease
+	for id, l := range c.leases {
+		if now.After(l.expires) {
+			lapsed = append(lapsed, l)
+			delete(c.leases, id)
+			if ws := c.workers[l.worker]; ws != nil {
+				delete(ws.inflight, l.job.ID())
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, l := range lapsed {
+		c.mExpired.Add(1)
+		if tr := l.job.Trace(); tr != nil {
+			tr.Mark("lease-expired", map[string]string{"worker": l.worker})
+		}
+		c.logEvent("expire", l.job, l.worker)
+		if c.srv.Requeue(l.job, "lease expired on worker "+l.worker) {
+			c.mRequeued.Add(1)
+			c.logEvent("requeue", l.job, l.worker)
+		}
+	}
+}
+
+// logEvent appends one assignment-log line (best effort: the audit
+// trail must not take the cluster down when the disk is faulting —
+// job durability is queue.jsonl's contract, not this file's).
+func (c *Coordinator) logEvent(event string, j *service.Job, worker string) {
+	line := fmt.Sprintf("{\"ts_ms\":%d,\"event\":%q,\"job\":%q,\"key\":%q,\"worker\":%q}\n",
+		time.Now().UnixMilli(), event, j.ID(), j.Key(), worker)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.assignLog == nil {
+		return
+	}
+	if _, err := c.assignLog.Write([]byte(line)); err != nil {
+		c.mLogErrors.Add(1)
+		return
+	}
+	if err := c.assignLog.Sync(); err != nil {
+		c.mLogErrors.Add(1)
+	}
+}
+
+// register admits a worker and returns its state.
+func (c *Coordinator) register(name string, slots int) *workerState {
+	if slots < 1 {
+		slots = 1
+	}
+	c.mu.Lock()
+	c.workerSeq++
+	ws := &workerState{
+		id:       fmt.Sprintf("w%03d", c.workerSeq),
+		name:     name,
+		slots:    slots,
+		lastSeen: time.Now(),
+		inflight: make(map[string]bool),
+	}
+	c.workers[ws.id] = ws
+	c.mu.Unlock()
+	c.registerWorkerGauge(name)
+	return ws
+}
+
+// touch refreshes a worker's liveness, returning nil for unknown ids
+// (a coordinator restart wiped the table — the worker re-registers).
+func (c *Coordinator) touch(id string) *workerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws := c.workers[id]
+	if ws != nil {
+		ws.lastSeen = time.Now()
+	}
+	return ws
+}
+
+// assign leases a job to a worker.
+func (c *Coordinator) assign(j *service.Job, ws *workerState) {
+	now := time.Now()
+	c.mu.Lock()
+	c.leases[j.ID()] = &lease{
+		job:     j,
+		worker:  ws.id,
+		started: now,
+		expires: now.Add(c.cfg.LeaseTTL),
+	}
+	ws.inflight[j.ID()] = true
+	c.mu.Unlock()
+	c.mAssigned.Add(1)
+	c.srv.BeginRemote(j, ws.name+"/"+ws.id)
+	c.logEvent("assign", j, ws.id)
+}
+
+// heartbeat renews the worker's leases; returns job ids it should
+// abandon (done elsewhere, or requeued past it).
+func (c *Coordinator) heartbeat(ws *workerState, jobs []string) (cancelled []string) {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, id := range jobs {
+		l, ok := c.leases[id]
+		if !ok || l.worker != ws.id {
+			cancelled = append(cancelled, id)
+			continue
+		}
+		st := c.srv.StateOf(l.job)
+		if st == service.StateDone || st == service.StateFailed {
+			delete(c.leases, id)
+			delete(ws.inflight, id)
+			cancelled = append(cancelled, id)
+			continue
+		}
+		l.expires = now.Add(c.cfg.LeaseTTL)
+	}
+	return cancelled
+}
+
+// events folds a worker's progress batch into the job's feed.
+// Progress is accepted only from the current lease holder; samples
+// dedup against what the feed already absorbed, so a requeued job's
+// re-streamed prefix does not double up for SSE consumers.
+func (c *Coordinator) events(jobID string, batch EventBatch) {
+	c.mu.Lock()
+	l, ok := c.leases[jobID]
+	if !ok || l.worker != batch.WorkerID {
+		c.mu.Unlock()
+		return
+	}
+	feed := l.job.Feed()
+	if batch.Instructions > l.lastInstr {
+		feed.Add(batch.Instructions - l.lastInstr)
+		l.lastInstr = batch.Instructions
+	}
+	accepted := c.jobAcc[jobID]
+	for i, smp := range batch.Samples {
+		if l.samplesSeen+i >= accepted {
+			feed.OnSample(smp)
+			c.jobAcc[jobID] = l.samplesSeen + i + 1
+		}
+	}
+	l.samplesSeen += len(batch.Samples)
+	c.mu.Unlock()
+}
+
+// finish disposes an uploaded result or error. First result wins;
+// anything after is a duplicate and changes nothing.
+func (c *Coordinator) finish(j *service.Job, up ResultUpload) ResultResponse {
+	c.mu.Lock()
+	l := c.leases[j.ID()]
+	holder := l != nil && l.worker == up.WorkerID
+	if holder {
+		delete(c.leases, j.ID())
+		if ws := c.workers[up.WorkerID]; ws != nil {
+			delete(ws.inflight, j.ID())
+		}
+	}
+	c.mu.Unlock()
+
+	if up.Error != "" {
+		// Execution errors are honored only from the lease holder: a
+		// late error from a worker whose lease expired must not kill a
+		// job another worker is (re)running.
+		if !holder {
+			c.mDupedUp.Add(1)
+			return ResultResponse{Duplicate: true}
+		}
+		c.logEvent("fail", j, up.WorkerID)
+		if !c.srv.FailRemote(j, up.Error) {
+			c.mDupedUp.Add(1)
+			return ResultResponse{Duplicate: true}
+		}
+		return ResultResponse{}
+	}
+	// Results are honored from anyone — they are deterministic and
+	// content-addressed, so a late upload from an expired lease saves
+	// the requeued copy from re-simulating.
+	if !c.srv.CompleteRemote(j, *up.Result) {
+		c.mDupedUp.Add(1)
+		return ResultResponse{Duplicate: true}
+	}
+	c.mResults.Add(1)
+	c.logEvent("complete", j, up.WorkerID)
+	c.mu.Lock()
+	delete(c.jobAcc, j.ID())
+	c.mu.Unlock()
+	return ResultResponse{}
+}
+
+// Status snapshots the cluster for triagectl.
+func (c *Coordinator) Status() StatusView {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := StatusView{
+		Workers:  make([]WorkerView, 0, len(c.workers)),
+		Leases:   make([]LeaseView, 0, len(c.leases)),
+		Queued:   c.srv.QueueLen(),
+		Assigned: c.mAssigned.Load(),
+		Requeued: c.mRequeued.Load(),
+		Expired:  c.mExpired.Load(),
+	}
+	for _, ws := range c.workers {
+		v.Workers = append(v.Workers, WorkerView{
+			ID:             ws.id,
+			Name:           ws.name,
+			Slots:          ws.slots,
+			Inflight:       len(ws.inflight),
+			LastSeenMillis: now.Sub(ws.lastSeen).Milliseconds(),
+			Live:           now.Sub(ws.lastSeen) <= c.cfg.LeaseTTL,
+		})
+	}
+	sort.Slice(v.Workers, func(i, k int) bool { return v.Workers[i].ID < v.Workers[k].ID })
+	for id, l := range c.leases {
+		v.Leases = append(v.Leases, LeaseView{
+			JobID:           id,
+			Key:             l.job.Key(),
+			Worker:          l.worker,
+			ExpiresInMillis: l.expires.Sub(now).Milliseconds(),
+			AgeMillis:       now.Sub(l.started).Milliseconds(),
+		})
+	}
+	sort.Slice(v.Leases, func(i, k int) bool { return v.Leases[i].JobID < v.Leases[k].JobID })
+	return v
+}
+
+// registerMetrics adds the cluster series to the server's registry
+// (scraped through the same /metrics the service already serves).
+func (c *Coordinator) registerMetrics() {
+	r := c.srv.Registry()
+	r.GaugeFunc("triaged_cluster_workers", "registered workers", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.workers))
+	})
+	r.GaugeFunc("triaged_cluster_leases", "jobs under an active worker lease", func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return float64(len(c.leases))
+	})
+	r.CounterFunc("triaged_cluster_assigned_total", "jobs leased to workers",
+		func() float64 { return float64(c.mAssigned.Load()) })
+	r.CounterFunc("triaged_cluster_requeued_total", "jobs requeued after a lease expired",
+		func() float64 { return float64(c.mRequeued.Load()) })
+	r.CounterFunc("triaged_cluster_lease_expired_total", "leases lapsed without a heartbeat",
+		func() float64 { return float64(c.mExpired.Load()) })
+	r.CounterFunc("triaged_cluster_results_total", "results uploaded by workers",
+		func() float64 { return float64(c.mResults.Load()) })
+	r.CounterFunc("triaged_cluster_duplicate_uploads_total", "uploads for jobs that already had a result",
+		func() float64 { return float64(c.mDupedUp.Load()) })
+	r.CounterFunc("triaged_cluster_assignlog_errors_total", "assignment-log write failures (audit only)",
+		func() float64 { return float64(c.mLogErrors.Load()) })
+}
+
+// registerWorkerGauge adds a per-worker in-flight gauge the first time
+// a name registers (re-registrations reuse it; the closure counts all
+// live workers carrying the name).
+func (c *Coordinator) registerWorkerGauge(name string) {
+	gname := "triaged_worker_inflight_" + sanitizeMetricName(name)
+	c.mu.Lock()
+	if c.gauges[gname] {
+		c.mu.Unlock()
+		return
+	}
+	c.gauges[gname] = true
+	c.mu.Unlock()
+	c.srv.Registry().GaugeFunc(gname, "jobs in flight on worker "+name, func() float64 {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, ws := range c.workers {
+			if ws.name == name {
+				n += len(ws.inflight)
+			}
+		}
+		return float64(n)
+	})
+}
+
+// sanitizeMetricName maps an arbitrary worker name onto the Prometheus
+// metric-name alphabet.
+func sanitizeMetricName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "unnamed"
+	}
+	return b.String()
+}

@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+// Wire shapes of the coordinator API (all JSON over HTTP):
+//
+//	POST /cluster/v1/register           RegisterRequest  → RegisterResponse
+//	POST /cluster/v1/poll               PollRequest      → PollResponse | 204
+//	POST /cluster/v1/heartbeat          HeartbeatRequest → HeartbeatResponse | 410
+//	POST /cluster/v1/jobs/{id}/events   EventBatch       → 200
+//	POST /cluster/v1/jobs/{id}/result   ResultUpload     → ResultResponse
+//	GET  /cluster/v1/status                              → StatusView
+//	GET  /cluster/v1/traces/{id}                         → raw TRC2 bytes
+//
+// Jobs are addressed by their content-derived service ids, which are
+// stable across coordinator restarts — a worker that outlives a
+// coordinator crash uploads into the re-admitted job and nothing is
+// simulated twice.
+
+// RegisterRequest announces a worker.
+type RegisterRequest struct {
+	// Name is the worker's self-chosen display name (hostname:pid by
+	// default). Two workers may share a name; the coordinator-issued
+	// WorkerID is the identity.
+	Name string `json:"name"`
+	// Slots is how many jobs the worker runs concurrently.
+	Slots int `json:"slots"`
+}
+
+// RegisterResponse carries the worker's coordinator-issued identity
+// and the lease discipline it must follow.
+type RegisterResponse struct {
+	WorkerID string `json:"worker_id"`
+	// LeaseTTLMillis is how long a job assignment stays valid without a
+	// heartbeat; the worker should heartbeat at a small fraction of it.
+	LeaseTTLMillis int64 `json:"lease_ttl_ms"`
+}
+
+// PollRequest asks for one job (long-poll: the coordinator holds the
+// request until work arrives or its poll window lapses).
+type PollRequest struct {
+	WorkerID string `json:"worker_id"`
+}
+
+// PollResponse assigns one job.
+type PollResponse struct {
+	JobID string          `json:"job_id"`
+	Key   string          `json:"key"`
+	Spec  service.JobSpec `json:"spec"`
+}
+
+// HeartbeatRequest renews the worker's leases. Jobs lists every job id
+// the worker is still executing.
+type HeartbeatRequest struct {
+	WorkerID string   `json:"worker_id"`
+	Jobs     []string `json:"jobs,omitempty"`
+}
+
+// HeartbeatResponse acknowledges the renewal. Cancelled lists job ids
+// the worker should stop working on (completed elsewhere or requeued
+// past it); the worker may abandon them without uploading.
+type HeartbeatResponse struct {
+	Cancelled []string `json:"cancelled,omitempty"`
+}
+
+// EventBatch streams live progress for one job: the worker's absolute
+// retired-instruction count plus any new interval samples. The
+// coordinator folds both into the job's feed, so /v1/jobs/{id}/events
+// SSE consumers see a cluster job exactly like a local one.
+type EventBatch struct {
+	WorkerID     string             `json:"worker_id"`
+	Instructions uint64             `json:"instructions"`
+	Samples      []telemetry.Sample `json:"samples,omitempty"`
+}
+
+// ResultUpload finishes one job: either a result envelope (the exact
+// JobResult shape the service stores and serves) or an execution
+// error.
+type ResultUpload struct {
+	WorkerID string             `json:"worker_id"`
+	Result   *service.JobResult `json:"result,omitempty"`
+	Error    string             `json:"error,omitempty"`
+}
+
+// ResultResponse reports how the upload was disposed.
+type ResultResponse struct {
+	// Duplicate is set when the job already had a result (first upload
+	// wins); the upload changed nothing.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// StatusView is the cluster view triagectl renders: registered
+// workers, live leases, and queue depth.
+type StatusView struct {
+	Workers []WorkerView `json:"workers"`
+	Leases  []LeaseView  `json:"leases"`
+	Queued  int          `json:"queued"`
+	// Assigned/Requeued/Expired are lifetime counters.
+	Assigned int64 `json:"assigned"`
+	Requeued int64 `json:"requeued"`
+	Expired  int64 `json:"expired"`
+}
+
+// WorkerView is one registered worker.
+type WorkerView struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	Slots    int    `json:"slots"`
+	Inflight int    `json:"inflight"`
+	// LastSeenMillis is milliseconds since the worker's last
+	// register/poll/heartbeat/upload.
+	LastSeenMillis int64 `json:"last_seen_ms"`
+	// Live is false once the worker has gone a full lease TTL without
+	// contact.
+	Live bool `json:"live"`
+}
+
+// LeaseView is one in-flight cell.
+type LeaseView struct {
+	JobID  string `json:"job_id"`
+	Key    string `json:"key"`
+	Worker string `json:"worker"`
+	// ExpiresInMillis is how long until the lease lapses without a
+	// heartbeat (negative: already expired, sweep pending).
+	ExpiresInMillis int64 `json:"expires_in_ms"`
+	// AgeMillis is time since assignment.
+	AgeMillis int64 `json:"age_ms"`
+}

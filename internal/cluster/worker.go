@@ -1,0 +1,530 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
+)
+
+// WorkerConfig sizes a Worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (http://host:port).
+	// Required.
+	Coordinator string
+	// Name is the worker's display name. Default "worker".
+	Name string
+	// Slots is how many jobs run concurrently. Default 1.
+	Slots int
+	// PoolWorkers sizes the shared simulation pool a figure job fans
+	// out over. Default GOMAXPROCS.
+	PoolWorkers int
+	// Corpus, when non-nil, is the worker's local trace corpus: traces
+	// a job names that are missing locally are fetched from the
+	// coordinator by hash and verified on ingest. Nil skips fetching
+	// (the process-global corpus is assumed to resolve them).
+	Corpus *trace.Corpus
+	// Deadline and Stall arm the per-job watchdog, like the service's.
+	Deadline time.Duration
+	Stall    time.Duration
+	// Gate mirrors service.Config.Gate: called right before a job's
+	// simulation starts. Test hook; leave nil in production.
+	Gate func(key string)
+	// ProgressEvery paces progress/sample event batches to the
+	// coordinator. Default 250ms.
+	ProgressEvery time.Duration
+	// PollRetry is the back-off after a failed poll (coordinator
+	// unreachable). Default 500ms.
+	PollRetry time.Duration
+	// Client is the HTTP client. Default: http.Client with a 5-minute
+	// timeout (long-polls ride inside it).
+	Client *http.Client
+	// Log receives worker lifecycle lines; nil discards them.
+	Log io.Writer
+}
+
+// Worker pulls jobs from a coordinator and executes them on a local
+// pool, streaming progress back and uploading results. Run blocks
+// until the context cancels and every in-flight job has finished.
+type Worker struct {
+	cfg    WorkerConfig
+	pool   *experiments.Pool
+	client *http.Client
+
+	mu       sync.Mutex
+	id       string
+	leaseTTL time.Duration
+	inflight map[string]bool
+
+	// killed simulates abrupt process death for chaos tests: every
+	// future poll, heartbeat, event post, and result upload is
+	// suppressed, exactly as if the process had been kill -9'd (any
+	// running simulation's outcome is discarded).
+	killed atomic.Bool
+
+	jobsDone atomic.Int64
+}
+
+// NewWorker validates the config and prepares a worker; call Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Coordinator == "" {
+		return nil, errors.New("cluster: WorkerConfig.Coordinator is required")
+	}
+	cfg.Coordinator = strings.TrimRight(cfg.Coordinator, "/")
+	if !strings.Contains(cfg.Coordinator, "://") {
+		cfg.Coordinator = "http://" + cfg.Coordinator
+	}
+	if cfg.Name == "" {
+		cfg.Name = "worker"
+	}
+	if cfg.Slots < 1 {
+		cfg.Slots = 1
+	}
+	if cfg.PoolWorkers < 1 {
+		cfg.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 250 * time.Millisecond
+	}
+	if cfg.PollRetry <= 0 {
+		cfg.PollRetry = 500 * time.Millisecond
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	return &Worker{
+		cfg:      cfg,
+		pool:     experiments.NewPool(cfg.PoolWorkers),
+		client:   client,
+		inflight: make(map[string]bool),
+	}, nil
+}
+
+// JobsDone reports how many jobs this worker has finished uploading.
+func (w *Worker) JobsDone() int64 { return w.jobsDone.Load() }
+
+// Kill hard-stops the worker mid-flight (chaos hook): all further
+// communication with the coordinator is suppressed, so its leases
+// lapse and its jobs requeue — indistinguishable, from the
+// coordinator's side, from the process dying.
+func (w *Worker) Kill() { w.killed.Store(true) }
+
+// Run registers with the coordinator and serves jobs until ctx
+// cancels (graceful: in-flight jobs finish and upload) or Kill.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	hbCtx, hbCancel := context.WithCancel(context.Background())
+	defer hbCancel()
+	go w.heartbeatLoop(hbCtx)
+	var wg sync.WaitGroup
+	for i := 0; i < w.cfg.Slots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.slotLoop(ctx)
+		}()
+	}
+	wg.Wait()
+	return nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Log != nil {
+		fmt.Fprintf(w.cfg.Log, "triageworker[%s]: "+format+"\n", append([]any{w.cfg.Name}, args...)...)
+	}
+}
+
+// post sends one JSON request; out may be nil. A killed worker's
+// posts vanish without reaching the wire.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	if w.killed.Load() {
+		return 0, errors.New("worker killed")
+	}
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if w.killed.Load() {
+		return 0, errors.New("worker killed")
+	}
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+		return resp.StatusCode, nil
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, nil
+}
+
+// register obtains a worker id, retrying while the coordinator is
+// unreachable.
+func (w *Worker) register(ctx context.Context) error {
+	for {
+		var resp RegisterResponse
+		code, err := w.post(ctx, "/cluster/v1/register", RegisterRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
+		if err == nil && code == http.StatusOK {
+			w.mu.Lock()
+			w.id = resp.WorkerID
+			w.leaseTTL = time.Duration(resp.LeaseTTLMillis) * time.Millisecond
+			w.mu.Unlock()
+			w.logf("registered as %s (lease %v)", resp.WorkerID, time.Duration(resp.LeaseTTLMillis)*time.Millisecond)
+			return nil
+		}
+		if w.killed.Load() {
+			return errors.New("worker killed")
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(w.cfg.PollRetry):
+		}
+	}
+}
+
+func (w *Worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// heartbeatLoop renews leases for every in-flight job at a third of
+// the TTL. A 410 (coordinator restarted, worker table wiped)
+// re-registers; in-flight jobs keep running and upload by job id,
+// which survives the restart because ids derive from content keys.
+func (w *Worker) heartbeatLoop(ctx context.Context) {
+	for {
+		w.mu.Lock()
+		ttl := w.leaseTTL
+		w.mu.Unlock()
+		every := ttl / 3
+		if every <= 0 {
+			every = time.Second
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(every):
+		}
+		if w.killed.Load() {
+			return
+		}
+		w.mu.Lock()
+		jobs := make([]string, 0, len(w.inflight))
+		for id := range w.inflight {
+			jobs = append(jobs, id)
+		}
+		w.mu.Unlock()
+		code, err := w.post(ctx, "/cluster/v1/heartbeat", HeartbeatRequest{WorkerID: w.workerID(), Jobs: jobs}, nil)
+		if err == nil && code == http.StatusGone {
+			if err := w.register(ctx); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// slotLoop polls for jobs and executes them until ctx cancels.
+func (w *Worker) slotLoop(ctx context.Context) {
+	for {
+		if ctx.Err() != nil || w.killed.Load() {
+			return
+		}
+		var a PollResponse
+		code, err := w.post(ctx, "/cluster/v1/poll", PollRequest{WorkerID: w.workerID()}, &a)
+		switch {
+		case err != nil:
+			if ctx.Err() != nil || w.killed.Load() {
+				return
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(w.cfg.PollRetry):
+			}
+			continue
+		case code == http.StatusGone:
+			if w.register(ctx) != nil {
+				return
+			}
+			continue
+		case code != http.StatusOK:
+			continue // 204: no work inside the poll window
+		}
+		w.execute(ctx, a)
+	}
+}
+
+// execute runs one assigned job and uploads its outcome.
+func (w *Worker) execute(ctx context.Context, a PollResponse) {
+	w.mu.Lock()
+	w.inflight[a.JobID] = true
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.inflight, a.JobID)
+		w.mu.Unlock()
+	}()
+
+	if err := w.ensureTraces(ctx, a.Spec); err != nil {
+		w.upload(ctx, a.JobID, ResultUpload{WorkerID: w.workerID(), Error: err.Error()})
+		return
+	}
+	if gate := w.cfg.Gate; gate != nil {
+		gate(a.Key)
+	}
+
+	var env service.JobResult
+	var execErr string
+	switch a.Spec.Kind {
+	case service.KindFigure:
+		env = w.runFigure(ctx, a)
+	default:
+		env, execErr = w.runSingle(ctx, a)
+	}
+	if w.killed.Load() {
+		return
+	}
+	up := ResultUpload{WorkerID: w.workerID()}
+	if execErr != "" {
+		up.Error = execErr
+	} else {
+		up.Result = &env
+	}
+	w.upload(ctx, a.JobID, up)
+}
+
+// upload posts the job outcome, retrying transient failures: losing a
+// finished result to a connection blip would force a pointless
+// re-simulation.
+func (w *Worker) upload(ctx context.Context, jobID string, up ResultUpload) {
+	var resp ResultResponse
+	for attempt := 0; attempt < 5; attempt++ {
+		code, err := w.post(ctx, "/cluster/v1/jobs/"+jobID+"/result", up, &resp)
+		if err == nil && (code == http.StatusOK || code == http.StatusNotFound) {
+			if code == http.StatusOK {
+				w.jobsDone.Add(1)
+			}
+			return
+		}
+		if w.killed.Load() || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(w.cfg.PollRetry)
+	}
+}
+
+// eventPoster batches progress and samples to the coordinator on a
+// ticker, off the simulation's hot path: the sim feeds an atomic
+// counter and an in-memory sample buffer, and a flusher goroutine
+// does the HTTP.
+type eventPoster struct {
+	w      *Worker
+	jobID  string
+	instr  atomic.Uint64
+	mu     sync.Mutex
+	buffer []telemetry.Sample
+	sent   uint64
+	stop   chan struct{}
+	done   chan struct{}
+}
+
+// Add implements telemetry.ProgressSink.
+func (p *eventPoster) Add(n uint64) { p.instr.Add(n) }
+
+// OnSample buffers one interval sample for the next flush.
+func (p *eventPoster) OnSample(s telemetry.Sample) {
+	p.mu.Lock()
+	p.buffer = append(p.buffer, s)
+	p.mu.Unlock()
+}
+
+func (p *eventPoster) flush(ctx context.Context) {
+	instr := p.instr.Load()
+	p.mu.Lock()
+	samples := p.buffer
+	p.buffer = nil
+	p.mu.Unlock()
+	if instr == p.sent && len(samples) == 0 {
+		return
+	}
+	p.sent = instr
+	p.w.post(ctx, "/cluster/v1/jobs/"+p.jobID+"/events",
+		EventBatch{WorkerID: p.w.workerID(), Instructions: instr, Samples: samples}, nil)
+}
+
+func (p *eventPoster) run(ctx context.Context) {
+	defer close(p.done)
+	t := time.NewTicker(p.w.cfg.ProgressEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			p.flush(ctx)
+			return
+		case <-t.C:
+			p.flush(ctx)
+		}
+	}
+}
+
+func (w *Worker) newPoster(jobID string) *eventPoster {
+	return &eventPoster{w: w, jobID: jobID, stop: make(chan struct{}), done: make(chan struct{})}
+}
+
+// runSingle executes one RunSpec, mirroring the service's local path
+// (same Guarded watchdog wrapper, same sampler wiring, same envelope
+// construction) so the uploaded result re-encodes byte-identically to
+// a single-node run.
+func (w *Worker) runSingle(ctx context.Context, a PollResponse) (service.JobResult, string) {
+	spec := *a.Spec.Run
+	poster := w.newPoster(a.JobID)
+	go poster.run(ctx)
+	var hooks *telemetry.Hooks
+	mkHooks := func() *telemetry.Hooks {
+		h := &telemetry.Hooks{Progress: poster}
+		if spec.SampleEvery > 0 {
+			sam := telemetry.NewSampler(spec.SampleEvery)
+			sam.Stream(poster.OnSample)
+			h.Sampler = sam
+		}
+		hooks = h
+		return h
+	}
+	fut := experiments.Go(w.pool, func() sim.Result {
+		return experiments.Guarded(a.Key, w.cfg.Deadline, w.cfg.Stall, mkHooks, func(h *telemetry.Hooks) sim.Result {
+			res, err := spec.Run(h)
+			if err != nil {
+				panic(err)
+			}
+			return res
+		})
+	})
+	res, rerr := fut.Result()
+	close(poster.stop)
+	<-poster.done
+	if rerr != nil {
+		return service.JobResult{}, rerr.Error()
+	}
+	var samples []byte
+	if hooks != nil && hooks.Sampler != nil {
+		var buf bytes.Buffer
+		if err := hooks.Sampler.WriteJSONL(&buf); err == nil {
+			samples = buf.Bytes()
+		}
+	}
+	return service.JobResult{Kind: service.KindSingle, Result: &res, SamplesJSONL: string(samples)}, ""
+}
+
+// runFigure executes one registry experiment on the worker's pool. A
+// failed table still uploads as a result — the coordinator completes
+// the job without storing it, same as the local path.
+func (w *Worker) runFigure(ctx context.Context, a PollResponse) service.JobResult {
+	e, _ := experiments.ByID(a.Spec.Figure)
+	p := a.Spec.Scale.Params()
+	p.Deadline, p.StallTimeout = w.cfg.Deadline, w.cfg.Stall
+	runner := experiments.NewRunnerPool(p, w.pool)
+	poster := w.newPoster(a.JobID)
+	go poster.run(ctx)
+	progressStop := make(chan struct{})
+	go func() {
+		t := time.NewTicker(w.cfg.ProgressEvery)
+		defer t.Stop()
+		var last uint64
+		for {
+			select {
+			case <-progressStop:
+				return
+			case <-t.C:
+				if n := runner.SimulatedInstructions(); n > last {
+					poster.Add(n - last)
+					last = n
+				}
+			}
+		}
+	}()
+	table := experiments.RunOne(runner, e)
+	close(progressStop)
+	close(poster.stop)
+	<-poster.done
+	return service.JobResult{Kind: service.KindFigure, Table: table}
+}
+
+// ensureTraces fetches, by content hash, every corpus trace the spec
+// names that the worker's local corpus lacks. The ingest re-hashes
+// the streamed records, so the stored entry is correct by
+// construction regardless of what the wire delivered.
+func (w *Worker) ensureTraces(ctx context.Context, spec service.JobSpec) error {
+	if w.cfg.Corpus == nil || spec.Run == nil {
+		return nil
+	}
+	var ids []string
+	if spec.Run.Trace != "" {
+		ids = append(ids, spec.Run.Trace)
+	}
+	for _, entry := range spec.Run.Mix {
+		if strings.HasPrefix(entry, "sha256:") {
+			ids = append(ids, entry)
+		}
+	}
+	for _, id := range ids {
+		if w.cfg.Corpus.Has(id) {
+			continue
+		}
+		if err := w.fetchTrace(ctx, id); err != nil {
+			return err
+		}
+		w.logf("fetched trace %s from coordinator", id)
+	}
+	return nil
+}
+
+func (w *Worker) fetchTrace(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, w.cfg.Coordinator+"/cluster/v1/traces/"+id, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := w.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("fetching trace %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fetching trace %s: coordinator said %s", id, resp.Status)
+	}
+	got, err := w.cfg.Corpus.IngestFrom(resp.Body, id)
+	if err != nil {
+		return err
+	}
+	if got != id {
+		return fmt.Errorf("fetching trace %s: stored as %s", id, got)
+	}
+	return nil
+}

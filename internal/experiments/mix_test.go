@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/mem"
+)
+
+func TestRunSpecMixNormalizeAndKey(t *testing.T) {
+	hexID := strings.Repeat("cd", 32)
+	s := RunSpec{Mix: []string{"mcf", hexID}, Warmup: 1, Measure: 2}
+	s.Normalize()
+	if s.Cores != 2 {
+		t.Errorf("Cores = %d, want len(Mix) = 2", s.Cores)
+	}
+	if s.Mix[1] != "sha256:"+hexID {
+		t.Errorf("bare-hex mix entry not canonicalized: %q", s.Mix[1])
+	}
+	if want := "mcf+trace-" + hexID[:12]; s.Bench != want {
+		t.Errorf("bench label = %q, want %q", s.Bench, want)
+	}
+
+	// The identity is the per-core composition, independent of the
+	// display label and of how the trace entry was spelled.
+	a := RunSpec{Mix: []string{"mcf", hexID}, Warmup: 1, Measure: 2}
+	a.Normalize()
+	b := RunSpec{Mix: []string{"mcf", "sha256:" + hexID}, Bench: "my-mix", Warmup: 1, Measure: 2}
+	b.Normalize()
+	if a.Key() != b.Key() {
+		t.Errorf("equivalent mixes keyed differently: %q vs %q", a.Key(), b.Key())
+	}
+	if !strings.HasPrefix(a.Key(), "mcf+sha256:"+hexID+"/") {
+		t.Errorf("mix key does not join the composition: %q", a.Key())
+	}
+
+	// Order matters: [A,B] is a different machine than [B,A].
+	r := RunSpec{Mix: []string{"sha256:" + hexID, "mcf"}, Warmup: 1, Measure: 2}
+	r.Normalize()
+	if r.Key() == a.Key() {
+		t.Error("reordered mix keyed the same")
+	}
+
+	// A homogeneous mix and the plain rate-mode spec are distinct keys
+	// (they simulate identically, but the spec spelling differs — the
+	// byte-identity is pinned by TestRunSpecMixMatchesRateMode).
+	plain := RunSpec{Bench: "mcf", PF: "none", Cores: 2, Warmup: 1, Measure: 2, Degree: 1}
+	mix2 := RunSpec{Mix: []string{"mcf", "mcf"}, PF: "none", Warmup: 1, Measure: 2, Degree: 1}
+	mix2.Normalize()
+	if plain.Key() == mix2.Key() {
+		t.Error("homogeneous mix keyed like the plain spec")
+	}
+}
+
+func TestRunSpecMixValidate(t *testing.T) {
+	c := withTestCorpus(t)
+
+	both := RunSpec{Mix: []string{"mcf"}, Trace: "sha256:" + strings.Repeat("0", 64), Measure: 1}
+	both.Normalize()
+	if err := both.Validate(); err == nil || !strings.Contains(err.Error(), "both") {
+		t.Errorf("trace+mix spec validated: %v", err)
+	}
+
+	bad := RunSpec{Mix: []string{"mcf", "no-such-bench"}, Measure: 1}
+	bad.Normalize()
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "mix core 1") {
+		t.Errorf("unknown benchmark in mix validated: %v", err)
+	}
+
+	missing := RunSpec{Mix: []string{"sha256:" + strings.Repeat("0", 64)}, Measure: 1}
+	missing.Normalize()
+	if err := missing.Validate(); err == nil {
+		t.Error("mix naming an absent corpus trace validated")
+	}
+
+	id := ingest(t, c, "lbm", 3, 0, 16)
+	ok := RunSpec{Mix: []string{"mcf", id}, Measure: 1}
+	ok.Normalize()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("well-formed mix failed validation: %v", err)
+	}
+}
+
+// TestRunSpecMixMatchesRateMode pins the compatibility contract from
+// the spec docs: a mix of N copies of one benchmark is byte-identical
+// to the plain Cores=N rate-mode spec (same per-core seed offsets,
+// same disjoint address bases).
+func TestRunSpecMixMatchesRateMode(t *testing.T) {
+	plain := RunSpec{Bench: "mcf", PF: "triage-dyn", Cores: 2, Warmup: 5_000, Measure: 20_000, Seed: 7, Degree: 1}
+	mix := RunSpec{Mix: []string{"mcf", "mcf"}, PF: "triage-dyn", Warmup: 5_000, Measure: 20_000, Seed: 7, Degree: 1}
+	rp, err := plain.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm, err := mix.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, bm := EncodeResult(rp), EncodeResult(rm)
+	if !bytes.Equal(bp, bm) {
+		t.Errorf("homogeneous mix diverged from rate mode:\nplain: %s\nmix:   %s", bp, bm)
+	}
+}
+
+// TestRunSpecMixTraceEntry runs a heterogeneous mix — one captured
+// trace, one generator — end to end and checks determinism, and that
+// the trace core's capture base does not leak: replay entries always
+// sit at the uniform (core+1)<<40 base.
+func TestRunSpecMixTraceEntry(t *testing.T) {
+	c := withTestCorpus(t)
+	id := ingest(t, c, "lbm", 11, mem.Addr(1)<<40, 100_000)
+
+	spec := RunSpec{Mix: []string{id, "mcf"}, PF: "triage-dyn", Warmup: 5_000, Measure: 20_000, Seed: 7, Degree: 1}
+	r1, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := spec.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, b2 := EncodeResult(r1), EncodeResult(r2)
+	if !bytes.Equal(b1, b2) {
+		t.Error("trace-bearing mix is not deterministic")
+	}
+	if r1.SimulatedInstructions == 0 {
+		t.Error("mix run retired no instructions")
+	}
+}

@@ -48,6 +48,16 @@ type RunSpec struct {
 	// (defaulted from the hash); Seed does not perturb a replay but
 	// remains part of the identity for key-shape uniformity.
 	Trace string `json:"trace,omitempty"`
+	// Mix, when non-empty, names one workload per core: each entry is
+	// either a generator benchmark name or a materialized corpus trace
+	// id ("sha256:<hex>"), so a multi-core job can replay distinct
+	// captured traces side by side (or mix captures with generators).
+	// Cores is derived from len(Mix); Trace and Mix are mutually
+	// exclusive. Every core gets the disjoint address base
+	// (core+1)<<40; generator entries take the same per-core seed
+	// offsets as rate mode, so a mix of N copies of one benchmark is
+	// byte-identical to the plain Cores=N spec.
+	Mix []string `json:"mix,omitempty"`
 	// SampleEvery, when non-zero, attaches a telemetry sampler at this
 	// retired-instruction interval; the sampled series is part of the
 	// job's result (and of its identity — see Key).
@@ -77,13 +87,40 @@ func (s *RunSpec) Normalize() {
 			s.Trace = canon
 		}
 		if s.Bench == "" {
-			hexPart := strings.TrimPrefix(s.Trace, "sha256:")
-			if len(hexPart) > 12 {
-				hexPart = hexPart[:12]
-			}
-			s.Bench = "trace-" + hexPart
+			s.Bench = traceLabel(s.Trace)
 		}
 	}
+	if len(s.Mix) > 0 {
+		// Mix entries pin the core count; trace-id entries canonicalize
+		// so equivalent spellings (bare hex vs sha256:-prefixed) hash to
+		// the same content key.
+		s.Cores = len(s.Mix)
+		for i, entry := range s.Mix {
+			if canon, err := trace.CanonicalTraceID(entry); err == nil {
+				s.Mix[i] = canon
+			}
+		}
+		if s.Bench == "" {
+			labels := make([]string, len(s.Mix))
+			for i, entry := range s.Mix {
+				if strings.HasPrefix(entry, "sha256:") {
+					labels[i] = traceLabel(entry)
+				} else {
+					labels[i] = entry
+				}
+			}
+			s.Bench = strings.Join(labels, "+")
+		}
+	}
+}
+
+// traceLabel derives a short display label from a canonical trace id.
+func traceLabel(id string) string {
+	hexPart := strings.TrimPrefix(id, "sha256:")
+	if len(hexPart) > 12 {
+		hexPart = hexPart[:12]
+	}
+	return "trace-" + hexPart
 }
 
 // Validate reports the first problem that would keep the spec from
@@ -91,12 +128,28 @@ func (s *RunSpec) Normalize() {
 // malformed or missing from the configured corpus, or an empty
 // measurement window. Call Normalize first.
 func (s RunSpec) Validate() error {
-	if s.Trace != "" {
+	switch {
+	case len(s.Mix) > 0:
+		if s.Trace != "" {
+			return fmt.Errorf("spec sets both trace and mix; pick one")
+		}
+		for i, entry := range s.Mix {
+			if strings.HasPrefix(entry, "sha256:") {
+				if _, err := resolveTrace(entry); err != nil {
+					return fmt.Errorf("mix core %d: %w", i, err)
+				}
+			} else if _, ok := workload.ByName(entry); !ok {
+				return fmt.Errorf("mix core %d: unknown benchmark %q", i, entry)
+			}
+		}
+	case s.Trace != "":
 		if _, err := resolveTrace(s.Trace); err != nil {
 			return err
 		}
-	} else if _, ok := workload.ByName(s.Bench); !ok {
-		return fmt.Errorf("unknown benchmark %q", s.Bench)
+	default:
+		if _, ok := workload.ByName(s.Bench); !ok {
+			return fmt.Errorf("unknown benchmark %q", s.Bench)
+		}
 	}
 	if _, err := BuildPrefetcher(s.PF, config.Default(1), 1); err != nil {
 		return err
@@ -119,6 +172,11 @@ func (s RunSpec) Key() string {
 		// not the display label: two submissions of the same trace under
 		// different labels dedup onto one simulation.
 		bench = s.Trace
+	}
+	if len(s.Mix) > 0 {
+		// A mix's identity is its per-core composition — canonical
+		// trace hashes and benchmark names, never display labels.
+		bench = strings.Join(s.Mix, "+")
 	}
 	k := fmt.Sprintf("%s/%s/x%d/w%d/m%d/s%d/d%d",
 		bench, s.PF, s.Cores, s.Warmup, s.Measure, s.Seed, s.Degree)
@@ -153,6 +211,10 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 		// hash — not the display label — names the warm prefix.
 		spec = workload.Replay(s.Bench, TraceCorpus(), id, workload.Server)
 		warmBench = id
+	} else if len(s.Mix) > 0 {
+		// The composition — canonical ids and names, '+'-joined — names
+		// the warm prefix, mirroring how figure mixes key snapshots.
+		warmBench = strings.Join(s.Mix, "+")
 	} else {
 		spec, _ = workload.ByName(s.Bench)
 	}
@@ -160,9 +222,32 @@ func (s RunSpec) Run(hooks *telemetry.Hooks) (sim.Result, error) {
 	ws := make([]trace.Reader, s.Cores)
 	pfs := make([]prefetch.Prefetcher, s.Cores)
 	for c := 0; c < s.Cores; c++ {
-		if s.Trace != "" {
+		switch {
+		case len(s.Mix) > 0:
+			// Per-core workloads share the uniform disjoint base
+			// (core+1)<<40 whatever their kind, so a captured trace can
+			// sit next to a generator without address-space overlap.
+			// Generator entries take the rate-mode seed offsets, making a
+			// mix of N copies of one benchmark byte-identical to the
+			// plain Cores=N spec.
+			entry := s.Mix[c]
+			if strings.HasPrefix(entry, "sha256:") {
+				id, err := resolveTrace(entry)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				sp := workload.Replay(traceLabel(id), TraceCorpus(), id, workload.Server)
+				ws[c] = sp.New(0, mem.Addr(c+1)<<40)
+			} else {
+				sp, ok := workload.ByName(entry)
+				if !ok {
+					return sim.Result{}, fmt.Errorf("mix core %d: unknown benchmark %q", c, entry)
+				}
+				ws[c] = sp.New(s.Seed+uint64(c)*104729, mem.Addr(c+1)<<40)
+			}
+		case s.Trace != "":
 			ws[c] = spec.New(0, mem.Addr(c)<<40)
-		} else {
+		default:
 			ws[c] = spec.New(s.Seed+uint64(c)*104729, mem.Addr(c+1)<<40)
 		}
 		p, err := BuildPrefetcher(s.PF, m, s.Degree)

@@ -69,6 +69,11 @@ type FigureScale struct {
 	SampleEvery  uint64 `json:"sample_every,omitempty"`
 }
 
+// Params resolves the scale against the quick defaults for callers
+// outside the package (the cluster worker runs figure jobs with the
+// exact parameters the coordinator's local path would have used).
+func (fs *FigureScale) Params() experiments.Params { return fs.params() }
+
 // params resolves the scale against the quick defaults, the same way
 // cmd/experiments resolves its override flags. Safe on a nil receiver.
 func (fs *FigureScale) params() experiments.Params {
@@ -167,6 +172,7 @@ type Job struct {
 	// servedOnce marks the result-served span exactly once.
 	trace      *obs.Trace
 	queueSpan  obs.SpanRef
+	remoteSpan obs.SpanRef // run span of a remotely-executing job
 	admittedNS int64
 	servedOnce sync.Once
 }

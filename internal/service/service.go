@@ -75,6 +75,12 @@ type Config struct {
 	// timeline leading up to a store fault survives a crash. cmd/triaged
 	// points it at stderr; leave nil to disable.
 	TraceLog io.Writer
+	// RemoteExec disables the local worker goroutines: admitted jobs
+	// wait in the queue for an external dispatcher (the cluster
+	// coordinator, internal/cluster) to Take them and drive them
+	// through BeginRemote/CompleteRemote/FailRemote/Requeue.
+	// Admission, dedup, persistence, and the HTTP API are unchanged.
+	RemoteExec bool
 }
 
 // Submission errors mapped to HTTP status codes by the handlers.
@@ -221,9 +227,11 @@ func New(cfg Config) (*Server, error) {
 		store.Close()
 		return nil, err
 	}
-	for i := 0; i < cfg.Workers; i++ {
-		s.wg.Add(1)
-		go s.worker()
+	if !cfg.RemoteExec {
+		for i := 0; i < cfg.Workers; i++ {
+			s.wg.Add(1)
+			go s.worker()
+		}
 	}
 	go s.probeLoop()
 	return s, nil

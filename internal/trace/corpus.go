@@ -9,6 +9,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -169,6 +170,58 @@ func (cw *CorpusWriter) Commit() (string, error) {
 func (cw *CorpusWriter) Abort() {
 	cw.f.Close()
 	os.Remove(cw.tmp)
+}
+
+// IngestFrom streams an encoded trace (any supported container) from r
+// into the corpus and returns the canonical id of the stored entry.
+// The records are decoded and re-encoded through a CorpusWriter, so
+// the stored entry is content-addressed by construction: a truncated,
+// corrupted, or maliciously renamed source can never land under a
+// wrong id. Cluster workers use it to fetch traces they lack from the
+// coordinator — pass the id the caller expects in want ("" skips the
+// check) and a mismatch (or any decode error) aborts the ingest.
+func (c *Corpus) IngestFrom(r io.Reader, want string) (string, error) {
+	if want != "" {
+		canon, err := CanonicalTraceID(want)
+		if err != nil {
+			return "", err
+		}
+		want = canon
+	}
+	dec := NewDecoder(r)
+	cw, err := c.Create()
+	if err != nil {
+		return "", err
+	}
+	for {
+		rec, ok := dec.Next()
+		if !ok {
+			break
+		}
+		if err := cw.Write(rec); err != nil {
+			cw.Abort()
+			return "", fmt.Errorf("trace: ingest: %w", err)
+		}
+	}
+	if err := dec.Err(); err != nil {
+		cw.Abort()
+		return "", fmt.Errorf("trace: ingest: %w", err)
+	}
+	if cw.Count() == 0 {
+		cw.Abort()
+		return "", errors.New("trace: ingest: source holds no records")
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		return "", err
+	}
+	if want != "" && id != want {
+		// Commit already deduped/published under the true id; remove
+		// nothing (the content is valid, just not what was asked for)
+		// but fail the fetch so the caller does not trust it.
+		return "", fmt.Errorf("trace: ingest: content hashes to %s, want %s", id, want)
+	}
+	return id, nil
 }
 
 // syncCorpusDir fsyncs the corpus directory so a just-renamed entry

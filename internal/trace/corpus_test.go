@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"os"
 	"strings"
 	"testing"
@@ -228,5 +229,111 @@ func TestCanonicalTraceID(t *testing.T) {
 		if _, err := CanonicalTraceID(bad); err == nil {
 			t.Errorf("CanonicalTraceID(%q) accepted", bad)
 		}
+	}
+}
+
+// TestCorpusIngestFrom covers the cluster trace-fetch path: a corpus
+// entry streamed as raw bytes ingests into a second corpus under the
+// same content hash, and a stream whose content does not match the
+// requested hash is rejected — though the content itself, being valid,
+// is published under its true id.
+func TestCorpusIngestFrom(t *testing.T) {
+	src, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := genRecords(14, 1500)
+	cw, err := src.Create()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := cw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	id, err := cw.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := src.Path(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dst.IngestFrom(bytes.NewReader(raw), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != id {
+		t.Fatalf("ingested id %s, want %s", got, id)
+	}
+	if !dst.Has(id) {
+		t.Fatal("destination corpus lacks the ingested trace")
+	}
+	f, err := dst.Open(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	for i, want := range recs {
+		rec, ok := f.Next()
+		if !ok {
+			t.Fatalf("record %d: premature end: %v", i, f.Err())
+		}
+		if rec != want {
+			t.Fatalf("record %d: got %+v want %+v", i, rec, want)
+		}
+	}
+
+	// The bare-hex spelling of the wanted id is accepted.
+	bare, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := bare.IngestFrom(bytes.NewReader(raw), strings.TrimPrefix(id, "sha256:")); err != nil || got != id {
+		t.Fatalf("bare-hex ingest = %q, %v", got, err)
+	}
+
+	// Wrong expected hash: the fetch fails, but the (valid) content is
+	// still published under its true id.
+	mism, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := "sha256:" + strings.Repeat("ab", 32)
+	if _, err := mism.IngestFrom(bytes.NewReader(raw), wrong); err == nil {
+		t.Fatal("hash-mismatched ingest succeeded")
+	}
+	if !mism.Has(id) {
+		t.Error("mismatched ingest discarded valid content instead of publishing it under its true id")
+	}
+	if mism.Has(wrong) {
+		t.Error("mismatched ingest published content under the wrong id")
+	}
+
+	// An empty stream is rejected outright.
+	if _, err := mism.IngestFrom(bytes.NewReader(nil), ""); err == nil {
+		t.Fatal("empty ingest succeeded")
+	}
+
+	// A truncated stream is rejected and publishes nothing new.
+	cut, err := OpenCorpus(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cut.IngestFrom(bytes.NewReader(raw[:len(raw)-3]), id); err == nil {
+		t.Fatal("truncated ingest succeeded")
+	}
+	if cut.Has(id) {
+		t.Error("truncated ingest published the full trace's id")
 	}
 }

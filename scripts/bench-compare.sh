@@ -91,10 +91,11 @@ if [ -f "$service_baseline" ]; then
     svc_fresh=$(mktemp -d)
     trap 'rm -f "$fresh"; rm -rf "$svc_fresh"' EXIT
     go build -o "$svc_fresh/triageload" ./cmd/triageload
-    while read -r scenario process rate jobs seed dedup workers queue p99; do
+    while read -r scenario process rate jobs seed dedup workers queue fafter ffor p99; do
         "$svc_fresh/triageload" -scenario "$scenario" -process "$process" \
             -rate "$rate" -jobs "$jobs" -seed "$seed" -dedup "$dedup" \
             -workers "$workers" -queue "$queue" -clock virtual -validate 0 \
+            -faultafter "$fafter" -faultfor "$ffor" \
             -o "$svc_fresh/$scenario.json" 2>/dev/null
         now=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['service'][0]['p99_ms'])" \
             "$svc_fresh/$scenario.json")
@@ -114,7 +115,8 @@ for r in f.get("service", []):
     if r.get("clock") != "virtual":
         continue
     print(r["scenario"], r["process"], r["rate_per_sec"], r["jobs"], r["seed"],
-          r["dedup_frac"], r["workers"], r["queue_cap"], r["p99_ms"])
+          r["dedup_frac"], r["workers"], r["queue_cap"],
+          r.get("fault_after", 0), r.get("fault_for", 0), r["p99_ms"])
 PY
 )
 else

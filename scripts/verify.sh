@@ -25,6 +25,7 @@ go test -race ./internal/experiments ./internal/sim
 go test -race ./internal/cache ./internal/replacement
 go test -race ./internal/service
 go test -race ./internal/obs ./cmd/triageload
+go test -race ./internal/cluster
 
 # Fault-injection suite: panic isolation, watchdog deadlines, bounded
 # retry, checkpoint round-trips, and the invariant checkers.
@@ -159,6 +160,74 @@ cmp "$smokedir/svc-a.json" "$smokedir/svc-b.json"
 "$smokedir/benchmerge" -service -file "$smokedir/BENCH_service.json" \
     <"$smokedir/svc-a.json"
 grep -q '"scenario": "smoke"' "$smokedir/BENCH_service.json"
+
+# Degraded-mode capacity smoke: a sustained-overload scenario whose
+# result store fails mid-run must report 503 rejections, stay byte-
+# identical across reruns (virtual clock), and survive the same fault
+# window against a real in-process server with a live vfs.Faulty.
+"$smokedir/triageload" -scenario overload-smoke -process poisson -rate 600 \
+    -jobs 150 -seed 9 -faultafter 40 -faultfor 60 -validate 4 \
+    -o "$smokedir/deg-a.json"
+"$smokedir/triageload" -scenario overload-smoke -process poisson -rate 600 \
+    -jobs 150 -seed 9 -faultafter 40 -faultfor 60 -validate 4 \
+    -o "$smokedir/deg-b.json"
+cmp "$smokedir/deg-a.json" "$smokedir/deg-b.json"
+grep -q '"rejected_503": [1-9]' "$smokedir/deg-a.json"
+"$smokedir/triageload" -scenario overload-wall -process poisson -rate 2000 \
+    -jobs 60 -seed 9 -clock wall -faultafter 15 -faultfor 25 -validate 4 \
+    -o - >/dev/null
+
+# Cluster smoke: the same two figures run once on a plain single-node
+# triaged and once distributed across a coordinator plus two worker
+# processes — one of which is kill -9'd mid-run, so its leased job is
+# requeued onto the survivor. The tables must be byte-identical and
+# the cluster status view must have shown both workers.
+go build -o "$smokedir/triageworker" ./cmd/triageworker
+rm -f "$smokedir/port"
+"$smokedir/triaged" -listen 127.0.0.1:0 -portfile "$smokedir/port" \
+    -store "$smokedir/solo-store" -queue 16 -workers 2 &
+triaged_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$smokedir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/triagectl" -addr "$addr" figures -j 2 -o "$smokedir/solo" \
+    -warmup 200000 -measure 200000 fig05 fig06
+kill -TERM "$triaged_pid"
+wait "$triaged_pid"
+rm -f "$smokedir/port"
+"$smokedir/triaged" -cluster -lease 2s -listen 127.0.0.1:0 \
+    -portfile "$smokedir/port" -store "$smokedir/cluster-store" -queue 16 &
+triaged_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$smokedir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/triageworker" -coordinator "$addr" -name smoke-a &
+worker_a=$!
+"$smokedir/triageworker" -coordinator "$addr" -name smoke-b &
+worker_b=$!
+"$smokedir/triagectl" -addr "$addr" figures -j 2 -o "$smokedir/clus" \
+    -warmup 200000 -measure 200000 fig05 fig06 &
+figures_pid=$!
+sleep 1
+"$smokedir/triagectl" -addr "$addr" status >"$smokedir/cluster-status.txt"
+grep -q 'smoke-a' "$smokedir/cluster-status.txt"
+grep -q 'smoke-b' "$smokedir/cluster-status.txt"
+kill -9 "$worker_b" 2>/dev/null || true
+wait "$figures_pid"
+cmp "$smokedir/solo/fig05.txt" "$smokedir/clus/fig05.txt"
+cmp "$smokedir/solo/fig06.txt" "$smokedir/clus/fig06.txt"
+# The kill was observed: the dead worker's lease lapsed and its figure
+# was requeued onto the survivor.
+"$smokedir/triagectl" -addr "$addr" status | grep -q 'requeued: [1-9]'
+kill -TERM "$worker_a"
+wait "$worker_a"
+wait "$worker_b" 2>/dev/null || true
+kill -TERM "$triaged_pid"
+wait "$triaged_pid"
 
 # Throughput regression gate (opt-in: the committed baseline numbers
 # are machine-dependent, so only run where they are comparable).
