@@ -40,7 +40,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: triagectl [-addr HOST:PORT] {submit|status|wait|result|jobs|figures|metrics|trace} ...")
+	return fmt.Errorf("usage: triagectl [-addr HOST:PORT] {submit|status|wait|result|jobs|figures|workers|metrics|trace} ...")
 }
 
 func run(args []string) error {
@@ -72,6 +72,8 @@ func run(args []string) error {
 		return c.cmdJobs(rest)
 	case "figures":
 		return c.cmdFigures(rest)
+	case "workers":
+		return c.cmdWorkers(rest)
 	case "metrics":
 		return c.cmdMetrics(rest)
 	case "trace":
@@ -416,22 +418,29 @@ func (c *client) cmdStatus(args []string) error {
 }
 
 // clusterStatus renders the coordinator's cluster view: registered
-// workers, active leases, and in-flight cells. Against a triaged
-// started without -cluster the endpoint does not exist (404).
+// workers (with health/quarantine/drain state), active leases, and
+// in-flight cells. Against a triaged started without -cluster the
+// endpoint does not exist (404).
 func (c *client) clusterStatus() error {
 	var sv cluster.StatusView
 	if err := c.getJSON("/cluster/v1/status", &sv); err != nil {
 		return fmt.Errorf("cluster status (is triaged running with -cluster?): %w", err)
 	}
-	fmt.Printf("workers: %d    queued: %d  assigned: %d  requeued: %d  leases expired: %d\n",
-		len(sv.Workers), sv.Queued, sv.Assigned, sv.Requeued, sv.Expired)
+	fmt.Printf("workers: %d    queued: %d  assigned: %d  requeued: %d  leases expired: %d  hedged: %d  uploads rejected: %d\n",
+		len(sv.Workers), sv.Queued, sv.Assigned, sv.Requeued, sv.Expired, sv.Hedged, sv.Rejected)
 	for _, wv := range sv.Workers {
-		live := "live"
+		state := "live"
 		if !wv.Live {
-			live = "stale"
+			state = "stale"
 		}
-		fmt.Printf("  %-6s %-24s slots %d  inflight %d  last seen %5dms ago  %s\n",
-			wv.ID, wv.Name, wv.Slots, wv.Inflight, wv.LastSeenMillis, live)
+		if wv.Quarantined {
+			state += " QUARANTINED"
+		}
+		if wv.Draining {
+			state += " draining"
+		}
+		fmt.Printf("  %-6s %-24s slots %d  inflight %d  health %4.1f  last seen %5dms ago  %s\n",
+			wv.ID, wv.Name, wv.Slots, wv.Inflight, wv.Health, wv.LastSeenMillis, state)
 	}
 	if len(sv.Leases) == 0 {
 		fmt.Println("leases: none (no cells in flight)")
@@ -439,9 +448,40 @@ func (c *client) clusterStatus() error {
 	}
 	fmt.Printf("leases: %d\n", len(sv.Leases))
 	for _, lv := range sv.Leases {
-		fmt.Printf("  %s on %-6s expires in %5dms  age %6dms  %s\n",
-			lv.JobID, lv.Worker, lv.ExpiresInMillis, lv.AgeMillis, lv.Key)
+		hedged := ""
+		if lv.Hedged {
+			hedged = "  (hedged)"
+		}
+		fmt.Printf("  %s on %-6s expires in %5dms  age %6dms  %s%s\n",
+			lv.JobID, lv.Worker, lv.ExpiresInMillis, lv.AgeMillis, lv.Key, hedged)
 	}
+	return nil
+}
+
+// cmdWorkers manages the cluster fleet. The only verb today is drain:
+// rotate workers out by name — they finish in-flight jobs, get no new
+// ones, and their next poll tells them to exit.
+func (c *client) cmdWorkers(args []string) error {
+	if len(args) != 2 || args[0] != "drain" {
+		return fmt.Errorf("usage: triagectl workers drain WORKER-NAME")
+	}
+	body, err := json.Marshal(cluster.DrainRequest{Name: args[1]})
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(http.MethodPost, "/cluster/v1/workers/drain", body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	var dr cluster.DrainResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		return err
+	}
+	fmt.Printf("draining: %s\n", strings.Join(dr.Drained, " "))
 	return nil
 }
 

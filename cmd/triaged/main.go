@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
+	"repro/internal/netfault"
 	"repro/internal/service"
 )
 
@@ -46,6 +47,7 @@ func run() error {
 	corpus := flag.String("corpus", "", "content-addressed trace corpus directory; enables jobs that replay traces by hash")
 	clusterMode := flag.Bool("cluster", false, "coordinator mode: jobs run on triageworker processes instead of in-process goroutines")
 	lease := flag.Duration("lease", 10*time.Second, "cluster mode: worker lease TTL; a job whose worker stops heartbeating this long is requeued")
+	nfPlan := flag.String("netfault", "", "seeded server-side fault plan for chaos drills, e.g. seed=7,refuse=0.05 (accepted connections are dropped per plan; see internal/netfault)")
 	prof := cliutil.AddProfile(flag.CommandLine)
 	wd := cliutil.AddWatchdog(flag.CommandLine)
 	dbg := cliutil.AddDebugHTTP(flag.CommandLine)
@@ -97,6 +99,16 @@ func run() error {
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		return err
+	}
+	var faulty *netfault.Listener
+	if *nfPlan != "" {
+		plan, err := netfault.ParsePlan(*nfPlan)
+		if err != nil {
+			return err
+		}
+		faulty = netfault.WrapListener(ln, plan)
+		ln = faulty
+		fmt.Fprintf(os.Stderr, "triaged: netfault listener armed (%s)\n", *nfPlan)
 	}
 	if *portFile != "" {
 		if err := os.WriteFile(*portFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
@@ -151,5 +163,8 @@ func run() error {
 	}
 	fmt.Fprintf(os.Stderr, "triaged: drained — %d job(s) finished, %d queued job(s) persisted\n",
 		stats.Finished, stats.Queued)
+	if faulty != nil {
+		fmt.Fprintf(os.Stderr, "triaged: netfault injected: %s\n", faulty.CountersString())
+	}
 	return nil
 }

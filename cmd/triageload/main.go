@@ -60,6 +60,7 @@ func run(args []string, stdout *os.File) error {
 		clock      = fs.String("clock", "virtual", "virtual (deterministic DES) or wall (real time)")
 		addr       = fs.String("addr", "", "drive a live triaged at HOST:PORT instead of in-process (wall clock only)")
 		workers    = fs.Int("workers", 4, "in-process server worker count (and DES server count)")
+		clusterW   = fs.Int("cluster-workers", 0, "model a triaged -cluster deployment with this many remote workers (virtual clock only; 0 = single-node)")
 		queueCap   = fs.Int("queue", 64, "in-process server queue capacity (and DES queue cap)")
 		validate   = fs.Int("validate", 8, "jobs to run through the real service path for trace/metrics validation (0 = skip)")
 		faultAfter = fs.Int("faultafter", 0, "degraded-mode window: the result store starts failing at this arrival index (0 = no fault)")
@@ -91,11 +92,14 @@ func run(args []string, stdout *os.File) error {
 		if *addr != "" {
 			return fmt.Errorf("-addr needs -clock wall (the virtual clock cannot pace a remote server)")
 		}
-		row = runVirtual(arr, *workers, *queueCap, fw)
+		row = runVirtual(arr, *workers, *queueCap, fw, *clusterW)
 		if err := validateVirtual(arr, *validate, *seed); err != nil {
 			return fmt.Errorf("service-path validation: %w", err)
 		}
 	case "wall":
+		if *clusterW > 0 {
+			return fmt.Errorf("-cluster-workers needs -clock virtual (drive a real cluster coordinator with -addr instead)")
+		}
 		if *addr != "" && fw.active() {
 			return fmt.Errorf("-faultafter needs an in-process server (cannot inject disk faults into a remote triaged)")
 		}
@@ -126,6 +130,7 @@ func run(args []string, stdout *os.File) error {
 	row.RatePerSec = *rate
 	row.Workers = *workers
 	row.QueueCap = *queueCap
+	row.ClusterWorkers = *clusterW
 	row.DedupFrac = *dedup
 	row.FaultAfter = *faultAfter
 	row.FaultFor = *faultFor

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 
@@ -77,7 +78,7 @@ func TestGenerateSchedules(t *testing.T) {
 // latency quantiles are ordered.
 func TestVirtualAccounting(t *testing.T) {
 	arr := testGen(t, func(g *genConfig) { g.Rate = 2000; g.Jobs = 200 })
-	row := runVirtual(arr, 2, 8, faultWindow{})
+	row := runVirtual(arr, 2, 8, faultWindow{}, 0)
 	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
 		t.Errorf("accounting leak: %d completed + %d rejected != %d jobs",
 			row.Completed, row.Rejected429+row.Rejected503, row.Jobs)
@@ -136,19 +137,49 @@ func TestVirtualByteIdentical(t *testing.T) {
 func TestVirtualFaultWindow(t *testing.T) {
 	arr := testGen(t, func(g *genConfig) { g.Rate = 2000; g.Jobs = 200 })
 	fw := faultWindow{after: 50, dur: 60}
-	row := runVirtual(arr, 2, 8, fw)
+	row := runVirtual(arr, 2, 8, fw, 0)
 	if row.Rejected503 == 0 {
 		t.Fatal("a 60-arrival fault window shed nothing")
 	}
 	if got := row.Completed + row.Rejected429 + row.Rejected503; got != row.Jobs {
 		t.Errorf("accounting leak under faults: %+v", row)
 	}
-	healthy := runVirtual(arr, 2, 8, faultWindow{})
+	healthy := runVirtual(arr, 2, 8, faultWindow{}, 0)
 	if healthy.Rejected503 != 0 {
 		t.Errorf("healthy run counted 503s: %+v", healthy)
 	}
-	if again := runVirtual(arr, 2, 8, fw); !reflect.DeepEqual(row, again) {
+	if again := runVirtual(arr, 2, 8, fw, 0); !reflect.DeepEqual(row, again) {
 		t.Error("fault-window run is not deterministic")
+	}
+}
+
+// TestVirtualClusterModel pins the coordinator/worker model: remote
+// execution charges the dispatch round-trip on every executed job
+// (warm hits still serve at zero latency), concurrency follows the
+// remote worker count rather than the in-process pool, the run stays
+// deterministic, and the CLI rejects the knob on the wall clock.
+func TestVirtualClusterModel(t *testing.T) {
+	arr := testGen(t, func(g *genConfig) { g.Rate = 400; g.Jobs = 120 })
+	single := runVirtual(arr, 4, 64, faultWindow{}, 0)
+	clustered := runVirtual(arr, 0, 64, faultWindow{}, 4)
+	if got := clustered.Completed + clustered.Rejected429 + clustered.Rejected503; got != clustered.Jobs {
+		t.Errorf("accounting leak in cluster mode: %+v", clustered)
+	}
+	// Same concurrency (4 vs 4) and schedule, every service time 2ms
+	// longer: the slowest executed job must be at least that much slower.
+	if clustered.MaxMs < single.MaxMs+2 {
+		t.Errorf("dispatch RTT not charged: single max %gms, clustered max %gms",
+			single.MaxMs, clustered.MaxMs)
+	}
+	if narrow := runVirtual(arr, 8, 64, faultWindow{}, 2); narrow.InflightHWM > 2 {
+		t.Errorf("cluster of 2 ran %d jobs concurrently (in-process pool leaked through)", narrow.InflightHWM)
+	}
+	if again := runVirtual(arr, 0, 64, faultWindow{}, 4); !reflect.DeepEqual(clustered, again) {
+		t.Error("cluster-model run is not deterministic")
+	}
+	err := run([]string{"-clock", "wall", "-cluster-workers", "2", "-jobs", "4", "-o", "-"}, os.Stdout)
+	if err == nil || !strings.Contains(err.Error(), "-clock virtual") {
+		t.Errorf("wall clock accepted -cluster-workers: %v", err)
 	}
 }
 

@@ -45,6 +45,12 @@ func (h *completionHeap) Push(x any)         { *h = append(*h, x.(completion)) }
 func (h *completionHeap) Pop() any           { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
 func (h completionHeap) peek() time.Duration { return h[0].at }
 
+// clusterDispatchRTT is the fixed per-job network overhead the cluster
+// model charges on top of the service time: one lease assignment
+// round-trip plus one result upload, the two RPCs every remotely
+// executed job pays on the (uncontended) LAN path the cluster targets.
+const clusterDispatchRTT = 2 * time.Millisecond
+
 // runVirtual plays the schedule through the DES and returns the
 // scenario row (latency quantiles in virtual time) plus the dedup keys
 // observed, so callers can sanity-check against the generator.
@@ -53,7 +59,17 @@ func (h completionHeap) peek() time.Duration { return h[0].at }
 // degraded (Submit checks them before the degraded gate), fresh
 // admissions shed with 503. The window opens and closes on arrival
 // index, mirroring the wall clock's SetPlan/Heal points.
-func runVirtual(arr []arrival, workers, queueCap int, fw faultWindow) benchfile.ServiceRow {
+//
+// cluster > 0 switches execution to the coordinator/worker model:
+// admission, dedup joins and warm-store hits still happen at the
+// coordinator (unchanged), but jobs execute on that many remote
+// workers, each job paying clusterDispatchRTT of network overhead.
+func runVirtual(arr []arrival, workers, queueCap int, fw faultWindow, cluster int) benchfile.ServiceRow {
+	overhead := time.Duration(0)
+	if cluster > 0 {
+		workers = cluster
+		overhead = clusterDispatchRTT
+	}
 	var (
 		comps     completionHeap
 		queue     []*desJob
@@ -112,7 +128,7 @@ func runVirtual(arr []arrival, workers, queueCap int, fw faultWindow) benchfile.
 		}
 		j := &desJob{key: key, waiters: []time.Duration{a.At}}
 		inflight[key] = j
-		cost[key] = specCost(a.Spec)
+		cost[key] = specCost(a.Spec) + overhead
 		if running < workers {
 			start(j)
 			return

@@ -17,14 +17,17 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
+	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/cluster"
 	"repro/internal/experiments"
+	"repro/internal/netfault"
 	"repro/internal/trace"
 )
 
@@ -41,6 +44,8 @@ func run() error {
 	slots := flag.Int("slots", 1, "jobs executed concurrently")
 	poolWorkers := flag.Int("poolworkers", runtime.GOMAXPROCS(0), "simulation pool size a figure job fans out over")
 	corpusDir := flag.String("corpus", "", "local trace corpus directory; missing traces are fetched from the coordinator by hash")
+	nfPlan := flag.String("netfault", "", "seeded client-side fault plan for chaos drills, e.g. seed=7,drop=0.05,dup=0.05 (applied to every coordinator RPC; see internal/netfault)")
+	jitterSeed := flag.Int64("jitterseed", 0, "seed for the retry-jitter stream and register idempotency token (0: derive a unique one)")
 	prof := cliutil.AddProfile(flag.CommandLine)
 	wd := cliutil.AddWatchdog(flag.CommandLine)
 	flag.Parse()
@@ -61,7 +66,18 @@ func run() error {
 		PoolWorkers: *poolWorkers,
 		Deadline:    *wd.Deadline,
 		Stall:       *wd.Stall,
+		JitterSeed:  *jitterSeed,
 		Log:         os.Stderr,
+	}
+	var faulty *netfault.Transport
+	if *nfPlan != "" {
+		plan, err := netfault.ParsePlan(*nfPlan)
+		if err != nil {
+			return err
+		}
+		faulty = netfault.New(nil, plan)
+		cfg.Client = &http.Client{Transport: faulty, Timeout: 5 * time.Minute}
+		fmt.Fprintf(os.Stderr, "triageworker: netfault transport armed (%s)\n", *nfPlan)
 	}
 	if *corpusDir != "" {
 		// The local corpus doubles as the process-wide trace source, so
@@ -93,6 +109,9 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "triageworker: done (%d job(s) uploaded)\n", w.JobsDone())
+	if faulty != nil {
+		fmt.Fprintf(os.Stderr, "triageworker: netfault injected: %s\n", faulty.CountersString())
+	}
 	return nil
 }
 

@@ -32,6 +32,12 @@ type ServiceRow struct {
 	Workers   int     `json:"workers"`
 	QueueCap  int     `json:"queue_cap"`
 	DedupFrac float64 `json:"dedup_frac"`
+	// ClusterWorkers > 0 means the scenario modeled a triaged -cluster
+	// deployment: jobs execute on this many remote workers instead of
+	// the in-process pool, and every executed job pays a fixed dispatch
+	// round-trip (lease assignment + result upload) on top of its
+	// service time. Zero = single-node in-process execution.
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
 	// FaultAfter/FaultFor describe a store-fault window by arrival
 	// index: the store starts failing at arrival FaultAfter and heals
 	// FaultFor arrivals later, so the scenario measures degraded-mode

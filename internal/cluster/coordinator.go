@@ -9,10 +9,23 @@
 // job requeues; a coordinator that dies re-admits queued and leased
 // jobs from the admission log (queue.jsonl) — job ids are derived
 // from content keys, so a surviving worker's upload still lands.
+//
+// The protocol assumes a hostile network and imperfect workers (see
+// internal/netfault for the fault model): uploads are verified against
+// the config fingerprint and a canonical payload hash before anything
+// is persisted, workers accumulate a decaying health score and are
+// quarantined out of dispatch when it crosses the threshold, and jobs
+// leased far past the fleet's p99 run estimate are hedged — dispatched
+// speculatively to a second worker, first result wins.
 package cluster
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sort"
@@ -27,11 +40,23 @@ import (
 
 // assignFile is the coordinator's assignment audit log, next to the
 // store's queue.jsonl. One JSON line per assign/complete/fail/
-// expire/requeue event, written through the server's vfs (so chaos
-// tests exercise it under injected faults). Durability of jobs does
-// not depend on it — that is queue.jsonl's contract — but it records
-// which worker ran what, survives restarts, and is cheap to grep.
+// expire/requeue/reject/hedge event, written through the server's vfs
+// (so chaos tests exercise it under injected faults). Durability of
+// jobs does not depend on it — that is queue.jsonl's contract — but it
+// records which worker ran what, survives restarts, and is cheap to
+// grep.
 const assignFile = "assign.jsonl"
+
+// Health penalties. The score decays exponentially (half-life
+// Config.HealthHalfLife); at or above Config.HealthThreshold the
+// worker is quarantined out of dispatch and re-admitted by decay
+// alone, so the quarantine lasts HalfLife·log2(score/threshold) — a
+// penalty must overshoot the threshold to quarantine for real time.
+const (
+	healthVerifyReject = 6.0 // corrupted/mismatched upload: quarantined for a full half-life
+	healthExecFailure  = 1.5 // worker-reported execution error
+	healthLeaseExpiry  = 1.0 // heartbeat flap: lease lapsed and the job requeued
+)
 
 // Config sizes a Coordinator.
 type Config struct {
@@ -46,6 +71,24 @@ type Config struct {
 	// PollWindow bounds how long a worker's poll blocks waiting for
 	// work before returning 204. Default 25s.
 	PollWindow time.Duration
+	// HealthThreshold is the decayed fault score at which a worker is
+	// quarantined. Default 3 (one verification reject, or three lesser
+	// faults in quick succession).
+	HealthThreshold float64
+	// HealthHalfLife is the fault-score decay half-life; it doubles as
+	// the re-admission clock for quarantined workers. Default 30s.
+	HealthHalfLife time.Duration
+	// HedgeFactor multiplies the fleet's p99 run estimate to get the
+	// lease age past which a job is speculatively re-dispatched.
+	// Default 3.
+	HedgeFactor float64
+	// HedgeMinAge floors the hedging threshold so small-sample p99
+	// estimates cannot trigger duplicate simulation of healthy jobs.
+	// Default 30s.
+	HedgeMinAge time.Duration
+	// HedgeMinSamples is how many completed runs the estimator needs
+	// before hedging arms. Default 5.
+	HedgeMinSamples int
 }
 
 // Coordinator dispatches the server's queue to registered workers.
@@ -56,32 +99,45 @@ type Coordinator struct {
 
 	mu        sync.Mutex
 	workers   map[string]*workerState
-	leases    map[string]*lease // by job id
+	tokens    map[string]string // register idempotency token → worker id
+	leases    map[string]*lease // primary assignment, by job id
+	hedges    map[string]*lease // speculative second assignment, by job id
 	jobAcc    map[string]int    // samples accepted into each job's feed
 	gauges    map[string]bool   // per-worker gauge names already registered
 	assignLog vfs.File
 	workerSeq int
+	durations []time.Duration // recent completed-run durations (capped ring)
 
 	dispatch chan *service.Job
+	hedgec   chan *service.Job
 	stopOnce sync.Once
 	stopc    chan struct{}
 	wg       sync.WaitGroup
 
-	mAssigned  atomic.Int64
-	mRequeued  atomic.Int64
-	mExpired   atomic.Int64
-	mResults   atomic.Int64
-	mDupedUp   atomic.Int64 // duplicate uploads (first result won)
-	mLogErrors atomic.Int64
+	mAssigned    atomic.Int64
+	mRequeued    atomic.Int64
+	mExpired     atomic.Int64
+	mResults     atomic.Int64
+	mDupedUp     atomic.Int64 // duplicate uploads (first result won)
+	mRejected    atomic.Int64 // uploads that failed verification
+	mHedged      atomic.Int64 // jobs speculatively re-dispatched
+	mQuarantines atomic.Int64 // quarantine entries (lifetime)
+	mLogErrors   atomic.Int64
 }
 
 // workerState is one registered worker.
 type workerState struct {
 	id       string
 	name     string
+	token    string
 	slots    int
 	lastSeen time.Time
 	inflight map[string]bool // job ids under lease
+	// health is the decaying fault score as of healthAt; read it
+	// through decayedHealthLocked, never directly.
+	health   float64
+	healthAt time.Time
+	draining bool
 }
 
 // lease is one assignment.
@@ -93,17 +149,24 @@ type lease struct {
 	// lastInstr is the worker's last absolute instruction count, so
 	// event batches fold into the feed as deltas.
 	lastInstr uint64
+	// lastSeq is the highest event-batch sequence folded under this
+	// lease; duplicate-delivered batches arrive at or below it and are
+	// dropped.
+	lastSeq int64
 	// samplesSeen counts samples received under this lease; together
 	// with the job's accepted count it dedups re-streamed samples
 	// after a requeue.
 	samplesSeen int
+	// hedged marks that a speculative second assignment has been
+	// offered for this job.
+	hedged bool
 }
 
 // New starts a coordinator over a RemoteExec server: the dispatcher
 // pulls queued jobs (skipping any already durable cluster-wide), the
-// sweeper requeues expired leases, and cluster metrics register on
-// the server's registry. Call Stop (after draining the server) to
-// shut down.
+// sweeper requeues expired leases and hedges stragglers, and cluster
+// metrics register on the server's registry. Call Stop (after draining
+// the server) to shut down.
 func New(cfg Config) (*Coordinator, error) {
 	if cfg.Server == nil {
 		return nil, fmt.Errorf("cluster: Config.Server is required")
@@ -117,15 +180,33 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.PollWindow <= 0 {
 		cfg.PollWindow = 25 * time.Second
 	}
+	if cfg.HealthThreshold <= 0 {
+		cfg.HealthThreshold = 3
+	}
+	if cfg.HealthHalfLife <= 0 {
+		cfg.HealthHalfLife = 30 * time.Second
+	}
+	if cfg.HedgeFactor <= 0 {
+		cfg.HedgeFactor = 3
+	}
+	if cfg.HedgeMinAge <= 0 {
+		cfg.HedgeMinAge = 30 * time.Second
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = 5
+	}
 	c := &Coordinator{
 		cfg:      cfg,
 		srv:      cfg.Server,
 		fsys:     cfg.Server.VFS(),
 		workers:  make(map[string]*workerState),
+		tokens:   make(map[string]string),
 		leases:   make(map[string]*lease),
+		hedges:   make(map[string]*lease),
 		jobAcc:   make(map[string]int),
 		gauges:   make(map[string]bool),
 		dispatch: make(chan *service.Job),
+		hedgec:   make(chan *service.Job, 32),
 		stopc:    make(chan struct{}),
 	}
 	path := filepath.Join(cfg.Server.StoreDirPath(), assignFile)
@@ -201,22 +282,82 @@ func (c *Coordinator) sweepLoop() {
 	}
 }
 
-// sweep expires lapsed leases and requeues their jobs.
+// sweep expires lapsed leases (requeueing their jobs in a
+// deterministic order: lease start time, then job id — never the
+// map's iteration order), drops lapsed hedges, promotes a live hedge
+// when its primary dies, and offers hedges for jobs leased far past
+// the fleet's p99 run estimate.
 func (c *Coordinator) sweep(now time.Time) {
 	c.mu.Lock()
-	var lapsed []*lease
+	var lapsed, hedgeLapsed, promoted, offers []*lease
 	for id, l := range c.leases {
-		if now.After(l.expires) {
-			lapsed = append(lapsed, l)
-			delete(c.leases, id)
-			if ws := c.workers[l.worker]; ws != nil {
-				delete(ws.inflight, l.job.ID())
+		if !now.After(l.expires) {
+			continue
+		}
+		if ws := c.workers[l.worker]; ws != nil {
+			delete(ws.inflight, id)
+		}
+		if h := c.hedges[id]; h != nil && !now.After(h.expires) {
+			// The primary died but its hedge is alive: promote the hedge
+			// instead of requeueing — the job is already running.
+			delete(c.hedges, id)
+			h.hedged = true // a promoted job is not hedged again
+			c.leases[id] = h
+			promoted = append(promoted, l)
+			continue
+		}
+		lapsed = append(lapsed, l)
+		delete(c.leases, id)
+	}
+	for id, h := range c.hedges {
+		if _, live := c.leases[id]; live && !now.After(h.expires) {
+			continue
+		}
+		// The hedge lapsed (or its primary vanished with it above):
+		// drop it quietly — requeueing is the primary lease's job.
+		delete(c.hedges, id)
+		if ws := c.workers[h.worker]; ws != nil {
+			delete(ws.inflight, id)
+		}
+		if now.After(h.expires) {
+			hedgeLapsed = append(hedgeLapsed, h)
+		}
+	}
+	if thresh, ok := c.hedgeThresholdLocked(); ok {
+		for id, l := range c.leases {
+			if !l.hedged && c.hedges[id] == nil && now.Sub(l.started) > thresh {
+				l.hedged = true
+				offers = append(offers, l)
 			}
 		}
 	}
 	c.mu.Unlock()
+
+	// Simultaneous expiries requeue in a stable order regardless of Go
+	// map iteration: oldest lease first, job id as the tiebreak.
+	byStart := func(s []*lease) {
+		sort.Slice(s, func(i, k int) bool {
+			if !s[i].started.Equal(s[k].started) {
+				return s[i].started.Before(s[k].started)
+			}
+			return s[i].job.ID() < s[k].job.ID()
+		})
+	}
+	byStart(lapsed)
+	byStart(offers)
+
+	for _, l := range promoted {
+		c.logEvent("promote", l.job, l.worker)
+		if tr := l.job.Trace(); tr != nil {
+			tr.Mark("hedge-promoted", map[string]string{"expired_worker": l.worker})
+		}
+	}
+	for _, h := range hedgeLapsed {
+		c.logEvent("hedge-expire", h.job, h.worker)
+	}
 	for _, l := range lapsed {
 		c.mExpired.Add(1)
+		c.penalize(l.worker, healthLeaseExpiry, now)
 		if tr := l.job.Trace(); tr != nil {
 			tr.Mark("lease-expired", map[string]string{"worker": l.worker})
 		}
@@ -226,6 +367,49 @@ func (c *Coordinator) sweep(now time.Time) {
 			c.logEvent("requeue", l.job, l.worker)
 		}
 	}
+	for _, l := range offers {
+		select {
+		case c.hedgec <- l.job:
+			c.mHedged.Add(1)
+			c.logEvent("hedge", l.job, l.worker)
+			if tr := l.job.Trace(); tr != nil {
+				tr.Mark("hedge", map[string]string{"primary": l.worker})
+			}
+		default:
+			// Offer channel full; a later sweep re-offers.
+			c.mu.Lock()
+			l.hedged = false
+			c.mu.Unlock()
+		}
+	}
+}
+
+// hedgeThresholdLocked derives the straggler cutoff from recent run
+// durations: HedgeFactor × p99, floored at HedgeMinAge, armed only
+// once HedgeMinSamples runs have completed.
+func (c *Coordinator) hedgeThresholdLocked() (time.Duration, bool) {
+	if len(c.durations) < c.cfg.HedgeMinSamples {
+		return 0, false
+	}
+	sorted := make([]time.Duration, len(c.durations))
+	copy(sorted, c.durations)
+	sort.Slice(sorted, func(i, k int) bool { return sorted[i] < sorted[k] })
+	p99 := sorted[(len(sorted)-1)*99/100]
+	t := time.Duration(float64(p99) * c.cfg.HedgeFactor)
+	if t < c.cfg.HedgeMinAge {
+		t = c.cfg.HedgeMinAge
+	}
+	return t, true
+}
+
+// recordRunLocked feeds the p99 estimator (capped ring of the last 128
+// completed runs).
+func (c *Coordinator) recordRunLocked(d time.Duration) {
+	if len(c.durations) >= 128 {
+		copy(c.durations, c.durations[1:])
+		c.durations = c.durations[:len(c.durations)-1]
+	}
+	c.durations = append(c.durations, d)
 }
 
 // logEvent appends one assignment-log line (best effort: the audit
@@ -248,21 +432,36 @@ func (c *Coordinator) logEvent(event string, j *service.Job, worker string) {
 	}
 }
 
-// register admits a worker and returns its state.
-func (c *Coordinator) register(name string, slots int) *workerState {
+// register admits a worker and returns its state. A re-delivered or
+// retried register with a token the coordinator has already seen
+// returns the existing identity instead of minting a phantom worker.
+func (c *Coordinator) register(name string, slots int, token string) *workerState {
 	if slots < 1 {
 		slots = 1
 	}
 	c.mu.Lock()
+	if token != "" {
+		if id, ok := c.tokens[token]; ok {
+			if ws := c.workers[id]; ws != nil {
+				ws.lastSeen = time.Now()
+				c.mu.Unlock()
+				return ws
+			}
+		}
+	}
 	c.workerSeq++
 	ws := &workerState{
 		id:       fmt.Sprintf("w%03d", c.workerSeq),
 		name:     name,
+		token:    token,
 		slots:    slots,
 		lastSeen: time.Now(),
 		inflight: make(map[string]bool),
 	}
 	c.workers[ws.id] = ws
+	if token != "" {
+		c.tokens[token] = ws.id
+	}
 	c.mu.Unlock()
 	c.registerWorkerGauge(name)
 	return ws
@@ -278,6 +477,75 @@ func (c *Coordinator) touch(id string) *workerState {
 		ws.lastSeen = time.Now()
 	}
 	return ws
+}
+
+// decayedHealthLocked reads a worker's fault score at now, applying
+// exponential decay (half-life cfg.HealthHalfLife) since it was last
+// written.
+func (c *Coordinator) decayedHealthLocked(ws *workerState, now time.Time) float64 {
+	if ws.health == 0 {
+		return 0
+	}
+	elapsed := now.Sub(ws.healthAt)
+	if elapsed <= 0 {
+		return ws.health
+	}
+	h := ws.health * math.Exp2(-float64(elapsed)/float64(c.cfg.HealthHalfLife))
+	if h < 0.01 {
+		return 0
+	}
+	return h
+}
+
+// quarantinedLocked reports whether the worker's decayed score is at
+// or above the threshold — if so it receives no assignments until
+// decay re-admits it.
+func (c *Coordinator) quarantinedLocked(ws *workerState, now time.Time) bool {
+	return c.decayedHealthLocked(ws, now) >= c.cfg.HealthThreshold
+}
+
+// penalize adds fault points to a worker's decayed score and counts a
+// quarantine entry if this penalty crossed the threshold.
+func (c *Coordinator) penalize(workerID string, pts float64, now time.Time) {
+	c.mu.Lock()
+	ws := c.workers[workerID]
+	if ws == nil {
+		c.mu.Unlock()
+		return
+	}
+	wasQuarantined := c.quarantinedLocked(ws, now)
+	ws.health = c.decayedHealthLocked(ws, now) + pts
+	ws.healthAt = now
+	nowQuarantined := c.quarantinedLocked(ws, now)
+	c.mu.Unlock()
+	if !wasQuarantined && nowQuarantined {
+		c.mQuarantines.Add(1)
+	}
+}
+
+// dispatchable reports whether a worker may receive new assignments:
+// not draining, not quarantined.
+func (c *Coordinator) dispatchable(ws *workerState, now time.Time) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return !ws.draining && !c.quarantinedLocked(ws, now)
+}
+
+// DrainWorkers marks every worker whose name (or id) matches as
+// draining: no new assignments, leased jobs run to completion, and the
+// worker's next poll tells it to exit. Returns the draining ids.
+func (c *Coordinator) DrainWorkers(name string) []string {
+	c.mu.Lock()
+	var ids []string
+	for _, ws := range c.workers {
+		if ws.name == name || ws.id == name {
+			ws.draining = true
+			ids = append(ids, ws.id)
+		}
+	}
+	c.mu.Unlock()
+	sort.Strings(ids)
+	return ids
 }
 
 // assign leases a job to a worker.
@@ -297,40 +565,98 @@ func (c *Coordinator) assign(j *service.Job, ws *workerState) {
 	c.logEvent("assign", j, ws.id)
 }
 
-// heartbeat renews the worker's leases; returns job ids it should
-// abandon (done elsewhere, or requeued past it).
+// assignHedge installs a speculative second lease for a job that is
+// already running on its primary worker. No BeginRemote: the job's
+// service-side lifecycle is owned by the primary; the hedge exists
+// only in the coordinator's lease table, and first-result-wins makes
+// whichever copy finishes first the real one. Declines (returning
+// false) when the job finished meanwhile, the polling worker is the
+// primary holder, or another hedge is already in place.
+func (c *Coordinator) assignHedge(j *service.Job, ws *workerState) bool {
+	now := time.Now()
+	c.mu.Lock()
+	l := c.leases[j.ID()]
+	if l == nil || c.hedges[j.ID()] != nil {
+		c.mu.Unlock()
+		return false
+	}
+	if l.worker == ws.id {
+		// Re-offering the job to its own primary is useless; let a
+		// later sweep offer it to someone else.
+		l.hedged = false
+		c.mu.Unlock()
+		return false
+	}
+	c.hedges[j.ID()] = &lease{
+		job:     j,
+		worker:  ws.id,
+		started: now,
+		expires: now.Add(c.cfg.LeaseTTL),
+	}
+	ws.inflight[j.ID()] = true
+	c.mu.Unlock()
+	c.mAssigned.Add(1)
+	c.logEvent("hedge-assign", j, ws.id)
+	if tr := j.Trace(); tr != nil {
+		tr.Mark("hedge-assign", map[string]string{"worker": ws.id})
+	}
+	return true
+}
+
+// heartbeat renews the worker's leases (primary or hedge); returns job
+// ids it should abandon (done elsewhere, or requeued past it).
 func (c *Coordinator) heartbeat(ws *workerState, jobs []string) (cancelled []string) {
 	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for _, id := range jobs {
-		l, ok := c.leases[id]
-		if !ok || l.worker != ws.id {
-			cancelled = append(cancelled, id)
+		if l, ok := c.leases[id]; ok && l.worker == ws.id {
+			st := c.srv.StateOf(l.job)
+			if st == service.StateDone || st == service.StateFailed {
+				delete(c.leases, id)
+				delete(ws.inflight, id)
+				cancelled = append(cancelled, id)
+				continue
+			}
+			l.expires = now.Add(c.cfg.LeaseTTL)
 			continue
 		}
-		st := c.srv.StateOf(l.job)
-		if st == service.StateDone || st == service.StateFailed {
-			delete(c.leases, id)
-			delete(ws.inflight, id)
-			cancelled = append(cancelled, id)
+		if h, ok := c.hedges[id]; ok && h.worker == ws.id {
+			st := c.srv.StateOf(h.job)
+			if st == service.StateDone || st == service.StateFailed {
+				delete(c.hedges, id)
+				delete(ws.inflight, id)
+				cancelled = append(cancelled, id)
+				continue
+			}
+			h.expires = now.Add(c.cfg.LeaseTTL)
 			continue
 		}
-		l.expires = now.Add(c.cfg.LeaseTTL)
+		cancelled = append(cancelled, id)
 	}
 	return cancelled
 }
 
 // events folds a worker's progress batch into the job's feed.
-// Progress is accepted only from the current lease holder; samples
-// dedup against what the feed already absorbed, so a requeued job's
-// re-streamed prefix does not double up for SSE consumers.
+// Progress is accepted only from the current primary lease holder (a
+// hedge's progress would double-count); batches dedup on their
+// sequence number, so a duplicate-delivered batch folds once, and
+// samples additionally dedup against what the feed already absorbed,
+// so a requeued job's re-streamed prefix does not double up for SSE
+// consumers.
 func (c *Coordinator) events(jobID string, batch EventBatch) {
 	c.mu.Lock()
 	l, ok := c.leases[jobID]
 	if !ok || l.worker != batch.WorkerID {
 		c.mu.Unlock()
 		return
+	}
+	if batch.Seq != 0 {
+		if batch.Seq <= l.lastSeq {
+			c.mu.Unlock()
+			return
+		}
+		l.lastSeq = batch.Seq
 	}
 	feed := l.job.Feed()
 	if batch.Instructions > l.lastInstr {
@@ -348,27 +674,85 @@ func (c *Coordinator) events(jobID string, batch EventBatch) {
 	c.mu.Unlock()
 }
 
-// finish disposes an uploaded result or error. First result wins;
-// anything after is a duplicate and changes nothing.
-func (c *Coordinator) finish(j *service.Job, up ResultUpload) ResultResponse {
-	c.mu.Lock()
-	l := c.leases[j.ID()]
-	holder := l != nil && l.worker == up.WorkerID
-	if holder {
-		delete(c.leases, j.ID())
-		if ws := c.workers[up.WorkerID]; ws != nil {
-			delete(ws.inflight, j.ID())
+// verifyUpload checks a result envelope before anything is persisted:
+// the envelope must be structurally whole for the job's kind, produced
+// under the coordinator's config fingerprint, and its canonical
+// re-encoding must hash to what the worker claims — so a payload
+// corrupted in flight (or by a broken serializer) never reaches fsync.
+func (c *Coordinator) verifyUpload(j *service.Job, up ResultUpload) error {
+	env := up.Result
+	if kind := j.Spec().Kind; env.Kind != kind {
+		return fmt.Errorf("envelope kind %q does not match job kind %q", env.Kind, kind)
+	}
+	switch env.Kind {
+	case service.KindFigure:
+		if env.Table == nil {
+			return errors.New("figure envelope carries no table")
+		}
+	default:
+		if env.Result == nil {
+			return errors.New("single envelope carries no result")
 		}
 	}
+	if up.Fingerprint != c.srv.Fingerprint() {
+		return fmt.Errorf("config fingerprint %.12q does not match the store's %.12q",
+			up.Fingerprint, c.srv.Fingerprint())
+	}
+	canonical, err := json.Marshal(*env)
+	if err != nil {
+		return fmt.Errorf("re-encoding envelope: %w", err)
+	}
+	sum := sha256.Sum256(canonical)
+	if got := hex.EncodeToString(sum[:]); got != up.PayloadSHA256 {
+		return fmt.Errorf("payload hash mismatch: upload claims %.12s, canonical re-encoding is %.12s",
+			up.PayloadSHA256, got)
+	}
+	return nil
+}
+
+// finish disposes an uploaded result or error. Verification runs
+// before anything touches the store; a rejected upload requeues the
+// job (or promotes its hedge) and penalizes the worker. First verified
+// result wins; anything after is a duplicate and changes nothing.
+func (c *Coordinator) finish(j *service.Job, up ResultUpload) ResultResponse {
+	now := time.Now()
+	id := j.ID()
+	c.mu.Lock()
+	l, h := c.leases[id], c.hedges[id]
+	holder := l != nil && l.worker == up.WorkerID
+	hedgeHolder := h != nil && h.worker == up.WorkerID
 	c.mu.Unlock()
 
+	if up.Error == "" {
+		if err := c.verifyUpload(j, up); err != nil {
+			c.mRejected.Add(1)
+			c.logEvent("reject", j, up.WorkerID)
+			if tr := j.Trace(); tr != nil {
+				tr.Mark("upload-rejected", map[string]string{"worker": up.WorkerID, "reason": err.Error()})
+			}
+			c.penalize(up.WorkerID, healthVerifyReject, now)
+			c.releaseUploader(j, up.WorkerID, holder, hedgeHolder)
+			if holder {
+				c.failoverOrRequeue(j, up.WorkerID, "upload rejected: "+err.Error())
+			}
+			return ResultResponse{Rejected: true, Reason: err.Error()}
+		}
+	}
+
 	if up.Error != "" {
-		// Execution errors are honored only from the lease holder: a
-		// late error from a worker whose lease expired must not kill a
-		// job another worker is (re)running.
+		// Execution errors are honored only from the primary lease
+		// holder: a late error from a worker whose lease expired (or a
+		// hedge copy) must not kill a job another worker is running.
+		c.releaseUploader(j, up.WorkerID, holder, hedgeHolder)
 		if !holder {
 			c.mDupedUp.Add(1)
 			return ResultResponse{Duplicate: true}
+		}
+		c.penalize(up.WorkerID, healthExecFailure, now)
+		if c.failoverOrRequeue(j, up.WorkerID, "") {
+			// A hedge copy is still running; let it race the error.
+			c.logEvent("fail-deferred", j, up.WorkerID)
+			return ResultResponse{}
 		}
 		c.logEvent("fail", j, up.WorkerID)
 		if !c.srv.FailRemote(j, up.Error) {
@@ -377,19 +761,80 @@ func (c *Coordinator) finish(j *service.Job, up ResultUpload) ResultResponse {
 		}
 		return ResultResponse{}
 	}
-	// Results are honored from anyone — they are deterministic and
-	// content-addressed, so a late upload from an expired lease saves
-	// the requeued copy from re-simulating.
+
+	// Results are honored from anyone — they are deterministic,
+	// verified, and content-addressed, so a late upload from an expired
+	// lease saves the requeued copy from re-simulating.
 	if !c.srv.CompleteRemote(j, *up.Result) {
+		c.releaseUploader(j, up.WorkerID, holder, hedgeHolder)
 		c.mDupedUp.Add(1)
 		return ResultResponse{Duplicate: true}
 	}
 	c.mResults.Add(1)
 	c.logEvent("complete", j, up.WorkerID)
 	c.mu.Lock()
-	delete(c.jobAcc, j.ID())
+	if holder && l != nil {
+		c.recordRunLocked(now.Sub(l.started))
+	} else if hedgeHolder && h != nil {
+		c.recordRunLocked(now.Sub(h.started))
+	}
+	// The job is done: clear both lease entries; the losing copy's
+	// worker learns via heartbeat cancellation.
+	for _, stale := range []*lease{l, h} {
+		if stale == nil {
+			continue
+		}
+		if ws := c.workers[stale.worker]; ws != nil {
+			delete(ws.inflight, id)
+		}
+	}
+	delete(c.leases, id)
+	delete(c.hedges, id)
+	delete(c.jobAcc, id)
 	c.mu.Unlock()
 	return ResultResponse{}
+}
+
+// releaseUploader drops the uploading worker's lease entry (primary or
+// hedge) after a terminal upload, leaving any other copy's lease
+// intact.
+func (c *Coordinator) releaseUploader(j *service.Job, workerID string, holder, hedgeHolder bool) {
+	id := j.ID()
+	c.mu.Lock()
+	if holder {
+		delete(c.leases, id)
+	}
+	if hedgeHolder {
+		delete(c.hedges, id)
+	}
+	if ws := c.workers[workerID]; ws != nil {
+		delete(ws.inflight, id)
+	}
+	c.mu.Unlock()
+}
+
+// failoverOrRequeue handles a primary copy going bad (rejected upload
+// or execution error): if a live hedge exists it is promoted to
+// primary and the job keeps running (reports true); otherwise the job
+// requeues with the given reason when one is supplied (reports false).
+func (c *Coordinator) failoverOrRequeue(j *service.Job, badWorker, requeueReason string) bool {
+	id := j.ID()
+	c.mu.Lock()
+	h := c.hedges[id]
+	if h != nil && h.worker != badWorker {
+		delete(c.hedges, id)
+		h.hedged = true
+		c.leases[id] = h
+		c.mu.Unlock()
+		c.logEvent("promote", j, h.worker)
+		return true
+	}
+	c.mu.Unlock()
+	if requeueReason != "" && c.srv.Requeue(j, requeueReason) {
+		c.mRequeued.Add(1)
+		c.logEvent("requeue", j, badWorker)
+	}
+	return false
 }
 
 // Status snapshots the cluster for triagectl.
@@ -404,6 +849,8 @@ func (c *Coordinator) Status() StatusView {
 		Assigned: c.mAssigned.Load(),
 		Requeued: c.mRequeued.Load(),
 		Expired:  c.mExpired.Load(),
+		Hedged:   c.mHedged.Load(),
+		Rejected: c.mRejected.Load(),
 	}
 	for _, ws := range c.workers {
 		v.Workers = append(v.Workers, WorkerView{
@@ -413,6 +860,9 @@ func (c *Coordinator) Status() StatusView {
 			Inflight:       len(ws.inflight),
 			LastSeenMillis: now.Sub(ws.lastSeen).Milliseconds(),
 			Live:           now.Sub(ws.lastSeen) <= c.cfg.LeaseTTL,
+			Health:         c.decayedHealthLocked(ws, now),
+			Quarantined:    c.quarantinedLocked(ws, now),
+			Draining:       ws.draining,
 		})
 	}
 	sort.Slice(v.Workers, func(i, k int) bool { return v.Workers[i].ID < v.Workers[k].ID })
@@ -423,6 +873,7 @@ func (c *Coordinator) Status() StatusView {
 			Worker:          l.worker,
 			ExpiresInMillis: l.expires.Sub(now).Milliseconds(),
 			AgeMillis:       now.Sub(l.started).Milliseconds(),
+			Hedged:          l.hedged,
 		})
 	}
 	sort.Slice(v.Leases, func(i, k int) bool { return v.Leases[i].JobID < v.Leases[k].JobID })
@@ -443,6 +894,18 @@ func (c *Coordinator) registerMetrics() {
 		defer c.mu.Unlock()
 		return float64(len(c.leases))
 	})
+	r.GaugeFunc("triaged_cluster_quarantined", "workers currently quarantined out of dispatch", func() float64 {
+		now := time.Now()
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		n := 0
+		for _, ws := range c.workers {
+			if c.quarantinedLocked(ws, now) {
+				n++
+			}
+		}
+		return float64(n)
+	})
 	r.CounterFunc("triaged_cluster_assigned_total", "jobs leased to workers",
 		func() float64 { return float64(c.mAssigned.Load()) })
 	r.CounterFunc("triaged_cluster_requeued_total", "jobs requeued after a lease expired",
@@ -453,6 +916,12 @@ func (c *Coordinator) registerMetrics() {
 		func() float64 { return float64(c.mResults.Load()) })
 	r.CounterFunc("triaged_cluster_duplicate_uploads_total", "uploads for jobs that already had a result",
 		func() float64 { return float64(c.mDupedUp.Load()) })
+	r.CounterFunc("triaged_cluster_upload_rejected_total", "uploads that failed verification (nothing persisted)",
+		func() float64 { return float64(c.mRejected.Load()) })
+	r.CounterFunc("triaged_cluster_hedged_total", "jobs speculatively re-dispatched past the p99 run estimate",
+		func() float64 { return float64(c.mHedged.Load()) })
+	r.CounterFunc("triaged_cluster_quarantines_total", "times a worker crossed into quarantine",
+		func() float64 { return float64(c.mQuarantines.Load()) })
 	r.CounterFunc("triaged_cluster_assignlog_errors_total", "assignment-log write failures (audit only)",
 		func() float64 { return float64(c.mLogErrors.Load()) })
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 // maxUploadBytes bounds worker uploads. A figure table or a sampled
@@ -25,6 +26,7 @@ func (c *Coordinator) Handler(next http.Handler) http.Handler {
 	mux.HandleFunc("POST /cluster/v1/heartbeat", c.handleHeartbeat)
 	mux.HandleFunc("POST /cluster/v1/jobs/{id}/events", c.handleEvents)
 	mux.HandleFunc("POST /cluster/v1/jobs/{id}/result", c.handleResult)
+	mux.HandleFunc("POST /cluster/v1/workers/drain", c.handleDrain)
 	mux.HandleFunc("GET /cluster/v1/status", c.handleStatus)
 	mux.HandleFunc("GET /cluster/v1/traces/{id}", c.handleTraceFetch)
 	if next != nil {
@@ -67,7 +69,7 @@ func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if req.Name == "" {
 		req.Name = "worker"
 	}
-	ws := c.register(req.Name, req.Slots)
+	ws := c.register(req.Name, req.Slots, req.Token)
 	clusterJSON(w, http.StatusOK, RegisterResponse{
 		WorkerID:       ws.id,
 		LeaseTTLMillis: c.cfg.LeaseTTL.Milliseconds(),
@@ -89,8 +91,24 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 		clusterError(w, http.StatusGone, "unknown worker "+req.WorkerID+" (re-register)")
 		return
 	}
+	if c.isDraining(ws) {
+		clusterJSON(w, http.StatusOK, PollResponse{Drain: true})
+		return
+	}
 	deadline := time.NewTimer(c.cfg.PollWindow)
 	defer deadline.Stop()
+	if !c.dispatchable(ws, time.Now()) {
+		// Quarantined: hold the poll for the window (so the worker does
+		// not hot-spin) and send it away empty; decay re-admits it.
+		select {
+		case <-deadline.C:
+		case <-c.stopc:
+		case <-r.Context().Done():
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	for {
 		select {
 		case j, ok := <-c.dispatch:
@@ -99,6 +117,17 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			c.assign(j, ws)
+			clusterJSON(w, http.StatusOK, PollResponse{JobID: j.ID(), Key: j.Key(), Spec: j.Spec()})
+			return
+		case j := <-c.hedgec:
+			// Speculative re-dispatch: skip offers that went stale (job
+			// finished) or that this worker already owns.
+			if st := c.srv.StateOf(j); st == service.StateDone || st == service.StateFailed {
+				continue
+			}
+			if !c.assignHedge(j, ws) {
+				continue
+			}
 			clusterJSON(w, http.StatusOK, PollResponse{JobID: j.ID(), Key: j.Key(), Spec: j.Spec()})
 			return
 		case <-deadline.C:
@@ -111,6 +140,32 @@ func (c *Coordinator) handlePoll(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+}
+
+// isDraining reads the worker's drain flag under the lock.
+func (c *Coordinator) isDraining(ws *workerState) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return ws.draining
+}
+
+// handleDrain rotates workers out of the fleet by display name (or
+// id): they get no new work and their next poll tells them to exit.
+func (c *Coordinator) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req DrainRequest
+	if !decodeBody(w, r, &req, 1<<16) {
+		return
+	}
+	if req.Name == "" {
+		clusterError(w, http.StatusBadRequest, "drain needs a worker name")
+		return
+	}
+	ids := c.DrainWorkers(req.Name)
+	if len(ids) == 0 {
+		clusterError(w, http.StatusNotFound, "no worker named "+req.Name)
+		return
+	}
+	clusterJSON(w, http.StatusOK, DrainResponse{Drained: ids})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {

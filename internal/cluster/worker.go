@@ -3,17 +3,21 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/config"
 	"repro/internal/experiments"
 	"repro/internal/service"
 	"repro/internal/sim"
@@ -47,11 +51,23 @@ type WorkerConfig struct {
 	// ProgressEvery paces progress/sample event batches to the
 	// coordinator. Default 250ms.
 	ProgressEvery time.Duration
-	// PollRetry is the back-off after a failed poll (coordinator
-	// unreachable). Default 500ms.
+	// PollRetry is the base back-off after a failed RPC (coordinator
+	// unreachable); retries grow exponentially from it, capped, with
+	// ±25% seeded jitter so a partitioned fleet does not reconnect in
+	// lockstep. Default 500ms.
 	PollRetry time.Duration
+	// RPCTimeout is the per-attempt deadline on short RPCs (register,
+	// heartbeat, events, result upload) — a half-open connection fails
+	// the attempt instead of wedging the worker until the client's
+	// overall timeout. Long-polls keep the client timeout. Default 15s.
+	RPCTimeout time.Duration
+	// JitterSeed seeds the retry-jitter stream (and the idempotency
+	// token). 0 derives a unique seed per worker, which is what
+	// production wants; tests pin it for reproducible schedules.
+	JitterSeed int64
 	// Client is the HTTP client. Default: http.Client with a 5-minute
-	// timeout (long-polls ride inside it).
+	// timeout (long-polls ride inside it). Chaos tests hand in a client
+	// whose Transport is a netfault.Transport.
 	Client *http.Client
 	// Log receives worker lifecycle lines; nil discards them.
 	Log io.Writer
@@ -64,6 +80,9 @@ type Worker struct {
 	cfg    WorkerConfig
 	pool   *experiments.Pool
 	client *http.Client
+	retry  *backoff
+	token  string // register idempotency key
+	fp     string // machine-config fingerprint stamped on uploads
 
 	mu       sync.Mutex
 	id       string
@@ -75,6 +94,10 @@ type Worker struct {
 	// suppressed, exactly as if the process had been kill -9'd (any
 	// running simulation's outcome is discarded).
 	killed atomic.Bool
+
+	// draining flips when the coordinator rotates this worker out:
+	// slots stop polling and Run returns once in-flight jobs finish.
+	draining atomic.Bool
 
 	jobsDone atomic.Int64
 }
@@ -103,17 +126,31 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.PollRetry <= 0 {
 		cfg.PollRetry = 500 * time.Millisecond
 	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 15 * time.Second
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = time.Now().UnixNano() ^ int64(os.Getpid())<<32
+	}
 	client := cfg.Client
 	if client == nil {
 		client = &http.Client{Timeout: 5 * time.Minute}
 	}
+	retry := newBackoff(cfg.JitterSeed, cfg.PollRetry, 32*cfg.PollRetry)
 	return &Worker{
 		cfg:      cfg,
 		pool:     experiments.NewPool(cfg.PoolWorkers),
 		client:   client,
+		retry:    retry,
+		token:    fmt.Sprintf("%s-%016x", cfg.Name, uint64(cfg.JitterSeed)),
+		fp:       experiments.ConfigFingerprint(config.Default(1)),
 		inflight: make(map[string]bool),
 	}, nil
 }
+
+// Draining reports whether the coordinator has told this worker to
+// rotate out.
+func (w *Worker) Draining() bool { return w.draining.Load() }
 
 // JobsDone reports how many jobs this worker has finished uploading.
 func (w *Worker) JobsDone() int64 { return w.jobsDone.Load() }
@@ -152,10 +189,18 @@ func (w *Worker) logf(format string, args ...any) {
 }
 
 // post sends one JSON request; out may be nil. A killed worker's
-// posts vanish without reaching the wire.
-func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+// posts vanish without reaching the wire. A positive timeout puts a
+// per-attempt deadline on this call — retried RPCs each get a fresh
+// one, so a half-open connection costs one attempt, not the client's
+// whole timeout; pass 0 for long-polls, which ride the client timeout.
+func (w *Worker) post(ctx context.Context, path string, in, out any, timeout time.Duration) (int, error) {
 	if w.killed.Load() {
 		return 0, errors.New("worker killed")
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	body, err := json.Marshal(in)
 	if err != nil {
@@ -184,12 +229,15 @@ func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error
 	return resp.StatusCode, nil
 }
 
-// register obtains a worker id, retrying while the coordinator is
-// unreachable.
+// register obtains a worker id, retrying with jittered exponential
+// backoff while the coordinator is unreachable — after a partition
+// heals, a fleet's registers spread out instead of stampeding. The
+// token makes a duplicate-delivered register idempotent.
 func (w *Worker) register(ctx context.Context) error {
-	for {
+	for attempt := 0; ; attempt++ {
 		var resp RegisterResponse
-		code, err := w.post(ctx, "/cluster/v1/register", RegisterRequest{Name: w.cfg.Name, Slots: w.cfg.Slots}, &resp)
+		code, err := w.post(ctx, "/cluster/v1/register",
+			RegisterRequest{Name: w.cfg.Name, Slots: w.cfg.Slots, Token: w.token}, &resp, w.cfg.RPCTimeout)
 		if err == nil && code == http.StatusOK {
 			w.mu.Lock()
 			w.id = resp.WorkerID
@@ -204,7 +252,7 @@ func (w *Worker) register(ctx context.Context) error {
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(w.cfg.PollRetry):
+		case <-time.After(w.retry.Delay(attempt)):
 		}
 	}
 }
@@ -215,10 +263,13 @@ func (w *Worker) workerID() string {
 	return w.id
 }
 
-// heartbeatLoop renews leases for every in-flight job at a third of
-// the TTL. A 410 (coordinator restarted, worker table wiped)
-// re-registers; in-flight jobs keep running and upload by job id,
-// which survives the restart because ids derive from content keys.
+// heartbeatLoop renews leases for every in-flight job at roughly a
+// third of the TTL, jittered ±20% so a fleet's heartbeats (and the
+// re-registration stampede after a coordinator restart) decorrelate
+// while still landing at least twice per TTL. A 410 (coordinator
+// restarted, worker table wiped) re-registers; in-flight jobs keep
+// running and upload by job id, which survives the restart because ids
+// derive from content keys.
 func (w *Worker) heartbeatLoop(ctx context.Context) {
 	for {
 		w.mu.Lock()
@@ -231,7 +282,7 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case <-time.After(every):
+		case <-time.After(w.retry.Jitter(every, 0.2)):
 		}
 		if w.killed.Load() {
 			return
@@ -242,7 +293,8 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 			jobs = append(jobs, id)
 		}
 		w.mu.Unlock()
-		code, err := w.post(ctx, "/cluster/v1/heartbeat", HeartbeatRequest{WorkerID: w.workerID(), Jobs: jobs}, nil)
+		code, err := w.post(ctx, "/cluster/v1/heartbeat",
+			HeartbeatRequest{WorkerID: w.workerID(), Jobs: jobs}, nil, w.cfg.RPCTimeout)
 		if err == nil && code == http.StatusGone {
 			if err := w.register(ctx); err != nil {
 				return
@@ -251,14 +303,18 @@ func (w *Worker) heartbeatLoop(ctx context.Context) {
 	}
 }
 
-// slotLoop polls for jobs and executes them until ctx cancels.
+// slotLoop polls for jobs and executes them until ctx cancels, the
+// coordinator tells the worker to drain, or Kill. Failed polls back
+// off exponentially with jitter; a successful round trip resets the
+// schedule.
 func (w *Worker) slotLoop(ctx context.Context) {
+	failures := 0
 	for {
-		if ctx.Err() != nil || w.killed.Load() {
+		if ctx.Err() != nil || w.killed.Load() || w.draining.Load() {
 			return
 		}
 		var a PollResponse
-		code, err := w.post(ctx, "/cluster/v1/poll", PollRequest{WorkerID: w.workerID()}, &a)
+		code, err := w.post(ctx, "/cluster/v1/poll", PollRequest{WorkerID: w.workerID()}, &a, 0)
 		switch {
 		case err != nil:
 			if ctx.Err() != nil || w.killed.Load() {
@@ -267,16 +323,25 @@ func (w *Worker) slotLoop(ctx context.Context) {
 			select {
 			case <-ctx.Done():
 				return
-			case <-time.After(w.cfg.PollRetry):
+			case <-time.After(w.retry.Delay(failures)):
 			}
+			failures++
 			continue
 		case code == http.StatusGone:
+			failures = 0
 			if w.register(ctx) != nil {
 				return
 			}
 			continue
 		case code != http.StatusOK:
+			failures = 0
 			continue // 204: no work inside the poll window
+		}
+		failures = 0
+		if a.Drain {
+			w.draining.Store(true)
+			w.logf("draining: coordinator rotated this worker out")
+			return
 		}
 		w.execute(ctx, a)
 	}
@@ -317,19 +382,36 @@ func (w *Worker) execute(ctx context.Context, a PollResponse) {
 		up.Error = execErr
 	} else {
 		up.Result = &env
+		up.Fingerprint = w.fp
+		// Hash the canonical envelope encoding; the coordinator
+		// re-encodes what it decoded and compares, so any corruption
+		// between here and its fsync is caught before persistence.
+		if canonical, err := json.Marshal(env); err == nil {
+			sum := sha256.Sum256(canonical)
+			up.PayloadSHA256 = hex.EncodeToString(sum[:])
+		}
 	}
 	w.upload(ctx, a.JobID, up)
 }
 
-// upload posts the job outcome, retrying transient failures: losing a
-// finished result to a connection blip would force a pointless
-// re-simulation.
+// upload posts the job outcome, retrying transient failures with
+// jittered backoff: losing a finished result to a connection blip
+// would force a pointless re-simulation, and a one-way partition
+// (result delivered, acknowledgment lost) resolves as a Duplicate on
+// the retry — the upload is idempotent by job id. A verification
+// reject is terminal: retrying the same bytes cannot succeed, and the
+// coordinator has already requeued the job.
 func (w *Worker) upload(ctx context.Context, jobID string, up ResultUpload) {
 	var resp ResultResponse
-	for attempt := 0; attempt < 5; attempt++ {
-		code, err := w.post(ctx, "/cluster/v1/jobs/"+jobID+"/result", up, &resp)
+	for attempt := 0; attempt < 8; attempt++ {
+		resp = ResultResponse{}
+		code, err := w.post(ctx, "/cluster/v1/jobs/"+jobID+"/result", up, &resp, w.cfg.RPCTimeout)
 		if err == nil && (code == http.StatusOK || code == http.StatusNotFound) {
 			if code == http.StatusOK {
+				if resp.Rejected {
+					w.logf("upload for %s rejected by coordinator: %s", jobID, resp.Reason)
+					return
+				}
 				w.jobsDone.Add(1)
 			}
 			return
@@ -337,8 +419,9 @@ func (w *Worker) upload(ctx context.Context, jobID string, up ResultUpload) {
 		if w.killed.Load() || ctx.Err() != nil {
 			return
 		}
-		time.Sleep(w.cfg.PollRetry)
+		time.Sleep(w.retry.Delay(attempt))
 	}
+	w.logf("upload for %s abandoned after retries (lease expiry will requeue it)", jobID)
 }
 
 // eventPoster batches progress and samples to the coordinator on a
@@ -352,6 +435,7 @@ type eventPoster struct {
 	mu     sync.Mutex
 	buffer []telemetry.Sample
 	sent   uint64
+	seq    int64 // batch sequence: the coordinator's duplicate filter
 	stop   chan struct{}
 	done   chan struct{}
 }
@@ -376,8 +460,10 @@ func (p *eventPoster) flush(ctx context.Context) {
 		return
 	}
 	p.sent = instr
+	p.seq++
 	p.w.post(ctx, "/cluster/v1/jobs/"+p.jobID+"/events",
-		EventBatch{WorkerID: p.w.workerID(), Instructions: instr, Samples: samples}, nil)
+		EventBatch{WorkerID: p.w.workerID(), Instructions: instr, Seq: p.seq, Samples: samples},
+		nil, p.w.cfg.RPCTimeout)
 }
 
 func (p *eventPoster) run(ctx context.Context) {

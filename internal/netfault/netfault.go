@@ -1,0 +1,178 @@
+// Package netfault injects deterministic, seeded network faults into
+// HTTP traffic, the network analog of vfs.Faulty: a Transport wraps an
+// http.RoundTripper on the client side, a Listener wraps a net.Listener
+// on the server side, and both draw every fault decision from a seeded
+// PRNG so a failing chaos run replays exactly.
+//
+// The fault vocabulary covers the ways a real cluster link dies:
+//
+//   - connection refusal (the request never leaves),
+//   - mid-body resets (the request dies in flight, delivery unknown),
+//   - response truncation (the reply arrives cut short),
+//   - latency spikes (slow links, not dead ones),
+//   - one-way partitions (the request is delivered and EXECUTED but the
+//     response is lost — the ambiguous case idempotency must survive),
+//   - duplicate delivery (the request is executed twice).
+//
+// Beyond the probabilistic plan, a Transport has explicit switches —
+// Cut, CutOneWay, Restore — so a chaos scenario can open a partition at
+// an exact moment, and a Match predicate to scope faults to a subset of
+// calls (e.g. only /cluster/v1/heartbeat, for asymmetric partitions).
+package netfault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Plan gives the probability of each fault class, rolled independently
+// per request in a fixed order from a PRNG seeded with Seed. The zero
+// Plan injects nothing. Probabilities are in [0, 1].
+type Plan struct {
+	Seed int64
+
+	PRefuse       float64 // connection refused before the request leaves
+	PReset        float64 // connection reset mid-request; not delivered
+	PDropResponse float64 // request delivered and executed, response lost
+	PTruncate     float64 // response body cut short mid-stream
+	PDuplicate    float64 // request delivered (and executed) twice
+	PDelay        float64 // latency spike of Delay before the request
+	Delay         time.Duration
+}
+
+// ParsePlan decodes the CLI plan syntax shared by triaged and
+// triageworker: comma-separated key=value pairs, e.g.
+//
+//	seed=7,refuse=0.05,reset=0.02,drop=0.03,trunc=0.02,dup=0.05,delay=0.1:20ms
+//
+// delay takes an optional ":duration" suffix (default 25ms).
+func ParsePlan(s string) (Plan, error) {
+	p := Plan{Delay: 25 * time.Millisecond}
+	if strings.TrimSpace(s) == "" {
+		return p, nil
+	}
+	for _, field := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok {
+			return p, fmt.Errorf("netfault plan: %q is not key=value", field)
+		}
+		if k == "seed" {
+			n, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return p, fmt.Errorf("netfault plan: bad seed %q", v)
+			}
+			p.Seed = n
+			continue
+		}
+		if k == "delay" {
+			prob, dur, has := strings.Cut(v, ":")
+			f, err := strconv.ParseFloat(prob, 64)
+			if err != nil {
+				return p, fmt.Errorf("netfault plan: bad delay probability %q", prob)
+			}
+			p.PDelay = f
+			if has {
+				d, err := time.ParseDuration(dur)
+				if err != nil {
+					return p, fmt.Errorf("netfault plan: bad delay duration %q", dur)
+				}
+				p.Delay = d
+			}
+			continue
+		}
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return p, fmt.Errorf("netfault plan: bad probability %q for %s", v, k)
+		}
+		switch k {
+		case "refuse":
+			p.PRefuse = f
+		case "reset":
+			p.PReset = f
+		case "drop":
+			p.PDropResponse = f
+		case "trunc":
+			p.PTruncate = f
+		case "dup":
+			p.PDuplicate = f
+		default:
+			return p, fmt.Errorf("netfault plan: unknown key %q", k)
+		}
+	}
+	return p, nil
+}
+
+// faultState is the shared seeded core behind Transport and Listener.
+type faultState struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	plan     Plan
+	counters map[string]int64
+}
+
+func newFaultState(p Plan) *faultState {
+	return &faultState{
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		plan:     p,
+		counters: make(map[string]int64),
+	}
+}
+
+// roll draws one uniform variate under the lock; every fault decision
+// consumes exactly one draw so a plan's decision stream is a pure
+// function of its seed regardless of which probabilities are zero.
+func (s *faultState) roll(p float64, class string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	hit := s.rng.Float64() < p
+	if hit {
+		s.counters[class]++
+	}
+	return hit
+}
+
+func (s *faultState) count(class string) {
+	s.mu.Lock()
+	s.counters[class]++
+	s.mu.Unlock()
+}
+
+func (s *faultState) setPlan(p Plan) {
+	s.mu.Lock()
+	s.plan = p
+	s.rng = rand.New(rand.NewSource(p.Seed))
+	s.mu.Unlock()
+}
+
+func (s *faultState) snapshot() (Plan, map[string]int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v
+	}
+	return s.plan, out
+}
+
+// String renders the counters deterministically (sorted by class) for
+// logs: "refuse=3 reset=1".
+func formatCounters(c map[string]int64) string {
+	keys := make([]string, 0, len(c))
+	for k := range c {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, c[k]))
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " ")
+}

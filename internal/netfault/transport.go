@@ -1,0 +1,203 @@
+package netfault
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"syscall"
+	"time"
+)
+
+// FaultError is what an injected client-side fault returns. It unwraps
+// to the syscall errno a real network failure of the same class would
+// carry (ECONNREFUSED, ECONNRESET), so callers classifying retryable
+// errors with errors.Is treat injected faults exactly like real ones.
+type FaultError struct {
+	Class string // refuse, reset, drop-response, cut, cut-oneway
+	Err   error
+}
+
+func (e *FaultError) Error() string { return "netfault: injected " + e.Class + ": " + e.Err.Error() }
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// IsInjected reports whether err (or anything it wraps) came from this
+// package, letting tests separate injected faults from real ones.
+func IsInjected(err error) bool {
+	var fe *FaultError
+	return errors.As(err, &fe)
+}
+
+// Partition modes for the explicit switches.
+const (
+	partNone   = int32(iota) // faults come from the plan only
+	partFull   = int32(1)    // every matched request refused
+	partOneWay = int32(2)    // requests delivered + executed, responses lost
+)
+
+// Transport wraps an http.RoundTripper with seeded fault injection.
+// Safe for concurrent use. The zero probability plan plus Restore mode
+// is a transparent passthrough.
+type Transport struct {
+	inner http.RoundTripper
+	state *faultState
+	mode  atomic.Int32
+
+	// match scopes fault injection: requests it rejects pass straight
+	// through. Set via Match before concurrent use; nil matches all.
+	match func(*http.Request) bool
+
+	// sleep is swapped in tests so latency spikes don't slow the suite.
+	sleep func(time.Duration)
+}
+
+// New wraps inner (nil means http.DefaultTransport) with plan.
+func New(inner http.RoundTripper, plan Plan) *Transport {
+	if inner == nil {
+		inner = http.DefaultTransport
+	}
+	return &Transport{inner: inner, state: newFaultState(plan), sleep: time.Sleep}
+}
+
+// Match scopes injection to requests the predicate accepts. Call before
+// the transport is shared across goroutines.
+func (t *Transport) Match(f func(*http.Request) bool) { t.match = f }
+
+// Cut opens a full partition: every matched request fails with
+// connection refused until Restore.
+func (t *Transport) Cut() { t.mode.Store(partFull) }
+
+// CutOneWay opens an asymmetric partition: matched requests are still
+// delivered and executed by the server, but every response is lost.
+// This is the ambiguous-delivery case idempotent RPCs must tolerate.
+func (t *Transport) CutOneWay() { t.mode.Store(partOneWay) }
+
+// Restore closes any explicit partition; the probabilistic plan still
+// applies.
+func (t *Transport) Restore() { t.mode.Store(partNone) }
+
+// SetPlan replaces the plan and reseeds the decision stream.
+func (t *Transport) SetPlan(p Plan) { t.state.setPlan(p) }
+
+// Counters returns a copy of the per-class injection counts.
+func (t *Transport) Counters() map[string]int64 {
+	_, c := t.state.snapshot()
+	return c
+}
+
+// CountersString renders the counters sorted by class, for logs.
+func (t *Transport) CountersString() string { return formatCounters(t.Counters()) }
+
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.match != nil && !t.match(req) {
+		return t.inner.RoundTrip(req)
+	}
+
+	// Buffer the body once so the request can be replayed (duplicate
+	// delivery) or retried by the caller; cluster RPC bodies are small
+	// JSON documents.
+	var body []byte
+	if req.Body != nil {
+		b, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		body = b
+	}
+	fresh := func() *http.Request {
+		r := req.Clone(req.Context())
+		if body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return r
+	}
+
+	switch t.mode.Load() {
+	case partFull:
+		t.state.count("cut")
+		return nil, &FaultError{Class: "cut", Err: fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, syscall.ECONNREFUSED)}
+	case partOneWay:
+		// Deliver and execute, then lose the response.
+		resp, err := t.inner.RoundTrip(fresh())
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		t.state.count("cut-oneway")
+		return nil, &FaultError{Class: "cut-oneway", Err: fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, syscall.ECONNRESET)}
+	}
+
+	plan, _ := t.state.snapshot()
+
+	// Roll every class in a fixed order so the decision stream is
+	// seed-deterministic independent of which faults fire.
+	delay := t.state.roll(plan.PDelay, "delay")
+	refuse := t.state.roll(plan.PRefuse, "refuse")
+	reset := t.state.roll(plan.PReset, "reset")
+	dup := t.state.roll(plan.PDuplicate, "duplicate")
+	drop := t.state.roll(plan.PDropResponse, "drop-response")
+	trunc := t.state.roll(plan.PTruncate, "truncate")
+
+	if delay && plan.Delay > 0 {
+		t.sleep(plan.Delay)
+	}
+	if refuse {
+		return nil, &FaultError{Class: "refuse", Err: fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, syscall.ECONNREFUSED)}
+	}
+	if reset {
+		return nil, &FaultError{Class: "reset", Err: fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, syscall.ECONNRESET)}
+	}
+
+	if dup {
+		// First delivery executes; its response is discarded and the
+		// duplicate's response is returned, like a retransmit.
+		if resp, err := t.inner.RoundTrip(fresh()); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	resp, err := t.inner.RoundTrip(fresh())
+	if err != nil {
+		return nil, err
+	}
+
+	if drop {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return nil, &FaultError{Class: "drop-response", Err: fmt.Errorf("%s %s: %w", req.Method, req.URL.Path, syscall.ECONNRESET)}
+	}
+	if trunc {
+		// Deliver a prefix of the body, then fail the stream the way a
+		// torn-down connection does.
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := len(b) / 2
+		resp.Body = &truncatedBody{r: bytes.NewReader(b[:cut])}
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+		return resp, nil
+	}
+	return resp, nil
+}
+
+// truncatedBody yields its prefix then fails with ErrUnexpectedEOF, the
+// error a JSON decoder surfaces when a connection dies mid-body.
+type truncatedBody struct{ r *bytes.Reader }
+
+func (t *truncatedBody) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (t *truncatedBody) Close() error { return nil }

@@ -187,6 +187,12 @@ func (s *Server) CompleteFromStore(j *Job) bool {
 	return true
 }
 
+// Fingerprint returns the server's machine-config fingerprint — the
+// identity the content-addressed store is keyed under. A coordinator
+// uses it to verify that an uploaded result was produced under the
+// same configuration before persisting it.
+func (s *Server) Fingerprint() string { return s.fp }
+
 // Key returns the job's canonical content key.
 func (j *Job) Key() string { return j.key }
 

@@ -91,11 +91,11 @@ if [ -f "$service_baseline" ]; then
     svc_fresh=$(mktemp -d)
     trap 'rm -f "$fresh"; rm -rf "$svc_fresh"' EXIT
     go build -o "$svc_fresh/triageload" ./cmd/triageload
-    while read -r scenario process rate jobs seed dedup workers queue fafter ffor p99; do
+    while read -r scenario process rate jobs seed dedup workers queue fafter ffor cworkers p99; do
         "$svc_fresh/triageload" -scenario "$scenario" -process "$process" \
             -rate "$rate" -jobs "$jobs" -seed "$seed" -dedup "$dedup" \
             -workers "$workers" -queue "$queue" -clock virtual -validate 0 \
-            -faultafter "$fafter" -faultfor "$ffor" \
+            -faultafter "$fafter" -faultfor "$ffor" -cluster-workers "$cworkers" \
             -o "$svc_fresh/$scenario.json" 2>/dev/null
         now=$(python3 -c "import json,sys; print(json.load(open(sys.argv[1]))['service'][0]['p99_ms'])" \
             "$svc_fresh/$scenario.json")
@@ -116,7 +116,8 @@ for r in f.get("service", []):
         continue
     print(r["scenario"], r["process"], r["rate_per_sec"], r["jobs"], r["seed"],
           r["dedup_frac"], r["workers"], r["queue_cap"],
-          r.get("fault_after", 0), r.get("fault_for", 0), r["p99_ms"])
+          r.get("fault_after", 0), r.get("fault_for", 0),
+          r.get("cluster_workers", 0), r["p99_ms"])
 PY
 )
 else

@@ -223,11 +223,56 @@ cmp "$smokedir/solo/fig06.txt" "$smokedir/clus/fig06.txt"
 # The kill was observed: the dead worker's lease lapsed and its figure
 # was requeued onto the survivor.
 "$smokedir/triagectl" -addr "$addr" status | grep -q 'requeued: [1-9]'
+# Capacity harness against the live cluster: the wall clock drives the
+# coordinator over HTTP, jobs execute on the surviving worker, and the
+# observability validation (traces + Prometheus) must hold end to end.
+"$smokedir/triageload" -scenario cluster-wall -process poisson -rate 200 \
+    -jobs 30 -seed 12 -clock wall -addr "$addr" -validate 4 -o - >/dev/null
 kill -TERM "$worker_a"
 wait "$worker_a"
 wait "$worker_b" 2>/dev/null || true
 kill -TERM "$triaged_pid"
 wait "$triaged_pid"
+
+# Netfault chaos smoke: the same two figures again, now with the
+# coordinator's listener resetting a fraction of accepted connections
+# and every worker RPC passing through a seeded fault transport
+# (refusals, resets, lost responses, truncation, duplicate delivery,
+# latency spikes). The retry/idempotency layer must absorb all of it:
+# tables byte-identical to the single-node run, and the fault counters
+# reported on exit. The copylocks vet guards the wire types the retry
+# paths copy around.
+go vet -copylocks ./internal/netfault ./internal/cluster
+rm -f "$smokedir/port"
+"$smokedir/triaged" -cluster -lease 2s -listen 127.0.0.1:0 \
+    -portfile "$smokedir/port" -store "$smokedir/chaos-store" -queue 16 \
+    -netfault 'seed=11,refuse=0.05' 2>"$smokedir/chaos-coord.log" &
+triaged_pid=$!
+for _ in $(seq 1 50); do
+    [ -s "$smokedir/port" ] && break
+    sleep 0.1
+done
+addr=$(cat "$smokedir/port")
+"$smokedir/triageworker" -coordinator "$addr" -name chaos-a -jitterseed 21 \
+    -netfault 'seed=21,refuse=0.05,drop=0.05,dup=0.05,delay=0.2:5ms' \
+    2>"$smokedir/chaos-a.log" &
+worker_a=$!
+"$smokedir/triageworker" -coordinator "$addr" -name chaos-b -jitterseed 22 \
+    -netfault 'seed=22,reset=0.05,trunc=0.05,dup=0.05,delay=0.2:5ms' \
+    2>"$smokedir/chaos-b.log" &
+worker_b=$!
+"$smokedir/triagectl" -addr "$addr" figures -j 2 -o "$smokedir/chaosfig" \
+    -warmup 200000 -measure 200000 fig05 fig06
+cmp "$smokedir/solo/fig05.txt" "$smokedir/chaosfig/fig05.txt"
+cmp "$smokedir/solo/fig06.txt" "$smokedir/chaosfig/fig06.txt"
+kill -TERM "$worker_a" "$worker_b"
+wait "$worker_a"
+wait "$worker_b"
+kill -TERM "$triaged_pid"
+wait "$triaged_pid"
+grep -q 'netfault injected' "$smokedir/chaos-coord.log"
+grep -q 'netfault injected' "$smokedir/chaos-a.log"
+grep -q 'netfault injected' "$smokedir/chaos-b.log"
 
 # Throughput regression gate (opt-in: the committed baseline numbers
 # are machine-dependent, so only run where they are comparable).
